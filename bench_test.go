@@ -1,0 +1,330 @@
+// Benchmarks: one target per figure of the paper's evaluation
+// (Figures 6–10 and the §5.3.1 timing comparison) plus micro and
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// The per-figure benchmarks execute the same harnesses as
+// cmd/fairbench on reduced workloads so `go test -bench=.` stays
+// bounded; run `go run ./cmd/fairbench` for the full-size series.
+// Each figure bench logs its rendered series once (visible with -v).
+package fairindex_test
+
+import (
+	"sync"
+	"testing"
+
+	fairindex "fairindex"
+	"fairindex/internal/dataset"
+	"fairindex/internal/experiments"
+	"fairindex/internal/geo"
+	"fairindex/internal/kdtree"
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// benchOptions is the reduced workload shared by the figure benches.
+func benchOptions() experiments.Options {
+	la := dataset.LA()
+	la.NumRecords = 400
+	hou := dataset.Houston()
+	hou.NumRecords = 350
+	return experiments.Options{
+		Grid:     geo.MustGrid(32, 32),
+		Cities:   []dataset.CitySpec{la, hou},
+		Seed:     11,
+		ZipSites: 20,
+	}
+}
+
+// fullLA lazily generates the paper-sized Los Angeles dataset for the
+// timing and micro benches.
+var fullLA = sync.OnceValues(func() (*dataset.Dataset, error) {
+	return dataset.Generate(dataset.LA(), geo.MustGrid(64, 64))
+})
+
+func BenchmarkFig6Disparity(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Fig6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range results {
+				b.Log("\n" + c.Render())
+			}
+		}
+	}
+}
+
+func BenchmarkFig7ENCE(b *testing.B) {
+	opt := benchOptions()
+	heights := []int{4, 6, 8}
+	models := []ml.ModelKind{ml.ModelLogReg}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig7(opt, heights, models)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range cells {
+				b.Log("\n" + c.Render())
+			}
+		}
+	}
+}
+
+func BenchmarkFig8Utility(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		cities, err := experiments.Fig8(opt, []int{4, 6, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range cities {
+				b.Log("\n" + c.Render())
+			}
+		}
+	}
+}
+
+func BenchmarkFig9Importance(b *testing.B) {
+	opt := benchOptions()
+	opt.Cities = opt.Cities[:1]
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig9(opt, []int{2, 4, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range cells {
+				b.Log("\n" + c.Render())
+			}
+		}
+	}
+}
+
+func BenchmarkFig10MultiObjective(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig10(opt, []int{4, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range cells {
+				b.Log("\n" + c.Render())
+			}
+		}
+	}
+}
+
+// The §5.3.1 timing comparison at the paper's reference point
+// (height 10, full-size Los Angeles): BenchmarkBuildFairKD vs
+// BenchmarkBuildIterativeKD is the 102 s vs 189 s claim, shape-only.
+func BenchmarkBuildFairKD(b *testing.B) {
+	benchBuild(b, pipeline.MethodFairKD)
+}
+
+func BenchmarkBuildIterativeKD(b *testing.B) {
+	benchBuild(b, pipeline.MethodIterativeFairKD)
+}
+
+func BenchmarkBuildMedianKD(b *testing.B) {
+	benchBuild(b, pipeline.MethodMedianKD)
+}
+
+func benchBuild(b *testing.B, method pipeline.Method) {
+	b.Helper()
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Run(ds, pipeline.Config{Method: method, Height: 10, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%v: build %v, final train %v, regions %d",
+				method, res.BuildTime, res.TrainTime, res.NumRegions)
+		}
+	}
+}
+
+// Ablation: the literal Eq. 13 objective vs the consistent Eq. 9 form
+// (DESIGN.md §2). The deviation mass left in the leaves is logged for
+// comparison.
+func BenchmarkAblationEq13(b *testing.B) {
+	benchObjective(b, kdtree.ObjectiveLiteralEq13, 0)
+}
+
+func BenchmarkAblationEq9(b *testing.B) {
+	benchObjective(b, kdtree.ObjectiveEq9, 0)
+}
+
+// Ablation: composite split metric (future work §6) at λ = 0.5.
+func BenchmarkAblationComposite(b *testing.B) {
+	benchObjective(b, kdtree.ObjectiveComposite, 0.5)
+}
+
+func benchObjective(b *testing.B, obj kdtree.Objective, lambda float64) {
+	b.Helper()
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Run(ds, pipeline.Config{
+			Method:    pipeline.MethodFairKD,
+			Height:    8,
+			Seed:      11,
+			Objective: obj,
+			Lambda:    lambda,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("objective %v: train ENCE %.5f over %d regions",
+				obj, res.Tasks[0].ENCETrain, res.NumRegions)
+		}
+	}
+}
+
+// Ablation: neighborhood encodings.
+func BenchmarkAblationEncodingCentroid(b *testing.B) {
+	benchEncoding(b, dataset.EncCentroid)
+}
+
+func BenchmarkAblationEncodingOneHot(b *testing.B) {
+	benchEncoding(b, dataset.EncOneHot)
+}
+
+func benchEncoding(b *testing.B, enc dataset.Encoding) {
+	b.Helper()
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Run(ds, pipeline.Config{
+			Method:   pipeline.MethodFairKD,
+			Height:   8,
+			Seed:     11,
+			Encoding: enc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("encoding %v: train ENCE %.5f, accuracy %.3f",
+				enc, res.Tasks[0].ENCETrain, res.Tasks[0].Accuracy)
+		}
+	}
+}
+
+// Ablation: the Hilbert-curve fair partitioner (future work §6)
+// against the Fair KD-tree at equal region budget. Logged deviation
+// masses compare the two shapes of the same Eq. 9 criterion.
+func BenchmarkAblationFairCurve(b *testing.B) {
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := ds.Cells()
+	dev := make([]float64, len(cells))
+	for i := range dev {
+		dev[i] = float64(i%13)/13 - 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := kdtree.BuildFairCurve(ds.Grid, cells, dev, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("fair curve: %d regions", p.NumRegions())
+		}
+	}
+}
+
+// Micro-benchmarks for the core primitives.
+
+func BenchmarkFairSplitScan(b *testing.B) {
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := ds.Cells()
+	dev := make([]float64, len(cells))
+	for i := range dev {
+		dev[i] = float64(i%13)/13 - 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kdtree.BuildFair(ds.Grid, cells, dev, kdtree.Config{Height: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCellSums(b *testing.B) {
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := ds.Cells()
+	dev := make([]float64, len(cells))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kdtree.NewCellSums(ds.Grid, cells, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogRegFit(b *testing.B) {
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := make([][]float64, ds.Len())
+	y := make([]int, ds.Len())
+	for i := range ds.Records {
+		X[i] = ds.Records[i].X
+		y[i] = ds.Records[i].Labels[0]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ml.NewLogReg()
+		if err := m.Fit(X, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkENCEMetric(b *testing.B) {
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ds.Len()
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	groups := make([]int, n)
+	for i := 0; i < n; i++ {
+		scores[i] = float64(i%100) / 100
+		labels[i] = i % 2
+		groups[i] = i % 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fairindex.ENCE(scores, labels, groups, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command datagen writes the synthetic EdGap-like city datasets to
+// CSV files so they can be inspected, versioned or fed back through
+// cmd/fairindexctl.
+//
+// Usage:
+//
+//	datagen [-grid 64] [-dir .] [-records 0]
+//
+// With -records 0 the paper's record counts are used (LA 1153,
+// Houston 966).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	gridSide := flag.Int("grid", 64, "base grid side length (U = V)")
+	dir := flag.String("dir", ".", "output directory")
+	records := flag.Int("records", 0, "records per city (0 = paper counts)")
+	flag.Parse()
+
+	grid, err := geo.NewGrid(*gridSide, *gridSide)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, spec := range []dataset.CitySpec{dataset.LA(), dataset.Houston()} {
+		if *records > 0 {
+			spec.NumRecords = *records
+		}
+		ds, err := dataset.Generate(spec, grid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := strings.ToLower(strings.ReplaceAll(spec.Name, " ", "_")) + ".csv"
+		path := filepath.Join(*dir, name)
+		if err := writeCSV(ds, path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d records, grid %dx%d, box %.2f..%.2f / %.2f..%.2f)\n",
+			path, ds.Len(), grid.U, grid.V,
+			spec.Box.MinLat, spec.Box.MaxLat, spec.Box.MinLon, spec.Box.MaxLon)
+	}
+}
+
+func writeCSV(ds *dataset.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteCSV(ds, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,165 @@
+// Command fairbench regenerates every table and figure of the
+// paper's evaluation section (§5) on the synthetic EdGap-like
+// datasets and prints the series as aligned text tables.
+//
+// Usage:
+//
+//	fairbench [flags]
+//
+//	-experiment string   which experiment to run:
+//	                     all | fig6 | fig7 | fig8 | fig9 | fig10 | timing
+//	                     (default "all")
+//	-grid int            base grid side length U = V (default 64)
+//	-seed int            split/layout seed (default 11)
+//	-quick               shrink datasets and sweeps for a fast pass
+//	-out string          also write the report to this file
+//
+// Runtime for the full suite at the default sizes is a few minutes;
+// -quick finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/experiments"
+	"fairindex/internal/geo"
+	"fairindex/internal/ml"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairbench: ")
+
+	experiment := flag.String("experiment", "all", "experiment to run: all|fig6|fig7|fig8|fig9|fig10|timing")
+	gridSide := flag.Int("grid", 64, "base grid side length (U = V)")
+	seed := flag.Int64("seed", 11, "split and layout seed")
+	quick := flag.Bool("quick", false, "shrink datasets and sweeps for a fast pass")
+	outPath := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	opt, heights, fig9Heights, models, err := configure(*gridSide, *seed, *quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatalf("create %s: %v", *outPath, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("close %s: %v", *outPath, err)
+			}
+		}()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	if err := run(out, *experiment, opt, heights, fig9Heights, models); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// configure assembles the experiment options for the flag set.
+func configure(gridSide int, seed int64, quick bool) (experiments.Options, []int, []int, []ml.ModelKind, error) {
+	grid, err := geo.NewGrid(gridSide, gridSide)
+	if err != nil {
+		return experiments.Options{}, nil, nil, nil, err
+	}
+	opt := experiments.Options{Grid: grid, Seed: seed}
+	heights := experiments.PaperHeights
+	fig9Heights := experiments.Fig9Heights
+	models := ml.AllModelKinds
+	if quick {
+		la := dataset.LA()
+		la.NumRecords = 400
+		hou := dataset.Houston()
+		hou.NumRecords = 350
+		opt.Cities = []dataset.CitySpec{la, hou}
+		opt.Grid = geo.MustGrid(32, 32)
+		heights = []int{4, 6, 8}
+		fig9Heights = []int{2, 4, 6}
+		models = []ml.ModelKind{ml.ModelLogReg}
+	}
+	return opt, heights, fig9Heights, models, nil
+}
+
+// run dispatches and renders the selected experiments.
+func run(out io.Writer, experiment string, opt experiments.Options, heights, fig9Heights []int, models []ml.ModelKind) error {
+	selected := func(name string) bool { return experiment == "all" || experiment == name }
+	any := false
+
+	if selected("fig6") {
+		any = true
+		results, err := experiments.Fig6(opt)
+		if err != nil {
+			return err
+		}
+		for _, c := range results {
+			fmt.Fprintln(out, c.Render())
+		}
+	}
+	if selected("fig7") {
+		any = true
+		cells, err := experiments.Fig7(opt, heights, models)
+		if err != nil {
+			return err
+		}
+		for _, c := range cells {
+			fmt.Fprintln(out, c.Render())
+		}
+	}
+	if selected("fig8") {
+		any = true
+		cities, err := experiments.Fig8(opt, experiments.CoarseHeights)
+		if err != nil {
+			return err
+		}
+		for _, c := range cities {
+			fmt.Fprintln(out, c.Render())
+		}
+	}
+	if selected("fig9") {
+		any = true
+		cellsF9, err := experiments.Fig9(opt, fig9Heights)
+		if err != nil {
+			return err
+		}
+		for _, c := range cellsF9 {
+			fmt.Fprintln(out, c.Render())
+		}
+	}
+	if selected("fig10") {
+		any = true
+		cellsF10, err := experiments.Fig10(opt, experiments.CoarseHeights)
+		if err != nil {
+			return err
+		}
+		for _, c := range cellsF10 {
+			fmt.Fprintln(out, c.Render())
+		}
+	}
+	if selected("timing") {
+		any = true
+		res, err := experiments.Timing(opt, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q (want %s)", experiment,
+			strings.Join([]string{"all", "fig6", "fig7", "fig8", "fig9", "fig10", "timing"}, "|"))
+	}
+	return nil
+}

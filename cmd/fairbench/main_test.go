@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfigure(t *testing.T) {
+	opt, heights, fig9Heights, models, err := configure(64, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Grid.U != 64 || opt.Seed != 7 {
+		t.Errorf("opt = %+v", opt)
+	}
+	if len(heights) != 7 || len(fig9Heights) != 10 || len(models) != 3 {
+		t.Errorf("full sweep sizes: %d heights, %d fig9, %d models", len(heights), len(fig9Heights), len(models))
+	}
+	if _, _, _, _, err := configure(0, 1, false); err == nil {
+		t.Error("expected error for zero grid")
+	}
+}
+
+func TestConfigureQuick(t *testing.T) {
+	opt, heights, _, models, err := configure(64, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Grid.U != 32 {
+		t.Errorf("quick grid = %v", opt.Grid)
+	}
+	if len(opt.Cities) != 2 || opt.Cities[0].NumRecords != 400 {
+		t.Errorf("quick cities = %+v", opt.Cities)
+	}
+	if len(heights) != 3 || len(models) != 1 {
+		t.Errorf("quick sweep: %d heights, %d models", len(heights), len(models))
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	opt, heights, fig9Heights, models, err := configure(32, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "fig6", opt, heights, fig9Heights, models); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6") {
+		t.Errorf("output missing Figure 6 header:\n%s", out[:min(200, len(out))])
+	}
+	if strings.Contains(out, "Figure 7") {
+		t.Error("fig6 selection also ran fig7")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	opt, heights, fig9Heights, models, err := configure(32, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", opt, heights, fig9Heights, models); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunTiming(t *testing.T) {
+	opt, heights, fig9Heights, models, err := configure(32, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "timing", opt, heights, fig9Heights, models); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "overhead") {
+		t.Error("timing output missing overhead line")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+// Command fairindexctl builds a fairness-aware spatial partitioning
+// for a dataset CSV and reports the resulting neighborhoods: ENCE,
+// per-neighborhood calibration, an ASCII map of the redistricting and
+// optionally a cell→region assignment CSV.
+//
+// Usage:
+//
+//	fairindexctl -in city.csv -minlat .. -maxlat .. -minlon .. -maxlon .. \
+//	             [-method fair|median|iterative|multi|gridrw|zipcode|quadtree] \
+//	             [-height 8] [-model logreg|dtree|nb] [-task 0] \
+//	             [-grid 64] [-seed 11] [-map] [-assign out.csv]
+//
+// The input CSV follows the canonical layout written by cmd/datagen:
+// id, lat, lon, features..., label:task...
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+	"fairindex/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairindexctl: ")
+
+	in := flag.String("in", "", "input dataset CSV (required)")
+	method := flag.String("method", "fair", "partitioning method: fair|median|iterative|multi|gridrw|zipcode|quadtree")
+	model := flag.String("model", "logreg", "classifier: logreg|dtree|nb")
+	height := flag.Int("height", 8, "tree height")
+	task := flag.Int("task", 0, "label task index")
+	gridSide := flag.Int("grid", 64, "base grid side length")
+	seed := flag.Int64("seed", 11, "split/layout seed")
+	minLat := flag.Float64("minlat", 0, "bounding box min latitude (required)")
+	maxLat := flag.Float64("maxlat", 0, "bounding box max latitude (required)")
+	minLon := flag.Float64("minlon", 0, "bounding box min longitude (required)")
+	maxLon := flag.Float64("maxlon", 0, "bounding box max longitude (required)")
+	showMap := flag.Bool("map", false, "print an ASCII map of the partition")
+	assign := flag.String("assign", "", "write the cell→region assignment CSV to this path")
+	flag.Parse()
+
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+	box := geo.BBox{MinLat: *minLat, MinLon: *minLon, MaxLat: *maxLat, MaxLon: *maxLon}
+	if !box.Valid() {
+		log.Fatal("a valid bounding box (-minlat/-maxlat/-minlon/-maxlon) is required")
+	}
+	grid, err := geo.NewGrid(*gridSide, *gridSide)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ds, err := loadDataset(*in, grid, box)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := buildConfig(*method, *model, *height, *task, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := pipeline.Run(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(ds, res)
+
+	if *showMap {
+		fmt.Println("\npartition map (row 0 = south):")
+		fmt.Print(render.Partition(res.Partition, 64))
+	}
+	if *assign != "" {
+		if err := writeAssignment(res, *assign); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote assignment CSV to %s\n", *assign)
+	}
+}
+
+func loadDataset(path string, grid geo.Grid, box geo.BBox) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, path, grid, box)
+}
+
+func buildConfig(method, model string, height, task int, seed int64) (pipeline.Config, error) {
+	cfg := pipeline.Config{Height: height, Task: task, Seed: seed}
+	switch method {
+	case "fair":
+		cfg.Method = pipeline.MethodFairKD
+	case "median":
+		cfg.Method = pipeline.MethodMedianKD
+	case "iterative":
+		cfg.Method = pipeline.MethodIterativeFairKD
+	case "multi":
+		cfg.Method = pipeline.MethodMultiObjectiveFairKD
+	case "gridrw":
+		cfg.Method = pipeline.MethodGridReweight
+	case "zipcode":
+		cfg.Method = pipeline.MethodZipCode
+	case "quadtree":
+		cfg.Method = pipeline.MethodFairQuadtree
+	default:
+		return cfg, fmt.Errorf("unknown method %q", method)
+	}
+	switch model {
+	case "logreg":
+		cfg.Model = ml.ModelLogReg
+	case "dtree":
+		cfg.Model = ml.ModelDecisionTree
+	case "nb":
+		cfg.Model = ml.ModelNaiveBayes
+	default:
+		return cfg, fmt.Errorf("unknown model %q", model)
+	}
+	return cfg, nil
+}
+
+func report(ds *dataset.Dataset, res *pipeline.Result) {
+	fmt.Printf("%s over %q: %d neighborhoods (height %d)\n",
+		res.Method, ds.Name, res.NumRegions, res.Height)
+	fmt.Printf("build %v, final training %v\n", res.BuildTime, res.TrainTime)
+	for _, tr := range res.Tasks {
+		fmt.Printf("\ntask %q:\n", tr.TaskName)
+		fmt.Printf("  ENCE            %.5f (train %.5f, test %.5f)\n", tr.ENCE, tr.ENCETrain, tr.ENCETest)
+		fmt.Printf("  accuracy        %.3f   AUC %.3f\n", tr.Accuracy, tr.AUC)
+		fmt.Printf("  miscalibration  train %.4f, test %.4f\n", tr.TrainMiscal, tr.TestMiscal)
+		fmt.Println("  most populated neighborhoods:")
+		for i, r := range tr.TopNeighborhoods {
+			fmt.Printf("    N%-3d pop %-5d calibration %.3f  ECE %.4f\n",
+				i+1, r.Count, r.Ratio, r.ECE)
+		}
+	}
+}
+
+func writeAssignment(res *pipeline.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"row", "col", "region"}); err != nil {
+		return err
+	}
+	grid := res.Partition.Grid()
+	for row := 0; row < grid.U; row++ {
+		for col := 0; col < grid.V; col++ {
+			region, err := res.Partition.RegionOfCell(geo.Cell{Row: row, Col: col})
+			if err != nil {
+				return err
+			}
+			rec := []string{strconv.Itoa(row), strconv.Itoa(col), strconv.Itoa(region)}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/pipeline"
+)
+
+func TestBuildConfig(t *testing.T) {
+	tests := []struct {
+		method string
+		want   pipeline.Method
+	}{
+		{"fair", pipeline.MethodFairKD},
+		{"median", pipeline.MethodMedianKD},
+		{"iterative", pipeline.MethodIterativeFairKD},
+		{"multi", pipeline.MethodMultiObjectiveFairKD},
+		{"gridrw", pipeline.MethodGridReweight},
+		{"zipcode", pipeline.MethodZipCode},
+		{"quadtree", pipeline.MethodFairQuadtree},
+	}
+	for _, tt := range tests {
+		cfg, err := buildConfig(tt.method, "logreg", 6, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.method, err)
+		}
+		if cfg.Method != tt.want {
+			t.Errorf("%s -> %v, want %v", tt.method, cfg.Method, tt.want)
+		}
+	}
+	if _, err := buildConfig("nope", "logreg", 6, 0, 1); err == nil {
+		t.Error("expected unknown method error")
+	}
+	if _, err := buildConfig("fair", "nope", 6, 0, 1); err == nil {
+		t.Error("expected unknown model error")
+	}
+	for _, model := range []string{"logreg", "dtree", "nb"} {
+		if _, err := buildConfig("fair", model, 6, 0, 1); err != nil {
+			t.Errorf("model %s: %v", model, err)
+		}
+	}
+}
+
+func TestLoadDatasetAndAssignment(t *testing.T) {
+	// Round-trip a small city through a temp CSV and the pipeline,
+	// then export the assignment.
+	dir := t.TempDir()
+	spec := dataset.LA()
+	spec.NumRecords = 200
+	grid := geo.MustGrid(16, 16)
+	ds, err := dataset.Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "city.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(ds, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := loadDataset(csvPath, grid, ds.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 200 {
+		t.Fatalf("loaded %d records", loaded.Len())
+	}
+
+	cfg, err := buildConfig("median", "logreg", 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Run(loaded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "assign.csv")
+	if err := writeAssignment(res, outPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+grid.NumCells() {
+		t.Errorf("assignment rows = %d, want %d", len(lines), 1+grid.NumCells())
+	}
+	if lines[0] != "row,col,region" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestLoadDatasetMissingFile(t *testing.T) {
+	if _, err := loadDataset("/nonexistent/file.csv", geo.MustGrid(4, 4),
+		geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 1, MaxLon: 1}); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,80 @@
+// Multi-objective redistricting (§4.3): a city needs ONE set of
+// neighborhood boundaries that is fair for several decision-making
+// tasks at once — here, an education task (ACT) and an employment
+// task. This example builds the Multi-Objective Fair KD-tree with
+// equal task weights and compares it, per task, against a median
+// KD-tree and against single-task Fair KD-trees.
+//
+// Run with:
+//
+//	go run ./examples/multiobjective
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fairindex "fairindex"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := fairindex.GenerateCity(fairindex.LA(), fairindex.MustGrid(64, 64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const height = 8
+	fmt.Printf("%s: one partitioning, two objectives (%v), height %d\n\n",
+		ds.Name, ds.TaskNames, height)
+
+	// The multi-objective tree: α = 0.5 for each task (Eq. 12).
+	multi, err := fairindex.Run(ds, fairindex.Config{
+		Method: fairindex.MethodMultiObjectiveFairKD,
+		Height: height,
+		Alphas: []float64{0.5, 0.5},
+		Seed:   11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the median KD-tree evaluated per task.
+	medianENCE := make([]float64, ds.NumTasks())
+	for task := 0; task < ds.NumTasks(); task++ {
+		res, err := fairindex.Run(ds, fairindex.Config{
+			Method: fairindex.MethodMedianKD,
+			Height: height,
+			Task:   task,
+			Seed:   11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		medianENCE[task] = res.Tasks[0].ENCETrain
+	}
+
+	// Upper bound on single-task fairness: a dedicated Fair KD-tree
+	// per task (two different maps — the thing cities cannot deploy).
+	dedicatedENCE := make([]float64, ds.NumTasks())
+	for task := 0; task < ds.NumTasks(); task++ {
+		res, err := fairindex.Run(ds, fairindex.Config{
+			Method: fairindex.MethodFairKD,
+			Height: height,
+			Task:   task,
+			Seed:   11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dedicatedENCE[task] = res.Tasks[0].ENCETrain
+	}
+
+	fmt.Printf("%-12s %-14s %-22s %s\n", "task", "median KD", "multi-objective (α=.5)", "dedicated fair KD")
+	for t, name := range ds.TaskNames {
+		tr := multi.Tasks[t]
+		fmt.Printf("%-12s %-14.5f %-22.5f %.5f\n", name, medianENCE[t], tr.ENCETrain, dedicatedENCE[t])
+	}
+	fmt.Println("\nThe shared multi-objective map improves BOTH tasks over the median")
+	fmt.Println("baseline, approaching what two separate dedicated maps would achieve.")
+}

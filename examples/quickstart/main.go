@@ -1,0 +1,52 @@
+// Quickstart: generate a synthetic city, build a Fair KD-tree
+// partitioning, and compare its neighborhood calibration against the
+// standard median KD-tree.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fairindex "fairindex"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A city: 1153 schools with socio-economic features and an
+	//    ACT-threshold label, spread over a 64×64 base grid.
+	ds, err := fairindex.GenerateCity(fairindex.LA(), fairindex.MustGrid(64, 64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s, %d records, %d features, tasks %v\n",
+		ds.Name, ds.Len(), ds.NumFeatures(), ds.TaskNames)
+
+	// 2. Partition the city two ways at the same granularity.
+	for _, method := range []fairindex.Method{
+		fairindex.MethodMedianKD,
+		fairindex.MethodFairKD,
+	} {
+		res, err := fairindex.Run(ds, fairindex.Config{
+			Method: method,
+			Height: 8, // up to 2^8 neighborhoods
+			Seed:   11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := res.Tasks[0]
+		fmt.Printf("\n%s: %d neighborhoods\n", method, res.NumRegions)
+		fmt.Printf("  ENCE (neighborhood calibration error): %.5f\n", tr.ENCETrain)
+		fmt.Printf("  test accuracy:                          %.3f\n", tr.Accuracy)
+		fmt.Printf("  overall calibration ratio (train):      %.3f\n", tr.TrainCalRatio)
+	}
+
+	fmt.Println("\nThe Fair KD-tree keeps per-neighborhood calibration error far")
+	fmt.Println("below the median KD-tree's at the same spatial granularity, at")
+	fmt.Println("no material cost in accuracy — the paper's headline result.")
+}

@@ -1,0 +1,80 @@
+// Redistricting: build all three fair index variants over the same
+// city, draw the resulting neighborhood maps, and show how the
+// fairness/cost trade-off moves from Median → Fair → Iterative Fair
+// KD-tree (the paper's §4 algorithm suite end to end).
+//
+// Run with:
+//
+//	go run ./examples/redistricting
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	fairindex "fairindex"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := fairindex.GenerateCity(fairindex.Houston(), fairindex.MustGrid(64, 64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("redistricting %s (%d schools) into up to 2^6 = 64 neighborhoods\n\n", ds.Name, ds.Len())
+
+	type row struct {
+		method fairindex.Method
+		ence   float64
+		acc    float64
+		build  string
+	}
+	var rows []row
+	for _, method := range []fairindex.Method{
+		fairindex.MethodMedianKD,
+		fairindex.MethodFairKD,
+		fairindex.MethodIterativeFairKD,
+	} {
+		res, err := fairindex.Run(ds, fairindex.Config{Method: method, Height: 6, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := res.Tasks[0]
+		rows = append(rows, row{method, tr.ENCETrain, tr.Accuracy, res.BuildTime.String()})
+
+		// Draw the map: each glyph is one neighborhood. The fair trees
+		// cut where miscalibration mass balances, not where population
+		// halves, so their district shapes differ visibly.
+		fmt.Printf("--- %s ---\n", method)
+		fmt.Println(renderLeafMap(res))
+	}
+
+	fmt.Printf("%-26s %-10s %-10s %s\n", "method", "ENCE", "accuracy", "build time")
+	for _, r := range rows {
+		fmt.Printf("%-26s %-10.5f %-10.3f %s\n", r.method, r.ence, r.acc, r.build)
+	}
+}
+
+// renderLeafMap draws a compact ASCII map of the partition by
+// sampling the 64×64 grid down to 32×32 characters.
+func renderLeafMap(res *fairindex.Result) string {
+	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	grid := res.Partition.Grid()
+	var b strings.Builder
+	for r := 31; r >= 0; r-- {
+		srcRow := r * grid.U / 32
+		for c := 0; c < 32; c++ {
+			srcCol := c * grid.V / 32
+			region, err := res.Partition.RegionOfCell(fairindex.Cell{Row: srcRow, Col: srcCol})
+			if err != nil {
+				b.WriteByte('?')
+				continue
+			}
+			b.WriteByte(glyphs[region%len(glyphs)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

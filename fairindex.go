@@ -1,0 +1,305 @@
+// Package fairindex is a Go implementation of fairness-aware spatial
+// indexing as introduced in "Fair Spatial Indexing: A paradigm for
+// Group Spatial Fairness" (Shaham, Ghinita, Shahabi — EDBT 2024,
+// arXiv:2302.02306).
+//
+// The library partitions a geospatial data domain into neighborhoods
+// (spatial groups) such that a binary classifier trained with the
+// neighborhood attribute is well calibrated in every neighborhood,
+// not just citywide. It provides:
+//
+//   - the Fair KD-tree, Iterative Fair KD-tree and Multi-Objective
+//     Fair KD-tree construction algorithms from the paper, plus a
+//     median KD-tree, uniform-grid, Voronoi (zip-code-like) and fair
+//     quadtree for comparison;
+//   - the fairness metrics: per-group calibration, ECE and ENCE
+//     (Expected Neighborhood Calibration Error);
+//   - a from-scratch ML substrate (logistic regression, CART decision
+//     tree, Gaussian naive Bayes — all weighted) and the
+//     Kamiran–Calders reweighing baseline;
+//   - an end-to-end pipeline reproducing the paper's evaluation, and
+//     a synthetic city generator standing in for the EdGap data.
+//
+// # Quick start
+//
+//	ds, err := fairindex.GenerateCity(fairindex.LA(), fairindex.MustGrid(64, 64))
+//	if err != nil { ... }
+//	res, err := fairindex.Run(ds, fairindex.Config{
+//		Method: fairindex.MethodFairKD,
+//		Height: 8,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("ENCE = %.4f over %d neighborhoods\n",
+//		res.Tasks[0].ENCE, res.NumRegions)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the architecture and the paper-to-code mapping.
+package fairindex
+
+import (
+	"io"
+
+	"fairindex/internal/calib"
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/kdtree"
+	"fairindex/internal/ml"
+	"fairindex/internal/partition"
+	"fairindex/internal/pipeline"
+)
+
+// Geometry types (see the geo package for methods).
+type (
+	// Cell is one cell of the base grid (row, column).
+	Cell = geo.Cell
+	// CellRect is a half-open rectangle of grid cells.
+	CellRect = geo.CellRect
+	// Grid is the U×V base grid overlaid on the map.
+	Grid = geo.Grid
+	// BBox is a geographic bounding box in degrees.
+	BBox = geo.BBox
+	// Mapper converts between coordinates and grid cells.
+	Mapper = geo.Mapper
+)
+
+// NewGrid returns a U×V grid, rejecting non-positive dimensions.
+func NewGrid(u, v int) (Grid, error) { return geo.NewGrid(u, v) }
+
+// MustGrid is like NewGrid but panics on invalid dimensions.
+func MustGrid(u, v int) Grid { return geo.MustGrid(u, v) }
+
+// NewMapper returns a coordinate↔cell mapper for a grid and box.
+func NewMapper(g Grid, b BBox) (Mapper, error) { return geo.NewMapper(g, b) }
+
+// Dataset types.
+type (
+	// Dataset is a collection of located, labeled records.
+	Dataset = dataset.Dataset
+	// Record is one individual: location, features, per-task labels.
+	Record = dataset.Record
+	// CitySpec parameterizes the synthetic city generator.
+	CitySpec = dataset.CitySpec
+	// Encoding selects the neighborhood feature encoding.
+	Encoding = dataset.Encoding
+)
+
+// Neighborhood encoding choices.
+const (
+	EncDefault        = dataset.EncDefault
+	EncCentroid       = dataset.EncCentroid
+	EncOneHot         = dataset.EncOneHot
+	EncCentroidOneHot = dataset.EncCentroidOneHot
+)
+
+// LA returns the synthetic Los Angeles spec (1153 records), mirroring
+// the paper's first evaluation dataset.
+func LA() CitySpec { return dataset.LA() }
+
+// Houston returns the synthetic Houston spec (966 records).
+func Houston() CitySpec { return dataset.Houston() }
+
+// GenerateCity builds a deterministic synthetic city dataset.
+func GenerateCity(spec CitySpec, grid Grid) (*Dataset, error) {
+	return dataset.Generate(spec, grid)
+}
+
+// ReadDatasetCSV parses a dataset from the canonical CSV layout
+// (id, lat, lon, features..., label:task...).
+func ReadDatasetCSV(r io.Reader, name string, grid Grid, box BBox) (*Dataset, error) {
+	return dataset.ReadCSV(r, name, grid, box)
+}
+
+// WriteDatasetCSV serializes a dataset in the canonical CSV layout.
+func WriteDatasetCSV(ds *Dataset, w io.Writer) error {
+	return dataset.WriteCSV(ds, w)
+}
+
+// Partition is a complete non-overlapping assignment of grid cells to
+// neighborhoods.
+type Partition = partition.Partition
+
+// UniformGridPartition partitions the grid into 2^height equal blocks
+// (the reweighting baseline's granularity match).
+func UniformGridPartition(grid Grid, height int) (*Partition, error) {
+	return partition.UniformGrid(grid, height)
+}
+
+// VoronoiPartition builds a zip-code-like nearest-site partition;
+// cellWeights (e.g. Dataset.CellCounts) biases site placement toward
+// populated cells.
+func VoronoiPartition(grid Grid, numSites int, seed int64, cellWeights []int) (*Partition, error) {
+	return partition.Voronoi(grid, numSites, seed, cellWeights)
+}
+
+// Index types.
+type (
+	// Tree is a KD partitioning tree over the grid.
+	Tree = kdtree.Tree
+	// TreeNode is one node of a Tree.
+	TreeNode = kdtree.Node
+	// QuadTree is the fair quadtree extension.
+	QuadTree = kdtree.QuadTree
+	// TreeConfig parameterizes the fair tree builders.
+	TreeConfig = kdtree.Config
+	// Objective selects the fair split scoring function.
+	Objective = kdtree.Objective
+	// RetrainFunc supplies refreshed deviations per level to the
+	// iterative builder.
+	RetrainFunc = kdtree.RetrainFunc
+)
+
+// Split objective choices.
+const (
+	// ObjectiveEq9 is the paper's split objective (Eq. 9).
+	ObjectiveEq9 = kdtree.ObjectiveEq9
+	// ObjectiveLiteralEq13 is the literal Eq. 13 form (see DESIGN.md).
+	ObjectiveLiteralEq13 = kdtree.ObjectiveLiteralEq13
+	// ObjectiveComposite blends geometry and fairness (future work §6).
+	ObjectiveComposite = kdtree.ObjectiveComposite
+)
+
+// BuildMedianKDTree constructs the standard median KD-tree baseline.
+func BuildMedianKDTree(grid Grid, cells []Cell, height int) (*Tree, error) {
+	return kdtree.BuildMedian(grid, cells, height)
+}
+
+// BuildFairKDTree constructs the Fair KD-tree (Algorithms 1–2) from
+// per-record signed deviations s−y of an initial classifier run.
+func BuildFairKDTree(grid Grid, cells []Cell, deviations []float64, cfg TreeConfig) (*Tree, error) {
+	return kdtree.BuildFair(grid, cells, deviations, cfg)
+}
+
+// BuildIterativeFairKDTree constructs the Iterative Fair KD-tree
+// (Algorithm 3), calling retrain once per level for refreshed
+// deviations.
+func BuildIterativeFairKDTree(grid Grid, cells []Cell, cfg TreeConfig, retrain RetrainFunc) (*Tree, error) {
+	return kdtree.BuildIterative(grid, cells, cfg, retrain)
+}
+
+// BuildMultiObjectiveFairKDTree constructs the Multi-Objective Fair
+// KD-tree (§4.3) over α-weighted per-task deviations.
+func BuildMultiObjectiveFairKDTree(grid Grid, cells []Cell, scoreSets [][]float64, labelSets [][]int, alphas []float64, cfg TreeConfig) (*Tree, error) {
+	return kdtree.BuildMultiObjective(grid, cells, scoreSets, labelSets, alphas, cfg)
+}
+
+// BuildFairQuadtree constructs the fair quadtree extension.
+func BuildFairQuadtree(grid Grid, cells []Cell, deviations []float64, height int) (*QuadTree, error) {
+	return kdtree.BuildFairQuadtree(grid, cells, deviations, height)
+}
+
+// BuildFairCurve partitions the grid into up to 2^height contiguous
+// Hilbert-curve segments cut at deviation medians — the
+// space-filling-curve alternative index (future work §6).
+func BuildFairCurve(grid Grid, cells []Cell, deviations []float64, height int) (*Partition, error) {
+	return kdtree.BuildFairCurve(grid, cells, deviations, height)
+}
+
+// HilbertOrder returns every grid cell in Hilbert-curve order.
+func HilbertOrder(grid Grid) ([]Cell, error) { return kdtree.HilbertOrder(grid) }
+
+// Pipeline types.
+type (
+	// Config parameterizes an end-to-end run (Figure 3's flow).
+	Config = pipeline.Config
+	// Result is the output of a run.
+	Result = pipeline.Result
+	// TaskResult is the per-task metric report within a Result.
+	TaskResult = pipeline.TaskResult
+	// Method selects the partitioning / mitigation strategy.
+	Method = pipeline.Method
+	// NeighborhoodReport is a per-neighborhood calibration summary.
+	NeighborhoodReport = calib.NeighborhoodReport
+)
+
+// Partitioning / mitigation strategies.
+const (
+	MethodMedianKD             = pipeline.MethodMedianKD
+	MethodFairKD               = pipeline.MethodFairKD
+	MethodIterativeFairKD      = pipeline.MethodIterativeFairKD
+	MethodMultiObjectiveFairKD = pipeline.MethodMultiObjectiveFairKD
+	MethodGridReweight         = pipeline.MethodGridReweight
+	MethodZipCode              = pipeline.MethodZipCode
+	MethodFairQuadtree         = pipeline.MethodFairQuadtree
+)
+
+// Run executes the end-to-end pipeline: initial scoring over the base
+// grid, fairness-aware partitioning, neighborhood update, final
+// training and the metric report.
+func Run(ds *Dataset, cfg Config) (*Result, error) { return pipeline.Run(ds, cfg) }
+
+// Model types.
+type (
+	// Classifier is a binary classifier with confidence scores.
+	Classifier = ml.Classifier
+	// ModelKind selects a classifier family.
+	ModelKind = ml.ModelKind
+)
+
+// Classifier families.
+const (
+	ModelLogReg       = ml.ModelLogReg
+	ModelDecisionTree = ml.ModelDecisionTree
+	ModelNaiveBayes   = ml.ModelNaiveBayes
+)
+
+// NewClassifier returns a fresh classifier of the given kind.
+func NewClassifier(kind ModelKind) (Classifier, error) { return ml.New(kind) }
+
+// Fairness metrics.
+
+// ENCE computes the Expected Neighborhood Calibration Error
+// (Definition 3) of scores and labels grouped by neighborhood ids in
+// [0, numGroups).
+func ENCE(scores []float64, labels []int, groups []int, numGroups int) (float64, error) {
+	return calib.ENCE(scores, labels, groups, numGroups)
+}
+
+// ECE computes the Expected Calibration Error over equal-width score
+// bins (Appendix A.1).
+func ECE(scores []float64, labels []int, bins int) (float64, error) {
+	return calib.ECE(scores, labels, bins)
+}
+
+// CalibrationRatio returns e(h)/o(h) (Eq. 2); ok is false when the
+// positive rate is zero.
+func CalibrationRatio(scores []float64, labels []int) (ratio float64, ok bool) {
+	return calib.Ratio(scores, labels)
+}
+
+// Miscalibration returns the absolute overall miscalibration |e−o|.
+func Miscalibration(scores []float64, labels []int) float64 {
+	return calib.MiscalAbs(scores, labels)
+}
+
+// TopNeighborhoods reports per-neighborhood calibration for the k
+// most populated neighborhoods (Figure 6's view).
+func TopNeighborhoods(scores []float64, labels []int, groups []int, numGroups, k, bins int) ([]NeighborhoodReport, error) {
+	return calib.TopNeighborhoods(scores, labels, groups, numGroups, k, bins)
+}
+
+// StatisticalParityGap returns the max−min spread of per-group
+// positive-decision rates at the threshold over groups with at least
+// minCount members (0 = all non-empty groups; a perfect-parity
+// decision scores 0). One of the §3 group-fairness notions.
+func StatisticalParityGap(scores []float64, labels []int, groups []int, numGroups int, threshold float64, minCount int) (float64, error) {
+	return calib.StatisticalParityGap(scores, labels, groups, numGroups, threshold, minCount)
+}
+
+// EqualizedOddsGap returns the larger of the per-group TPR and FPR
+// spreads at the threshold over groups with at least minCount members
+// (0 = equalized odds).
+func EqualizedOddsGap(scores []float64, labels []int, groups []int, numGroups int, threshold float64, minCount int) (float64, error) {
+	return calib.EqualizedOddsGap(scores, labels, groups, numGroups, threshold, minCount)
+}
+
+// PostProcess selects the optional per-neighborhood score
+// recalibration of Config.PostProcess (the §3 post-processing
+// mitigation family).
+type PostProcess = pipeline.PostProcess
+
+// Post-processing choices.
+const (
+	PostNone     = pipeline.PostNone
+	PostPlatt    = pipeline.PostPlatt
+	PostIsotonic = pipeline.PostIsotonic
+)

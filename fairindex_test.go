@@ -1,0 +1,227 @@
+package fairindex_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	fairindex "fairindex"
+)
+
+// smallLA generates a reduced city for fast public-API tests.
+func smallLA(t *testing.T) *fairindex.Dataset {
+	t.Helper()
+	spec := fairindex.LA()
+	spec.NumRecords = 400
+	ds, err := fairindex.GenerateCity(spec, fairindex.MustGrid(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	ds := smallLA(t)
+	res, err := fairindex.Run(ds, fairindex.Config{
+		Method: fairindex.MethodFairKD,
+		Height: 5,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRegions < 2 {
+		t.Fatalf("regions = %d", res.NumRegions)
+	}
+	tr := res.Tasks[0]
+	if tr.ENCE < 0 || tr.ENCE > 1 {
+		t.Errorf("ENCE = %v", tr.ENCE)
+	}
+	if tr.Accuracy <= 0.4 {
+		t.Errorf("accuracy = %v", tr.Accuracy)
+	}
+}
+
+func TestPublicTreeBuilders(t *testing.T) {
+	ds := smallLA(t)
+	cells := ds.Cells()
+	dev := make([]float64, len(cells))
+	for i := range dev {
+		dev[i] = float64(i%7)/10 - 0.3
+	}
+	median, err := fairindex.BuildMedianKDTree(ds.Grid, cells, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := fairindex.BuildFairKDTree(ds.Grid, cells, dev, fairindex.TreeConfig{Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tree := range []*fairindex.Tree{median, fair} {
+		p, err := tree.Partition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumRegions() < 2 {
+			t.Errorf("regions = %d", p.NumRegions())
+		}
+	}
+	iter, err := fairindex.BuildIterativeFairKDTree(ds.Grid, cells, fairindex.TreeConfig{Height: 3},
+		func(*fairindex.Partition) ([]float64, error) { return dev, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter.NumLeaves() != 8 {
+		t.Errorf("iterative leaves = %d, want 8", iter.NumLeaves())
+	}
+	qt, err := fairindex.BuildFairQuadtree(ds.Grid, cells, dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.NumLeaves() < 4 {
+		t.Errorf("quadtree leaves = %d", qt.NumLeaves())
+	}
+	curve, err := fairindex.BuildFairCurve(ds.Grid, cells, dev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.NumRegions() != 16 {
+		t.Errorf("curve regions = %d, want 16", curve.NumRegions())
+	}
+	order, err := fairindex.HilbertOrder(ds.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != ds.Grid.NumCells() {
+		t.Errorf("Hilbert order covers %d cells, want %d", len(order), ds.Grid.NumCells())
+	}
+}
+
+func TestPublicMultiObjective(t *testing.T) {
+	ds := smallLA(t)
+	cells := ds.Cells()
+	n := len(cells)
+	scores := make([]float64, n)
+	labels0, err := ds.Labels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels1, err := ds.Labels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scores {
+		scores[i] = 0.5
+	}
+	tree, err := fairindex.BuildMultiObjectiveFairKDTree(ds.Grid, cells,
+		[][]float64{scores, scores}, [][]int{labels0, labels1},
+		[]float64{0.5, 0.5}, fairindex.TreeConfig{Height: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 8 {
+		t.Errorf("leaves = %d", tree.NumLeaves())
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	groups := []int{0, 0, 1, 1}
+	ence, err := fairindex.ENCE(scores, labels, groups, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ence < 0 {
+		t.Errorf("ENCE = %v", ence)
+	}
+	ece, err := fairindex.ECE(scores, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece < 0 || ece > 1 {
+		t.Errorf("ECE = %v", ece)
+	}
+	ratio, ok := fairindex.CalibrationRatio(scores, labels)
+	if !ok || math.Abs(ratio-1) > 1e-9 {
+		t.Errorf("ratio = %v ok=%v, want 1", ratio, ok)
+	}
+	if m := fairindex.Miscalibration(scores, labels); m != 0 {
+		t.Errorf("miscalibration = %v, want 0", m)
+	}
+	reports, err := fairindex.TopNeighborhoods(scores, labels, groups, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Errorf("reports = %d", len(reports))
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	ds := smallLA(t)
+	var buf bytes.Buffer
+	if err := fairindex.WriteDatasetCSV(ds, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fairindex.ReadDatasetCSV(&buf, ds.Name, ds.Grid, ds.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Errorf("round trip: %d vs %d records", back.Len(), ds.Len())
+	}
+}
+
+func TestPublicPartitioners(t *testing.T) {
+	grid := fairindex.MustGrid(16, 16)
+	up, err := fairindex.UniformGridPartition(grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NumRegions() != 16 {
+		t.Errorf("uniform regions = %d", up.NumRegions())
+	}
+	vp, err := fairindex.VoronoiPartition(grid, 9, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.NumRegions() != 9 {
+		t.Errorf("voronoi regions = %d", vp.NumRegions())
+	}
+}
+
+func TestPublicClassifierFactory(t *testing.T) {
+	for _, kind := range []fairindex.ModelKind{
+		fairindex.ModelLogReg, fairindex.ModelDecisionTree, fairindex.ModelNaiveBayes,
+	} {
+		clf, err := fairindex.NewClassifier(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		X := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+		y := []int{0, 1, 0, 1}
+		if err := clf.Fit(X, y, nil); err != nil {
+			t.Fatal(err)
+		}
+		scores, err := clf.PredictProba(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scores) != 4 {
+			t.Errorf("%v: scores = %d", kind, len(scores))
+		}
+	}
+}
+
+func TestPublicMapperRoundTrip(t *testing.T) {
+	grid := fairindex.MustGrid(8, 8)
+	box := fairindex.BBox{MinLat: 0, MinLon: 0, MaxLat: 8, MaxLon: 8}
+	m, err := fairindex.NewMapper(grid, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CellOf(3.5, 6.5); got != (fairindex.Cell{Row: 3, Col: 6}) {
+		t.Errorf("CellOf = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GroupStats accumulates the per-group quantities needed by ENCE and
+// per-neighborhood reports: instance count, Σ scores and Σ labels.
+type GroupStats struct {
+	Count    int
+	SumScore float64
+	SumLabel float64
+}
+
+// MeanScore returns e(N) for the group, or 0 if empty.
+func (g GroupStats) MeanScore() float64 {
+	if g.Count == 0 {
+		return 0
+	}
+	return g.SumScore / float64(g.Count)
+}
+
+// PosRate returns o(N) for the group, or 0 if empty.
+func (g GroupStats) PosRate() float64 {
+	if g.Count == 0 {
+		return 0
+	}
+	return g.SumLabel / float64(g.Count)
+}
+
+// MiscalAbs returns |e(N) − o(N)| for the group, 0 if empty.
+func (g GroupStats) MiscalAbs() float64 {
+	return math.Abs(g.MeanScore() - g.PosRate())
+}
+
+// SignedDeviation returns Σ (s − y) for the group.
+func (g GroupStats) SignedDeviation() float64 { return g.SumScore - g.SumLabel }
+
+// GroupBy accumulates GroupStats for each group id in [0, numGroups).
+// groups[i] is the group of instance i; out-of-range ids are an error.
+func GroupBy(scores []float64, labels []int, groups []int, numGroups int) ([]GroupStats, error) {
+	if err := checkPair(scores, labels); err != nil {
+		return nil, err
+	}
+	if len(groups) != len(scores) {
+		return nil, fmt.Errorf("%w: %d scores vs %d groups", ErrLengthMismatch, len(scores), len(groups))
+	}
+	if numGroups < 0 {
+		return nil, fmt.Errorf("calib: negative group count %d", numGroups)
+	}
+	out := make([]GroupStats, numGroups)
+	for i, g := range groups {
+		if g < 0 || g >= numGroups {
+			return nil, fmt.Errorf("calib: group id %d of instance %d out of range [0,%d)", g, i, numGroups)
+		}
+		out[g].Count++
+		out[g].SumScore += scores[i]
+		out[g].SumLabel += float64(label01(labels[i]))
+	}
+	return out, nil
+}
+
+// ENCEFromStats computes Definition 3 from pre-aggregated group stats:
+//
+//	ENCE = Σ_i (|N_i| / |D|) · |o(N_i) − e(N_i)|
+//
+// Empty groups contribute nothing. Returns 0 when the total population
+// is zero.
+func ENCEFromStats(stats []GroupStats) float64 {
+	total := 0
+	for _, g := range stats {
+		total += g.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	var ence float64
+	for _, g := range stats {
+		if g.Count == 0 {
+			continue
+		}
+		ence += (float64(g.Count) / float64(total)) * g.MiscalAbs()
+	}
+	return ence
+}
+
+// ENCE computes the Expected Neighborhood Calibration Error
+// (Definition 3) for instances assigned to groups (neighborhoods)
+// identified by ids in [0, numGroups).
+func ENCE(scores []float64, labels []int, groups []int, numGroups int) (float64, error) {
+	stats, err := GroupBy(scores, labels, groups, numGroups)
+	if err != nil {
+		return 0, err
+	}
+	return ENCEFromStats(stats), nil
+}
+
+// NeighborhoodReport is the per-neighborhood calibration summary used
+// by the Figure 6 disparity experiment.
+type NeighborhoodReport struct {
+	Group    int     // neighborhood id
+	Count    int     // population
+	Ratio    float64 // e/o calibration ratio (NaN when o = 0)
+	Miscal   float64 // |e − o|
+	ECE      float64 // per-neighborhood binned ECE
+	PosRate  float64
+	MeanConf float64
+}
+
+// TopNeighborhoods returns per-neighborhood calibration reports for
+// the k most populated neighborhoods, ordered by descending
+// population (ties broken by group id). ECE inside each neighborhood
+// uses the given bin count.
+func TopNeighborhoods(scores []float64, labels []int, groups []int, numGroups, k, bins int) ([]NeighborhoodReport, error) {
+	stats, err := GroupBy(scores, labels, groups, numGroups)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, numGroups)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := order[a], order[b]
+		if stats[ga].Count != stats[gb].Count {
+			return stats[ga].Count > stats[gb].Count
+		}
+		return ga < gb
+	})
+	if k > numGroups {
+		k = numGroups
+	}
+	reports := make([]NeighborhoodReport, 0, k)
+	for _, g := range order[:k] {
+		st := stats[g]
+		// Gather the group's instances for the inner ECE.
+		var gs []float64
+		var gl []int
+		for i, gid := range groups {
+			if gid == g {
+				gs = append(gs, scores[i])
+				gl = append(gl, labels[i])
+			}
+		}
+		ece, err := ECE(gs, gl, bins)
+		if err != nil {
+			return nil, err
+		}
+		ratio := math.NaN()
+		if st.PosRate() > 0 {
+			ratio = st.MeanScore() / st.PosRate()
+		}
+		reports = append(reports, NeighborhoodReport{
+			Group:    g,
+			Count:    st.Count,
+			Ratio:    ratio,
+			Miscal:   st.MiscalAbs(),
+			ECE:      ece,
+			PosRate:  st.PosRate(),
+			MeanConf: st.MeanScore(),
+		})
+	}
+	return reports, nil
+}

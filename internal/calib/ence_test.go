@@ -1,0 +1,234 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupByValidation(t *testing.T) {
+	if _, err := GroupBy([]float64{0.5}, []int{1}, []int{0, 1}, 2); err == nil {
+		t.Error("expected mismatch error for groups length")
+	}
+	if _, err := GroupBy([]float64{0.5}, []int{1}, []int{3}, 2); err == nil {
+		t.Error("expected out-of-range group error")
+	}
+	if _, err := GroupBy([]float64{0.5}, []int{1}, []int{-1}, 2); err == nil {
+		t.Error("expected negative group error")
+	}
+	if _, err := GroupBy(nil, nil, nil, -1); err == nil {
+		t.Error("expected negative group count error")
+	}
+}
+
+func TestGroupByAggregation(t *testing.T) {
+	scores := []float64{0.2, 0.8, 0.6, 0.4}
+	labels := []int{0, 1, 1, 0}
+	groups := []int{0, 0, 1, 1}
+	stats, err := GroupBy(scores, labels, groups, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Count != 2 || !almostEqual(stats[0].SumScore, 1.0, 1e-12) || !almostEqual(stats[0].SumLabel, 1, 1e-12) {
+		t.Errorf("group 0 = %+v", stats[0])
+	}
+	if stats[1].Count != 2 || !almostEqual(stats[1].MeanScore(), 0.5, 1e-12) || !almostEqual(stats[1].PosRate(), 0.5, 1e-12) {
+		t.Errorf("group 1 = %+v", stats[1])
+	}
+	if stats[2].Count != 0 || stats[2].MiscalAbs() != 0 {
+		t.Errorf("empty group 2 = %+v", stats[2])
+	}
+}
+
+func TestENCESingleGroupEqualsOverall(t *testing.T) {
+	// With one neighborhood, ENCE must equal the overall |e−o|.
+	scores := []float64{0.9, 0.2, 0.7, 0.1}
+	labels := []int{1, 0, 0, 0}
+	groups := []int{0, 0, 0, 0}
+	e, err := ENCE(scores, labels, groups, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MiscalAbs(scores, labels); !almostEqual(e, want, 1e-12) {
+		t.Errorf("ENCE = %v, want overall miscal %v", e, want)
+	}
+}
+
+func TestENCEKnownValue(t *testing.T) {
+	// Two groups of 2: group 0 has |e−o| = |0.5 − 1| = 0.5,
+	// group 1 has |e−o| = |0.5 − 0| = 0.5 → ENCE = 0.5.
+	scores := []float64{0.4, 0.6, 0.4, 0.6}
+	labels := []int{1, 1, 0, 0}
+	groups := []int{0, 0, 1, 1}
+	e, err := ENCE(scores, labels, groups, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e, 0.5, 1e-12) {
+		t.Errorf("ENCE = %v, want 0.5", e)
+	}
+}
+
+func TestENCEEmpty(t *testing.T) {
+	e, err := ENCE(nil, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("ENCE of empty = %v, want 0", e)
+	}
+	if got := ENCEFromStats([]GroupStats{{}, {}}); got != 0 {
+		t.Errorf("ENCE of empty stats = %v, want 0", got)
+	}
+}
+
+// randomInstance generates a consistent random (scores, labels, groups)
+// triple for property testing.
+func randomInstance(rng *rand.Rand, maxN, maxGroups int) ([]float64, []int, []int, int) {
+	n := rng.Intn(maxN) + 1
+	g := rng.Intn(maxGroups) + 1
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	groups := make([]int, n)
+	for i := 0; i < n; i++ {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+		groups[i] = rng.Intn(g)
+	}
+	return scores, labels, groups, g
+}
+
+func TestTheorem1ENCELowerBound(t *testing.T) {
+	// Theorem 1: for any complete non-overlapping partitioning, ENCE is
+	// lower-bounded by the overall model miscalibration |e(h) − o(h)|.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scores, labels, groups, g := randomInstance(rng, 120, 12)
+		e, err := ENCE(scores, labels, groups, g)
+		if err != nil {
+			return false
+		}
+		return e+1e-12 >= MiscalAbs(scores, labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem2RefinementMonotonicity(t *testing.T) {
+	// Theorem 2: if N2 is a sub-partitioning of N1 then
+	// ENCE(N1) <= ENCE(N2). We build N2 by splitting each N1 group into
+	// two random subgroups.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scores, labels, coarse, g := randomInstance(rng, 120, 8)
+		fine := make([]int, len(coarse))
+		for i, c := range coarse {
+			fine[i] = 2*c + rng.Intn(2) // split group c into 2c and 2c+1
+		}
+		e1, err := ENCE(scores, labels, coarse, g)
+		if err != nil {
+			return false
+		}
+		e2, err := ENCE(scores, labels, fine, 2*g)
+		if err != nil {
+			return false
+		}
+		return e1 <= e2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestENCERange(t *testing.T) {
+	// ENCE is a convex combination of per-group |e−o| values, each in
+	// [0,1], so ENCE ∈ [0,1].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scores, labels, groups, g := randomInstance(rng, 60, 6)
+		e, err := ENCE(scores, labels, groups, g)
+		if err != nil {
+			return false
+		}
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupStatsSignedDeviationConsistency(t *testing.T) {
+	// |Σ(s−y)| == count · |e−o| — the identity that lets the fair split
+	// use unnormalized sums (see DESIGN.md §2).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scores, labels, groups, g := randomInstance(rng, 60, 4)
+		stats, err := GroupBy(scores, labels, groups, g)
+		if err != nil {
+			return false
+		}
+		for _, st := range stats {
+			lhs := math.Abs(st.SignedDeviation())
+			rhs := float64(st.Count) * st.MiscalAbs()
+			if math.Abs(lhs-rhs) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopNeighborhoods(t *testing.T) {
+	scores := []float64{0.9, 0.9, 0.9, 0.1, 0.1, 0.5}
+	labels := []int{1, 0, 0, 0, 1, 1}
+	groups := []int{0, 0, 0, 1, 1, 2}
+	reports, err := TopNeighborhoods(scores, labels, groups, 3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[0].Group != 0 || reports[0].Count != 3 {
+		t.Errorf("top neighborhood = %+v, want group 0 count 3", reports[0])
+	}
+	if reports[1].Group != 1 || reports[1].Count != 2 {
+		t.Errorf("second neighborhood = %+v, want group 1 count 2", reports[1])
+	}
+	// Group 0: e = 0.9, o = 1/3 → ratio = 2.7, miscal ≈ 0.5667.
+	if !almostEqual(reports[0].Ratio, 2.7, 1e-9) {
+		t.Errorf("ratio = %v, want 2.7", reports[0].Ratio)
+	}
+	if !almostEqual(reports[0].Miscal, 0.9-1.0/3, 1e-9) {
+		t.Errorf("miscal = %v", reports[0].Miscal)
+	}
+}
+
+func TestTopNeighborhoodsKLargerThanGroups(t *testing.T) {
+	reports, err := TopNeighborhoods([]float64{0.5}, []int{1}, []int{0}, 1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+}
+
+func TestTopNeighborhoodsNaNRatio(t *testing.T) {
+	// All-negative neighborhood: ratio undefined (NaN), miscal well-defined.
+	reports, err := TopNeighborhoods([]float64{0.5, 0.5}, []int{0, 0}, []int{0, 0}, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(reports[0].Ratio) {
+		t.Errorf("ratio = %v, want NaN", reports[0].Ratio)
+	}
+	if !almostEqual(reports[0].Miscal, 0.5, 1e-12) {
+		t.Errorf("miscal = %v, want 0.5", reports[0].Miscal)
+	}
+}

@@ -1,0 +1,142 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the auxiliary group-fairness notions the paper
+// surveys in §3 (statistical parity and equalized odds) so the
+// library can report how calibration-driven partitioning affects
+// them. Groups are the spatial neighborhoods, decisions are
+// thresholded confidence scores.
+
+// GroupRates holds per-group decision statistics at a threshold.
+type GroupRates struct {
+	Group        int
+	Count        int
+	PositiveRate float64 // P(decision = 1 | group)
+	TPR          float64 // P(decision = 1 | group, y = 1); NaN if no positives
+	FPR          float64 // P(decision = 1 | group, y = 0); NaN if no negatives
+}
+
+// RatesByGroup computes per-group decision rates at the threshold.
+func RatesByGroup(scores []float64, labels []int, groups []int, numGroups int, threshold float64) ([]GroupRates, error) {
+	if err := checkPair(scores, labels); err != nil {
+		return nil, err
+	}
+	if len(groups) != len(scores) {
+		return nil, fmt.Errorf("%w: %d scores vs %d groups", ErrLengthMismatch, len(scores), len(groups))
+	}
+	if numGroups < 0 {
+		return nil, fmt.Errorf("calib: negative group count %d", numGroups)
+	}
+	type acc struct {
+		n, dec      int
+		pos, posDec int
+		neg, negDec int
+	}
+	accs := make([]acc, numGroups)
+	for i, s := range scores {
+		g := groups[i]
+		if g < 0 || g >= numGroups {
+			return nil, fmt.Errorf("calib: group id %d of instance %d out of range [0,%d)", g, i, numGroups)
+		}
+		a := &accs[g]
+		a.n++
+		decided := s >= threshold
+		if decided {
+			a.dec++
+		}
+		if labels[i] != 0 {
+			a.pos++
+			if decided {
+				a.posDec++
+			}
+		} else {
+			a.neg++
+			if decided {
+				a.negDec++
+			}
+		}
+	}
+	out := make([]GroupRates, numGroups)
+	for g := range accs {
+		a := accs[g]
+		r := GroupRates{Group: g, Count: a.n, TPR: math.NaN(), FPR: math.NaN()}
+		if a.n > 0 {
+			r.PositiveRate = float64(a.dec) / float64(a.n)
+		}
+		if a.pos > 0 {
+			r.TPR = float64(a.posDec) / float64(a.pos)
+		}
+		if a.neg > 0 {
+			r.FPR = float64(a.negDec) / float64(a.neg)
+		}
+		out[g] = r
+	}
+	return out, nil
+}
+
+// StatisticalParityGap returns the max−min spread of per-group
+// positive-decision rates over groups holding at least minCount
+// instances (use 0 or 1 for all non-empty groups): 0 means perfect
+// statistical parity. The filter exists because at fine partition
+// granularity single-record groups pin the spread at 1 and hide any
+// signal.
+func StatisticalParityGap(scores []float64, labels []int, groups []int, numGroups int, threshold float64, minCount int) (float64, error) {
+	rates, err := RatesByGroup(scores, labels, groups, numGroups, threshold)
+	if err != nil {
+		return 0, err
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rates {
+		if r.Count < minCount {
+			continue
+		}
+		lo = math.Min(lo, r.PositiveRate)
+		hi = math.Max(hi, r.PositiveRate)
+	}
+	if hi < lo {
+		return 0, nil
+	}
+	return hi - lo, nil
+}
+
+// EqualizedOddsGap returns the larger of the TPR spread and the FPR
+// spread across groups of at least minCount instances where the rate
+// is defined: 0 means the decision satisfies equalized odds across
+// the spatial groups.
+func EqualizedOddsGap(scores []float64, labels []int, groups []int, numGroups int, threshold float64, minCount int) (float64, error) {
+	rates, err := RatesByGroup(scores, labels, groups, numGroups, threshold)
+	if err != nil {
+		return 0, err
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	spread := func(get func(GroupRates) float64) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range rates {
+			if r.Count < minCount {
+				continue
+			}
+			v := get(r)
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if hi < lo {
+			return 0
+		}
+		return hi - lo
+	}
+	tpr := spread(func(r GroupRates) float64 { return r.TPR })
+	fpr := spread(func(r GroupRates) float64 { return r.FPR })
+	return math.Max(tpr, fpr), nil
+}

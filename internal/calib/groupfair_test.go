@@ -1,0 +1,142 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatesByGroup(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.2}
+	labels := []int{1, 1, 0, 0}
+	groups := []int{0, 0, 1, 1}
+	rates, err := RatesByGroup(scores, labels, groups, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 0: both positive; one decided → rate 0.5, TPR 0.5, FPR NaN.
+	if rates[0].Count != 2 || !almostEqual(rates[0].PositiveRate, 0.5, 1e-12) {
+		t.Errorf("group 0 = %+v", rates[0])
+	}
+	if !almostEqual(rates[0].TPR, 0.5, 1e-12) || !math.IsNaN(rates[0].FPR) {
+		t.Errorf("group 0 TPR/FPR = %v/%v", rates[0].TPR, rates[0].FPR)
+	}
+	// Group 1: both negative; one decided → FPR 0.5, TPR NaN.
+	if !almostEqual(rates[1].FPR, 0.5, 1e-12) || !math.IsNaN(rates[1].TPR) {
+		t.Errorf("group 1 TPR/FPR = %v/%v", rates[1].TPR, rates[1].FPR)
+	}
+}
+
+func TestRatesByGroupValidation(t *testing.T) {
+	if _, err := RatesByGroup([]float64{0.5}, []int{1, 0}, []int{0}, 1, 0.5); err == nil {
+		t.Error("expected label mismatch error")
+	}
+	if _, err := RatesByGroup([]float64{0.5}, []int{1}, []int{0, 1}, 2, 0.5); err == nil {
+		t.Error("expected group mismatch error")
+	}
+	if _, err := RatesByGroup([]float64{0.5}, []int{1}, []int{5}, 2, 0.5); err == nil {
+		t.Error("expected out-of-range group error")
+	}
+	if _, err := RatesByGroup(nil, nil, nil, -1, 0.5); err == nil {
+		t.Error("expected negative group count error")
+	}
+}
+
+func TestStatisticalParityGap(t *testing.T) {
+	// Group 0 always approved, group 1 never: maximal gap.
+	scores := []float64{0.9, 0.9, 0.1, 0.1}
+	labels := []int{1, 0, 1, 0}
+	groups := []int{0, 0, 1, 1}
+	gap, err := StatisticalParityGap(scores, labels, groups, 2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gap, 1, 1e-12) {
+		t.Errorf("gap = %v, want 1", gap)
+	}
+	// Identical rates: zero gap.
+	gap, err = StatisticalParityGap(scores, labels, []int{0, 1, 0, 1}, 2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gap, 0, 1e-12) {
+		t.Errorf("gap = %v, want 0", gap)
+	}
+}
+
+func TestStatisticalParityGapEmptyGroups(t *testing.T) {
+	gap, err := StatisticalParityGap([]float64{0.9}, []int{1}, []int{0}, 3, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap != 0 {
+		t.Errorf("gap over one non-empty group = %v, want 0", gap)
+	}
+}
+
+func TestEqualizedOddsGap(t *testing.T) {
+	// Same TPR (1.0) in both groups, different FPR (1.0 vs 0.0).
+	scores := []float64{0.9, 0.9, 0.9, 0.1}
+	labels := []int{1, 0, 1, 0}
+	groups := []int{0, 0, 1, 1}
+	gap, err := EqualizedOddsGap(scores, labels, groups, 2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gap, 1, 1e-12) {
+		t.Errorf("gap = %v, want 1 (FPR spread)", gap)
+	}
+}
+
+func TestEqualizedOddsGapPerfect(t *testing.T) {
+	// Perfect classifier in every group: gap 0.
+	scores := []float64{0.9, 0.1, 0.9, 0.1}
+	labels := []int{1, 0, 1, 0}
+	groups := []int{0, 0, 1, 1}
+	gap, err := EqualizedOddsGap(scores, labels, groups, 2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gap, 0, 1e-12) {
+		t.Errorf("gap = %v, want 0", gap)
+	}
+}
+
+func TestGroupFairnessGapsInRangeProperty(t *testing.T) {
+	// Property: both gaps lie in [0, 1] for arbitrary data.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scores, labels, groups, g := randomInstance(rng, 100, 8)
+		sp, err := StatisticalParityGap(scores, labels, groups, g, 0.5, 0)
+		if err != nil || sp < 0 || sp > 1 {
+			return false
+		}
+		eo, err := EqualizedOddsGap(scores, labels, groups, g, 0.5, 0)
+		if err != nil || eo < 0 || eo > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleGroupGapsZeroProperty(t *testing.T) {
+	// Property: with one group, both gaps are 0 by definition.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scores, labels, _, _ := randomInstance(rng, 60, 1)
+		groups := make([]int, len(scores))
+		sp, err := StatisticalParityGap(scores, labels, groups, 1, 0.5, 0)
+		if err != nil || sp != 0 {
+			return false
+		}
+		eo, err := EqualizedOddsGap(scores, labels, groups, 1, 0.5, 0)
+		return err == nil && eo == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

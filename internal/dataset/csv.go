@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fairindex/internal/geo"
+)
+
+// csvMetaCols is the number of leading non-feature columns in the
+// canonical CSV layout: id, lat, lon.
+const csvMetaCols = 3
+
+// WriteCSV serializes the dataset in a canonical layout:
+//
+//	id, lat, lon, <feature...>, label:<task...>
+//
+// Cells are not stored; they are recomputed from coordinates on load.
+func WriteCSV(ds *Dataset, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, csvMetaCols+ds.NumFeatures()+ds.NumTasks())
+	header = append(header, "id", "lat", "lon")
+	header = append(header, ds.FeatureNames...)
+	for _, t := range ds.TaskNames {
+		header = append(header, "label:"+t)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		row = row[:0]
+		row = append(row, r.ID,
+			strconv.FormatFloat(r.Lat, 'f', -1, 64),
+			strconv.FormatFloat(r.Lon, 'f', -1, 64))
+		for _, x := range r.X {
+			row = append(row, strconv.FormatFloat(x, 'f', -1, 64))
+		}
+		for _, y := range r.Labels {
+			row = append(row, strconv.Itoa(y))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the canonical layout produced by WriteCSV. The grid
+// and box determine cell assignment. The dataset is validated before
+// being returned.
+func ReadCSV(r io.Reader, name string, grid geo.Grid, box geo.BBox) (*Dataset, error) {
+	mapper, err := geo.NewMapper(grid, box)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	if len(header) < csvMetaCols+1 {
+		return nil, fmt.Errorf("dataset: csv header has %d columns, need at least %d", len(header), csvMetaCols+1)
+	}
+	if header[0] != "id" || header[1] != "lat" || header[2] != "lon" {
+		return nil, fmt.Errorf("dataset: csv header must start with id,lat,lon; got %v", header[:csvMetaCols])
+	}
+	var featureNames, taskNames []string
+	inLabels := false
+	for _, h := range header[csvMetaCols:] {
+		if task, ok := strings.CutPrefix(h, "label:"); ok {
+			inLabels = true
+			taskNames = append(taskNames, task)
+			continue
+		}
+		if inLabels {
+			return nil, fmt.Errorf("dataset: feature column %q after label columns", h)
+		}
+		featureNames = append(featureNames, h)
+	}
+	if len(taskNames) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no label columns")
+	}
+
+	ds := &Dataset{
+		Name:         name,
+		Grid:         grid,
+		Box:          box,
+		FeatureNames: featureNames,
+		TaskNames:    taskNames,
+	}
+	wantCols := csvMetaCols + len(featureNames) + len(taskNames)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+		}
+		if len(row) != wantCols {
+			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", line, len(row), wantCols)
+		}
+		lat, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d lat: %w", line, err)
+		}
+		lon, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d lon: %w", line, err)
+		}
+		rec := Record{
+			ID:     row[0],
+			Lat:    lat,
+			Lon:    lon,
+			Cell:   mapper.CellOf(lat, lon),
+			X:      make([]float64, len(featureNames)),
+			Labels: make([]int, len(taskNames)),
+		}
+		for j := range featureNames {
+			rec.X[j], err = strconv.ParseFloat(row[csvMetaCols+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d feature %q: %w", line, featureNames[j], err)
+			}
+		}
+		for j := range taskNames {
+			rec.Labels[j], err = strconv.Atoi(row[csvMetaCols+len(featureNames)+j])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d label %q: %w", line, taskNames[j], err)
+			}
+		}
+		ds.Records = append(ds.Records, rec)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fairindex/internal/geo"
+)
+
+// TestCSVRoundTripProperty: any structurally valid dataset survives a
+// write/read cycle byte-exactly in payload (IDs, cells, features,
+// labels).
+func TestCSVRoundTripProperty(t *testing.T) {
+	box := geo.BBox{MinLat: 10, MinLon: 20, MaxLat: 11, MaxLon: 21}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := geo.MustGrid(rng.Intn(12)+1, rng.Intn(12)+1)
+		mapper, err := geo.NewMapper(grid, box)
+		if err != nil {
+			return false
+		}
+		nf := rng.Intn(4) + 1
+		nt := rng.Intn(3) + 1
+		ds := &Dataset{
+			Name: "prop",
+			Grid: grid,
+			Box:  box,
+		}
+		for j := 0; j < nf; j++ {
+			ds.FeatureNames = append(ds.FeatureNames, fmt.Sprintf("f%d", j))
+		}
+		for j := 0; j < nt; j++ {
+			ds.TaskNames = append(ds.TaskNames, fmt.Sprintf("t%d", j))
+		}
+		n := rng.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			lat := box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat)*0.999
+			lon := box.MinLon + rng.Float64()*(box.MaxLon-box.MinLon)*0.999
+			rec := Record{
+				ID:   fmt.Sprintf("r%d", i),
+				Lat:  lat,
+				Lon:  lon,
+				Cell: mapper.CellOf(lat, lon),
+			}
+			for j := 0; j < nf; j++ {
+				rec.X = append(rec.X, rng.NormFloat64()*100)
+			}
+			for j := 0; j < nt; j++ {
+				rec.Labels = append(rec.Labels, rng.Intn(2))
+			}
+			ds.Records = append(ds.Records, rec)
+		}
+		if err := ds.Validate(); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(ds, &buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf, ds.Name, grid, box)
+		if err != nil {
+			return false
+		}
+		if back.Len() != ds.Len() {
+			return false
+		}
+		for i := range ds.Records {
+			a, b := ds.Records[i], back.Records[i]
+			if a.ID != b.ID || a.Cell != b.Cell ||
+				!reflect.DeepEqual(a.X, b.X) || !reflect.DeepEqual(a.Labels, b.Labels) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fairindex/internal/geo"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := Generate(LA(), geo.MustGrid(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(ds, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, ds.Name, ds.Grid, ds.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost records: %d vs %d", back.Len(), ds.Len())
+	}
+	if !reflect.DeepEqual(back.FeatureNames, ds.FeatureNames) {
+		t.Errorf("feature names = %v", back.FeatureNames)
+	}
+	if !reflect.DeepEqual(back.TaskNames, ds.TaskNames) {
+		t.Errorf("task names = %v", back.TaskNames)
+	}
+	for i := range ds.Records {
+		a, b := ds.Records[i], back.Records[i]
+		if a.ID != b.ID || a.Cell != b.Cell {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if !reflect.DeepEqual(a.X, b.X) || !reflect.DeepEqual(a.Labels, b.Labels) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	box := geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 4, MaxLon: 4}
+	tests := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"too few columns", "id,lat\n"},
+		{"wrong meta", "idx,lat,lon,f,label:t\n"},
+		{"no labels", "id,lat,lon,f1,f2\na,1,1,2,3\n"},
+		{"feature after label", "id,lat,lon,label:t,f1\na,1,1,1,2\n"},
+		{"short row", "id,lat,lon,f1,label:t\na,1,1\n"},
+		{"bad lat", "id,lat,lon,f1,label:t\na,x,1,2,1\n"},
+		{"bad lon", "id,lat,lon,f1,label:t\na,1,x,2,1\n"},
+		{"bad feature", "id,lat,lon,f1,label:t\na,1,1,x,1\n"},
+		{"bad label", "id,lat,lon,f1,label:t\na,1,1,2,x\n"},
+		{"label not 0/1", "id,lat,lon,f1,label:t\na,1,1,2,7\n"},
+		{"NaN feature", "id,lat,lon,f1,label:t\na,1,1,NaN,1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.csv), "bad", grid, box); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadCSVBadGeometry(t *testing.T) {
+	ok := "id,lat,lon,f1,label:t\na,1,1,2,1\n"
+	if _, err := ReadCSV(strings.NewReader(ok), "x", geo.Grid{}, geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 4, MaxLon: 4}); err == nil {
+		t.Error("expected grid error")
+	}
+	if _, err := ReadCSV(strings.NewReader(ok), "x", geo.MustGrid(2, 2), geo.BBox{}); err == nil {
+		t.Error("expected box error")
+	}
+}
+
+func TestReadCSVMinimal(t *testing.T) {
+	csv := "id,lat,lon,f1,label:t1,label:t2\n" +
+		"r1,0.5,0.5,1.5,1,0\n" +
+		"r2,3.5,3.5,2.5,0,1\n"
+	ds, err := ReadCSV(strings.NewReader(csv), "mini", geo.MustGrid(4, 4),
+		geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 4, MaxLon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.NumTasks() != 2 || ds.NumFeatures() != 1 {
+		t.Fatalf("shape: %d records %d tasks %d features", ds.Len(), ds.NumTasks(), ds.NumFeatures())
+	}
+	if ds.Records[0].Cell != (geo.Cell{Row: 0, Col: 0}) || ds.Records[1].Cell != (geo.Cell{Row: 3, Col: 3}) {
+		t.Errorf("cells = %v, %v", ds.Records[0].Cell, ds.Records[1].Cell)
+	}
+}

@@ -1,0 +1,191 @@
+// Package dataset provides the data substrate of the reproduction:
+// records of individuals/schools with geographic location, continuous
+// socio-economic features and per-task binary labels; a deterministic
+// synthetic generator standing in for the EdGap data used by the paper
+// (§5.1); CSV import/export; train/test splitting; and encoding of the
+// categorical neighborhood attribute into model features.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fairindex/internal/geo"
+)
+
+// Standard feature column order produced by the synthetic generator,
+// matching the feature set shown in the paper's Figure 9 heatmaps.
+const (
+	FeatUnemployment = iota // Unemployment (%)
+	FeatCollege             // College Degree (%)
+	FeatMarriage            // Marriage (%)
+	FeatIncome              // Median Income (k$)
+	FeatLunch               // Reduced Lunch (%)
+	NumStdFeatures
+)
+
+// StdFeatureNames are the display names for the standard feature
+// columns, in column order.
+var StdFeatureNames = []string{
+	"Unemployment (%)",
+	"College Degree (%)",
+	"Marriage (%)",
+	"Median Income",
+	"Reduced Lunch (%)",
+}
+
+// Task indices produced by the synthetic generator.
+const (
+	TaskACT        = iota // ACT score above threshold (22)
+	TaskEmployment        // family employment gap below threshold (10%)
+	NumStdTasks
+)
+
+// StdTaskNames are the display names for the standard tasks.
+var StdTaskNames = []string{"ACT", "Employment"}
+
+// Record is one individual (a school in the EdGap setting): its
+// geographic location, enclosing grid cell, continuous features and
+// one binary label per classification task.
+type Record struct {
+	ID       string
+	Lat, Lon float64
+	Cell     geo.Cell
+	X        []float64 // aligned with Dataset.FeatureNames
+	Labels   []int     // aligned with Dataset.TaskNames; values 0/1
+}
+
+// Dataset is a named collection of records over a base grid.
+type Dataset struct {
+	Name         string
+	Grid         geo.Grid
+	Box          geo.BBox
+	FeatureNames []string
+	TaskNames    []string
+	Records      []Record
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// NumFeatures returns the number of continuous features per record.
+func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
+
+// NumTasks returns the number of classification tasks.
+func (d *Dataset) NumTasks() int { return len(d.TaskNames) }
+
+// Labels returns the label column for one task as a fresh slice.
+func (d *Dataset) Labels(task int) ([]int, error) {
+	if task < 0 || task >= d.NumTasks() {
+		return nil, fmt.Errorf("dataset: task %d out of range [0,%d)", task, d.NumTasks())
+	}
+	out := make([]int, d.Len())
+	for i := range d.Records {
+		out[i] = d.Records[i].Labels[task]
+	}
+	return out, nil
+}
+
+// Cells returns each record's enclosing grid cell, in record order.
+func (d *Dataset) Cells() []geo.Cell {
+	out := make([]geo.Cell, d.Len())
+	for i := range d.Records {
+		out[i] = d.Records[i].Cell
+	}
+	return out
+}
+
+// CellCounts returns the number of records in each grid cell, indexed
+// by the grid's row-major cell index.
+func (d *Dataset) CellCounts() []int {
+	counts := make([]int, d.Grid.NumCells())
+	for i := range d.Records {
+		counts[d.Grid.Index(d.Records[i].Cell)]++
+	}
+	return counts
+}
+
+// PositiveRate returns the fraction of positive labels for a task.
+func (d *Dataset) PositiveRate(task int) (float64, error) {
+	labels, err := d.Labels(task)
+	if err != nil {
+		return 0, err
+	}
+	if len(labels) == 0 {
+		return 0, nil
+	}
+	pos := 0
+	for _, y := range labels {
+		if y != 0 {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(labels)), nil
+}
+
+// Validation errors.
+var (
+	ErrNoRecords      = errors.New("dataset: no records")
+	ErrShape          = errors.New("dataset: record shape mismatch")
+	ErrCellOutOfRange = errors.New("dataset: record cell outside grid")
+	ErrBadValue       = errors.New("dataset: non-finite feature value")
+	ErrBadLabel       = errors.New("dataset: label must be 0 or 1")
+)
+
+// Validate checks structural invariants: positive record count, every
+// record has the right number of features and labels, cells lie on
+// the grid, features are finite and labels are 0/1.
+func (d *Dataset) Validate() error {
+	if !d.Grid.Valid() {
+		return fmt.Errorf("dataset %q: %w", d.Name, geo.ErrBadGrid)
+	}
+	if d.Len() == 0 {
+		return fmt.Errorf("dataset %q: %w", d.Name, ErrNoRecords)
+	}
+	for i := range d.Records {
+		r := &d.Records[i]
+		if len(r.X) != d.NumFeatures() {
+			return fmt.Errorf("dataset %q record %d: %w: %d features, want %d",
+				d.Name, i, ErrShape, len(r.X), d.NumFeatures())
+		}
+		if len(r.Labels) != d.NumTasks() {
+			return fmt.Errorf("dataset %q record %d: %w: %d labels, want %d",
+				d.Name, i, ErrShape, len(r.Labels), d.NumTasks())
+		}
+		if !d.Grid.InBounds(r.Cell) {
+			return fmt.Errorf("dataset %q record %d: %w: %v", d.Name, i, ErrCellOutOfRange, r.Cell)
+		}
+		for j, x := range r.X {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("dataset %q record %d feature %d: %w: %v",
+					d.Name, i, j, ErrBadValue, x)
+			}
+		}
+		for j, y := range r.Labels {
+			if y != 0 && y != 1 {
+				return fmt.Errorf("dataset %q record %d task %d: %w: %d",
+					d.Name, i, j, ErrBadLabel, y)
+			}
+		}
+	}
+	return nil
+}
+
+// Subset returns a view-like copy of the dataset containing only the
+// records at the given indices (in that order). Record structs are
+// shared-by-value; feature slices are not deep-copied.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{
+		Name:         d.Name,
+		Grid:         d.Grid,
+		Box:          d.Box,
+		FeatureNames: d.FeatureNames,
+		TaskNames:    d.TaskNames,
+		Records:      make([]Record, len(idx)),
+	}
+	for i, j := range idx {
+		out.Records[i] = d.Records[j]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fairindex/internal/geo"
+)
+
+// tinyDataset builds a small valid dataset for structural tests.
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	grid := geo.MustGrid(4, 4)
+	ds := &Dataset{
+		Name:         "tiny",
+		Grid:         grid,
+		Box:          geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 4, MaxLon: 4},
+		FeatureNames: []string{"f1", "f2"},
+		TaskNames:    []string{"t1"},
+		Records: []Record{
+			{ID: "a", Lat: 0.5, Lon: 0.5, Cell: geo.Cell{Row: 0, Col: 0}, X: []float64{1, 2}, Labels: []int{1}},
+			{ID: "b", Lat: 3.5, Lon: 3.5, Cell: geo.Cell{Row: 3, Col: 3}, X: []float64{3, 4}, Labels: []int{0}},
+			{ID: "c", Lat: 0.5, Lon: 3.5, Cell: geo.Cell{Row: 0, Col: 3}, X: []float64{5, 6}, Labels: []int{1}},
+		},
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return ds
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	ds := tinyDataset(t)
+	if ds.Len() != 3 || ds.NumFeatures() != 2 || ds.NumTasks() != 1 {
+		t.Fatalf("unexpected shape: %d records, %d features, %d tasks", ds.Len(), ds.NumFeatures(), ds.NumTasks())
+	}
+	labels, err := ds.Labels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 || labels[0] != 1 || labels[1] != 0 {
+		t.Errorf("Labels = %v", labels)
+	}
+	if _, err := ds.Labels(1); err == nil {
+		t.Error("expected out-of-range task error")
+	}
+	if _, err := ds.Labels(-1); err == nil {
+		t.Error("expected negative task error")
+	}
+	cells := ds.Cells()
+	if len(cells) != 3 || cells[2] != (geo.Cell{Row: 0, Col: 3}) {
+		t.Errorf("Cells = %v", cells)
+	}
+	rate, err := ds.PositiveRate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-2.0/3) > 1e-12 {
+		t.Errorf("PositiveRate = %v, want 2/3", rate)
+	}
+}
+
+func TestCellCounts(t *testing.T) {
+	ds := tinyDataset(t)
+	counts := ds.CellCounts()
+	if len(counts) != 16 {
+		t.Fatalf("got %d cells, want 16", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != ds.Len() {
+		t.Errorf("counts sum to %d, want %d", total, ds.Len())
+	}
+	if counts[ds.Grid.Index(geo.Cell{Row: 0, Col: 0})] != 1 {
+		t.Error("cell (0,0) count wrong")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *Dataset { return tinyDataset(t) }
+	tests := []struct {
+		name    string
+		mutate  func(*Dataset)
+		wantErr error
+	}{
+		{"no records", func(d *Dataset) { d.Records = nil }, ErrNoRecords},
+		{"bad grid", func(d *Dataset) { d.Grid = geo.Grid{} }, geo.ErrBadGrid},
+		{"feature shape", func(d *Dataset) { d.Records[0].X = []float64{1} }, ErrShape},
+		{"label shape", func(d *Dataset) { d.Records[1].Labels = nil }, ErrShape},
+		{"cell out of range", func(d *Dataset) { d.Records[0].Cell = geo.Cell{Row: 9, Col: 9} }, ErrCellOutOfRange},
+		{"NaN feature", func(d *Dataset) { d.Records[2].X[0] = math.NaN() }, ErrBadValue},
+		{"Inf feature", func(d *Dataset) { d.Records[2].X[1] = math.Inf(1) }, ErrBadValue},
+		{"bad label", func(d *Dataset) { d.Records[0].Labels[0] = 2 }, ErrBadLabel},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := base()
+			tt.mutate(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("error %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := tinyDataset(t)
+	sub := ds.Subset([]int{2, 0})
+	if sub.Len() != 2 {
+		t.Fatalf("subset len = %d, want 2", sub.Len())
+	}
+	if sub.Records[0].ID != "c" || sub.Records[1].ID != "a" {
+		t.Errorf("subset order wrong: %q, %q", sub.Records[0].ID, sub.Records[1].ID)
+	}
+	if sub.NumFeatures() != ds.NumFeatures() || sub.Grid != ds.Grid {
+		t.Error("subset lost metadata")
+	}
+}

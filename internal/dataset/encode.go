@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// Encoding selects how the categorical neighborhood attribute is
+// turned into model features (DESIGN.md §2, "Location encoding").
+type Encoding int
+
+const (
+	// EncDefault is the zero value and resolves to EncCentroidOneHot,
+	// the configuration whose results track the paper's figures (see
+	// DESIGN.md §2).
+	EncDefault Encoding = iota
+	// EncCentroid encodes a record's neighborhood as the normalized
+	// (row, col) centroid of its region: two continuous dimensions
+	// whose effective granularity grows with tree height.
+	EncCentroid
+	// EncOneHot encodes the neighborhood as one indicator column per
+	// region, the classic categorical treatment.
+	EncOneHot
+	// EncCentroidOneHot concatenates the centroid and one-hot
+	// encodings.
+	EncCentroidOneHot
+)
+
+// Resolve maps EncDefault to the concrete default encoding.
+func (e Encoding) Resolve() Encoding {
+	if e == EncDefault {
+		return EncCentroidOneHot
+	}
+	return e
+}
+
+// String implements fmt.Stringer.
+func (e Encoding) String() string {
+	switch e {
+	case EncDefault:
+		return "default(centroid+onehot)"
+	case EncCentroid:
+		return "centroid"
+	case EncOneHot:
+		return "onehot"
+	case EncCentroidOneHot:
+		return "centroid+onehot"
+	default:
+		return fmt.Sprintf("Encoding(%d)", int(e))
+	}
+}
+
+// Encoded is a design matrix with metadata about which columns came
+// from the location attribute, so feature-importance reports can
+// aggregate them back into a single "Neighborhood" entry (Figure 9).
+type Encoded struct {
+	X       [][]float64
+	Names   []string
+	LocCols []int // indices into Names of location-derived columns
+}
+
+// Encode builds a design matrix from the dataset's continuous
+// features plus the neighborhood attribute.
+//
+// regionOf[i] is the region id of record i in [0, numRegions);
+// centroids[r] is the region's normalized (row, col) centroid in
+// [0,1]² (ignored by EncOneHot).
+func Encode(ds *Dataset, regionOf []int, numRegions int, centroids [][2]float64, enc Encoding) (*Encoded, error) {
+	enc = enc.Resolve()
+	if len(regionOf) != ds.Len() {
+		return nil, fmt.Errorf("dataset: regionOf has %d entries, want %d", len(regionOf), ds.Len())
+	}
+	if enc != EncOneHot && len(centroids) < numRegions {
+		return nil, fmt.Errorf("dataset: %d centroids for %d regions", len(centroids), numRegions)
+	}
+	base := ds.NumFeatures()
+	var locDims int
+	switch enc {
+	case EncCentroid:
+		locDims = 2
+	case EncOneHot:
+		locDims = numRegions
+	case EncCentroidOneHot:
+		locDims = 2 + numRegions
+	default:
+		return nil, fmt.Errorf("dataset: unknown encoding %v", enc)
+	}
+
+	out := &Encoded{
+		X:     make([][]float64, ds.Len()),
+		Names: make([]string, 0, base+locDims),
+	}
+	out.Names = append(out.Names, ds.FeatureNames...)
+	switch enc {
+	case EncCentroid:
+		out.Names = append(out.Names, "loc:row", "loc:col")
+	case EncOneHot:
+		for r := 0; r < numRegions; r++ {
+			out.Names = append(out.Names, fmt.Sprintf("loc:N%d", r))
+		}
+	case EncCentroidOneHot:
+		out.Names = append(out.Names, "loc:row", "loc:col")
+		for r := 0; r < numRegions; r++ {
+			out.Names = append(out.Names, fmt.Sprintf("loc:N%d", r))
+		}
+	}
+	out.LocCols = make([]int, locDims)
+	for i := range out.LocCols {
+		out.LocCols[i] = base + i
+	}
+
+	for i := range ds.Records {
+		r := regionOf[i]
+		if r < 0 || r >= numRegions {
+			return nil, fmt.Errorf("dataset: record %d region %d out of range [0,%d)", i, r, numRegions)
+		}
+		row := make([]float64, base+locDims)
+		copy(row, ds.Records[i].X)
+		switch enc {
+		case EncCentroid:
+			row[base] = centroids[r][0]
+			row[base+1] = centroids[r][1]
+		case EncOneHot:
+			row[base+r] = 1
+		case EncCentroidOneHot:
+			row[base] = centroids[r][0]
+			row[base+1] = centroids[r][1]
+			row[base+2+r] = 1
+		}
+		out.X[i] = row
+	}
+	return out, nil
+}
+
+// AggregateImportance folds per-column importances back onto the
+// dataset's named features plus one aggregate "Neighborhood" entry
+// summing all location-derived columns, in Figure 9's feature order.
+func (e *Encoded) AggregateImportance(imp []float64) (names []string, agg []float64, err error) {
+	if len(imp) != len(e.Names) {
+		return nil, nil, fmt.Errorf("dataset: %d importances for %d columns", len(imp), len(e.Names))
+	}
+	isLoc := make(map[int]bool, len(e.LocCols))
+	for _, c := range e.LocCols {
+		isLoc[c] = true
+	}
+	var locSum float64
+	for i, v := range imp {
+		if isLoc[i] {
+			locSum += v
+		} else {
+			names = append(names, e.Names[i])
+			agg = append(agg, v)
+		}
+	}
+	names = append(names, "Neighborhood")
+	agg = append(agg, locSum)
+	return names, agg, nil
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestSplitIndices(t *testing.T) {
+	train, test, err := SplitIndices(10, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(test) != 3 || len(train) != 7 {
+		t.Fatalf("split sizes = %d/%d, want 7/3", len(train), len(test))
+	}
+	all := append(append([]int(nil), train...), test...)
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("split is not a partition of indices: %v", all)
+		}
+	}
+}
+
+func TestSplitIndicesDeterministic(t *testing.T) {
+	tr1, te1, _ := SplitIndices(50, 0.2, 42)
+	tr2, te2, _ := SplitIndices(50, 0.2, 42)
+	if !reflect.DeepEqual(tr1, tr2) || !reflect.DeepEqual(te1, te2) {
+		t.Error("same seed produced different splits")
+	}
+	tr3, _, _ := SplitIndices(50, 0.2, 43)
+	if reflect.DeepEqual(tr1, tr3) {
+		t.Error("different seeds produced identical splits")
+	}
+}
+
+func TestSplitIndicesErrors(t *testing.T) {
+	if _, _, err := SplitIndices(0, 0.2, 1); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, _, err := SplitIndices(10, 1.0, 1); err == nil {
+		t.Error("expected error for frac=1")
+	}
+	if _, _, err := SplitIndices(10, -0.1, 1); err == nil {
+		t.Error("expected error for negative frac")
+	}
+}
+
+func TestSplitIndicesAlwaysKeepsTrain(t *testing.T) {
+	train, test, err := SplitIndices(1, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 1 || len(test) != 0 {
+		t.Errorf("split of 1 record = %d/%d, want 1/0", len(train), len(test))
+	}
+}
+
+func TestStratifiedSplitPreservesRates(t *testing.T) {
+	labels := make([]int, 100)
+	for i := 0; i < 30; i++ {
+		labels[i] = 1
+	}
+	train, test, err := StratifiedSplit(labels, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(test) != 100 {
+		t.Fatalf("split sizes %d+%d != 100", len(train), len(test))
+	}
+	countPos := func(idx []int) int {
+		n := 0
+		for _, i := range idx {
+			n += labels[i]
+		}
+		return n
+	}
+	if got := countPos(test); got != 6 { // 20% of 30 positives
+		t.Errorf("test positives = %d, want 6", got)
+	}
+	if got := countPos(train); got != 24 {
+		t.Errorf("train positives = %d, want 24", got)
+	}
+}
+
+func TestStratifiedSplitIsPartition(t *testing.T) {
+	labels := []int{1, 0, 1, 0, 1, 1, 0, 0, 0, 1, 0}
+	train, test, err := StratifiedSplit(labels, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]int(nil), train...), test...)
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("not a partition: %v", all)
+		}
+	}
+}
+
+func TestStratifiedSplitErrors(t *testing.T) {
+	if _, _, err := StratifiedSplit(nil, 0.2, 1); err == nil {
+		t.Error("expected error for empty labels")
+	}
+	if _, _, err := StratifiedSplit([]int{1}, 1.5, 1); err == nil {
+		t.Error("expected error for bad fraction")
+	}
+}
+
+func TestStratifiedSplitDegenerate(t *testing.T) {
+	// A single record must remain in train.
+	train, test, err := StratifiedSplit([]int{1}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 1 || len(test) != 0 {
+		t.Errorf("split = %d/%d, want 1/0", len(train), len(test))
+	}
+}
+
+func TestGather(t *testing.T) {
+	rows := []string{"a", "b", "c", "d"}
+	if got := Gather(rows, []int{3, 0, 0}); !reflect.DeepEqual(got, []string{"d", "a", "a"}) {
+		t.Errorf("Gather = %v", got)
+	}
+	if got := Gather(rows, nil); len(got) != 0 {
+		t.Errorf("Gather empty = %v", got)
+	}
+}

@@ -1,0 +1,249 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairindex/internal/geo"
+)
+
+// CitySpec parameterizes the synthetic city generator. The generator
+// stands in for the EdGap socio-economic dataset used by the paper
+// (see DESIGN.md §4 for the substitution rationale). It produces a
+// population with three properties the paper's phenomenon depends on:
+//
+//  1. spatially clustered records (schools concentrate in districts);
+//  2. feature–label correlation strong enough to train a classifier;
+//  3. district-level *label shocks* — residual label structure that is
+//     correlated with location but invisible in the features, so a
+//     globally calibrated model is locally miscalibrated.
+//
+// The shocks are drawn with zero mean so citywide calibration stays
+// close to 1 while per-neighborhood calibration spreads, matching the
+// evidence in the paper's Figure 6.
+type CitySpec struct {
+	Name       string
+	NumRecords int
+	Box        geo.BBox
+	Districts  int     // number of population clusters
+	ShockScale float64 // magnitude of district label shocks (0 disables)
+	Seed       int64
+}
+
+// LA returns the spec mirroring the paper's Los Angeles dataset
+// (1153 records).
+func LA() CitySpec {
+	return CitySpec{
+		Name:       "Los Angeles",
+		NumRecords: 1153,
+		Box:        geo.BBox{MinLat: 33.60, MinLon: -118.70, MaxLat: 34.40, MaxLon: -117.80},
+		Districts:  14,
+		ShockScale: 2.0,
+		Seed:       90001,
+	}
+}
+
+// Houston returns the spec mirroring the paper's Houston dataset
+// (966 records).
+func Houston() CitySpec {
+	return CitySpec{
+		Name:       "Houston",
+		NumRecords: 966,
+		Box:        geo.BBox{MinLat: 29.40, MinLon: -95.80, MaxLat: 30.20, MaxLon: -95.00},
+		Districts:  11,
+		ShockScale: 2.0,
+		Seed:       77001,
+	}
+}
+
+// Label-generation thresholds from §5.1 of the paper.
+const (
+	// ACTThreshold: students' average ACT at or above this value yields
+	// a positive ACT label ("setting a threshold of 22 on the average
+	// ACT performance").
+	ACTThreshold = 22.0
+	// EmploymentGapThreshold: the family employment gap (the share of
+	// families without stable employment, a rate in percent) at or
+	// below this value yields a positive Employment label ("the
+	// threshold for label generation based on family employment is set
+	// to 10 percent").
+	EmploymentGapThreshold = 10.0
+)
+
+// district is one population cluster of the synthetic city.
+type district struct {
+	lat, lon   float64 // cluster center
+	sigmaLat   float64
+	sigmaLon   float64
+	weight     float64 // sampling weight
+	incomeBase float64 // k$, determines the socio-economic profile
+	shockACT   float64 // residual ACT shift invisible to features
+	shockEmp   float64 // residual employment shift invisible to features
+}
+
+// Generate builds a synthetic city dataset on the given grid. It is
+// fully deterministic for a fixed spec. The feature columns are
+// StdFeatureNames and the tasks are StdTaskNames.
+func Generate(spec CitySpec, grid geo.Grid) (*Dataset, error) {
+	if spec.NumRecords <= 0 {
+		return nil, fmt.Errorf("dataset: spec %q: NumRecords must be positive, got %d", spec.Name, spec.NumRecords)
+	}
+	if spec.Districts <= 0 {
+		return nil, fmt.Errorf("dataset: spec %q: Districts must be positive, got %d", spec.Name, spec.Districts)
+	}
+	mapper, err := geo.NewMapper(grid, spec.Box)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: spec %q: %w", spec.Name, err)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	districts := makeDistricts(spec, rng)
+
+	ds := &Dataset{
+		Name:         spec.Name,
+		Grid:         grid,
+		Box:          spec.Box,
+		FeatureNames: append([]string(nil), StdFeatureNames...),
+		TaskNames:    append([]string(nil), StdTaskNames...),
+		Records:      make([]Record, 0, spec.NumRecords),
+	}
+
+	latSpan := spec.Box.MaxLat - spec.Box.MinLat
+	lonSpan := spec.Box.MaxLon - spec.Box.MinLon
+
+	for i := 0; i < spec.NumRecords; i++ {
+		d := &districts[pickDistrict(districts, rng)]
+
+		lat := clampF(d.lat+rng.NormFloat64()*d.sigmaLat, spec.Box.MinLat, spec.Box.MaxLat-latSpan*1e-9)
+		lon := clampF(d.lon+rng.NormFloat64()*d.sigmaLon, spec.Box.MinLon, spec.Box.MaxLon-lonSpan*1e-9)
+
+		// Income combines the district's base level, a smooth west-east
+		// gradient and idiosyncratic noise.
+		gradient := 10 * (lon - spec.Box.MinLon) / lonSpan
+		income := clampF(d.incomeBase+gradient+rng.NormFloat64()*11, 15, 250)
+		incomeZ := (income - 62) / 28
+
+		college := clampF(42+16*incomeZ+rng.NormFloat64()*7, 5, 90)
+		unemployment := clampF(13-4.5*incomeZ+rng.NormFloat64()*2.6, 1.5, 35)
+		marriage := clampF(48+7*incomeZ+rng.NormFloat64()*6, 18, 82)
+		lunch := clampF(52-17*incomeZ+rng.NormFloat64()*8, 3, 97)
+
+		// ACT: driven by the socio-economic profile plus the district
+		// shock. The shock term is the only part a feature-based model
+		// cannot explain except through location.
+		act := 21.2 +
+			2.1*incomeZ +
+			0.045*(college-42) -
+			0.03*(lunch-52) +
+			spec.ShockScale*d.shockACT +
+			rng.NormFloat64()*1.9
+		act = clampF(act, 10, 34)
+
+		// Family employment gap: share of families without stable
+		// employment (percent). Correlates with unemployment but has
+		// its own district shock so the two tasks favor different
+		// partitionings (§4.3 motivation).
+		empGap := clampF(
+			9.5+0.55*(unemployment-13)-1.4*incomeZ+
+				spec.ShockScale*d.shockEmp+
+				rng.NormFloat64()*2.4,
+			0.5, 40)
+
+		labelACT := 0
+		if act >= ACTThreshold {
+			labelACT = 1
+		}
+		labelEmp := 0
+		if empGap <= EmploymentGapThreshold {
+			labelEmp = 1
+		}
+
+		ds.Records = append(ds.Records, Record{
+			ID:     fmt.Sprintf("%s-%05d", shortName(spec.Name), i),
+			Lat:    lat,
+			Lon:    lon,
+			Cell:   mapper.CellOf(lat, lon),
+			X:      []float64{unemployment, college, marriage, income, lunch},
+			Labels: []int{labelACT, labelEmp},
+		})
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: generated city failed validation: %w", err)
+	}
+	return ds, nil
+}
+
+// makeDistricts draws the city's population clusters. Shocks are
+// centered so they cancel citywide (keeping overall calibration near
+// 1) while each district is systematically shifted.
+func makeDistricts(spec CitySpec, rng *rand.Rand) []district {
+	ds := make([]district, spec.Districts)
+	latSpan := spec.Box.MaxLat - spec.Box.MinLat
+	lonSpan := spec.Box.MaxLon - spec.Box.MinLon
+	var meanShockACT, meanShockEmp float64
+	for i := range ds {
+		ds[i] = district{
+			lat:        spec.Box.MinLat + latSpan*(0.12+0.76*rng.Float64()),
+			lon:        spec.Box.MinLon + lonSpan*(0.12+0.76*rng.Float64()),
+			sigmaLat:   latSpan * (0.03 + 0.05*rng.Float64()),
+			sigmaLon:   lonSpan * (0.03 + 0.05*rng.Float64()),
+			weight:     0.35 + rng.Float64(),
+			incomeBase: clampF(62+rng.NormFloat64()*22, 25, 160),
+			shockACT:   rng.NormFloat64() * 2.4,
+			shockEmp:   rng.NormFloat64() * 3.1,
+		}
+		meanShockACT += ds[i].shockACT
+		meanShockEmp += ds[i].shockEmp
+	}
+	meanShockACT /= float64(len(ds))
+	meanShockEmp /= float64(len(ds))
+	for i := range ds {
+		ds[i].shockACT -= meanShockACT
+		ds[i].shockEmp -= meanShockEmp
+	}
+	return ds
+}
+
+// pickDistrict samples a district index proportional to weight.
+func pickDistrict(ds []district, rng *rand.Rand) int {
+	var total float64
+	for i := range ds {
+		total += ds[i].weight
+	}
+	x := rng.Float64() * total
+	for i := range ds {
+		x -= ds[i].weight
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(ds) - 1
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// shortName derives a compact record-ID prefix from a city name.
+func shortName(name string) string {
+	out := make([]rune, 0, 3)
+	for _, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		n := []rune(name)
+		if len(n) > 3 {
+			n = n[:3]
+		}
+		return string(n)
+	}
+	return string(out)
+}

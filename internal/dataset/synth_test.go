@@ -1,0 +1,244 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fairindex/internal/geo"
+)
+
+func TestGenerateLA(t *testing.T) {
+	grid := geo.MustGrid(64, 64)
+	ds, err := Generate(LA(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1153 {
+		t.Errorf("LA record count = %d, want 1153 (paper §5.1)", ds.Len())
+	}
+	if ds.Name != "Los Angeles" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	if got := ds.FeatureNames; !reflect.DeepEqual(got, StdFeatureNames) {
+		t.Errorf("feature names = %v", got)
+	}
+	if got := ds.TaskNames; !reflect.DeepEqual(got, StdTaskNames) {
+		t.Errorf("task names = %v", got)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("generated dataset invalid: %v", err)
+	}
+}
+
+func TestGenerateHouston(t *testing.T) {
+	ds, err := Generate(Houston(), geo.MustGrid(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 966 {
+		t.Errorf("Houston record count = %d, want 966 (paper §5.1)", ds.Len())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	grid := geo.MustGrid(32, 32)
+	a, err := Generate(LA(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(LA(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Error("generator is not deterministic for a fixed spec")
+	}
+	// Different seeds must give different data.
+	spec := LA()
+	spec.Seed++
+	c, err := Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Records, c.Records) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateLabelBalance(t *testing.T) {
+	// Both tasks should be learnable: neither label should be rarer
+	// than ~15% on either city.
+	for _, spec := range []CitySpec{LA(), Houston()} {
+		ds, err := Generate(spec, geo.MustGrid(64, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for task := 0; task < ds.NumTasks(); task++ {
+			rate, err := ds.PositiveRate(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rate < 0.15 || rate > 0.85 {
+				t.Errorf("%s task %d positive rate %v out of [0.15, 0.85]", spec.Name, task, rate)
+			}
+		}
+	}
+}
+
+func TestGenerateSpatialClustering(t *testing.T) {
+	// Records must be spatially clustered, not uniform: the top-decile
+	// densest cells should hold well above their uniform share.
+	ds, err := Generate(LA(), geo.MustGrid(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ds.CellCounts()
+	occupied := 0
+	for _, c := range counts {
+		if c > 0 {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		t.Fatal("no occupied cells")
+	}
+	// With strong clustering most cells are empty.
+	if frac := float64(occupied) / float64(len(counts)); frac > 0.6 {
+		t.Errorf("occupied cell fraction %v too high for a clustered population", frac)
+	}
+}
+
+func TestGenerateFeatureCorrelation(t *testing.T) {
+	// Income should correlate positively with the ACT label: the mean
+	// income of positive records should exceed that of negatives.
+	ds, err := Generate(LA(), geo.MustGrid(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posSum, negSum float64
+	var posN, negN int
+	for _, r := range ds.Records {
+		if r.Labels[TaskACT] == 1 {
+			posSum += r.X[FeatIncome]
+			posN++
+		} else {
+			negSum += r.X[FeatIncome]
+			negN++
+		}
+	}
+	if posN == 0 || negN == 0 {
+		t.Fatal("degenerate labels")
+	}
+	if posSum/float64(posN) <= negSum/float64(negN) {
+		t.Error("income does not separate ACT labels; generator lost feature signal")
+	}
+}
+
+func TestGenerateShockCreatesSpatialResidue(t *testing.T) {
+	// With shocks disabled, per-district label rates should be largely
+	// explained by features; with shocks enabled the same features
+	// leave district-level residue. We proxy this by comparing label
+	// rate dispersion across coarse grid blocks between the two modes,
+	// holding everything else fixed.
+	spec := LA()
+	grid := geo.MustGrid(16, 16)
+	withShock, err := Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ShockScale = 0
+	noShock, err := Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp := blockRateDispersion(t, withShock); disp <= blockRateDispersion(t, noShock)*0.9 {
+		// Shocked labels should be at least as spatially dispersed.
+		t.Errorf("shock did not increase spatial label dispersion: %v vs %v",
+			disp, blockRateDispersion(t, noShock))
+	}
+}
+
+// blockRateDispersion computes the population-weighted variance of the
+// ACT-positive rate over 4x4 blocks of the grid.
+func blockRateDispersion(t *testing.T, ds *Dataset) float64 {
+	t.Helper()
+	const blocks = 4
+	var count [blocks][blocks]int
+	var pos [blocks][blocks]int
+	for _, r := range ds.Records {
+		br := r.Cell.Row * blocks / ds.Grid.U
+		bc := r.Cell.Col * blocks / ds.Grid.V
+		count[br][bc]++
+		pos[br][bc] += r.Labels[TaskACT]
+	}
+	overall, err := ds.PositiveRate(TaskACT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disp float64
+	for i := 0; i < blocks; i++ {
+		for j := 0; j < blocks; j++ {
+			if count[i][j] == 0 {
+				continue
+			}
+			rate := float64(pos[i][j]) / float64(count[i][j])
+			w := float64(count[i][j]) / float64(ds.Len())
+			disp += w * (rate - overall) * (rate - overall)
+		}
+	}
+	return disp
+}
+
+func TestGenerateValidation(t *testing.T) {
+	grid := geo.MustGrid(8, 8)
+	bad := LA()
+	bad.NumRecords = 0
+	if _, err := Generate(bad, grid); err == nil {
+		t.Error("expected error for zero records")
+	}
+	bad = LA()
+	bad.Districts = 0
+	if _, err := Generate(bad, grid); err == nil {
+		t.Error("expected error for zero districts")
+	}
+	bad = LA()
+	bad.Box = geo.BBox{}
+	if _, err := Generate(bad, grid); err == nil {
+		t.Error("expected error for invalid box")
+	}
+	if _, err := Generate(LA(), geo.Grid{}); err == nil {
+		t.Error("expected error for invalid grid")
+	}
+}
+
+func TestGenerateFeaturesInRange(t *testing.T) {
+	ds, err := Generate(Houston(), geo.MustGrid(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ds.Records {
+		for j, x := range r.X {
+			if math.IsNaN(x) || x < 0 || x > 300 {
+				t.Fatalf("record %d feature %d out of range: %v", i, j, x)
+			}
+		}
+		if r.Lat < ds.Box.MinLat || r.Lat > ds.Box.MaxLat || r.Lon < ds.Box.MinLon || r.Lon > ds.Box.MaxLon {
+			t.Fatalf("record %d coordinates outside box: %v,%v", i, r.Lat, r.Lon)
+		}
+	}
+}
+
+func TestShortName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Los Angeles", "LA"},
+		{"Houston", "H"},
+		{"lowercase", "low"},
+		{"ab", "ab"},
+	}
+	for _, tt := range tests {
+		if got := shortName(tt.in); got != tt.want {
+			t.Errorf("shortName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package experiments contains one harness per figure of the paper's
+// evaluation (§5): Figure 6 (evidence of disparity), Figure 7 (ENCE
+// vs tree height), Figure 8 (utility indicators), Figure 9 (feature
+// importance heatmaps), Figure 10 (multi-objective performance) and
+// the §5.3.1 timing comparison. Each harness returns a structured
+// result with a Render method producing the aligned text tables that
+// cmd/fairbench prints and EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// Options are shared across all harnesses.
+type Options struct {
+	// Grid is the base grid resolution (default 64×64).
+	Grid geo.Grid
+	// Cities to evaluate (default LA and Houston, as in §5.1).
+	Cities []dataset.CitySpec
+	// Seed drives splits and zip-code layouts (default 11).
+	Seed int64
+	// Encoding for the final training (default centroid+one-hot; see
+	// DESIGN.md §2).
+	Encoding dataset.Encoding
+	// ZipSites for the zip-code baseline partition (default 40).
+	ZipSites int
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if !o.Grid.Valid() {
+		o.Grid = geo.MustGrid(64, 64)
+	}
+	if o.Cities == nil {
+		o.Cities = []dataset.CitySpec{dataset.LA(), dataset.Houston()}
+	}
+	if o.Seed == 0 {
+		o.Seed = 11
+	}
+	o.Encoding = o.Encoding.Resolve()
+	if o.ZipSites == 0 {
+		o.ZipSites = 40
+	}
+	return o
+}
+
+// generate builds the datasets for the configured cities.
+func (o Options) generate() ([]*dataset.Dataset, error) {
+	out := make([]*dataset.Dataset, len(o.Cities))
+	for i, spec := range o.Cities {
+		ds, err := dataset.Generate(spec, o.Grid)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", spec.Name, err)
+		}
+		out[i] = ds
+	}
+	return out, nil
+}
+
+// run is the shared pipeline invocation with the harness options
+// applied.
+func (o Options) run(ds *dataset.Dataset, cfg pipeline.Config) (*pipeline.Result, error) {
+	cfg.Seed = o.Seed
+	cfg.Encoding = o.Encoding
+	cfg.ZipSites = o.ZipSites
+	return pipeline.Run(ds, cfg)
+}
+
+// PaperHeights is the height sweep of Figures 7 (4–10).
+var PaperHeights = []int{4, 5, 6, 7, 8, 9, 10}
+
+// CoarseHeights is the reduced sweep of Figures 8 and 10 (4, 6, 8, 10).
+var CoarseHeights = []int{4, 6, 8, 10}
+
+// Fig7Methods are the four mitigation strategies compared by
+// Figures 7 and 8, in the paper's legend order.
+var Fig7Methods = []pipeline.Method{
+	pipeline.MethodMedianKD,
+	pipeline.MethodFairKD,
+	pipeline.MethodIterativeFairKD,
+	pipeline.MethodGridReweight,
+}
+
+// table renders an aligned text table: header row plus data rows.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// modelsForSweep returns the classifier families of Figure 7's sweep.
+func modelsForSweep() []ml.ModelKind { return ml.AllModelKinds }

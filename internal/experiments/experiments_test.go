@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// smallOptions shrinks the workload so the harness tests stay fast
+// while exercising the full code paths.
+func smallOptions() Options {
+	la := dataset.LA()
+	la.NumRecords = 400
+	hou := dataset.Houston()
+	hou.NumRecords = 350
+	return Options{
+		Grid:     geo.MustGrid(32, 32),
+		Cities:   []dataset.CitySpec{la, hou},
+		Seed:     11,
+		ZipSites: 20,
+	}
+}
+
+func oneCityOptions() Options {
+	o := smallOptions()
+	o.Cities = o.Cities[:1]
+	return o
+}
+
+func TestFig6(t *testing.T) {
+	results, err := Fig6(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d cities, want 2", len(results))
+	}
+	for _, c := range results {
+		// The disparity evidence: the citywide model looks calibrated
+		// (ratio near 1) while neighborhoods spread.
+		if c.TrainCalRatio < 0.8 || c.TrainCalRatio > 1.25 {
+			t.Errorf("%s: train calibration ratio %v far from 1", c.City, c.TrainCalRatio)
+		}
+		if len(c.Rows) != 10 {
+			t.Errorf("%s: %d neighborhood rows, want 10", c.City, len(c.Rows))
+		}
+		if spread := c.CalibrationSpread(); spread < 0.1 {
+			t.Errorf("%s: calibration spread %v too small to evidence disparity", c.City, spread)
+		}
+		// Rows are ordered by population.
+		for i := 1; i < len(c.Rows); i++ {
+			if c.Rows[i].Count > c.Rows[i-1].Count {
+				t.Errorf("%s: rows not population-ordered", c.City)
+			}
+		}
+		text := c.Render()
+		if !strings.Contains(text, "Figure 6") || !strings.Contains(text, c.City) {
+			t.Errorf("render missing header: %q", text[:60])
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	cells, err := Fig7(oneCityOptions(), []int{4, 6}, []ml.ModelKind{ml.ModelLogReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if len(c.ENCE) != len(Fig7Methods) {
+		t.Fatalf("method rows = %d", len(c.ENCE))
+	}
+	fair, err := c.MethodSeries(pipeline.MethodFairKD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	median, err := c.MethodSeries(pipeline.MethodMedianKD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline shape at the deeper height.
+	if fair[1] >= median[1] {
+		t.Errorf("fair ENCE %v >= median %v at height 6", fair[1], median[1])
+	}
+	if _, err := c.MethodSeries(pipeline.MethodZipCode); err == nil {
+		t.Error("expected unknown-series error")
+	}
+	if text := c.Render(); !strings.Contains(text, "Figure 7") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	cities, err := Fig8(oneCityOptions(), []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cities) != 1 {
+		t.Fatalf("cities = %d", len(cities))
+	}
+	c := cities[0]
+	for mi := range Fig7Methods {
+		for hi := range c.Heights {
+			if acc := c.Accuracy[mi][hi]; acc < 0.4 || acc > 1 {
+				t.Errorf("accuracy[%d][%d] = %v", mi, hi, acc)
+			}
+			if c.TrainMiscal[mi][hi] < 0 || c.TestMiscal[mi][hi] < 0 {
+				t.Errorf("negative miscalibration at [%d][%d]", mi, hi)
+			}
+		}
+	}
+	text := c.Render()
+	for _, want := range []string{"Model Accuracy", "Training Miscalibration", "Test Miscalibration"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	cells, err := Fig9(oneCityOptions(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(Fig9Methods) {
+		t.Fatalf("cells = %d, want %d", len(cells), len(Fig9Methods))
+	}
+	for _, c := range cells {
+		if len(c.Features) != dataset.NumStdFeatures+1 {
+			t.Fatalf("%v: features = %v", c.Method, c.Features)
+		}
+		if c.Features[len(c.Features)-1] != "Neighborhood" {
+			t.Errorf("%v: last feature = %q", c.Method, c.Features[len(c.Features)-1])
+		}
+		// Columns are normalized importance distributions.
+		for hi := range c.Heights {
+			var sum float64
+			for f := range c.Features {
+				v := c.Importance[f][hi]
+				if v < 0 || v > 1 {
+					t.Errorf("importance out of range: %v", v)
+				}
+				sum += v
+			}
+			if sum < 0.95 || sum > 1.05 {
+				t.Errorf("%v h=%d: importances sum to %v", c.Method, c.Heights[hi], sum)
+			}
+		}
+		if text := c.Render(); !strings.Contains(text, "Figure 9") {
+			t.Error("render missing header")
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	cells, err := Fig10(oneCityOptions(), []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	c := cells[0]
+	if len(c.Tasks) != dataset.NumStdTasks {
+		t.Fatalf("tasks = %v", c.Tasks)
+	}
+	for mi := range Fig10Methods {
+		for t2 := range c.Tasks {
+			if c.ENCE[mi][t2] < 0 {
+				t.Errorf("negative ENCE at [%d][%d]", mi, t2)
+			}
+		}
+	}
+	text := c.Render()
+	if !strings.Contains(text, "Figure 10") || !strings.Contains(text, "Fair KD-tree") {
+		t.Error("render missing expected labels")
+	}
+}
+
+func TestTiming(t *testing.T) {
+	res, err := Timing(oneCityOptions(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FairBuild <= 0 || res.IterBuild <= 0 {
+		t.Fatal("timings not recorded")
+	}
+	// The direction of §5.3.1's claim: iterative costs more.
+	if res.IterBuild <= res.FairBuild {
+		t.Errorf("iterative build %v not slower than fair %v", res.IterBuild, res.FairBuild)
+	}
+	if res.Overhead() <= 1 {
+		t.Errorf("overhead = %v, want > 1", res.Overhead())
+	}
+	if text := res.Render(); !strings.Contains(text, "timing") {
+		t.Error("render missing header")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if !o.Grid.Valid() || o.Grid.U != 64 {
+		t.Errorf("default grid = %v", o.Grid)
+	}
+	if len(o.Cities) != 2 {
+		t.Errorf("default cities = %d", len(o.Cities))
+	}
+	if o.Seed == 0 || o.ZipSites == 0 {
+		t.Error("defaults not applied")
+	}
+	if o.Encoding != dataset.EncCentroidOneHot {
+		t.Errorf("default encoding = %v", o.Encoding)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	got := table([]string{"a", "long-header"}, [][]string{{"wide-cell", "x"}})
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[0], lines[1])
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// Fig10Methods are the strategies compared by Figure 10 (the paper
+// labels the multi-objective tree simply "Fair KD-tree" in those
+// charts).
+var Fig10Methods = []pipeline.Method{
+	pipeline.MethodMedianKD,
+	pipeline.MethodMultiObjectiveFairKD,
+	pipeline.MethodGridReweight,
+}
+
+// Fig10Cell reports per-task ENCE of the three methods for one city
+// and height. A single multi-objective partitioning (α = 0.5 per
+// task) is evaluated against each objective.
+type Fig10Cell struct {
+	City   string
+	Height int
+	Tasks  []string
+	// ENCE[m][t] is the train-split ENCE of Fig10Methods[m] on task t.
+	ENCE [][]float64
+}
+
+// Fig10 runs the multi-objective evaluation at the paper's heights
+// (4, 6, 8, 10) with equal task weights.
+func Fig10(opt Options, heights []int) ([]Fig10Cell, error) {
+	opt = opt.withDefaults()
+	if len(heights) == 0 {
+		heights = CoarseHeights
+	}
+	cities, err := opt.generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig10Cell
+	for _, ds := range cities {
+		for _, h := range heights {
+			cell := Fig10Cell{
+				City:   ds.Name,
+				Height: h,
+				Tasks:  ds.TaskNames,
+				ENCE:   make([][]float64, len(Fig10Methods)),
+			}
+			for mi, method := range Fig10Methods {
+				cell.ENCE[mi] = make([]float64, ds.NumTasks())
+				if method == pipeline.MethodMultiObjectiveFairKD {
+					// One shared partitioning evaluated on every task.
+					res, err := opt.run(ds, pipeline.Config{Method: method, Height: h, Model: ml.ModelLogReg})
+					if err != nil {
+						return nil, fmt.Errorf("experiments: fig10 %s %v h=%d: %w", ds.Name, method, h, err)
+					}
+					for t := range res.Tasks {
+						cell.ENCE[mi][t] = res.Tasks[t].ENCETrain
+					}
+					continue
+				}
+				// Single-task baselines are re-run per objective.
+				for t := 0; t < ds.NumTasks(); t++ {
+					res, err := opt.run(ds, pipeline.Config{Method: method, Height: h, Model: ml.ModelLogReg, Task: t})
+					if err != nil {
+						return nil, fmt.Errorf("experiments: fig10 %s %v h=%d task=%d: %w", ds.Name, method, h, t, err)
+					}
+					cell.ENCE[mi][t] = res.Tasks[0].ENCETrain
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// Render produces one Figure 10 panel.
+func (c Fig10Cell) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — Multi-objective ENCE (height=%d, %s)\n", c.Height, c.City)
+	header := []string{"task"}
+	for _, m := range Fig10Methods {
+		label := m.String()
+		if m == pipeline.MethodMultiObjectiveFairKD {
+			label = "Fair KD-tree" // the paper's chart label
+		}
+		header = append(header, label)
+	}
+	rows := make([][]string, len(c.Tasks))
+	for t, task := range c.Tasks {
+		row := []string{task}
+		for mi := range Fig10Methods {
+			row = append(row, fmt.Sprintf("%.5f", c.ENCE[mi][t]))
+		}
+		rows[t] = row
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// Fig7Cell is one (city, model) panel of Figure 7: ENCE versus tree
+// height for the four methods.
+type Fig7Cell struct {
+	City    string
+	Model   ml.ModelKind
+	Heights []int
+	// ENCE[m][h] is the train-split ENCE of Fig7Methods[m] at
+	// Heights[h] (the split the paper's magnitudes track; the full-
+	// dataset value is in ENCEFull).
+	ENCE     [][]float64
+	ENCEFull [][]float64
+}
+
+// Fig7 sweeps ENCE vs height for every city × model panel, exactly
+// like the paper's Figure 7 (heights default to 4–10).
+func Fig7(opt Options, heights []int, models []ml.ModelKind) ([]Fig7Cell, error) {
+	opt = opt.withDefaults()
+	if len(heights) == 0 {
+		heights = PaperHeights
+	}
+	if len(models) == 0 {
+		models = modelsForSweep()
+	}
+	cities, err := opt.generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Cell
+	for _, ds := range cities {
+		for _, model := range models {
+			cell := Fig7Cell{
+				City:     ds.Name,
+				Model:    model,
+				Heights:  heights,
+				ENCE:     make([][]float64, len(Fig7Methods)),
+				ENCEFull: make([][]float64, len(Fig7Methods)),
+			}
+			for mi, method := range Fig7Methods {
+				cell.ENCE[mi] = make([]float64, len(heights))
+				cell.ENCEFull[mi] = make([]float64, len(heights))
+				for hi, h := range heights {
+					res, err := opt.run(ds, pipeline.Config{Method: method, Height: h, Model: model})
+					if err != nil {
+						return nil, fmt.Errorf("experiments: fig7 %s %v %v h=%d: %w", ds.Name, model, method, h, err)
+					}
+					cell.ENCE[mi][hi] = res.Tasks[0].ENCETrain
+					cell.ENCEFull[mi][hi] = res.Tasks[0].ENCE
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// Render produces one panel's text table.
+func (c Fig7Cell) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — ENCE vs tree height (%s, %v)\n", c.City, c.Model)
+	header := []string{"height"}
+	for _, m := range Fig7Methods {
+		header = append(header, m.String())
+	}
+	rows := make([][]string, len(c.Heights))
+	for hi, h := range c.Heights {
+		row := []string{fmt.Sprintf("%d", h)}
+		for mi := range Fig7Methods {
+			row = append(row, fmt.Sprintf("%.5f", c.ENCE[mi][hi]))
+		}
+		rows[hi] = row
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+// MethodSeries returns the ENCE series of one method by its pipeline
+// identifier.
+func (c Fig7Cell) MethodSeries(m pipeline.Method) ([]float64, error) {
+	for mi, mm := range Fig7Methods {
+		if mm == m {
+			return c.ENCE[mi], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: method %v not part of Figure 7", m)
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// Fig8City reports the utility indicators of Figure 8 for one city
+// (logistic regression): model accuracy, overall training
+// miscalibration and overall test miscalibration per method and
+// height.
+type Fig8City struct {
+	City    string
+	Heights []int
+	// Indexed [method][height] following Fig7Methods.
+	Accuracy    [][]float64
+	TrainMiscal [][]float64
+	TestMiscal  [][]float64
+}
+
+// Fig8 sweeps the utility indicators (heights default to 4,6,8,10 as
+// in the paper's Figure 8 x-axis).
+func Fig8(opt Options, heights []int) ([]Fig8City, error) {
+	opt = opt.withDefaults()
+	if len(heights) == 0 {
+		heights = CoarseHeights
+	}
+	cities, err := opt.generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8City
+	for _, ds := range cities {
+		city := Fig8City{
+			City:        ds.Name,
+			Heights:     heights,
+			Accuracy:    make([][]float64, len(Fig7Methods)),
+			TrainMiscal: make([][]float64, len(Fig7Methods)),
+			TestMiscal:  make([][]float64, len(Fig7Methods)),
+		}
+		for mi, method := range Fig7Methods {
+			city.Accuracy[mi] = make([]float64, len(heights))
+			city.TrainMiscal[mi] = make([]float64, len(heights))
+			city.TestMiscal[mi] = make([]float64, len(heights))
+			for hi, h := range heights {
+				res, err := opt.run(ds, pipeline.Config{Method: method, Height: h, Model: ml.ModelLogReg})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig8 %s %v h=%d: %w", ds.Name, method, h, err)
+				}
+				tr := res.Tasks[0]
+				city.Accuracy[mi][hi] = tr.Accuracy
+				city.TrainMiscal[mi][hi] = tr.TrainMiscal
+				city.TestMiscal[mi][hi] = tr.TestMiscal
+			}
+		}
+		out = append(out, city)
+	}
+	return out, nil
+}
+
+// Render produces the three Figure 8 panels for the city.
+func (c Fig8City) Render() string {
+	var b strings.Builder
+	panels := []struct {
+		title string
+		data  [][]float64
+	}{
+		{"Model Accuracy", c.Accuracy},
+		{"Training Miscalibration", c.TrainMiscal},
+		{"Test Miscalibration", c.TestMiscal},
+	}
+	for _, p := range panels {
+		fmt.Fprintf(&b, "Figure 8 — %s (%s, Logistic Regression)\n", p.title, c.City)
+		header := []string{"height"}
+		for _, m := range Fig7Methods {
+			header = append(header, m.String())
+		}
+		rows := make([][]string, len(c.Heights))
+		for hi, h := range c.Heights {
+			row := []string{fmt.Sprintf("%d", h)}
+			for mi := range Fig7Methods {
+				row = append(row, fmt.Sprintf("%.4f", p.data[mi][hi]))
+			}
+			rows[hi] = row
+		}
+		b.WriteString(table(header, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// Fig9Methods are the tree algorithms whose feature-importance
+// heatmaps Figure 9 shows.
+var Fig9Methods = []pipeline.Method{
+	pipeline.MethodMedianKD,
+	pipeline.MethodFairKD,
+	pipeline.MethodIterativeFairKD,
+}
+
+// Fig9Heights is the heatmap's height axis (1–10).
+var Fig9Heights = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+// Fig9Cell is one heatmap: feature importance (rows) over tree
+// heights (columns) for one city and method.
+type Fig9Cell struct {
+	City     string
+	Method   pipeline.Method
+	Heights  []int
+	Features []string
+	// Importance[f][h] is the normalized importance of Features[f] at
+	// Heights[h].
+	Importance [][]float64
+}
+
+// Fig9 computes the feature-importance heatmaps (logistic regression,
+// importances aggregated over location-derived columns into one
+// "Neighborhood" row, as in the paper's feature axis).
+func Fig9(opt Options, heights []int) ([]Fig9Cell, error) {
+	opt = opt.withDefaults()
+	if len(heights) == 0 {
+		heights = Fig9Heights
+	}
+	cities, err := opt.generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig9Cell
+	for _, ds := range cities {
+		for _, method := range Fig9Methods {
+			cell := Fig9Cell{City: ds.Name, Method: method, Heights: heights}
+			for hi, h := range heights {
+				res, err := opt.run(ds, pipeline.Config{Method: method, Height: h, Model: ml.ModelLogReg})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig9 %s %v h=%d: %w", ds.Name, method, h, err)
+				}
+				tr := res.Tasks[0]
+				if cell.Features == nil {
+					cell.Features = tr.ImportanceNames
+					cell.Importance = make([][]float64, len(cell.Features))
+					for f := range cell.Importance {
+						cell.Importance[f] = make([]float64, len(heights))
+					}
+				}
+				for f := range cell.Features {
+					cell.Importance[f][hi] = tr.ImportanceValues[f]
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// Render produces the heatmap as a text table (features × heights).
+func (c Fig9Cell) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — Feature importance heatmap (%s, %v)\n", c.City, c.Method)
+	header := []string{"feature"}
+	for _, h := range c.Heights {
+		header = append(header, fmt.Sprintf("h=%d", h))
+	}
+	rows := make([][]string, len(c.Features))
+	for f, name := range c.Features {
+		row := []string{name}
+		for hi := range c.Heights {
+			row = append(row, fmt.Sprintf("%.2f", c.Importance[f][hi]))
+		}
+		rows[f] = row
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}

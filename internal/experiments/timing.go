@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fairindex/internal/ml"
+	"fairindex/internal/pipeline"
+)
+
+// TimingResult reproduces the §5.3.1 cost comparison: the Fair
+// KD-tree's construction (one initial model run + one DFS build) is
+// substantially cheaper than the Iterative Fair KD-tree's (one model
+// run per level). The paper reports 102 s vs 189 s at height 10 on
+// its hardware; only the relative cost is expected to transfer.
+type TimingResult struct {
+	City      string
+	Height    int
+	FairBuild time.Duration
+	IterBuild time.Duration
+	FairTotal time.Duration // build + final training
+	IterTotal time.Duration
+}
+
+// Timing measures both constructions at the given height (default 10,
+// the paper's reference point) on the first configured city.
+func Timing(opt Options, height int) (*TimingResult, error) {
+	opt = opt.withDefaults()
+	if height == 0 {
+		height = 10
+	}
+	cities, err := opt.generate()
+	if err != nil {
+		return nil, err
+	}
+	ds := cities[0]
+	out := &TimingResult{City: ds.Name, Height: height}
+
+	fair, err := opt.run(ds, pipeline.Config{Method: pipeline.MethodFairKD, Height: height, Model: ml.ModelLogReg})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: timing fair: %w", err)
+	}
+	out.FairBuild = fair.BuildTime
+	out.FairTotal = fair.BuildTime + fair.TrainTime
+
+	iter, err := opt.run(ds, pipeline.Config{Method: pipeline.MethodIterativeFairKD, Height: height, Model: ml.ModelLogReg})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: timing iterative: %w", err)
+	}
+	out.IterBuild = iter.BuildTime
+	out.IterTotal = iter.BuildTime + iter.TrainTime
+	return out, nil
+}
+
+// Overhead returns the iterative construction's cost multiple over
+// the fair construction (the paper's ≈ 1.85×).
+func (t *TimingResult) Overhead() float64 {
+	if t.FairBuild <= 0 {
+		return 0
+	}
+	return float64(t.IterBuild) / float64(t.FairBuild)
+}
+
+// Render produces the timing report.
+func (t *TimingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§5.3.1 timing — Fair vs Iterative Fair KD-tree (%s, height=%d)\n", t.City, t.Height)
+	rows := [][]string{
+		{"Fair KD-tree", t.FairBuild.String(), t.FairTotal.String()},
+		{"Iterative Fair KD-tree", t.IterBuild.String(), t.IterTotal.String()},
+	}
+	b.WriteString(table([]string{"method", "build", "build+train"}, rows))
+	fmt.Fprintf(&b, "iterative/fair build overhead: %.2fx (paper: ~1.85x on the authors' testbed)\n", t.Overhead())
+	return b.String()
+}

@@ -1,0 +1,129 @@
+// Package geo provides the grid geometry substrate used by the fair
+// spatial indexes: discrete cells, rectangles of cells, the U×V base
+// grid overlaid on a map, and the mapping between geographic
+// coordinates and cells.
+//
+// The paper (§2.1) assumes a U×V grid whose resolution captures the
+// spatial accuracy required by the application; every partition the
+// library produces is a union of grid cells.
+package geo
+
+import (
+	"fmt"
+)
+
+// Cell identifies one cell of the base grid by zero-based row and
+// column. Row 0 is the southernmost row; column 0 is the westernmost
+// column.
+type Cell struct {
+	Row, Col int
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// CellRect is a half-open rectangle of grid cells:
+// rows in [Row0, Row1) and columns in [Col0, Col1).
+// The zero value is the empty rectangle.
+type CellRect struct {
+	Row0, Col0 int // inclusive
+	Row1, Col1 int // exclusive
+}
+
+// Rows returns the number of rows spanned by the rectangle.
+func (r CellRect) Rows() int {
+	if r.Row1 <= r.Row0 {
+		return 0
+	}
+	return r.Row1 - r.Row0
+}
+
+// Cols returns the number of columns spanned by the rectangle.
+func (r CellRect) Cols() int {
+	if r.Col1 <= r.Col0 {
+		return 0
+	}
+	return r.Col1 - r.Col0
+}
+
+// Area returns the number of cells in the rectangle.
+func (r CellRect) Area() int { return r.Rows() * r.Cols() }
+
+// Empty reports whether the rectangle contains no cells.
+func (r CellRect) Empty() bool { return r.Area() == 0 }
+
+// Contains reports whether cell c lies inside the rectangle.
+func (r CellRect) Contains(c Cell) bool {
+	return c.Row >= r.Row0 && c.Row < r.Row1 && c.Col >= r.Col0 && c.Col < r.Col1
+}
+
+// Intersects reports whether two rectangles share at least one cell.
+func (r CellRect) Intersects(o CellRect) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	return r.Row0 < o.Row1 && o.Row0 < r.Row1 && r.Col0 < o.Col1 && o.Col0 < r.Col1
+}
+
+// SplitRows splits the rectangle horizontally after k rows (counted
+// from Row0), returning the top part [Row0, Row0+k) and the bottom
+// part [Row0+k, Row1). k must be in [0, Rows()].
+func (r CellRect) SplitRows(k int) (left, right CellRect) {
+	mid := r.Row0 + k
+	left = CellRect{r.Row0, r.Col0, mid, r.Col1}
+	right = CellRect{mid, r.Col0, r.Row1, r.Col1}
+	return left, right
+}
+
+// SplitCols splits the rectangle vertically after k columns (counted
+// from Col0), returning the left part [Col0, Col0+k) and the right
+// part [Col0+k, Col1). k must be in [0, Cols()].
+func (r CellRect) SplitCols(k int) (left, right CellRect) {
+	mid := r.Col0 + k
+	left = CellRect{r.Row0, r.Col0, r.Row1, mid}
+	right = CellRect{r.Row0, mid, r.Row1, r.Col1}
+	return left, right
+}
+
+// CenterRow returns the continuous center row coordinate of the
+// rectangle (e.g. a single-row rect centered on row 3 returns 3.5).
+func (r CellRect) CenterRow() float64 { return (float64(r.Row0) + float64(r.Row1)) / 2 }
+
+// CenterCol returns the continuous center column coordinate.
+func (r CellRect) CenterCol() float64 { return (float64(r.Col0) + float64(r.Col1)) / 2 }
+
+// String implements fmt.Stringer.
+func (r CellRect) String() string {
+	return fmt.Sprintf("[%d:%d,%d:%d)", r.Row0, r.Row1, r.Col0, r.Col1)
+}
+
+// Axis selects the dimension a KD split operates on.
+type Axis int
+
+const (
+	// AxisRows splits a rectangle into a top and bottom part
+	// (the paper's "horizontal axis", row-wise).
+	AxisRows Axis = iota
+	// AxisCols splits a rectangle into a left and right part.
+	AxisCols
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	switch a {
+	case AxisRows:
+		return "rows"
+	case AxisCols:
+		return "cols"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// Other returns the perpendicular axis.
+func (a Axis) Other() Axis {
+	if a == AxisRows {
+		return AxisCols
+	}
+	return AxisRows
+}

@@ -1,0 +1,172 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCellRectDims(t *testing.T) {
+	tests := []struct {
+		name       string
+		r          CellRect
+		rows, cols int
+		area       int
+		empty      bool
+	}{
+		{"unit", CellRect{0, 0, 1, 1}, 1, 1, 1, false},
+		{"wide", CellRect{2, 3, 4, 9}, 2, 6, 12, false},
+		{"zero value", CellRect{}, 0, 0, 0, true},
+		{"inverted rows", CellRect{5, 0, 3, 4}, 0, 4, 0, true},
+		{"inverted cols", CellRect{0, 5, 4, 3}, 4, 0, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.r.Rows(); got != tt.rows {
+				t.Errorf("Rows() = %d, want %d", got, tt.rows)
+			}
+			if got := tt.r.Cols(); got != tt.cols {
+				t.Errorf("Cols() = %d, want %d", got, tt.cols)
+			}
+			if got := tt.r.Area(); got != tt.area {
+				t.Errorf("Area() = %d, want %d", got, tt.area)
+			}
+			if got := tt.r.Empty(); got != tt.empty {
+				t.Errorf("Empty() = %v, want %v", got, tt.empty)
+			}
+		})
+	}
+}
+
+func TestCellRectContains(t *testing.T) {
+	r := CellRect{1, 2, 4, 6}
+	in := []Cell{{1, 2}, {3, 5}, {2, 4}}
+	out := []Cell{{0, 2}, {4, 2}, {1, 1}, {1, 6}, {-1, -1}}
+	for _, c := range in {
+		if !r.Contains(c) {
+			t.Errorf("Contains(%v) = false, want true", c)
+		}
+	}
+	for _, c := range out {
+		if r.Contains(c) {
+			t.Errorf("Contains(%v) = true, want false", c)
+		}
+	}
+}
+
+func TestCellRectIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b CellRect
+		want bool
+	}{
+		{"identical", CellRect{0, 0, 2, 2}, CellRect{0, 0, 2, 2}, true},
+		{"overlap corner", CellRect{0, 0, 2, 2}, CellRect{1, 1, 3, 3}, true},
+		{"touching edge", CellRect{0, 0, 2, 2}, CellRect{0, 2, 2, 4}, false},
+		{"disjoint", CellRect{0, 0, 2, 2}, CellRect{5, 5, 7, 7}, false},
+		{"empty vs any", CellRect{}, CellRect{0, 0, 4, 4}, false},
+		{"contained", CellRect{0, 0, 10, 10}, CellRect{3, 3, 4, 4}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Intersects(tt.b); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Intersects(tt.a); got != tt.want {
+				t.Errorf("Intersects (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSplitRows(t *testing.T) {
+	r := CellRect{2, 1, 6, 5}
+	l, rr := r.SplitRows(1)
+	if l != (CellRect{2, 1, 3, 5}) || rr != (CellRect{3, 1, 6, 5}) {
+		t.Fatalf("SplitRows(1) = %v, %v", l, rr)
+	}
+	if l.Area()+rr.Area() != r.Area() {
+		t.Errorf("areas do not add up: %d + %d != %d", l.Area(), rr.Area(), r.Area())
+	}
+	// Degenerate splits: k = 0 gives an empty left part.
+	l, rr = r.SplitRows(0)
+	if !l.Empty() || rr != r {
+		t.Errorf("SplitRows(0) = %v, %v", l, rr)
+	}
+	l, rr = r.SplitRows(r.Rows())
+	if l != r || !rr.Empty() {
+		t.Errorf("SplitRows(full) = %v, %v", l, rr)
+	}
+}
+
+func TestSplitCols(t *testing.T) {
+	r := CellRect{0, 0, 3, 4}
+	l, rr := r.SplitCols(3)
+	if l != (CellRect{0, 0, 3, 3}) || rr != (CellRect{0, 3, 3, 4}) {
+		t.Fatalf("SplitCols(3) = %v, %v", l, rr)
+	}
+	if l.Intersects(rr) {
+		t.Error("split parts intersect")
+	}
+}
+
+func TestSplitPartitionProperty(t *testing.T) {
+	// Property: for any rect and valid k, the two parts are disjoint,
+	// their union covers the rect, and areas add up.
+	f := func(row0, col0 uint8, rows, cols, k uint8) bool {
+		r := CellRect{int(row0), int(col0), int(row0) + int(rows%16) + 1, int(col0) + int(cols%16) + 1}
+		kk := int(k) % (r.Rows() + 1)
+		l, rr := r.SplitRows(kk)
+		if l.Intersects(rr) {
+			return false
+		}
+		if l.Area()+rr.Area() != r.Area() {
+			return false
+		}
+		for row := r.Row0; row < r.Row1; row++ {
+			for col := r.Col0; col < r.Col1; col++ {
+				c := Cell{row, col}
+				if l.Contains(c) == rr.Contains(c) { // exactly one must hold
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	r := CellRect{0, 0, 3, 4}
+	if got := r.CenterRow(); got != 1.5 {
+		t.Errorf("CenterRow = %v, want 1.5", got)
+	}
+	if got := r.CenterCol(); got != 2.0 {
+		t.Errorf("CenterCol = %v, want 2.0", got)
+	}
+}
+
+func TestAxis(t *testing.T) {
+	if AxisRows.Other() != AxisCols || AxisCols.Other() != AxisRows {
+		t.Error("Other is not an involution")
+	}
+	if AxisRows.String() != "rows" || AxisCols.String() != "cols" {
+		t.Errorf("unexpected strings %q %q", AxisRows, AxisCols)
+	}
+	if got := Axis(9).String(); got != "Axis(9)" {
+		t.Errorf("unknown axis string = %q", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := (Cell{1, 2}).String(); got != "(1,2)" {
+		t.Errorf("Cell string = %q", got)
+	}
+	if got := (CellRect{1, 2, 3, 4}).String(); got != "[1:3,2:4)" {
+		t.Errorf("CellRect string = %q", got)
+	}
+	if got := MustGrid(2, 3).String(); got != "grid 2x3" {
+		t.Errorf("Grid string = %q", got)
+	}
+}

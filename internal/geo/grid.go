@@ -1,0 +1,117 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadGrid is returned when a grid has non-positive dimensions.
+var ErrBadGrid = errors.New("geo: grid dimensions must be positive")
+
+// Grid is the U×V base grid overlaid on the map (§2.1 of the paper).
+// U is the number of rows, V the number of columns. The zero value is
+// invalid; use NewGrid.
+type Grid struct {
+	U, V int
+}
+
+// NewGrid returns a U×V grid or ErrBadGrid if either dimension is
+// non-positive.
+func NewGrid(u, v int) (Grid, error) {
+	if u <= 0 || v <= 0 {
+		return Grid{}, fmt.Errorf("%w: %dx%d", ErrBadGrid, u, v)
+	}
+	return Grid{U: u, V: v}, nil
+}
+
+// MustGrid is like NewGrid but panics on invalid dimensions. Intended
+// for tests and package-level defaults.
+func MustGrid(u, v int) Grid {
+	g, err := NewGrid(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumCells returns U*V.
+func (g Grid) NumCells() int { return g.U * g.V }
+
+// Bounds returns the rectangle covering the whole grid.
+func (g Grid) Bounds() CellRect { return CellRect{0, 0, g.U, g.V} }
+
+// Valid reports whether the grid has positive dimensions.
+func (g Grid) Valid() bool { return g.U > 0 && g.V > 0 }
+
+// InBounds reports whether cell c lies on the grid.
+func (g Grid) InBounds(c Cell) bool {
+	return c.Row >= 0 && c.Row < g.U && c.Col >= 0 && c.Col < g.V
+}
+
+// Index returns the row-major linear index of cell c. The caller must
+// ensure c is in bounds.
+func (g Grid) Index(c Cell) int { return c.Row*g.V + c.Col }
+
+// CellAt returns the cell for a row-major linear index. The caller
+// must ensure 0 <= i < NumCells().
+func (g Grid) CellAt(i int) Cell { return Cell{Row: i / g.V, Col: i % g.V} }
+
+// String implements fmt.Stringer.
+func (g Grid) String() string { return fmt.Sprintf("grid %dx%d", g.U, g.V) }
+
+// BBox is a geographic bounding box in degrees. MinLat/MinLon is the
+// southwest corner.
+type BBox struct {
+	MinLat, MinLon float64
+	MaxLat, MaxLon float64
+}
+
+// Valid reports whether the box has positive extent in both axes.
+func (b BBox) Valid() bool { return b.MaxLat > b.MinLat && b.MaxLon > b.MinLon }
+
+// Mapper converts between geographic coordinates and grid cells. Rows
+// follow latitude (row 0 = MinLat edge) and columns follow longitude.
+type Mapper struct {
+	Grid Grid
+	Box  BBox
+}
+
+// NewMapper returns a Mapper or an error if grid or box is invalid.
+func NewMapper(g Grid, b BBox) (Mapper, error) {
+	if !g.Valid() {
+		return Mapper{}, fmt.Errorf("%w: %dx%d", ErrBadGrid, g.U, g.V)
+	}
+	if !b.Valid() {
+		return Mapper{}, fmt.Errorf("geo: invalid bounding box %+v", b)
+	}
+	return Mapper{Grid: g, Box: b}, nil
+}
+
+// CellOf returns the grid cell enclosing the coordinate, clamping
+// points on or outside the box edge to the nearest border cell.
+func (m Mapper) CellOf(lat, lon float64) Cell {
+	row := int(float64(m.Grid.U) * (lat - m.Box.MinLat) / (m.Box.MaxLat - m.Box.MinLat))
+	col := int(float64(m.Grid.V) * (lon - m.Box.MinLon) / (m.Box.MaxLon - m.Box.MinLon))
+	row = clamp(row, 0, m.Grid.U-1)
+	col = clamp(col, 0, m.Grid.V-1)
+	return Cell{Row: row, Col: col}
+}
+
+// CenterOf returns the geographic center of a grid cell.
+func (m Mapper) CenterOf(c Cell) (lat, lon float64) {
+	latStep := (m.Box.MaxLat - m.Box.MinLat) / float64(m.Grid.U)
+	lonStep := (m.Box.MaxLon - m.Box.MinLon) / float64(m.Grid.V)
+	lat = m.Box.MinLat + (float64(c.Row)+0.5)*latStep
+	lon = m.Box.MinLon + (float64(c.Col)+0.5)*lonStep
+	return lat, lon
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

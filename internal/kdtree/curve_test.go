@@ -1,0 +1,199 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairindex/internal/geo"
+)
+
+func TestHilbertOrderPermutation(t *testing.T) {
+	// The order must visit every cell exactly once, for square and
+	// non-square, power-of-two and odd-sized grids.
+	for _, dims := range [][2]int{{4, 4}, {8, 8}, {5, 7}, {1, 9}, {16, 3}} {
+		grid := geo.MustGrid(dims[0], dims[1])
+		order, err := HilbertOrder(grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != grid.NumCells() {
+			t.Fatalf("%v: order has %d cells, want %d", grid, len(order), grid.NumCells())
+		}
+		seen := make(map[geo.Cell]bool, len(order))
+		for _, c := range order {
+			if !grid.InBounds(c) {
+				t.Fatalf("%v: out-of-bounds cell %v", grid, c)
+			}
+			if seen[c] {
+				t.Fatalf("%v: cell %v visited twice", grid, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestHilbertOrderLocality(t *testing.T) {
+	// On a full power-of-two square the curve moves one cell at a time:
+	// consecutive cells are grid neighbors.
+	grid := geo.MustGrid(8, 8)
+	order, err := HilbertOrder(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		dr := order[i].Row - order[i-1].Row
+		dc := order[i].Col - order[i-1].Col
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr+dc != 1 {
+			t.Fatalf("curve jumps from %v to %v", order[i-1], order[i])
+		}
+	}
+}
+
+func TestHilbertOrderBadGrid(t *testing.T) {
+	if _, err := HilbertOrder(geo.Grid{}); err == nil {
+		t.Error("expected bad grid error")
+	}
+}
+
+func TestBuildFairCurveBasics(t *testing.T) {
+	grid := geo.MustGrid(16, 16)
+	cells, dev := clusteredFixture(grid, 400, 50)
+	p, err := BuildFairCurve(grid, cells, dev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 16 {
+		t.Errorf("regions = %d, want 16", p.NumRegions())
+	}
+	// partition.New already validated coverage and non-emptiness.
+	groups, err := p.AssignCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != len(cells) {
+		t.Fatal("assignment incomplete")
+	}
+}
+
+func TestBuildFairCurveValidation(t *testing.T) {
+	grid := geo.MustGrid(8, 8)
+	if _, err := BuildFairCurve(geo.Grid{}, nil, nil, 2); err == nil {
+		t.Error("expected bad grid error")
+	}
+	if _, err := BuildFairCurve(grid, nil, nil, -1); err == nil {
+		t.Error("expected height error")
+	}
+	if _, err := BuildFairCurve(grid, []geo.Cell{{Row: 0, Col: 0}}, nil, 2); err == nil {
+		t.Error("expected deviations length error")
+	}
+}
+
+func TestBuildFairCurveHeightZero(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	p, err := BuildFairCurve(grid, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 1 {
+		t.Errorf("regions = %d, want 1", p.NumRegions())
+	}
+}
+
+func TestBuildFairCurveDegenerateDepth(t *testing.T) {
+	// Height beyond the cell count: every cell becomes its own region.
+	grid := geo.MustGrid(2, 2)
+	p, err := BuildFairCurve(grid, nil, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 4 {
+		t.Errorf("regions = %d, want 4", p.NumRegions())
+	}
+}
+
+func TestFairCurveBeatsMedianOnDeviation(t *testing.T) {
+	// Like the KD variant, the curve partitioner should hold per-region
+	// deviation mass well below the median KD-tree at equal region
+	// counts.
+	grid := geo.MustGrid(32, 32)
+	cells, dev := clusteredFixture(grid, 1200, 51)
+	curveP, err := BuildFairCurve(grid, cells, dev, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	median, err := BuildMedian(grid, cells, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medianP, err := median.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := func(p interface {
+		AssignCells([]geo.Cell) ([]int, error)
+		NumRegions() int
+	}) float64 {
+		groups, err := p.AssignCells(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := make([]float64, p.NumRegions())
+		for i, g := range groups {
+			sums[g] += dev[i]
+		}
+		var total float64
+		for _, s := range sums {
+			if s < 0 {
+				s = -s
+			}
+			total += s
+		}
+		return total
+	}
+	if cm, mm := mass(curveP), mass(medianP); cm >= mm {
+		t.Errorf("fair curve deviation mass %v >= median KD %v", cm, mm)
+	}
+}
+
+func TestFairCurveDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := geo.MustGrid(rng.Intn(12)+2, rng.Intn(12)+2)
+		n := rng.Intn(60) + 1
+		cells := make([]geo.Cell, n)
+		dev := make([]float64, n)
+		for i := range cells {
+			cells[i] = geo.Cell{Row: rng.Intn(grid.U), Col: rng.Intn(grid.V)}
+			dev[i] = rng.NormFloat64()
+		}
+		a, err := BuildFairCurve(grid, cells, dev, 3)
+		if err != nil {
+			return false
+		}
+		b, err := BuildFairCurve(grid, cells, dev, 3)
+		if err != nil {
+			return false
+		}
+		if a.NumRegions() != b.NumRegions() {
+			return false
+		}
+		for i := 0; i < grid.NumCells(); i++ {
+			ra, _ := a.RegionOfCell(grid.CellAt(i))
+			rb, _ := b.RegionOfCell(grid.CellAt(i))
+			if ra != rb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package kdtree
+
+import (
+	"errors"
+	"testing"
+
+	"fairindex/internal/geo"
+	"fairindex/internal/partition"
+)
+
+func TestBuildIterativeCallsRetrainPerLevel(t *testing.T) {
+	grid := geo.MustGrid(16, 16)
+	cells, dev := clusteredFixture(grid, 300, 20)
+	calls := 0
+	var seenRegions []int
+	retrain := func(p *partition.Partition) ([]float64, error) {
+		calls++
+		seenRegions = append(seenRegions, p.NumRegions())
+		return dev, nil
+	}
+	tree, err := BuildIterative(grid, cells, Config{Height: 4}, retrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Errorf("retrain called %d times, want 4 (once per level)", calls)
+	}
+	// Level partitions double: 1, 2, 4, 8 regions.
+	want := []int{1, 2, 4, 8}
+	for i, w := range want {
+		if seenRegions[i] != w {
+			t.Errorf("level %d saw %d regions, want %d", i, seenRegions[i], w)
+		}
+	}
+	if got := tree.NumLeaves(); got != 16 {
+		t.Errorf("leaves = %d, want 16", got)
+	}
+	if _, err := tree.Partition(); err != nil {
+		t.Errorf("iterative leaves do not tile: %v", err)
+	}
+}
+
+func TestBuildIterativeMatchesFairWhenScoresFixed(t *testing.T) {
+	// With a retrain that always returns the same deviations, the
+	// iterative tree must equal the plain fair tree: Algorithm 3
+	// degenerates to Algorithm 1.
+	grid := geo.MustGrid(16, 16)
+	cells, dev := clusteredFixture(grid, 400, 21)
+	fixed := func(*partition.Partition) ([]float64, error) { return dev, nil }
+	iter, err := BuildIterative(grid, cells, Config{Height: 5}, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := BuildFair(grid, cells, dev, Config{Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, rf := iter.LeafRects(), fair.LeafRects()
+	if len(ri) != len(rf) {
+		t.Fatalf("leaf counts differ: %d vs %d", len(ri), len(rf))
+	}
+	for i := range ri {
+		if ri[i] != rf[i] {
+			t.Fatalf("leaf %d differs: %v vs %v", i, ri[i], rf[i])
+		}
+	}
+}
+
+func TestBuildIterativeErrors(t *testing.T) {
+	grid := geo.MustGrid(8, 8)
+	cells, dev := clusteredFixture(grid, 50, 22)
+	if _, err := BuildIterative(grid, cells, Config{Height: 2}, nil); err == nil {
+		t.Error("expected nil retrain error")
+	}
+	boom := errors.New("boom")
+	_, err := BuildIterative(grid, cells, Config{Height: 2},
+		func(*partition.Partition) ([]float64, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("retrain error not propagated: %v", err)
+	}
+	_, err = BuildIterative(grid, cells, Config{Height: 2},
+		func(*partition.Partition) ([]float64, error) { return dev[:1], nil })
+	if err == nil {
+		t.Error("expected deviation length error")
+	}
+	if _, err := BuildIterative(grid, cells, Config{Height: -1},
+		func(*partition.Partition) ([]float64, error) { return dev, nil }); err == nil {
+		t.Error("expected height error")
+	}
+}
+
+func TestBuildIterativeHeightZero(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	called := false
+	tree, err := BuildIterative(grid, nil, Config{Height: 0},
+		func(*partition.Partition) ([]float64, error) { called = true; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("retrain called for height 0")
+	}
+	if tree.NumLeaves() != 1 {
+		t.Errorf("leaves = %d, want 1", tree.NumLeaves())
+	}
+}
+
+func TestBuildIterativeDegenerateGrid(t *testing.T) {
+	// Grid exhausted before the height budget: levels shrink and the
+	// build terminates cleanly.
+	grid := geo.MustGrid(2, 2)
+	cells := []geo.Cell{{Row: 0, Col: 0}, {Row: 1, Col: 1}}
+	dev := []float64{0.5, -0.5}
+	tree, err := BuildIterative(grid, cells, Config{Height: 6},
+		func(*partition.Partition) ([]float64, error) { return dev, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.NumLeaves(); got != 4 {
+		t.Errorf("leaves = %d, want 4", got)
+	}
+}

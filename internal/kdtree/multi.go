@@ -1,0 +1,68 @@
+package kdtree
+
+import (
+	"fmt"
+	"math"
+
+	"fairindex/internal/geo"
+)
+
+// MultiObjectiveDeviations aggregates per-task deviations into the
+// combined vector v_tot of Eq. 12: for record j,
+//
+//	v_tot[j] = Σ_i α_i · (s_i[j] − y_i[j])
+//
+// scoreSets[i] and labelSets[i] are task i's confidence scores and
+// labels over the same record order. The α_i must be in [0,1] and sum
+// to 1 (§4.3's task prioritization hyper-parameters).
+func MultiObjectiveDeviations(scoreSets [][]float64, labelSets [][]int, alphas []float64) ([]float64, error) {
+	m := len(scoreSets)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: no tasks", ErrBadInput)
+	}
+	if len(labelSets) != m || len(alphas) != m {
+		return nil, fmt.Errorf("%w: %d score sets, %d label sets, %d alphas",
+			ErrBadInput, m, len(labelSets), len(alphas))
+	}
+	n := len(scoreSets[0])
+	var alphaSum float64
+	for i, a := range alphas {
+		if a < 0 || a > 1 {
+			return nil, fmt.Errorf("%w: alpha[%d] = %v outside [0,1]", ErrBadInput, i, a)
+		}
+		alphaSum += a
+		if len(scoreSets[i]) != n || len(labelSets[i]) != n {
+			return nil, fmt.Errorf("%w: task %d has %d scores and %d labels, want %d",
+				ErrBadInput, i, len(scoreSets[i]), len(labelSets[i]), n)
+		}
+	}
+	if math.Abs(alphaSum-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: alphas sum to %v, want 1", ErrBadInput, alphaSum)
+	}
+	out := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			y := 0.0
+			if labelSets[i][j] != 0 {
+				y = 1
+			}
+			out[j] += alphas[i] * (scoreSets[i][j] - y)
+		}
+	}
+	return out, nil
+}
+
+// BuildMultiObjective constructs the Multi-Objective Fair KD-tree
+// (§4.3): a Fair KD-tree over the α-weighted combination of each
+// task's deviations, yielding a single partitioning that represents
+// all classification objectives.
+func BuildMultiObjective(grid geo.Grid, cells []geo.Cell, scoreSets [][]float64, labelSets [][]int, alphas []float64, cfg Config) (*Tree, error) {
+	vtot, err := MultiObjectiveDeviations(scoreSets, labelSets, alphas)
+	if err != nil {
+		return nil, err
+	}
+	if len(vtot) != len(cells) {
+		return nil, fmt.Errorf("%w: %d deviations for %d records", ErrBadInput, len(vtot), len(cells))
+	}
+	return BuildFair(grid, cells, vtot, cfg)
+}

@@ -1,0 +1,146 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+
+	"fairindex/internal/geo"
+)
+
+func TestMultiObjectiveDeviations(t *testing.T) {
+	scores := [][]float64{{0.8, 0.2}, {0.4, 0.9}}
+	labels := [][]int{{1, 0}, {0, 1}}
+	alphas := []float64{0.5, 0.5}
+	got, err := MultiObjectiveDeviations(scores, labels, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0: 0.5·(0.8−1) + 0.5·(0.4−0) = 0.1
+	// Record 1: 0.5·(0.2−0) + 0.5·(0.9−1) = 0.05
+	want := []float64{0.1, 0.05}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("v_tot[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMultiObjectiveSingleTaskEqualsFair(t *testing.T) {
+	// With one task and α = 1, BuildMultiObjective must equal BuildFair
+	// on the same deviations.
+	grid := geo.MustGrid(16, 16)
+	cells, dev := clusteredFixture(grid, 300, 30)
+	scores := make([]float64, len(dev))
+	labels := make([]int, len(dev))
+	for i, d := range dev {
+		// Realize deviation d with label 0 and score clamped to [0,1]:
+		// only the difference matters for the builder.
+		scores[i] = clampF(d, -1, 1)
+		if scores[i] < 0 {
+			labels[i] = 1
+			scores[i] = 1 + scores[i]
+		}
+	}
+	realized := make([]float64, len(dev))
+	for i := range realized {
+		realized[i] = scores[i] - float64(labels[i])
+	}
+	multi, err := BuildMultiObjective(grid, cells, [][]float64{scores}, [][]int{labels}, []float64{1}, Config{Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := BuildFair(grid, cells, realized, Config{Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, rf := multi.LeafRects(), fair.LeafRects()
+	if len(rm) != len(rf) {
+		t.Fatalf("leaf counts differ")
+	}
+	for i := range rm {
+		if rm[i] != rf[i] {
+			t.Fatalf("leaf %d differs: %v vs %v", i, rm[i], rf[i])
+		}
+	}
+}
+
+func TestMultiObjectiveValidation(t *testing.T) {
+	s := [][]float64{{0.5}}
+	y := [][]int{{1}}
+	tests := []struct {
+		name   string
+		scores [][]float64
+		labels [][]int
+		alphas []float64
+	}{
+		{"no tasks", nil, nil, nil},
+		{"label set count", s, nil, []float64{1}},
+		{"alpha count", s, y, []float64{0.5, 0.5}},
+		{"alpha range", s, y, []float64{1.5}},
+		{"negative alpha", [][]float64{{0.5}, {0.5}}, [][]int{{1}, {1}}, []float64{1.5, -0.5}},
+		{"alpha sum", s, y, []float64{0.7}},
+		{"ragged scores", [][]float64{{0.5}, {0.5, 0.6}}, [][]int{{1}, {1, 0}}, []float64{0.5, 0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := MultiObjectiveDeviations(tt.scores, tt.labels, tt.alphas); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestBuildMultiObjectiveRecordCountMismatch(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	cells := []geo.Cell{{Row: 0, Col: 0}}
+	_, err := BuildMultiObjective(grid, cells,
+		[][]float64{{0.5, 0.6}}, [][]int{{1, 0}}, []float64{1}, Config{Height: 1})
+	if err == nil {
+		t.Error("expected record count mismatch error")
+	}
+}
+
+func TestMultiObjectiveBalancesBothTasks(t *testing.T) {
+	// Two tasks with different spatial deviation fields: the
+	// α=0.5 tree should keep the combined deviation mass per leaf low
+	// for both tasks relative to the median tree.
+	grid := geo.MustGrid(32, 32)
+	cells, devA := clusteredFixture(grid, 900, 31)
+	_, devB := clusteredFixture(grid, 900, 77) // different field, same cells
+	scoresA, labelsA := realize(devA)
+	scoresB, labelsB := realize(devB)
+	multi, err := BuildMultiObjective(grid, cells,
+		[][]float64{scoresA, scoresB}, [][]int{labelsA, labelsB},
+		[]float64{0.5, 0.5}, Config{Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	median, err := BuildMedian(grid, cells, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, dev := range [][]float64{devA, devB} {
+		m := leafDeviationENCE(t, multi, cells, dev)
+		md := leafDeviationENCE(t, median, cells, dev)
+		if m >= md {
+			t.Errorf("task %d: multi-objective deviation ENCE %v >= median %v", task, m, md)
+		}
+	}
+}
+
+// realize converts raw deviations into (score, label) pairs with
+// score−label equal to the deviation (clamped into valid ranges).
+func realize(dev []float64) ([]float64, []int) {
+	scores := make([]float64, len(dev))
+	labels := make([]int, len(dev))
+	for i, d := range dev {
+		d = clampF(d, -1, 1)
+		if d < 0 {
+			labels[i] = 1
+			scores[i] = 1 + d
+		} else {
+			scores[i] = d
+		}
+	}
+	return scores, labels
+}

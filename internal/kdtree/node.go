@@ -1,0 +1,157 @@
+// Package kdtree implements the paper's primary contribution: KD-tree
+// style spatial indexes over the base grid whose split criterion is
+// fairness-aware (§4). It provides the Median KD-tree baseline, the
+// Fair KD-tree (Algorithms 1–2), the Iterative Fair KD-tree
+// (Algorithm 3), the Multi-Objective Fair KD-tree (§4.3), and — as the
+// paper's future-work extension — a fair quadtree and a composite
+// geometry+fairness split metric.
+package kdtree
+
+import (
+	"errors"
+	"fmt"
+
+	"fairindex/internal/geo"
+	"fairindex/internal/partition"
+)
+
+// Construction errors.
+var (
+	ErrBadHeight = errors.New("kdtree: height must be >= 0")
+	ErrBadInput  = errors.New("kdtree: invalid input")
+)
+
+// Node is one node of a KD partitioning tree. Leaves have Left ==
+// Right == nil; internal nodes split Rect along Axis after SplitK
+// cells.
+type Node struct {
+	Rect   geo.CellRect
+	Depth  int
+	Axis   geo.Axis // meaningful for internal nodes
+	SplitK int      // split offset along Axis, in cells from the rect start
+	Left   *Node
+	Right  *Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Tree is a complete non-overlapping partitioning of the grid into
+// rectangular leaves produced by one of the builders.
+type Tree struct {
+	Grid   geo.Grid
+	Root   *Node
+	Height int // requested height
+}
+
+// Leaves returns the leaf nodes in deterministic (depth-first,
+// left-then-right) order. The order defines region ids.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	return out
+}
+
+// LeafRects returns the rectangles of the leaves, in leaf order.
+func (t *Tree) LeafRects() []geo.CellRect {
+	leaves := t.Leaves()
+	out := make([]geo.CellRect, len(leaves))
+	for i, n := range leaves {
+		out[i] = n.Rect
+	}
+	return out
+}
+
+// NumLeaves returns the number of leaf regions.
+func (t *Tree) NumLeaves() int { return len(t.Leaves()) }
+
+// MaxDepth returns the deepest leaf's depth (root = 0).
+func (t *Tree) MaxDepth() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n == nil || n.IsLeaf() {
+			if n == nil {
+				return 0
+			}
+			return n.Depth
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(t.Root)
+}
+
+// Partition converts the leaf set into a validated neighborhood
+// partition (the index's output in Algorithm 1, Step 3).
+func (t *Tree) Partition() (*partition.Partition, error) {
+	p, err := partition.FromRects(t.Grid, t.LeafRects())
+	if err != nil {
+		return nil, fmt.Errorf("kdtree: leaves do not tile the grid: %w", err)
+	}
+	return p, nil
+}
+
+// validateBuild checks the shared builder preconditions.
+func validateBuild(grid geo.Grid, cells []geo.Cell, height int) error {
+	if !grid.Valid() {
+		return fmt.Errorf("%w: %v", ErrBadInput, geo.ErrBadGrid)
+	}
+	if height < 0 {
+		return fmt.Errorf("%w: %d", ErrBadHeight, height)
+	}
+	for i, c := range cells {
+		if !grid.InBounds(c) {
+			return fmt.Errorf("%w: record %d cell %v outside %v", ErrBadInput, i, c, grid)
+		}
+	}
+	return nil
+}
+
+// splitAxis returns the axis used at the given depth: rows at even
+// depths, columns at odd ones, falling back to the perpendicular
+// axis when the rect is a single cell wide along the preferred axis.
+// The second return is false when the rect cannot be split at all.
+func splitAxis(rect geo.CellRect, depth int) (geo.Axis, bool) {
+	pref := geo.AxisRows
+	if depth%2 == 1 {
+		pref = geo.AxisCols
+	}
+	if axisLen(rect, pref) > 1 {
+		return pref, true
+	}
+	if axisLen(rect, pref.Other()) > 1 {
+		return pref.Other(), true
+	}
+	return pref, false
+}
+
+// axisLen returns the rect's extent along an axis.
+func axisLen(rect geo.CellRect, a geo.Axis) int {
+	if a == geo.AxisRows {
+		return rect.Rows()
+	}
+	return rect.Cols()
+}
+
+// splitRect splits a rect after k cells along the axis.
+func splitRect(rect geo.CellRect, a geo.Axis, k int) (geo.CellRect, geo.CellRect) {
+	if a == geo.AxisRows {
+		return rect.SplitRows(k)
+	}
+	return rect.SplitCols(k)
+}

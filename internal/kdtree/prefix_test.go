@@ -1,0 +1,116 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairindex/internal/geo"
+)
+
+func TestCellSumsValidation(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	if _, err := NewCellSums(geo.Grid{}, nil, nil); err == nil {
+		t.Error("expected bad grid error")
+	}
+	if _, err := NewCellSums(grid, []geo.Cell{{Row: 0, Col: 0}}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := NewCellSums(grid, []geo.Cell{{Row: 9, Col: 0}}, nil); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+}
+
+func TestCellSumsSmall(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	cells := []geo.Cell{{Row: 0, Col: 0}, {Row: 0, Col: 0}, {Row: 1, Col: 1}}
+	values := []float64{0.5, -0.2, 0.7}
+	s, err := NewCellSums(grid, cells, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := grid.Bounds()
+	if got := s.CountRect(full); got != 3 {
+		t.Errorf("full count = %v, want 3", got)
+	}
+	if got := s.ValueRect(full); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("full value = %v, want 1.0", got)
+	}
+	topLeft := geo.CellRect{Row0: 0, Col0: 0, Row1: 1, Col1: 1}
+	if got := s.CountRect(topLeft); got != 2 {
+		t.Errorf("top-left count = %v, want 2", got)
+	}
+	if got := s.ValueRect(topLeft); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("top-left value = %v, want 0.3", got)
+	}
+	if got := s.CountRect(geo.CellRect{}); got != 0 {
+		t.Errorf("empty rect count = %v", got)
+	}
+	if s.Grid() != grid {
+		t.Error("Grid() mismatch")
+	}
+}
+
+func TestCellSumsNilValues(t *testing.T) {
+	grid := geo.MustGrid(3, 3)
+	cells := []geo.Cell{{Row: 1, Col: 1}, {Row: 2, Col: 0}}
+	s, err := NewCellSums(grid, cells, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CountRect(grid.Bounds()); got != 2 {
+		t.Errorf("count = %v", got)
+	}
+	if got := s.ValueRect(grid.Bounds()); got != 0 {
+		t.Errorf("value = %v, want 0 for nil values", got)
+	}
+}
+
+func TestCellSumsMatchNaiveProperty(t *testing.T) {
+	// Property: prefix-sum rect queries equal brute-force sums for
+	// random populations and random query rects.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := geo.MustGrid(rng.Intn(12)+1, rng.Intn(12)+1)
+		n := rng.Intn(60)
+		cells := make([]geo.Cell, n)
+		values := make([]float64, n)
+		for i := range cells {
+			cells[i] = geo.Cell{Row: rng.Intn(grid.U), Col: rng.Intn(grid.V)}
+			values[i] = rng.NormFloat64()
+		}
+		s, err := NewCellSums(grid, cells, values)
+		if err != nil {
+			return false
+		}
+		for q := 0; q < 10; q++ {
+			r0, r1 := rng.Intn(grid.U+1), rng.Intn(grid.U+1)
+			c0, c1 := rng.Intn(grid.V+1), rng.Intn(grid.V+1)
+			if r0 > r1 {
+				r0, r1 = r1, r0
+			}
+			if c0 > c1 {
+				c0, c1 = c1, c0
+			}
+			rect := geo.CellRect{Row0: r0, Col0: c0, Row1: r1, Col1: c1}
+			var wantCount, wantVal float64
+			for i, c := range cells {
+				if rect.Contains(c) {
+					wantCount++
+					wantVal += values[i]
+				}
+			}
+			if math.Abs(s.CountRect(rect)-wantCount) > 1e-9 {
+				return false
+			}
+			if math.Abs(s.ValueRect(rect)-wantVal) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairindex/internal/geo"
+)
+
+// TestFullLeafCountProperty: leaves never exceed 2^h, the leaves
+// always tile the grid, and heights ≤ 2 on an ample grid reach
+// exactly 2^h leaves (deeper trees can legitimately fall short when
+// data-driven cuts shave single-cell slabs that exhaust before the
+// height budget).
+func TestFullLeafCountProperty(t *testing.T) {
+	f := func(seed int64, hRaw uint8) bool {
+		h := int(hRaw % 5) // 0..4
+		rng := rand.New(rand.NewSource(seed))
+		grid := geo.MustGrid(16, 16)
+		n := rng.Intn(100) + 1
+		cells := make([]geo.Cell, n)
+		dev := make([]float64, n)
+		for i := range cells {
+			cells[i] = geo.Cell{Row: rng.Intn(grid.U), Col: rng.Intn(grid.V)}
+			dev[i] = rng.NormFloat64()
+		}
+		median, err := BuildMedian(grid, cells, h)
+		if err != nil {
+			return false
+		}
+		fair, err := BuildFair(grid, cells, dev, Config{Height: h})
+		if err != nil {
+			return false
+		}
+		for _, tree := range []*Tree{median, fair} {
+			leaves := tree.NumLeaves()
+			if leaves > 1<<h || leaves < 1 {
+				return false
+			}
+			if h <= 2 && leaves != 1<<h {
+				return false
+			}
+			if _, err := tree.Partition(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeafDepthsBoundedProperty: no leaf exceeds the height budget
+// and internal nodes alternate axes correctly when geometry allows.
+func TestLeafDepthsBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := geo.MustGrid(rng.Intn(20)+1, rng.Intn(20)+1)
+		h := rng.Intn(8)
+		n := rng.Intn(60)
+		cells := make([]geo.Cell, n)
+		dev := make([]float64, n)
+		for i := range cells {
+			cells[i] = geo.Cell{Row: rng.Intn(grid.U), Col: rng.Intn(grid.V)}
+			dev[i] = rng.NormFloat64()
+		}
+		tree, err := BuildFair(grid, cells, dev, Config{Height: h})
+		if err != nil {
+			return false
+		}
+		for _, leaf := range tree.Leaves() {
+			if leaf.Depth > h || leaf.Rect.Empty() {
+				return false
+			}
+		}
+		// Internal-node invariant: children partition the parent.
+		var ok = true
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if n == nil || n.IsLeaf() {
+				return
+			}
+			if n.Left.Rect.Intersects(n.Right.Rect) {
+				ok = false
+			}
+			if n.Left.Rect.Area()+n.Right.Rect.Area() != n.Rect.Area() {
+				ok = false
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(tree.Root)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMedianBalanceProperty: every median split leaves at most
+// one cell-row/column worth of count imbalance achievable by any
+// alternative offset (i.e. it achieves the minimum imbalance).
+func TestMedianBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := geo.MustGrid(rng.Intn(14)+2, rng.Intn(14)+2)
+		n := rng.Intn(120) + 1
+		cells := make([]geo.Cell, n)
+		for i := range cells {
+			cells[i] = geo.Cell{Row: rng.Intn(grid.U), Col: rng.Intn(grid.V)}
+		}
+		sums, err := NewCellSums(grid, cells, nil)
+		if err != nil {
+			return false
+		}
+		rect := grid.Bounds()
+		axis, ok := splitAxis(rect, 0)
+		if !ok {
+			return true
+		}
+		k := bestSplit(rect, axis, func(_ int, l, r geo.CellRect) float64 {
+			d := sums.CountRect(l) - sums.CountRect(r)
+			if d < 0 {
+				d = -d
+			}
+			return d
+		})
+		if k < 0 {
+			return false
+		}
+		left, right := splitRect(rect, axis, k)
+		got := sums.CountRect(left) - sums.CountRect(right)
+		if got < 0 {
+			got = -got
+		}
+		for kk := 1; kk < axisLen(rect, axis); kk++ {
+			l, r := splitRect(rect, axis, kk)
+			d := sums.CountRect(l) - sums.CountRect(r)
+			if d < 0 {
+				d = -d
+			}
+			if d < got-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionAssignmentTotalProperty: every record lands in exactly
+// one region for all builders, including the quadtree.
+func TestPartitionAssignmentTotalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := geo.MustGrid(rng.Intn(12)+2, rng.Intn(12)+2)
+		n := rng.Intn(80) + 1
+		cells := make([]geo.Cell, n)
+		dev := make([]float64, n)
+		for i := range cells {
+			cells[i] = geo.Cell{Row: rng.Intn(grid.U), Col: rng.Intn(grid.V)}
+			dev[i] = rng.NormFloat64()
+		}
+		qt, err := BuildFairQuadtree(grid, cells, dev, rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		p, err := qt.Partition()
+		if err != nil {
+			return false
+		}
+		groups, err := p.AssignCells(cells)
+		if err != nil {
+			return false
+		}
+		for _, g := range groups {
+			if g < 0 || g >= p.NumRegions() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package ml
+
+import "fmt"
+
+// ModelKind enumerates the classifier families evaluated in §5.3.1.
+type ModelKind int
+
+const (
+	ModelLogReg ModelKind = iota
+	ModelDecisionTree
+	ModelNaiveBayes
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelLogReg:
+		return "Logistic Regression"
+	case ModelDecisionTree:
+		return "Decision Tree"
+	case ModelNaiveBayes:
+		return "Naive Bayes"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// New returns a fresh classifier of the given kind with default
+// hyperparameters, or an error for an unknown kind. Naive Bayes is
+// wrapped with Platt scaling: its raw posteriors are overconfident
+// under the correlated socio-economic features (see internal/ml
+// Platt docs), and calibrated confidence scores are the paper's
+// operating assumption (§2.2).
+func New(kind ModelKind) (Classifier, error) {
+	switch kind {
+	case ModelLogReg:
+		return NewLogReg(), nil
+	case ModelDecisionTree:
+		return NewDecisionTree(), nil
+	case ModelNaiveBayes:
+		return NewCalibrated(NewGaussianNB()), nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %d", int(kind))
+	}
+}
+
+// AllModelKinds lists every supported kind in the order the paper's
+// Figure 7 sweeps them.
+var AllModelKinds = []ModelKind{ModelLogReg, ModelDecisionTree, ModelNaiveBayes}

@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsotonicValidation(t *testing.T) {
+	iso := NewIsotonic()
+	if err := iso.Fit(nil, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if err := iso.Fit([]float64{0.5}, []int{1, 0}, nil); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v", err)
+	}
+	if err := iso.Fit([]float64{0.5}, []int{1}, []float64{1, 2}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v", err)
+	}
+	if err := iso.Fit([]float64{0.5}, []int{1}, []float64{-1}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v", err)
+	}
+	if err := iso.Fit([]float64{0.5, 0.6}, []int{1, 0}, []float64{0, 0}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := iso.Apply([]float64{0.5}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIsotonicPerfectSeparation(t *testing.T) {
+	iso := NewIsotonic()
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{0, 0, 1, 1}
+	if err := iso.Fit(scores, labels, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := iso.Apply(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 0 || out[2] != 1 || out[3] != 1 {
+		t.Errorf("calibrated = %v, want [0 0 1 1]", out)
+	}
+}
+
+func TestIsotonicPoolsViolators(t *testing.T) {
+	// A label inversion (higher score, lower label) must be pooled
+	// into one average block.
+	iso := NewIsotonic()
+	scores := []float64{0.3, 0.4}
+	labels := []int{1, 0}
+	if err := iso.Fit(scores, labels, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := iso.Apply([]float64{0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.5) > 1e-12 || math.Abs(out[1]-0.5) > 1e-12 {
+		t.Errorf("pooled block = %v, want [0.5 0.5]", out)
+	}
+}
+
+func TestIsotonicWeighted(t *testing.T) {
+	// Weight 3 on the positive pulls the pooled mean to 0.75.
+	iso := NewIsotonic()
+	if err := iso.Fit([]float64{0.3, 0.4}, []int{1, 0}, []float64{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := iso.Apply([]float64{0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.75) > 1e-12 {
+		t.Errorf("weighted pooled mean = %v, want 0.75", out[0])
+	}
+}
+
+func TestIsotonicClampOutsideRange(t *testing.T) {
+	iso := NewIsotonic()
+	if err := iso.Fit([]float64{0.4, 0.6}, []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := iso.Apply([]float64{0.0, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 1 {
+		t.Errorf("clamped = %v, want [0 1]", out)
+	}
+}
+
+func TestIsotonicMonotoneProperty(t *testing.T) {
+	// Property: the fitted function is monotone non-decreasing on any
+	// input, for any training data.
+	f := func(seed int64) bool {
+		scores, labels := overconfidentScores(60, seed)
+		iso := NewIsotonic()
+		if err := iso.Fit(scores, labels, nil); err != nil {
+			return false
+		}
+		probe := append([]float64(nil), scores...)
+		sort.Float64s(probe)
+		out, err := iso.Apply(probe)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1]-1e-12 {
+				return false
+			}
+		}
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsotonicReducesMiscalibration(t *testing.T) {
+	scores, labels := overconfidentScores(2000, 99)
+	iso := NewIsotonic()
+	if err := iso.Fit(scores, labels, nil); err != nil {
+		t.Fatal(err)
+	}
+	calibrated, err := iso.Apply(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := binnedECE(scores, labels, 10)
+	after := binnedECE(calibrated, labels, 10)
+	if after >= before*0.7 {
+		t.Errorf("isotonic did not help: ECE %v -> %v", before, after)
+	}
+}
+
+func TestIsotonicZeroWeightPointsIgnored(t *testing.T) {
+	iso := NewIsotonic()
+	// The zero-weight inverted point must not affect the fit.
+	if err := iso.Fit([]float64{0.2, 0.5, 0.8}, []int{0, 1, 1}, []float64{1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := iso.Apply([]float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 1 {
+		t.Errorf("calibrated = %v, want [0 1]", out)
+	}
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogReg is an L2-regularized logistic regression trained by
+// full-batch gradient descent on internally standardized features.
+// The zero value is not usable; construct with NewLogReg.
+//
+// Logistic regression is the paper's primary classifier (§5.3.2):
+// trained to convergence it is nearly calibrated on its training
+// distribution overall, which is exactly the regime in which
+// per-neighborhood miscalibration (Figure 6) is interesting.
+type LogReg struct {
+	// Hyperparameters; changing them after Fit has no effect until the
+	// next Fit.
+	LearningRate float64
+	Epochs       int
+	L2           float64
+
+	std     *Standardizer
+	weights []float64
+	bias    float64
+	fitted  bool
+}
+
+// NewLogReg returns a logistic regression with defaults tuned for the
+// paper-scale datasets (~10³ records, ≤ ~10³ columns).
+func NewLogReg() *LogReg {
+	return &LogReg{LearningRate: 0.5, Epochs: 300, L2: 1e-4}
+}
+
+// Name implements Classifier.
+func (m *LogReg) Name() string { return "logreg" }
+
+// Fit implements Classifier.
+func (m *LogReg) Fit(X [][]float64, y []int, w []float64) error {
+	w, err := validateFit(X, y, w)
+	if err != nil {
+		return err
+	}
+	if m.Epochs <= 0 || m.LearningRate <= 0 {
+		return fmt.Errorf("ml: logreg needs positive epochs and learning rate, got %d and %v", m.Epochs, m.LearningRate)
+	}
+	m.std, err = FitStandardizer(X, w)
+	if err != nil {
+		return err
+	}
+	Z := m.std.Transform(X)
+	n, cols := len(Z), len(Z[0])
+
+	var totalW float64
+	for _, wi := range w {
+		totalW += wi
+	}
+
+	m.weights = make([]float64, cols)
+	m.bias = 0
+	grad := make([]float64, cols)
+
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		var gradB float64
+		for i := 0; i < n; i++ {
+			p := sigmoid(dot(m.weights, Z[i]) + m.bias)
+			g := w[i] * (p - label01(y[i]))
+			row := Z[i]
+			for j := 0; j < cols; j++ {
+				grad[j] += g * row[j]
+			}
+			gradB += g
+		}
+		inv := 1 / totalW
+		for j := 0; j < cols; j++ {
+			m.weights[j] -= m.LearningRate * (grad[j]*inv + m.L2*m.weights[j])
+		}
+		m.bias -= m.LearningRate * gradB * inv
+	}
+	m.fitted = true
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *LogReg) PredictProba(X [][]float64) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if err := validatePredict(X, len(m.weights)); err != nil {
+		return nil, err
+	}
+	Z := m.std.Transform(X)
+	out := make([]float64, len(Z))
+	for i, row := range Z {
+		out[i] = sigmoid(dot(m.weights, row) + m.bias)
+	}
+	return out, nil
+}
+
+// FeatureImportance implements FeatureImporter: normalized |weight|
+// on the standardized scale, so columns are directly comparable.
+func (m *LogReg) FeatureImportance() []float64 {
+	if !m.fitted {
+		return nil
+	}
+	imp := make([]float64, len(m.weights))
+	var total float64
+	for j, wj := range m.weights {
+		imp[j] = math.Abs(wj)
+		total += imp[j]
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+// Coefficients returns a copy of the fitted weights (standardized
+// scale) and the intercept. Returns an error before Fit.
+func (m *LogReg) Coefficients() ([]float64, float64, error) {
+	if !m.fitted {
+		return nil, 0, ErrNotFitted
+	}
+	return append([]float64(nil), m.weights...), m.bias, nil
+}
+
+func sigmoid(z float64) float64 {
+	// Split to stay numerically stable for large |z|.
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,304 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// separableData builds a linearly separable 2-D dataset: class 1
+// clusters around (+2,+2), class 0 around (-2,-2).
+func separableData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		sign := float64(2*c - 1) // -1 or +1
+		X[i] = []float64{sign*2 + rng.NormFloat64()*0.4, sign*2 + rng.NormFloat64()*0.4}
+		y[i] = c
+	}
+	return X, y
+}
+
+// noisyData builds a weakly separable dataset for calibration tests.
+func noisyData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x1 := rng.NormFloat64()
+		x2 := rng.NormFloat64()
+		p := 1 / (1 + math.Exp(-(1.2*x1 - 0.7*x2)))
+		X[i] = []float64{x1, x2}
+		if rng.Float64() < p {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+// classifiers under test, freshly constructed per call.
+func allClassifiers() []Classifier {
+	return []Classifier{NewLogReg(), NewDecisionTree(), NewGaussianNB()}
+}
+
+func TestFitValidation(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 1}
+	for _, clf := range allClassifiers() {
+		t.Run(clf.Name(), func(t *testing.T) {
+			if err := clf.Fit(nil, nil, nil); !errors.Is(err, ErrNoData) {
+				t.Errorf("empty fit err = %v, want ErrNoData", err)
+			}
+			if err := clf.Fit(X, []int{1}, nil); !errors.Is(err, ErrShape) {
+				t.Errorf("label mismatch err = %v, want ErrShape", err)
+			}
+			if err := clf.Fit([][]float64{{1}, {1, 2}}, y, nil); !errors.Is(err, ErrShape) {
+				t.Errorf("ragged rows err = %v, want ErrShape", err)
+			}
+			if err := clf.Fit([][]float64{{}, {}}, y, nil); !errors.Is(err, ErrShape) {
+				t.Errorf("zero columns err = %v, want ErrShape", err)
+			}
+			if err := clf.Fit(X, y, []float64{1}); !errors.Is(err, ErrBadWeights) {
+				t.Errorf("weight length err = %v, want ErrBadWeights", err)
+			}
+			if err := clf.Fit(X, y, []float64{-1, 1}); !errors.Is(err, ErrBadWeights) {
+				t.Errorf("negative weight err = %v, want ErrBadWeights", err)
+			}
+			if err := clf.Fit(X, y, []float64{0, 0}); !errors.Is(err, ErrBadWeights) {
+				t.Errorf("zero weight err = %v, want ErrBadWeights", err)
+			}
+		})
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	for _, clf := range allClassifiers() {
+		if _, err := clf.PredictProba([][]float64{{1, 2}}); !errors.Is(err, ErrNotFitted) {
+			t.Errorf("%s: err = %v, want ErrNotFitted", clf.Name(), err)
+		}
+	}
+}
+
+func TestPredictShapeMismatch(t *testing.T) {
+	X, y := separableData(40, 1)
+	for _, clf := range allClassifiers() {
+		if err := clf.Fit(X, y, nil); err != nil {
+			t.Fatalf("%s fit: %v", clf.Name(), err)
+		}
+		if _, err := clf.PredictProba([][]float64{{1, 2, 3}}); !errors.Is(err, ErrShape) {
+			t.Errorf("%s: err = %v, want ErrShape", clf.Name(), err)
+		}
+	}
+}
+
+func TestSeparableAccuracy(t *testing.T) {
+	X, y := separableData(200, 2)
+	for _, clf := range allClassifiers() {
+		t.Run(clf.Name(), func(t *testing.T) {
+			if err := clf.Fit(X, y, nil); err != nil {
+				t.Fatal(err)
+			}
+			scores, err := clf.PredictProba(X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := Accuracy(scores, y, DefaultThreshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc < 0.95 {
+				t.Errorf("accuracy on separable data = %v, want >= 0.95", acc)
+			}
+		})
+	}
+}
+
+func TestScoresInUnitInterval(t *testing.T) {
+	X, y := noisyData(300, 3)
+	for _, clf := range allClassifiers() {
+		t.Run(clf.Name(), func(t *testing.T) {
+			if err := clf.Fit(X, y, nil); err != nil {
+				t.Fatal(err)
+			}
+			scores, err := clf.PredictProba(X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range scores {
+				if math.IsNaN(s) || s < 0 || s > 1 {
+					t.Fatalf("score %d = %v outside [0,1]", i, s)
+				}
+			}
+		})
+	}
+}
+
+func TestWeightedEqualsDuplicated(t *testing.T) {
+	// Property: training with integer weight k on a row must match
+	// training with that row duplicated k times.
+	X := [][]float64{{0, 1}, {1, 0}, {2, 2}, {-1, -2}, {0.5, 1.5}, {-2, 0}}
+	y := []int{1, 0, 1, 0, 1, 0}
+	w := []float64{1, 2, 3, 1, 2, 1}
+	var dupX [][]float64
+	var dupY []int
+	for i := range X {
+		for k := 0; k < int(w[i]); k++ {
+			dupX = append(dupX, X[i])
+			dupY = append(dupY, y[i])
+		}
+	}
+	probe := [][]float64{{0.2, 0.3}, {1.5, -0.5}, {-1, 1}}
+	for _, name := range []string{"logreg", "dtree", "naivebayes"} {
+		t.Run(name, func(t *testing.T) {
+			mk := func() Classifier {
+				switch name {
+				case "logreg":
+					return NewLogReg()
+				case "dtree":
+					d := NewDecisionTree()
+					d.MinLeafWeight = 1
+					return d
+				default:
+					return NewGaussianNB()
+				}
+			}
+			a, b := mk(), mk()
+			if err := a.Fit(X, y, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Fit(dupX, dupY, nil); err != nil {
+				t.Fatal(err)
+			}
+			pa, err := a.PredictProba(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := b.PredictProba(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range pa {
+				if math.Abs(pa[i]-pb[i]) > 1e-6 {
+					t.Errorf("probe %d: weighted %v vs duplicated %v", i, pa[i], pb[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	X, y := noisyData(150, 4)
+	for _, kind := range AllModelKinds {
+		a, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Fit(X, y, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(X, y, nil); err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := a.PredictProba(X)
+		pb, _ := b.PredictProba(X)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("%v is nondeterministic at row %d: %v vs %v", kind, i, pa[i], pb[i])
+			}
+		}
+	}
+}
+
+func TestRefitDiscardsState(t *testing.T) {
+	X1, y1 := separableData(100, 5)
+	// Second dataset with inverted labels.
+	y2 := make([]int, len(y1))
+	for i := range y1 {
+		y2[i] = 1 - y1[i]
+	}
+	for _, clf := range allClassifiers() {
+		if err := clf.Fit(X1, y1, nil); err != nil {
+			t.Fatal(err)
+		}
+		s1, _ := clf.PredictProba(X1[:1])
+		if err := clf.Fit(X1, y2, nil); err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := clf.PredictProba(X1[:1])
+		// Refitting on inverted labels must flip the score's side.
+		if (s1[0] >= 0.5) == (s2[0] >= 0.5) {
+			t.Errorf("%s: refit did not change prediction (%v vs %v)", clf.Name(), s1[0], s2[0])
+		}
+	}
+}
+
+func TestSingleClassTraining(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	for _, clf := range allClassifiers() {
+		t.Run(clf.Name()+"/all-positive", func(t *testing.T) {
+			if err := clf.Fit(X, []int{1, 1, 1}, nil); err != nil {
+				t.Fatal(err)
+			}
+			scores, err := clf.PredictProba(X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range scores {
+				if s < 0.5 {
+					t.Errorf("all-positive training produced score %v < 0.5", s)
+				}
+			}
+		})
+	}
+	for _, clf := range allClassifiers() {
+		t.Run(clf.Name()+"/all-negative", func(t *testing.T) {
+			if err := clf.Fit(X, []int{0, 0, 0}, nil); err != nil {
+				t.Fatal(err)
+			}
+			scores, err := clf.PredictProba(X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range scores {
+				if s > 0.5 {
+					t.Errorf("all-negative training produced score %v > 0.5", s)
+				}
+			}
+		})
+	}
+}
+
+func TestFactory(t *testing.T) {
+	for _, kind := range AllModelKinds {
+		clf, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clf == nil || clf.Name() == "" {
+			t.Errorf("kind %v produced bad classifier", kind)
+		}
+	}
+	if _, err := New(ModelKind(42)); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	names := map[ModelKind]string{
+		ModelLogReg:       "Logistic Regression",
+		ModelDecisionTree: "Decision Tree",
+		ModelNaiveBayes:   "Naive Bayes",
+	}
+	for kind, want := range names {
+		if got := kind.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(kind), got, want)
+		}
+	}
+	if got := ModelKind(42).String(); got != "ModelKind(42)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}

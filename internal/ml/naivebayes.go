@@ -1,0 +1,163 @@
+package ml
+
+import (
+	"math"
+)
+
+// GaussianNB is a weighted Gaussian naive Bayes classifier: each
+// column is modeled per class as an independent Gaussian; the
+// posterior P(y=1|x) is the confidence score. Naive Bayes is known to
+// produce poorly calibrated extreme scores, which makes it a useful
+// stress case in §5.3.1's model sweep.
+type GaussianNB struct {
+	// VarSmoothing is added to every per-class variance for numerical
+	// stability, scaled by the largest column variance.
+	VarSmoothing float64
+
+	prior  [2]float64   // class priors (weighted)
+	mean   [2][]float64 // per-class column means
+	vari   [2][]float64 // per-class column variances
+	nCols  int
+	fitted bool
+}
+
+// NewGaussianNB returns a classifier with scikit-learn-compatible
+// default smoothing.
+func NewGaussianNB() *GaussianNB {
+	return &GaussianNB{VarSmoothing: 1e-9}
+}
+
+// Name implements Classifier.
+func (m *GaussianNB) Name() string { return "naivebayes" }
+
+// Fit implements Classifier.
+func (m *GaussianNB) Fit(X [][]float64, y []int, w []float64) error {
+	w, err := validateFit(X, y, w)
+	if err != nil {
+		return err
+	}
+	m.nCols = len(X[0])
+	var classW [2]float64
+	for c := 0; c < 2; c++ {
+		m.mean[c] = make([]float64, m.nCols)
+		m.vari[c] = make([]float64, m.nCols)
+	}
+	for i, row := range X {
+		c := int(label01(y[i]))
+		classW[c] += w[i]
+		for j, v := range row {
+			m.mean[c][j] += w[i] * v
+		}
+	}
+	totalW := classW[0] + classW[1]
+	for c := 0; c < 2; c++ {
+		m.prior[c] = classW[c] / totalW
+		if classW[c] == 0 {
+			continue
+		}
+		for j := range m.mean[c] {
+			m.mean[c][j] /= classW[c]
+		}
+	}
+	for i, row := range X {
+		c := int(label01(y[i]))
+		for j, v := range row {
+			d := v - m.mean[c][j]
+			m.vari[c][j] += w[i] * d * d
+		}
+	}
+	// Largest overall column variance scales the smoothing term, as in
+	// the scikit-learn implementation.
+	var maxVar float64
+	for j := 0; j < m.nCols; j++ {
+		var meanAll, varAll, n float64
+		for i, row := range X {
+			meanAll += w[i] * row[j]
+			n += w[i]
+		}
+		meanAll /= n
+		for i, row := range X {
+			d := row[j] - meanAll
+			varAll += w[i] * d * d
+		}
+		varAll /= n
+		if varAll > maxVar {
+			maxVar = varAll
+		}
+	}
+	eps := m.VarSmoothing * maxVar
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.vari[c] {
+			if classW[c] > 0 {
+				m.vari[c][j] = m.vari[c][j]/classW[c] + eps
+			} else {
+				m.vari[c][j] = 1
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *GaussianNB) PredictProba(X [][]float64) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if err := validatePredict(X, m.nCols); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	for i, row := range X {
+		// Degenerate single-class training data.
+		if m.prior[1] == 0 {
+			out[i] = 0
+			continue
+		}
+		if m.prior[0] == 0 {
+			out[i] = 1
+			continue
+		}
+		ll0 := math.Log(m.prior[0])
+		ll1 := math.Log(m.prior[1])
+		for j, v := range row {
+			ll0 += gaussLogPDF(v, m.mean[0][j], m.vari[0][j])
+			ll1 += gaussLogPDF(v, m.mean[1][j], m.vari[1][j])
+		}
+		// P(1|x) = 1 / (1 + exp(ll0 - ll1)), computed stably.
+		out[i] = sigmoid(ll1 - ll0)
+	}
+	return out, nil
+}
+
+// FeatureImportance implements FeatureImporter using the normalized
+// standardized mean difference between the two class conditionals —
+// a common filter-style relevance proxy for NB models.
+func (m *GaussianNB) FeatureImportance() []float64 {
+	if !m.fitted {
+		return nil
+	}
+	imp := make([]float64, m.nCols)
+	var total float64
+	for j := 0; j < m.nCols; j++ {
+		pooled := math.Sqrt((m.vari[0][j] + m.vari[1][j]) / 2)
+		if pooled > 0 {
+			imp[j] = math.Abs(m.mean[1][j]-m.mean[0][j]) / pooled
+		}
+		total += imp[j]
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+func gaussLogPDF(x, mean, variance float64) float64 {
+	d := x - mean
+	return -0.5*math.Log(2*math.Pi*variance) - d*d/(2*variance)
+}

@@ -1,0 +1,113 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNBRecoverGaussians(t *testing.T) {
+	// Symmetric class conditionals: at the midpoint the posterior must
+	// be the prior (0.5 for balanced classes).
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		off := float64(i%10)/10 - 0.45
+		X = append(X, []float64{-2 + off})
+		y = append(y, 0)
+		X = append(X, []float64{2 + off})
+		y = append(y, 1)
+	}
+	m := NewGaussianNB()
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.PredictProba([][]float64{{0}, {-2}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scores[0]-0.5) > 0.05 {
+		t.Errorf("midpoint posterior = %v, want ≈ 0.5", scores[0])
+	}
+	if scores[1] > 0.05 {
+		t.Errorf("class-0 center posterior = %v, want ≈ 0", scores[1])
+	}
+	if scores[2] < 0.95 {
+		t.Errorf("class-1 center posterior = %v, want ≈ 1", scores[2])
+	}
+}
+
+func TestNBPriorShift(t *testing.T) {
+	// With the same likelihoods but a 3:1 prior for class 1, the
+	// midpoint posterior moves to 0.75.
+	X := [][]float64{{-1}, {1}, {1}, {1}}
+	y := []int{0, 1, 1, 1}
+	m := NewGaussianNB()
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.PredictProba([][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scores[0]-0.75) > 0.05 {
+		t.Errorf("midpoint posterior = %v, want ≈ 0.75", scores[0])
+	}
+}
+
+func TestNBExtremeValuesStable(t *testing.T) {
+	X, y := noisyData(100, 13)
+	m := NewGaussianNB()
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.PredictProba([][]float64{{1e9, -1e9}, {-1e9, 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			t.Errorf("extreme input score = %v", s)
+		}
+	}
+}
+
+func TestNBFeatureImportance(t *testing.T) {
+	m := NewGaussianNB()
+	if m.FeatureImportance() != nil {
+		t.Error("unfitted importance should be nil")
+	}
+	// Feature 0 separates the classes; feature 1 does not.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		c := i % 2
+		X = append(X, []float64{float64(c)*4 - 2, float64(i%5) - 2})
+		y = append(y, c)
+	}
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	if imp[0] <= imp[1] {
+		t.Errorf("importance = %v, want feature 0 dominant", imp)
+	}
+}
+
+func TestGaussLogPDF(t *testing.T) {
+	// Standard normal at 0: log(1/sqrt(2π)).
+	want := -0.5 * math.Log(2*math.Pi)
+	if got := gaussLogPDF(0, 0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("gaussLogPDF(0,0,1) = %v, want %v", got, want)
+	}
+	// Symmetry around the mean.
+	if a, b := gaussLogPDF(3, 1, 2), gaussLogPDF(-1, 1, 2); math.Abs(a-b) > 1e-12 {
+		t.Errorf("pdf not symmetric: %v vs %v", a, b)
+	}
+}

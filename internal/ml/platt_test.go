@@ -1,0 +1,208 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// overconfidentScores builds scores that are systematically more
+// extreme than the labels warrant: the true positive probability is
+// sigmoid(z) but the reported score is sigmoid(3z).
+func overconfidentScores(n int, seed int64) (scores []float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64()
+		p := sigmoid(z)
+		scores = append(scores, sigmoid(3*z))
+		if rng.Float64() < p {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, 0)
+		}
+	}
+	return scores, labels
+}
+
+func TestPlattValidation(t *testing.T) {
+	p := NewPlatt()
+	if err := p.Fit(nil, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if err := p.Fit([]float64{0.5}, []int{1, 0}, nil); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v", err)
+	}
+	if err := p.Fit([]float64{0.5}, []int{1}, []float64{1, 2}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v", err)
+	}
+	if err := p.Fit([]float64{0.5}, []int{1}, []float64{-1}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v", err)
+	}
+	if err := p.Fit([]float64{0.5}, []int{1}, []float64{0}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v", err)
+	}
+	bad := NewPlatt()
+	bad.MaxIter = 0
+	if err := bad.Fit([]float64{0.5}, []int{1}, nil); err == nil {
+		t.Error("expected hyperparameter error")
+	}
+	if _, err := p.Apply([]float64{0.5}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := p.Coefficients(); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPlattReducesMiscalibration(t *testing.T) {
+	scores, labels := overconfidentScores(2000, 42)
+	p := NewPlatt()
+	if err := p.Fit(scores, labels, nil); err != nil {
+		t.Fatal(err)
+	}
+	calibrated, err := p.Apply(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binned calibration error must shrink substantially.
+	before := binnedECE(scores, labels, 10)
+	after := binnedECE(calibrated, labels, 10)
+	if after >= before*0.7 {
+		t.Errorf("Platt did not help: ECE %v -> %v", before, after)
+	}
+	// The fitted slope must compress the overconfident logits (a < 1).
+	a, _, err := p.Coefficients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a >= 1 {
+		t.Errorf("slope = %v, want < 1 for overconfident input", a)
+	}
+}
+
+// binnedECE is a local ECE implementation to avoid importing calib
+// into ml (layering).
+func binnedECE(scores []float64, labels []int, bins int) float64 {
+	count := make([]float64, bins)
+	sumS := make([]float64, bins)
+	sumY := make([]float64, bins)
+	for i, s := range scores {
+		b := int(s * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		count[b]++
+		sumS[b] += s
+		sumY[b] += label01(labels[i])
+	}
+	var e float64
+	n := float64(len(scores))
+	for b := 0; b < bins; b++ {
+		if count[b] == 0 {
+			continue
+		}
+		e += count[b] / n * math.Abs(sumS[b]/count[b]-sumY[b]/count[b])
+	}
+	return e
+}
+
+func TestPlattMonotone(t *testing.T) {
+	scores, labels := overconfidentScores(500, 7)
+	p := NewPlatt()
+	if err := p.Fit(scores, labels, nil); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95}
+	out, err := p.Apply(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Errorf("calibration not monotone: %v", out)
+		}
+	}
+	for _, v := range out {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("calibrated score %v out of range", v)
+		}
+	}
+}
+
+func TestPlattExtremeScores(t *testing.T) {
+	p := NewPlatt()
+	if err := p.Fit([]float64{0, 1, 0, 1}, []int{0, 1, 0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Apply([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("extreme input produced %v", v)
+		}
+	}
+}
+
+func TestSafeLogit(t *testing.T) {
+	if v := safeLogit(0); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("safeLogit(0) = %v", v)
+	}
+	if v := safeLogit(1); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("safeLogit(1) = %v", v)
+	}
+	if v := safeLogit(0.5); math.Abs(v) > 1e-12 {
+		t.Errorf("safeLogit(0.5) = %v, want 0", v)
+	}
+}
+
+func TestCalibratedClassifier(t *testing.T) {
+	X, y := noisyData(400, 21)
+	c := NewCalibrated(NewGaussianNB())
+	if c.Name() != "naivebayes+platt" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if _, err := c.PredictProba(X); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := c.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("score %v out of range", s)
+		}
+	}
+	// Calibration should be at least as good as the raw base model's.
+	raw := NewGaussianNB()
+	if err := raw.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	rawScores, err := raw.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := binnedECE(scores, y, 10), binnedECE(rawScores, y, 10); a > b*1.1 {
+		t.Errorf("calibrated ECE %v worse than raw %v", a, b)
+	}
+	// Importance delegates to the base.
+	if imp := c.FeatureImportance(); len(imp) != 2 {
+		t.Errorf("importance = %v", imp)
+	}
+}
+
+func TestCalibratedClassifierErrorPropagation(t *testing.T) {
+	c := NewCalibrated(NewGaussianNB())
+	if err := c.Fit(nil, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}

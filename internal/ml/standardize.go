@@ -1,0 +1,70 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Standardizer shifts and scales columns to zero mean and unit
+// variance, weighted by sample weights. Constant columns are left
+// centered with scale 1 so they do not blow up.
+type Standardizer struct {
+	Mean  []float64
+	Scale []float64
+}
+
+// FitStandardizer computes weighted column means and standard
+// deviations. w must be validated (non-nil, non-negative, positive
+// sum) by the caller.
+func FitStandardizer(X [][]float64, w []float64) (*Standardizer, error) {
+	if len(X) == 0 {
+		return nil, ErrNoData
+	}
+	cols := len(X[0])
+	s := &Standardizer{
+		Mean:  make([]float64, cols),
+		Scale: make([]float64, cols),
+	}
+	var totalW float64
+	for i, row := range X {
+		if len(row) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), cols)
+		}
+		for j, v := range row {
+			s.Mean[j] += w[i] * v
+		}
+		totalW += w[i]
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("%w: weights sum to %v", ErrBadWeights, totalW)
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= totalW
+	}
+	for i, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Scale[j] += w[i] * d * d
+		}
+	}
+	for j := range s.Scale {
+		s.Scale[j] = math.Sqrt(s.Scale[j] / totalW)
+		if s.Scale[j] < 1e-12 {
+			s.Scale[j] = 1 // constant column: center only
+		}
+	}
+	return s, nil
+}
+
+// Transform returns a standardized copy of X.
+func (s *Standardizer) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Scale[j]
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DecisionTree is a CART binary classification tree with weighted
+// Gini impurity splits. Confidence scores are leaf positive-weight
+// fractions, the standard (and typically miscalibrated) tree scoring
+// the paper contrasts with logistic regression.
+type DecisionTree struct {
+	// MaxDepth bounds the tree depth (root = depth 0). MinLeafWeight
+	// is the minimum total sample weight per leaf.
+	MaxDepth      int
+	MinLeafWeight float64
+
+	root   *treeNode
+	nCols  int
+	imp    []float64 // accumulated impurity decrease per column
+	fitted bool
+}
+
+// NewDecisionTree returns a tree with defaults suited to the
+// paper-scale datasets.
+func NewDecisionTree() *DecisionTree {
+	return &DecisionTree{MaxDepth: 6, MinLeafWeight: 4}
+}
+
+// Name implements Classifier.
+func (m *DecisionTree) Name() string { return "dtree" }
+
+type treeNode struct {
+	// Internal nodes.
+	col       int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// Leaves (left == nil).
+	prob float64
+}
+
+// Fit implements Classifier.
+func (m *DecisionTree) Fit(X [][]float64, y []int, w []float64) error {
+	w, err := validateFit(X, y, w)
+	if err != nil {
+		return err
+	}
+	if m.MaxDepth < 0 {
+		return fmt.Errorf("ml: dtree MaxDepth must be >= 0, got %d", m.MaxDepth)
+	}
+	if m.MinLeafWeight <= 0 {
+		return fmt.Errorf("ml: dtree MinLeafWeight must be positive, got %v", m.MinLeafWeight)
+	}
+	m.nCols = len(X[0])
+	m.imp = make([]float64, m.nCols)
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = m.grow(X, y, w, idx, 0)
+	m.fitted = true
+	return nil
+}
+
+// grow recursively builds the tree over the rows in idx.
+func (m *DecisionTree) grow(X [][]float64, y []int, w []float64, idx []int, depth int) *treeNode {
+	var wSum, wPos float64
+	for _, i := range idx {
+		wSum += w[i]
+		wPos += w[i] * label01(y[i])
+	}
+	leaf := &treeNode{prob: 0.5}
+	if wSum > 0 {
+		leaf.prob = wPos / wSum
+	}
+	if depth >= m.MaxDepth || wSum < 2*m.MinLeafWeight || leaf.prob == 0 || leaf.prob == 1 {
+		return leaf
+	}
+	col, threshold, gain := m.bestSplit(X, y, w, idx, wSum, wPos)
+	if col < 0 {
+		return leaf
+	}
+	var lIdx, rIdx []int
+	for _, i := range idx {
+		if X[i][col] <= threshold {
+			lIdx = append(lIdx, i)
+		} else {
+			rIdx = append(rIdx, i)
+		}
+	}
+	if len(lIdx) == 0 || len(rIdx) == 0 {
+		return leaf
+	}
+	m.imp[col] += gain
+	return &treeNode{
+		col:       col,
+		threshold: threshold,
+		left:      m.grow(X, y, w, lIdx, depth+1),
+		right:     m.grow(X, y, w, rIdx, depth+1),
+	}
+}
+
+// bestSplit scans every column for the weighted-Gini-optimal
+// threshold. Returns col = -1 when no split improves impurity while
+// respecting MinLeafWeight.
+func (m *DecisionTree) bestSplit(X [][]float64, y []int, w []float64, idx []int, wSum, wPos float64) (col int, threshold, gain float64) {
+	parentGini := giniImpurity(wPos, wSum)
+	col = -1
+	type entry struct {
+		v    float64
+		wt   float64
+		wPos float64
+	}
+	entries := make([]entry, 0, len(idx))
+	for c := 0; c < m.nCols; c++ {
+		entries = entries[:0]
+		for _, i := range idx {
+			entries = append(entries, entry{v: X[i][c], wt: w[i], wPos: w[i] * label01(y[i])})
+		}
+		sort.Slice(entries, func(a, b int) bool { return entries[a].v < entries[b].v })
+		var lW, lPos float64
+		for k := 0; k < len(entries)-1; k++ {
+			lW += entries[k].wt
+			lPos += entries[k].wPos
+			if entries[k].v == entries[k+1].v {
+				continue // cannot split between equal values
+			}
+			rW := wSum - lW
+			rPos := wPos - lPos
+			if lW < m.MinLeafWeight || rW < m.MinLeafWeight {
+				continue
+			}
+			g := parentGini - (lW*giniImpurity(lPos, lW)+rW*giniImpurity(rPos, rW))/wSum
+			if g > gain+1e-15 {
+				gain = g
+				col = c
+				threshold = (entries[k].v + entries[k+1].v) / 2
+			}
+		}
+	}
+	return col, threshold, gain
+}
+
+// giniImpurity returns the Gini impurity of a group with positive
+// weight wPos out of total weight wSum.
+func giniImpurity(wPos, wSum float64) float64 {
+	if wSum <= 0 {
+		return 0
+	}
+	p := wPos / wSum
+	return 2 * p * (1 - p)
+}
+
+// PredictProba implements Classifier.
+func (m *DecisionTree) PredictProba(X [][]float64) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if err := validatePredict(X, m.nCols); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	for i, row := range X {
+		n := m.root
+		for n.left != nil {
+			if row[n.col] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		out[i] = n.prob
+	}
+	return out, nil
+}
+
+// FeatureImportance implements FeatureImporter: normalized total
+// Gini impurity decrease contributed by each column.
+func (m *DecisionTree) FeatureImportance() []float64 {
+	if !m.fitted {
+		return nil
+	}
+	imp := make([]float64, len(m.imp))
+	var total float64
+	for j, v := range m.imp {
+		imp[j] = v
+		total += v
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+// Depth returns the fitted tree's depth (0 for a single leaf).
+func (m *DecisionTree) Depth() int {
+	if !m.fitted {
+		return 0
+	}
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n.left == nil {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(m.root)
+}

@@ -1,0 +1,174 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTreeLearnsAxisAlignedConcept(t *testing.T) {
+	// Label = x0 > 0.5, trivially learnable by one split.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		X = append(X, []float64{v, 0.3})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m := NewDecisionTree()
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Accuracy(scores, y, 0.5)
+	if acc != 1 {
+		t.Errorf("accuracy = %v, want 1 on an axis-aligned concept", acc)
+	}
+	if d := m.Depth(); d < 1 {
+		t.Errorf("depth = %d, want >= 1", d)
+	}
+}
+
+func TestTreeHyperparameterValidation(t *testing.T) {
+	X, y := separableData(10, 1)
+	m := NewDecisionTree()
+	m.MaxDepth = -1
+	if err := m.Fit(X, y, nil); err == nil {
+		t.Error("expected error for negative MaxDepth")
+	}
+	m = NewDecisionTree()
+	m.MinLeafWeight = 0
+	if err := m.Fit(X, y, nil); err == nil {
+		t.Error("expected error for zero MinLeafWeight")
+	}
+}
+
+func TestTreeMaxDepthZeroIsPrior(t *testing.T) {
+	X, y := separableData(50, 2)
+	m := NewDecisionTree()
+	m.MaxDepth = 0
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, yi := range y {
+		want += float64(yi)
+	}
+	want /= float64(len(y))
+	for _, s := range scores {
+		if math.Abs(s-want) > 1e-12 {
+			t.Fatalf("depth-0 score = %v, want prior %v", s, want)
+		}
+	}
+	if m.Depth() != 0 {
+		t.Errorf("Depth = %d, want 0", m.Depth())
+	}
+}
+
+func TestTreeDepthRespected(t *testing.T) {
+	X, y := noisyData(300, 3)
+	for _, depth := range []int{1, 2, 3, 4} {
+		m := NewDecisionTree()
+		m.MaxDepth = depth
+		m.MinLeafWeight = 1
+		if err := m.Fit(X, y, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Depth(); got > depth {
+			t.Errorf("fitted depth %d exceeds MaxDepth %d", got, depth)
+		}
+	}
+}
+
+func TestTreeConstantFeatures(t *testing.T) {
+	// No split possible: every row identical. Must yield the prior.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{1, 0, 1, 1}
+	m := NewDecisionTree()
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if math.Abs(s-0.75) > 1e-12 {
+			t.Errorf("score = %v, want 0.75", s)
+		}
+	}
+}
+
+func TestTreeFeatureImportance(t *testing.T) {
+	m := NewDecisionTree()
+	if m.FeatureImportance() != nil {
+		t.Error("unfitted importance should be nil")
+	}
+	// Only x0 is predictive.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		v := float64(i%10) / 10
+		noise := float64((i*7)%13) / 13
+		X = append(X, []float64{v, noise})
+		if v >= 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	if imp[0] < 0.9 {
+		t.Errorf("signal feature importance = %v, want >= 0.9", imp[0])
+	}
+}
+
+func TestGiniImpurity(t *testing.T) {
+	tests := []struct {
+		pos, sum float64
+		want     float64
+	}{
+		{0, 10, 0},
+		{10, 10, 0},
+		{5, 10, 0.5},
+		{0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := giniImpurity(tt.pos, tt.sum); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("gini(%v/%v) = %v, want %v", tt.pos, tt.sum, got, tt.want)
+		}
+	}
+}
+
+func TestTreeMinLeafWeightBlocksTinySplits(t *testing.T) {
+	// With a huge MinLeafWeight the tree cannot split at all.
+	X, y := separableData(20, 9)
+	m := NewDecisionTree()
+	m.MinLeafWeight = 1000
+	if err := m.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 0 {
+		t.Errorf("depth = %d, want 0 with prohibitive MinLeafWeight", m.Depth())
+	}
+}

@@ -1,0 +1,401 @@
+package partition
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairindex/internal/geo"
+)
+
+func TestNewValidation(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	tests := []struct {
+		name       string
+		numRegions int
+		cr         []int
+		wantErr    error
+	}{
+		{"valid", 2, []int{0, 0, 1, 1}, nil},
+		{"wrong length", 2, []int{0, 1}, ErrWrongLength},
+		{"zero regions", 0, []int{0, 0, 0, 0}, nil}, // any error acceptable; checked below
+		{"out of range", 2, []int{0, 0, 1, 2}, ErrBadAssignment},
+		{"negative id", 2, []int{0, 0, 1, -1}, ErrBadAssignment},
+		{"empty region", 3, []int{0, 0, 1, 1}, ErrEmptyRegion},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(grid, tt.numRegions, tt.cr)
+			if tt.name == "valid" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Errorf("error %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+	if _, err := New(geo.Grid{}, 1, nil); !errors.Is(err, geo.ErrBadGrid) {
+		t.Errorf("bad grid error = %v", err)
+	}
+}
+
+func TestNewCopiesAssignment(t *testing.T) {
+	grid := geo.MustGrid(1, 2)
+	cr := []int{0, 1}
+	p, err := New(grid, 2, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr[0] = 1
+	r, err := p.RegionOfCell(geo.Cell{Row: 0, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Error("New did not copy the assignment slice")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	grid := geo.MustGrid(3, 5)
+	p, err := Single(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 1 {
+		t.Fatalf("regions = %d", p.NumRegions())
+	}
+	counts := p.CellCountsPerRegion()
+	if counts[0] != 15 {
+		t.Errorf("region size = %d, want 15", counts[0])
+	}
+	if _, err := Single(geo.Grid{}); err == nil {
+		t.Error("expected bad grid error")
+	}
+}
+
+func TestCellIdentity(t *testing.T) {
+	grid := geo.MustGrid(3, 3)
+	p, err := CellIdentity(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 9 {
+		t.Fatalf("regions = %d, want 9", p.NumRegions())
+	}
+	for i := 0; i < 9; i++ {
+		r, err := p.RegionOfCell(grid.CellAt(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != i {
+			t.Errorf("cell %d in region %d", i, r)
+		}
+	}
+	if _, err := CellIdentity(geo.Grid{}); err == nil {
+		t.Error("expected bad grid error")
+	}
+}
+
+func TestFromRects(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	rects := []geo.CellRect{
+		{Row0: 0, Col0: 0, Row1: 2, Col1: 4},
+		{Row0: 2, Col0: 0, Row1: 4, Col1: 2},
+		{Row0: 2, Col0: 2, Row1: 4, Col1: 4},
+	}
+	p, err := FromRects(grid, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 3 {
+		t.Fatalf("regions = %d", p.NumRegions())
+	}
+	r, err := p.RegionOfCell(geo.Cell{Row: 3, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("cell (3,1) in region %d, want 1", r)
+	}
+}
+
+func TestFromRectsErrors(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	tests := []struct {
+		name  string
+		rects []geo.CellRect
+	}{
+		{"empty list", nil},
+		{"empty rect", []geo.CellRect{{}, {Row0: 0, Col0: 0, Row1: 2, Col1: 2}}},
+		{"gap", []geo.CellRect{{Row0: 0, Col0: 0, Row1: 1, Col1: 2}}},
+		{"overlap", []geo.CellRect{
+			{Row0: 0, Col0: 0, Row1: 2, Col1: 2},
+			{Row0: 1, Col0: 0, Row1: 2, Col1: 2},
+		}},
+		{"out of grid", []geo.CellRect{{Row0: 0, Col0: 0, Row1: 3, Col1: 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromRects(grid, tt.rects); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := FromRects(geo.Grid{}, nil); !errors.Is(err, geo.ErrBadGrid) {
+		t.Errorf("bad grid error = %v", err)
+	}
+}
+
+func TestAssignCells(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	p, err := New(grid, 2, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.AssignCells([]geo.Cell{{Row: 0, Col: 1}, {Row: 1, Col: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("assignment = %v", got)
+	}
+	if _, err := p.AssignCells([]geo.Cell{{Row: 5, Col: 5}}); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+	if _, err := p.RegionOfCell(geo.Cell{Row: -1, Col: 0}); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+}
+
+func TestPopulationPerRegion(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	p, err := New(grid, 2, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := p.PopulationPerRegion([]int{3, 1, 0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop[0] != 4 || pop[1] != 7 {
+		t.Errorf("populations = %v", pop)
+	}
+	if _, err := p.PopulationPerRegion([]int{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestCentroids(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	// Region 0 = top row (rows are latitude-like; row 0), region 1 = row 1.
+	p, err := New(grid, 2, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents := p.Centroids()
+	if math.Abs(cents[0][0]-0.25) > 1e-12 || math.Abs(cents[0][1]-0.5) > 1e-12 {
+		t.Errorf("centroid 0 = %v", cents[0])
+	}
+	if math.Abs(cents[1][0]-0.75) > 1e-12 || math.Abs(cents[1][1]-0.5) > 1e-12 {
+		t.Errorf("centroid 1 = %v", cents[1])
+	}
+	for _, c := range cents {
+		if c[0] <= 0 || c[0] >= 1 || c[1] <= 0 || c[1] >= 1 {
+			t.Errorf("centroid %v outside (0,1)", c)
+		}
+	}
+}
+
+func TestIsRefinementOf(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	coarse, err := Single(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := CellIdentity(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fine.IsRefinementOf(coarse) {
+		t.Error("identity should refine single")
+	}
+	if coarse.IsRefinementOf(fine) {
+		t.Error("single should not refine identity")
+	}
+	if !fine.IsRefinementOf(fine) {
+		t.Error("partition should refine itself")
+	}
+	other, err := Single(geo.MustGrid(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.IsRefinementOf(coarse) {
+		t.Error("different grids can never be refinements")
+	}
+	// Crossing partition: split by rows vs split by cols.
+	rows, err := New(grid, 2, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := New(grid, 2, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.IsRefinementOf(cols) || cols.IsRefinementOf(rows) {
+		t.Error("crossing partitions are not refinements")
+	}
+}
+
+func TestUniformGrid(t *testing.T) {
+	grid := geo.MustGrid(8, 8)
+	tests := []struct {
+		height      int
+		wantRegions int
+	}{
+		{0, 1},
+		{1, 2},
+		{2, 4},
+		{3, 8},
+		{4, 16},
+		{6, 64},
+		{8, 64},  // capped by the 8x8 grid
+		{20, 64}, // still capped
+	}
+	for _, tt := range tests {
+		p, err := UniformGrid(grid, tt.height)
+		if err != nil {
+			t.Fatalf("height %d: %v", tt.height, err)
+		}
+		if p.NumRegions() != tt.wantRegions {
+			t.Errorf("height %d: regions = %d, want %d", tt.height, p.NumRegions(), tt.wantRegions)
+		}
+	}
+	if _, err := UniformGrid(grid, -1); err == nil {
+		t.Error("expected error for negative height")
+	}
+	if _, err := UniformGrid(geo.Grid{}, 2); err == nil {
+		t.Error("expected bad grid error")
+	}
+}
+
+func TestUniformGridBalanced(t *testing.T) {
+	p, err := UniformGrid(geo.MustGrid(8, 8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, n := range p.CellCountsPerRegion() {
+		if n != 4 {
+			t.Errorf("region %d has %d cells, want 4", r, n)
+		}
+	}
+}
+
+func TestVoronoi(t *testing.T) {
+	grid := geo.MustGrid(16, 16)
+	p, err := Voronoi(grid, 12, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 12 {
+		t.Fatalf("regions = %d, want 12", p.NumRegions())
+	}
+	for r, n := range p.CellCountsPerRegion() {
+		if n == 0 {
+			t.Errorf("region %d empty", r)
+		}
+	}
+}
+
+func TestVoronoiDeterministic(t *testing.T) {
+	grid := geo.MustGrid(12, 12)
+	a, err := Voronoi(grid, 8, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Voronoi(grid, 8, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < grid.NumCells(); i++ {
+		ra, _ := a.RegionOfCell(grid.CellAt(i))
+		rb, _ := b.RegionOfCell(grid.CellAt(i))
+		if ra != rb {
+			t.Fatal("Voronoi is not deterministic")
+		}
+	}
+}
+
+func TestVoronoiWeighted(t *testing.T) {
+	grid := geo.MustGrid(8, 8)
+	weights := make([]int, grid.NumCells())
+	// Put all population mass in the top-left quadrant.
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			weights[grid.Index(geo.Cell{Row: row, Col: col})] = 50
+		}
+	}
+	p, err := Voronoi(grid, 6, 3, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 6 {
+		t.Fatalf("regions = %d", p.NumRegions())
+	}
+	if _, err := Voronoi(grid, 6, 3, []int{1}); err == nil {
+		t.Error("expected weight length error")
+	}
+}
+
+func TestVoronoiErrors(t *testing.T) {
+	grid := geo.MustGrid(2, 2)
+	if _, err := Voronoi(grid, 0, 1, nil); err == nil {
+		t.Error("expected error for zero sites")
+	}
+	if _, err := Voronoi(grid, 5, 1, nil); err == nil {
+		t.Error("expected error for more sites than cells")
+	}
+	if _, err := Voronoi(geo.Grid{}, 1, 1, nil); err == nil {
+		t.Error("expected bad grid error")
+	}
+	// Exactly as many sites as cells: every cell its own region.
+	p, err := Voronoi(grid, 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions() != 4 {
+		t.Errorf("regions = %d, want 4", p.NumRegions())
+	}
+}
+
+func TestPartitionCoversEveryCellProperty(t *testing.T) {
+	// Property: for random heights and grids, UniformGrid assigns every
+	// cell to a valid region and every region is non-empty.
+	f := func(u, v, h uint8) bool {
+		grid := geo.MustGrid(int(u%20)+1, int(v%20)+1)
+		p, err := UniformGrid(grid, int(h%12))
+		if err != nil {
+			return false
+		}
+		for _, n := range p.CellCountsPerRegion() {
+			if n == 0 {
+				return false
+			}
+		}
+		total := 0
+		for _, n := range p.CellCountsPerRegion() {
+			total += n
+		}
+		return total == grid.NumCells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

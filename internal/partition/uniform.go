@@ -1,0 +1,37 @@
+package partition
+
+import (
+	"fmt"
+
+	"fairindex/internal/geo"
+)
+
+// UniformGrid partitions the grid into 2^height equal blocks,
+// alternating the doubling between rows and columns exactly like a
+// KD-tree of the same height, so the "Grid (Reweighting)" baseline of
+// §5.1 is compared at matching granularity. Block counts are capped
+// by the grid dimensions (a block is never smaller than one cell).
+func UniformGrid(grid geo.Grid, height int) (*Partition, error) {
+	if !grid.Valid() {
+		return nil, geo.ErrBadGrid
+	}
+	if height < 0 {
+		return nil, fmt.Errorf("partition: height must be >= 0, got %d", height)
+	}
+	rowBlocks := 1 << ((height + 1) / 2) // rows split first, like the trees
+	colBlocks := 1 << (height / 2)
+	if rowBlocks > grid.U {
+		rowBlocks = grid.U
+	}
+	if colBlocks > grid.V {
+		colBlocks = grid.V
+	}
+	cr := make([]int, grid.NumCells())
+	for i := range cr {
+		c := grid.CellAt(i)
+		br := c.Row * rowBlocks / grid.U
+		bc := c.Col * colBlocks / grid.V
+		cr[i] = br*colBlocks + bc
+	}
+	return New(grid, rowBlocks*colBlocks, cr)
+}

@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairindex/internal/geo"
+)
+
+// Voronoi partitions the grid into numSites contiguous regions by
+// nearest-site assignment over cell centers. It stands in for the
+// paper's zip-code partitioning baseline: a fixed, irregular,
+// space-covering partition with skewed populations (DESIGN.md §4).
+//
+// cellWeights optionally biases site placement toward populated cells
+// (pass Dataset.CellCounts); nil places sites uniformly. Sites are
+// distinct cells, so every region is non-empty. Deterministic for a
+// fixed seed.
+func Voronoi(grid geo.Grid, numSites int, seed int64, cellWeights []int) (*Partition, error) {
+	if !grid.Valid() {
+		return nil, geo.ErrBadGrid
+	}
+	if numSites <= 0 {
+		return nil, fmt.Errorf("partition: site count must be positive, got %d", numSites)
+	}
+	if numSites > grid.NumCells() {
+		return nil, fmt.Errorf("partition: %d sites exceed %d cells", numSites, grid.NumCells())
+	}
+	if cellWeights != nil && len(cellWeights) != grid.NumCells() {
+		return nil, fmt.Errorf("%w: %d weights for %d cells", ErrWrongLength, len(cellWeights), grid.NumCells())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sites, err := pickSites(grid, numSites, rng, cellWeights)
+	if err != nil {
+		return nil, err
+	}
+	cr := make([]int, grid.NumCells())
+	for i := range cr {
+		c := grid.CellAt(i)
+		best, bestD := -1, 0
+		for s, site := range sites {
+			dr := c.Row - site.Row
+			dc := c.Col - site.Col
+			d := dr*dr + dc*dc
+			if best == -1 || d < bestD {
+				best, bestD = s, d
+			}
+		}
+		cr[i] = best
+	}
+	return New(grid, numSites, cr)
+}
+
+// pickSites draws numSites distinct cells, weighted by cellWeights+1
+// (the +1 keeps empty cells reachable so site selection cannot stall
+// on sparse populations).
+func pickSites(grid geo.Grid, numSites int, rng *rand.Rand, cellWeights []int) ([]geo.Cell, error) {
+	n := grid.NumCells()
+	weights := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if cellWeights != nil {
+			w += float64(cellWeights[i]) * 4 // bias toward populated cells
+		}
+		weights[i] = w
+		total += w
+	}
+	sites := make([]geo.Cell, 0, numSites)
+	taken := make([]bool, n)
+	for len(sites) < numSites {
+		x := rng.Float64() * total
+		idx := -1
+		for i := 0; i < n; i++ {
+			if taken[i] {
+				continue
+			}
+			x -= weights[i]
+			if x <= 0 {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 { // numeric slack: take the last free cell
+			for i := n - 1; i >= 0; i-- {
+				if !taken[i] {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx == -1 {
+			return nil, fmt.Errorf("partition: ran out of cells placing %d sites", numSites)
+		}
+		taken[idx] = true
+		total -= weights[idx]
+		weights[idx] = 0
+		sites = append(sites, grid.CellAt(idx))
+	}
+	return sites, nil
+}

@@ -1,0 +1,358 @@
+// Package pipeline wires the substrates into the paper's end-to-end
+// flow (Figure 3): an initial classifier run over the base grid, a
+// fairness-aware spatial partitioning, a neighborhood update, a final
+// training run and the full metric report. Every experiment harness
+// and the public API run through this package.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fairindex/internal/calib"
+	"fairindex/internal/dataset"
+	"fairindex/internal/kdtree"
+	"fairindex/internal/ml"
+	"fairindex/internal/partition"
+)
+
+// Method enumerates the partitioning / mitigation strategies compared
+// in §5.
+type Method int
+
+const (
+	// MethodMedianKD is the standard median KD-tree baseline.
+	MethodMedianKD Method = iota
+	// MethodFairKD is the paper's Fair KD-tree (Algorithms 1–2).
+	MethodFairKD
+	// MethodIterativeFairKD is the Iterative Fair KD-tree (Algorithm 3).
+	MethodIterativeFairKD
+	// MethodMultiObjectiveFairKD is the Multi-Objective Fair KD-tree
+	// (§4.3); requires Alphas over the dataset's tasks.
+	MethodMultiObjectiveFairKD
+	// MethodGridReweight partitions with a uniform grid of matching
+	// granularity and trains with Kamiran–Calders reweighing.
+	MethodGridReweight
+	// MethodZipCode uses the fixed zip-code-like Voronoi partition
+	// with no mitigation (the §5.2 disparity baseline).
+	MethodZipCode
+	// MethodFairQuadtree is the future-work extension: a fair
+	// quadtree at height ⌈Height/2⌉ (≈ the same leaf count).
+	MethodFairQuadtree
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (m Method) String() string {
+	switch m {
+	case MethodMedianKD:
+		return "Median KD-tree"
+	case MethodFairKD:
+		return "Fair KD-tree"
+	case MethodIterativeFairKD:
+		return "Iterative Fair KD-tree"
+	case MethodMultiObjectiveFairKD:
+		return "Multi-Objective Fair KD-tree"
+	case MethodGridReweight:
+		return "Grid (Reweighting)"
+	case MethodZipCode:
+		return "Zip Code"
+	case MethodFairQuadtree:
+		return "Fair Quadtree"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config parameterizes one pipeline run.
+type Config struct {
+	Method Method
+	// Height is the tree height th (leaf count ≤ 2^th). For
+	// MethodZipCode it is ignored; for MethodGridReweight it sets the
+	// matching uniform granularity.
+	Height int
+	// Model selects the classifier family (default logistic
+	// regression).
+	Model ml.ModelKind
+	// Encoding controls the neighborhood feature encoding of the
+	// *final* training (the zero value resolves to centroid+one-hot;
+	// the initial scoring run always uses the cell-centroid encoding,
+	// see DESIGN.md §2).
+	Encoding dataset.Encoding
+	// Task selects the label column for single-task methods.
+	Task int
+	// Alphas are the per-task weights for
+	// MethodMultiObjectiveFairKD; nil defaults to uniform weights.
+	Alphas []float64
+	// Objective and Lambda configure the fair split scoring.
+	Objective kdtree.Objective
+	Lambda    float64
+	// TestFrac is the held-out fraction (default 0.2).
+	TestFrac float64
+	// Seed drives the split and the zip-code layout.
+	Seed int64
+	// ZipSites is the number of zip-code regions for MethodZipCode
+	// (default 40).
+	ZipSites int
+	// ECEBins for per-neighborhood ECE reports (default 15 as in
+	// Figure 6).
+	ECEBins int
+	// Reweight forces Kamiran–Calders weights in the final training
+	// regardless of method (it is implied by MethodGridReweight).
+	Reweight bool
+	// PostProcess optionally recalibrates the final scores per
+	// neighborhood (the §3 post-processing mitigation family);
+	// default none.
+	PostProcess PostProcess
+}
+
+// withDefaults fills unset optional fields.
+func (c Config) withDefaults() Config {
+	if c.TestFrac == 0 {
+		c.TestFrac = 0.2
+	}
+	if c.ZipSites == 0 {
+		c.ZipSites = 40
+	}
+	if c.ECEBins == 0 {
+		c.ECEBins = calib.DefaultECEBins
+	}
+	return c
+}
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("pipeline: invalid config")
+
+// validate checks config against the dataset.
+func (c Config) validate(ds *dataset.Dataset) error {
+	if c.Height < 0 {
+		return fmt.Errorf("%w: height %d", ErrConfig, c.Height)
+	}
+	if c.Task < 0 || c.Task >= ds.NumTasks() {
+		return fmt.Errorf("%w: task %d of %d", ErrConfig, c.Task, ds.NumTasks())
+	}
+	if c.TestFrac < 0 || c.TestFrac >= 1 {
+		return fmt.Errorf("%w: test fraction %v", ErrConfig, c.TestFrac)
+	}
+	if c.Method == MethodMultiObjectiveFairKD && c.Alphas != nil && len(c.Alphas) != ds.NumTasks() {
+		return fmt.Errorf("%w: %d alphas for %d tasks", ErrConfig, len(c.Alphas), ds.NumTasks())
+	}
+	return nil
+}
+
+// Run executes the full pipeline for one configuration. The returned
+// Result contains the final partition, per-task metrics and timings.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(ds); err != nil {
+		return nil, err
+	}
+
+	labels, err := ds.Labels(cfg.Task)
+	if err != nil {
+		return nil, err
+	}
+	trainIdx, testIdx, err := dataset.StratifiedSplit(labels, cfg.TestFrac, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	buildStart := time.Now()
+	part, err := buildPartition(ds, cfg, trainIdx)
+	if err != nil {
+		return nil, err
+	}
+	buildDur := time.Since(buildStart)
+
+	res := &Result{
+		Method:     cfg.Method,
+		Height:     cfg.Height,
+		Model:      cfg.Model,
+		Partition:  part,
+		NumRegions: part.NumRegions(),
+		BuildTime:  buildDur,
+		TrainIdx:   trainIdx,
+		TestIdx:    testIdx,
+	}
+
+	// Final training and metrics, per task. Single-task methods report
+	// only cfg.Task; the multi-objective method reports every task
+	// (Figure 10 shows per-objective performance of the shared
+	// partitioning).
+	tasks := []int{cfg.Task}
+	if cfg.Method == MethodMultiObjectiveFairKD {
+		tasks = make([]int, ds.NumTasks())
+		for i := range tasks {
+			tasks[i] = i
+		}
+	}
+	trainStart := time.Now()
+	for _, task := range tasks {
+		tr, err := evaluateTask(ds, cfg, part, task, trainIdx, testIdx)
+		if err != nil {
+			return nil, err
+		}
+		res.Tasks = append(res.Tasks, *tr)
+	}
+	res.TrainTime = time.Since(trainStart)
+	return res, nil
+}
+
+// buildPartition produces the neighborhood partition for the method.
+// Only training records drive data-dependent splits, so no label
+// information leaks from the held-out set.
+func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition.Partition, error) {
+	grid := ds.Grid
+	cells := ds.Cells()
+	trainCells := dataset.Gather(cells, trainIdx)
+
+	switch cfg.Method {
+	case MethodMedianKD:
+		tree, err := kdtree.BuildMedian(grid, cells, cfg.Height)
+		if err != nil {
+			return nil, err
+		}
+		return tree.Partition()
+
+	case MethodFairKD:
+		dev, err := initialDeviations(ds, cfg, trainIdx, cfg.Task)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := kdtree.BuildFair(grid, trainCells, dev, treeConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return tree.Partition()
+
+	case MethodIterativeFairKD:
+		retrain := func(p *partition.Partition) ([]float64, error) {
+			return deviationsFor(ds, cfg, p, cfg.Task, trainIdx)
+		}
+		tree, err := kdtree.BuildIterative(grid, trainCells, treeConfig(cfg), retrain)
+		if err != nil {
+			return nil, err
+		}
+		return tree.Partition()
+
+	case MethodMultiObjectiveFairKD:
+		alphas := cfg.Alphas
+		if alphas == nil {
+			alphas = uniformAlphas(ds.NumTasks())
+		}
+		scoreSets := make([][]float64, ds.NumTasks())
+		labelSets := make([][]int, ds.NumTasks())
+		for task := 0; task < ds.NumTasks(); task++ {
+			_, scores, taskLabels, err := initialRun(ds, cfg, trainIdx, task)
+			if err != nil {
+				return nil, err
+			}
+			scoreSets[task] = scores
+			labelSets[task] = taskLabels
+		}
+		tree, err := kdtree.BuildMultiObjective(grid, trainCells, scoreSets, labelSets, alphas, treeConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return tree.Partition()
+
+	case MethodGridReweight:
+		return partition.UniformGrid(grid, cfg.Height)
+
+	case MethodZipCode:
+		return partition.Voronoi(grid, cfg.ZipSites, cfg.Seed+1, ds.CellCounts())
+
+	case MethodFairQuadtree:
+		dev, err := initialDeviations(ds, cfg, trainIdx, cfg.Task)
+		if err != nil {
+			return nil, err
+		}
+		qt, err := kdtree.BuildFairQuadtree(grid, trainCells, dev, (cfg.Height+1)/2)
+		if err != nil {
+			return nil, err
+		}
+		return qt.Partition()
+
+	default:
+		return nil, fmt.Errorf("%w: unknown method %d", ErrConfig, int(cfg.Method))
+	}
+}
+
+// treeConfig maps the pipeline config onto the kdtree config.
+func treeConfig(cfg Config) kdtree.Config {
+	return kdtree.Config{Height: cfg.Height, Objective: cfg.Objective, Lambda: cfg.Lambda}
+}
+
+// uniformAlphas returns equal task weights summing to 1.
+func uniformAlphas(m int) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = 1 / float64(m)
+	}
+	return out
+}
+
+// initialDeviations runs the Step-1 classifier over the cell-identity
+// partition and returns the training records' signed deviations.
+func initialDeviations(ds *dataset.Dataset, cfg Config, trainIdx []int, task int) ([]float64, error) {
+	dev, _, _, err := initialRun(ds, cfg, trainIdx, task)
+	return dev, err
+}
+
+// initialRun trains on the base grid (cell identity, centroid
+// encoding) and returns the training records' deviations, scores and
+// labels in trainIdx order.
+func initialRun(ds *dataset.Dataset, cfg Config, trainIdx []int, task int) (dev, scores []float64, labels []int, err error) {
+	p0, err := partition.CellIdentity(ds.Grid)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return runOnPartition(ds, cfg, p0, task, trainIdx, dataset.EncCentroid, nil)
+}
+
+// deviationsFor retrains on an arbitrary partition (Iterative level
+// callback) and returns training-record deviations.
+func deviationsFor(ds *dataset.Dataset, cfg Config, p *partition.Partition, task int, trainIdx []int) ([]float64, error) {
+	dev, _, _, err := runOnPartition(ds, cfg, p, task, trainIdx, dataset.EncCentroid, nil)
+	return dev, err
+}
+
+// runOnPartition encodes the dataset against a partition, trains on
+// the train split (optionally weighted) and returns deviations,
+// scores and labels of the training records, in trainIdx order.
+func runOnPartition(ds *dataset.Dataset, cfg Config, p *partition.Partition, task int, trainIdx []int, enc dataset.Encoding, weights []float64) (dev, scores []float64, labels []int, err error) {
+	regionOf, err := p.AssignCells(ds.Cells())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	encoded, err := dataset.Encode(ds, regionOf, p.NumRegions(), p.Centroids(), enc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	allLabels, err := ds.Labels(task)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trainX := dataset.Gather(encoded.X, trainIdx)
+	trainY := dataset.Gather(allLabels, trainIdx)
+
+	clf, err := ml.New(cfg.Model)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := clf.Fit(trainX, trainY, weights); err != nil {
+		return nil, nil, nil, err
+	}
+	scores, err = clf.PredictProba(trainX)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dev = make([]float64, len(scores))
+	for i, s := range scores {
+		dev[i] = s - float64(trainY[i])
+	}
+	return dev, scores, trainY, nil
+}

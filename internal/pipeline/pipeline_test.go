@@ -1,0 +1,259 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/kdtree"
+	"fairindex/internal/ml"
+)
+
+// testCity generates a small-but-realistic city once per test binary.
+func testCity(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = 600 // keep integration tests quick
+	ds, err := dataset.Generate(spec, geo.MustGrid(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunEveryMethod(t *testing.T) {
+	ds := testCity(t)
+	methods := []Method{
+		MethodMedianKD, MethodFairKD, MethodIterativeFairKD,
+		MethodMultiObjectiveFairKD, MethodGridReweight, MethodZipCode,
+		MethodFairQuadtree,
+	}
+	for _, m := range methods {
+		t.Run(m.String(), func(t *testing.T) {
+			res, err := Run(ds, Config{Method: m, Height: 5, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Partition == nil || res.NumRegions < 1 {
+				t.Fatal("no partition produced")
+			}
+			wantTasks := 1
+			if m == MethodMultiObjectiveFairKD {
+				wantTasks = ds.NumTasks()
+			}
+			if len(res.Tasks) != wantTasks {
+				t.Fatalf("got %d task results, want %d", len(res.Tasks), wantTasks)
+			}
+			for _, tr := range res.Tasks {
+				if tr.ENCE < 0 || tr.ENCE > 1 {
+					t.Errorf("ENCE = %v out of range", tr.ENCE)
+				}
+				if tr.Accuracy < 0.4 {
+					t.Errorf("accuracy = %v suspiciously low", tr.Accuracy)
+				}
+				if tr.TrainMiscal < 0 || tr.TestMiscal < 0 {
+					t.Errorf("negative miscalibration")
+				}
+				if len(tr.TopNeighborhoods) == 0 {
+					t.Error("no neighborhood reports")
+				}
+			}
+			if res.BuildTime <= 0 {
+				t.Error("no build time recorded")
+			}
+		})
+	}
+}
+
+func TestRunShapeFairBeatsMedian(t *testing.T) {
+	// The reproduction's core assertion (Figure 7's shape): at a
+	// moderately deep height the Fair KD-tree's ENCE is below the
+	// median KD-tree's, and the iterative variant is at least as good
+	// as fair (allowing small slack for retraining noise).
+	ds := testCity(t)
+	cfg := Config{Height: 6, Seed: 3}
+
+	cfg.Method = MethodMedianKD
+	median, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Method = MethodFairKD
+	fair, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Method = MethodIterativeFairKD
+	iter, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, fe, ie := median.Tasks[0].ENCE, fair.Tasks[0].ENCE, iter.Tasks[0].ENCE
+	if fe >= me {
+		t.Errorf("Fair ENCE %v >= Median ENCE %v", fe, me)
+	}
+	if ie >= me {
+		t.Errorf("Iterative ENCE %v >= Median ENCE %v", ie, me)
+	}
+	t.Logf("ENCE: median=%.4f fair=%.4f iterative=%.4f", me, fe, ie)
+}
+
+func TestRunDeterministic(t *testing.T) {
+	ds := testCity(t)
+	cfg := Config{Method: MethodFairKD, Height: 4, Seed: 7}
+	a, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tasks[0].ENCE != b.Tasks[0].ENCE || a.Tasks[0].Accuracy != b.Tasks[0].Accuracy {
+		t.Error("pipeline is not deterministic for a fixed seed")
+	}
+	if a.NumRegions != b.NumRegions {
+		t.Error("region counts differ across runs")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	ds := testCity(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative height", Config{Method: MethodMedianKD, Height: -1}},
+		{"bad task", Config{Method: MethodFairKD, Height: 2, Task: 9}},
+		{"negative task", Config{Method: MethodFairKD, Height: 2, Task: -1}},
+		{"bad test frac", Config{Method: MethodFairKD, Height: 2, TestFrac: 1.5}},
+		{"alpha count", Config{Method: MethodMultiObjectiveFairKD, Height: 2, Alphas: []float64{1}}},
+		{"unknown method", Config{Method: Method(99), Height: 2}},
+		{"bad objective", Config{Method: MethodFairKD, Height: 2, Objective: kdtree.Objective(9)}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(ds, tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestRunInvalidDataset(t *testing.T) {
+	bad := &dataset.Dataset{Name: "empty", Grid: geo.MustGrid(4, 4)}
+	if _, err := Run(bad, Config{Method: MethodMedianKD, Height: 2}); !errors.Is(err, dataset.ErrNoRecords) {
+		t.Errorf("err = %v, want ErrNoRecords", err)
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	ds := testCity(t)
+	for _, kind := range ml.AllModelKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := Run(ds, Config{Method: MethodFairKD, Height: 4, Model: kind, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tasks[0].Accuracy <= 0.4 {
+				t.Errorf("accuracy = %v", res.Tasks[0].Accuracy)
+			}
+		})
+	}
+}
+
+func TestRunEncodings(t *testing.T) {
+	ds := testCity(t)
+	for _, enc := range []dataset.Encoding{dataset.EncCentroid, dataset.EncOneHot, dataset.EncCentroidOneHot} {
+		t.Run(enc.String(), func(t *testing.T) {
+			res, err := Run(ds, Config{Method: MethodFairKD, Height: 4, Encoding: enc, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tasks[0].ENCE < 0 {
+				t.Error("bad ENCE")
+			}
+		})
+	}
+}
+
+func TestRunReweightFlag(t *testing.T) {
+	// Reweight on a zip-code partition must still produce a valid run.
+	ds := testCity(t)
+	res, err := Run(ds, Config{Method: MethodZipCode, Reweight: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRegions != 40 {
+		t.Errorf("regions = %d, want default 40 zip sites", res.NumRegions)
+	}
+}
+
+func TestRunMultiObjectiveAlphas(t *testing.T) {
+	ds := testCity(t)
+	res, err := Run(ds, Config{
+		Method: MethodMultiObjectiveFairKD,
+		Height: 4,
+		Alphas: []float64{0.5, 0.5},
+		Seed:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(res.Tasks))
+	}
+	if _, err := res.TaskByName("ACT"); err != nil {
+		t.Error(err)
+	}
+	if _, err := res.TaskByName("Employment"); err != nil {
+		t.Error(err)
+	}
+	if _, err := res.TaskByName("nope"); err == nil {
+		t.Error("expected missing task error")
+	}
+}
+
+func TestRunImportanceAggregation(t *testing.T) {
+	ds := testCity(t)
+	res, err := Run(ds, Config{Method: MethodFairKD, Height: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tasks[0]
+	if len(tr.ImportanceNames) != dataset.NumStdFeatures+1 {
+		t.Fatalf("importance names = %v", tr.ImportanceNames)
+	}
+	if tr.ImportanceNames[len(tr.ImportanceNames)-1] != "Neighborhood" {
+		t.Errorf("last importance entry = %q, want Neighborhood", tr.ImportanceNames[len(tr.ImportanceNames)-1])
+	}
+	var sum float64
+	for _, v := range tr.ImportanceValues {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	tests := []struct {
+		m    Method
+		want string
+	}{
+		{MethodMedianKD, "Median KD-tree"},
+		{MethodFairKD, "Fair KD-tree"},
+		{MethodIterativeFairKD, "Iterative Fair KD-tree"},
+		{MethodMultiObjectiveFairKD, "Multi-Objective Fair KD-tree"},
+		{MethodGridReweight, "Grid (Reweighting)"},
+		{MethodZipCode, "Zip Code"},
+		{MethodFairQuadtree, "Fair Quadtree"},
+		{Method(42), "Method(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"fairindex/internal/ml"
+)
+
+// PostProcess selects an optional per-neighborhood score calibration
+// applied after the final training — the post-processing mitigation
+// family of the paper's §3 taxonomy ("post-processing techniques
+// sacrifice the utility of output confidence scores and align them
+// with the fairness objective"). It recalibrates scores within each
+// neighborhood on training data, falling back to a global calibrator
+// for neighborhoods too small or single-class.
+type PostProcess int
+
+const (
+	// PostNone leaves the classifier's scores untouched.
+	PostNone PostProcess = iota
+	// PostPlatt fits a per-neighborhood Platt scaler.
+	PostPlatt
+	// PostIsotonic fits a per-neighborhood isotonic regression.
+	PostIsotonic
+)
+
+// String implements fmt.Stringer.
+func (p PostProcess) String() string {
+	switch p {
+	case PostNone:
+		return "none"
+	case PostPlatt:
+		return "platt"
+	case PostIsotonic:
+		return "isotonic"
+	default:
+		return fmt.Sprintf("PostProcess(%d)", int(p))
+	}
+}
+
+// minPostSamples is the minimum per-class training count a
+// neighborhood needs for its own calibrator.
+const minPostSamples = 8
+
+// calibrator is the shared surface of ml.Platt and ml.Isotonic.
+type calibrator interface {
+	Fit(scores []float64, labels []int, w []float64) error
+	Apply(scores []float64) ([]float64, error)
+}
+
+// newCalibrator constructs the selected calibrator.
+func newCalibrator(kind PostProcess) (calibrator, error) {
+	switch kind {
+	case PostPlatt:
+		return ml.NewPlatt(), nil
+	case PostIsotonic:
+		return ml.NewIsotonic(), nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported post-processing %d", ErrConfig, int(kind))
+	}
+}
+
+// postProcessScores recalibrates allScores in place per neighborhood.
+// trainIdx designates the rows calibrators may learn from; regionOf
+// assigns every row to a neighborhood in [0, numRegions).
+func postProcessScores(kind PostProcess, allScores []float64, labels, regionOf, trainIdx []int, numRegions int) error {
+	if kind == PostNone {
+		return nil
+	}
+	// Global fallback fitted on all training rows.
+	global, err := newCalibrator(kind)
+	if err != nil {
+		return err
+	}
+	trainScores := make([]float64, len(trainIdx))
+	trainLabels := make([]int, len(trainIdx))
+	for i, j := range trainIdx {
+		trainScores[i] = allScores[j]
+		trainLabels[i] = labels[j]
+	}
+	if err := global.Fit(trainScores, trainLabels, nil); err != nil {
+		return fmt.Errorf("pipeline: global post-calibration: %w", err)
+	}
+
+	// Group training rows per region.
+	regionTrain := make([][]int, numRegions)
+	for _, j := range trainIdx {
+		r := regionOf[j]
+		regionTrain[r] = append(regionTrain[r], j)
+	}
+	// Fit one calibrator per eligible region.
+	regionCal := make([]calibrator, numRegions)
+	for r := 0; r < numRegions; r++ {
+		rows := regionTrain[r]
+		pos, neg := 0, 0
+		for _, j := range rows {
+			if labels[j] != 0 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos < minPostSamples || neg < minPostSamples {
+			regionCal[r] = global
+			continue
+		}
+		s := make([]float64, len(rows))
+		y := make([]int, len(rows))
+		for i, j := range rows {
+			s[i] = allScores[j]
+			y[i] = labels[j]
+		}
+		c, err := newCalibrator(kind)
+		if err != nil {
+			return err
+		}
+		if err := c.Fit(s, y, nil); err != nil {
+			return fmt.Errorf("pipeline: region %d post-calibration: %w", r, err)
+		}
+		regionCal[r] = c
+	}
+	// Apply region calibrators to every row.
+	for j := range allScores {
+		out, err := regionCal[regionOf[j]].Apply(allScores[j : j+1])
+		if err != nil {
+			return err
+		}
+		allScores[j] = out[0]
+	}
+	return nil
+}

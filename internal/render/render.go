@@ -1,0 +1,76 @@
+// Package render draws partitions as ASCII maps for CLI tools and
+// examples: each grid cell becomes a glyph keyed by its region, so
+// neighborhood boundaries are visible in a terminal.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"fairindex/internal/geo"
+	"fairindex/internal/partition"
+)
+
+// glyphs cycle over regions; adjacent tree leaves get consecutive ids
+// so neighboring regions rarely collide.
+const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// Partition renders the partition as an ASCII map with at most
+// maxSide characters per side, downsampling larger grids by point
+// sampling. Row 0 (the grid's southern edge) is drawn at the bottom,
+// matching map orientation.
+func Partition(p *partition.Partition, maxSide int) string {
+	if maxSide <= 0 {
+		maxSide = 64
+	}
+	grid := p.Grid()
+	rows, cols := grid.U, grid.V
+	if rows > maxSide {
+		rows = maxSide
+	}
+	if cols > maxSide {
+		cols = maxSide
+	}
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		srcRow := r * grid.U / rows
+		for c := 0; c < cols; c++ {
+			srcCol := c * grid.V / cols
+			region, err := p.RegionOfCell(geo.Cell{Row: srcRow, Col: srcCol})
+			if err != nil {
+				b.WriteByte('?')
+				continue
+			}
+			b.WriteByte(glyphs[region%len(glyphs)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Histogram renders per-region populations as a horizontal bar chart
+// (one row per region, ordered by id), capped at barWidth characters.
+func Histogram(pop []int, barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 40
+	}
+	max := 0
+	for _, n := range pop {
+		if n > max {
+			max = n
+		}
+	}
+	var b strings.Builder
+	for r, n := range pop {
+		bar := 0
+		if max > 0 {
+			bar = n * barWidth / max
+		}
+		fmt.Fprintf(&b, "%-5s |%s%s| %d\n",
+			fmt.Sprintf("N%d", r),
+			strings.Repeat("#", bar),
+			strings.Repeat(" ", barWidth-bar),
+			n)
+	}
+	return b.String()
+}

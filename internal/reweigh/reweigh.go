@@ -1,0 +1,61 @@
+// Package reweigh implements the Kamiran–Calders reweighing
+// pre-processing technique adapted to spatial groups — the paper's
+// "Grid (Reweighting)" benchmark (§5.1, citing [15]). Each instance
+// receives the weight
+//
+//	w(g, y) = P(group = g) · P(label = y) / P(group = g, label = y)
+//
+// so that, under the weighted distribution, group membership and
+// label are statistically independent.
+package reweigh
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput reports invalid group or label slices.
+var ErrBadInput = errors.New("reweigh: invalid input")
+
+// Weights computes the reweighing weight per instance. groups[i] must
+// lie in [0, numGroups). Groups absent from the data simply receive
+// no weights (no instances); group/label combinations with zero count
+// cannot occur on actual instances, so no division by zero arises.
+func Weights(groups []int, numGroups int, labels []int) ([]float64, error) {
+	if len(groups) != len(labels) {
+		return nil, fmt.Errorf("%w: %d groups vs %d labels", ErrBadInput, len(groups), len(labels))
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("%w: empty data", ErrBadInput)
+	}
+	if numGroups <= 0 {
+		return nil, fmt.Errorf("%w: %d groups", ErrBadInput, numGroups)
+	}
+	n := float64(len(groups))
+	groupCount := make([]float64, numGroups)
+	var posCount float64
+	joint := make([][2]float64, numGroups)
+	for i, g := range groups {
+		if g < 0 || g >= numGroups {
+			return nil, fmt.Errorf("%w: group %d of instance %d out of range [0,%d)", ErrBadInput, g, i, numGroups)
+		}
+		y := 0
+		if labels[i] != 0 {
+			y = 1
+		}
+		groupCount[g]++
+		posCount += float64(y)
+		joint[g][y]++
+	}
+	labelCount := [2]float64{n - posCount, posCount}
+	out := make([]float64, len(groups))
+	for i, g := range groups {
+		y := 0
+		if labels[i] != 0 {
+			y = 1
+		}
+		// w = (P(g)·P(y)) / P(g,y) = groupCount·labelCount / (n·joint).
+		out[i] = groupCount[g] * labelCount[y] / (n * joint[g][y])
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package reweigh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightsKnownExample(t *testing.T) {
+	// Two groups of two; group 0 all positive, group 1 half positive.
+	groups := []int{0, 0, 1, 1}
+	labels := []int{1, 1, 1, 0}
+	w, err := Weights(groups, 2, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(g=0)=0.5, P(y=1)=0.75, P(g=0,y=1)=0.5 → w = 0.375/0.5 = 0.75
+	if math.Abs(w[0]-0.75) > 1e-12 || math.Abs(w[1]-0.75) > 1e-12 {
+		t.Errorf("group-0 weights = %v, want 0.75", w[:2])
+	}
+	// P(g=1,y=1)=0.25 → w = 0.375/0.25 = 1.5
+	if math.Abs(w[2]-1.5) > 1e-12 {
+		t.Errorf("w[2] = %v, want 1.5", w[2])
+	}
+	// P(g=1,y=0)=0.25, P(y=0)=0.25 → w = 0.125/0.25 = 0.5
+	if math.Abs(w[3]-0.5) > 1e-12 {
+		t.Errorf("w[3] = %v, want 0.5", w[3])
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	if _, err := Weights([]int{0}, 1, []int{1, 0}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := Weights(nil, 1, nil); err == nil {
+		t.Error("expected empty data error")
+	}
+	if _, err := Weights([]int{0}, 0, []int{1}); err == nil {
+		t.Error("expected group count error")
+	}
+	if _, err := Weights([]int{5}, 2, []int{1}); err == nil {
+		t.Error("expected out-of-range group error")
+	}
+	if _, err := Weights([]int{-1}, 2, []int{1}); err == nil {
+		t.Error("expected negative group error")
+	}
+}
+
+func TestWeightsIndependenceProperty(t *testing.T) {
+	// Property: under the weights, every group's weighted positive
+	// rate equals the overall weighted positive rate (statistical
+	// independence of group and label).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 10
+		g := rng.Intn(6) + 1
+		groups := make([]int, n)
+		labels := make([]int, n)
+		for i := range groups {
+			groups[i] = rng.Intn(g)
+			labels[i] = rng.Intn(2)
+		}
+		w, err := Weights(groups, g, labels)
+		if err != nil {
+			return false
+		}
+		// The weighted per-group positive rate equals the *unweighted*
+		// overall positive rate P(y=1) for every group holding both
+		// classes: w(g,1)·n_g1 / (w(g,1)·n_g1 + w(g,0)·n_g0) =
+		// n_1 / (n_0 + n_1).
+		var rawPos float64
+		groupW := make([]float64, g)
+		groupPos := make([]float64, g)
+		hasPos := make([]bool, g)
+		hasNeg := make([]bool, g)
+		for i := range groups {
+			groupW[groups[i]] += w[i]
+			if labels[i] != 0 {
+				rawPos++
+				groupPos[groups[i]] += w[i]
+				hasPos[groups[i]] = true
+			} else {
+				hasNeg[groups[i]] = true
+			}
+		}
+		overall := rawPos / float64(n)
+		for gi := 0; gi < g; gi++ {
+			if groupW[gi] == 0 || !hasPos[gi] || !hasNeg[gi] {
+				continue // empty or single-class group: rate pinned at 0/1
+			}
+			if rate := groupPos[gi] / groupW[gi]; math.Abs(rate-overall) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsPreserveTotalMass(t *testing.T) {
+	// Reweighing conserves total weight (Σw = n) when every
+	// (group, label) combination is populated.
+	groups := []int{0, 0, 0, 1, 1, 2, 2, 2, 2}
+	labels := []int{1, 0, 1, 1, 0, 0, 0, 1, 0}
+	w, err := Weights(groups, 3, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, wi := range w {
+		sum += wi
+	}
+	if math.Abs(sum-float64(len(groups))) > 1e-9 {
+		t.Errorf("Σw = %v, want %d", sum, len(groups))
+	}
+}
+
+func TestWeightsUniformWhenIndependent(t *testing.T) {
+	// When group and label are already independent, all weights are 1.
+	groups := []int{0, 0, 1, 1}
+	labels := []int{1, 0, 1, 0}
+	w, err := Weights(groups, 2, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wi := range w {
+		if math.Abs(wi-1) > 1e-12 {
+			t.Errorf("w[%d] = %v, want 1", i, wi)
+		}
+	}
+}
