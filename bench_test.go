@@ -252,6 +252,142 @@ func BenchmarkAblationFairCurve(b *testing.B) {
 	}
 }
 
+// Index serving benchmarks: the build-once / query-many hot path.
+// Baselines live in BENCH_index.json so later perf PRs have a
+// trajectory to beat.
+
+// fullIndex lazily builds the paper-sized LA index shared by the
+// serving benches (the Index is immutable and concurrency-safe, so
+// sharing across benchmarks is sound).
+var fullIndex = sync.OnceValues(func() (*fairindex.Index, error) {
+	ds, err := fullLA()
+	if err != nil {
+		return nil, err
+	}
+	return fairindex.Build(ds,
+		fairindex.WithMethod(fairindex.MethodFairKD),
+		fairindex.WithHeight(8),
+		fairindex.WithSeed(11))
+})
+
+func BenchmarkIndexBuild(b *testing.B) {
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := fairindex.Build(ds,
+			fairindex.WithMethod(fairindex.MethodFairKD),
+			fairindex.WithHeight(8),
+			fairindex.WithSeed(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("index: %d regions, build %v, train %v",
+				idx.NumRegions(), idx.BuildTime(), idx.TrainTime())
+		}
+	}
+}
+
+func BenchmarkIndexLocate(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ds.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := &ds.Records[i%n]
+		if _, err := idx.Locate(rec.Lat, rec.Lon); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexLocateBatch(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 1000
+	lats := make([]float64, batch)
+	lons := make([]float64, batch)
+	for i := 0; i < batch; i++ {
+		rec := &ds.Records[i%ds.Len()]
+		lats[i] = rec.Lat
+		lons[i] = rec.Lon
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.LocateBatch(lats, lons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexScore(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ds.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Score(ds.Records[i%n], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexMarshal(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := idx.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("index blob: %d bytes", len(blob))
+		}
+	}
+}
+
+func BenchmarkIndexUnmarshal(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var back fairindex.Index
+		if err := back.UnmarshalBinary(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Micro-benchmarks for the core primitives.
 
 func BenchmarkFairSplitScan(b *testing.B) {

@@ -1,13 +1,23 @@
-// Command fairindexctl builds a fairness-aware spatial partitioning
-// for a dataset CSV and reports the resulting neighborhoods: ENCE,
-// per-neighborhood calibration, an ASCII map of the redistricting and
-// optionally a cell→region assignment CSV.
+// Command fairindexctl builds, persists and serves fairness-aware
+// spatial indexes.
 //
-// Usage:
+// Subcommands:
 //
-//	fairindexctl -in city.csv -minlat .. -maxlat .. -minlon .. -maxlon .. \
+//	fairindexctl build -in city.csv -out city.fidx \
+//	             -minlat .. -maxlat .. -minlon .. -maxlon .. \
 //	             [-method fair|median|iterative|multi|gridrw|zipcode|quadtree] \
 //	             [-height 8] [-model logreg|dtree|nb] [-task 0] \
+//	             [-post none|platt|isotonic] [-grid 64] [-seed 11]
+//		build an Index artifact from a dataset CSV and save it.
+//
+//	fairindexctl serve -index city.fidx -points points.csv [-out regions.csv]
+//		load a saved Index and answer point→neighborhood lookups
+//		for a CSV of points (id, lat, lon; header optional).
+//
+// Invoked without a subcommand it runs the legacy one-shot report:
+//
+//	fairindexctl -in city.csv -minlat .. -maxlat .. -minlon .. -maxlon .. \
+//	             [-method fair] [-height 8] [-model logreg] [-task 0] \
 //	             [-grid 64] [-seed 11] [-map] [-assign out.csv]
 //
 // The input CSV follows the canonical layout written by cmd/datagen:
@@ -18,10 +28,12 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
 
+	fairindex "fairindex"
 	"fairindex/internal/dataset"
 	"fairindex/internal/geo"
 	"fairindex/internal/ml"
@@ -33,45 +45,258 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fairindexctl: ")
 
-	in := flag.String("in", "", "input dataset CSV (required)")
-	method := flag.String("method", "fair", "partitioning method: fair|median|iterative|multi|gridrw|zipcode|quadtree")
-	model := flag.String("model", "logreg", "classifier: logreg|dtree|nb")
-	height := flag.Int("height", 8, "tree height")
-	task := flag.Int("task", 0, "label task index")
-	gridSide := flag.Int("grid", 64, "base grid side length")
-	seed := flag.Int64("seed", 11, "split/layout seed")
-	minLat := flag.Float64("minlat", 0, "bounding box min latitude (required)")
-	maxLat := flag.Float64("maxlat", 0, "bounding box max latitude (required)")
-	minLon := flag.Float64("minlon", 0, "bounding box min longitude (required)")
-	maxLon := flag.Float64("maxlon", 0, "bounding box max longitude (required)")
-	showMap := flag.Bool("map", false, "print an ASCII map of the partition")
-	assign := flag.String("assign", "", "write the cell→region assignment CSV to this path")
-	flag.Parse()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "build":
+			if err := runBuildCmd(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		case "serve":
+			if err := runServeCmd(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+	}
+	if err := runLegacyReport(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	if *in == "" {
-		log.Fatal("-in is required")
+// runBuildCmd builds an Index from a dataset CSV and writes the
+// serialized artifact to -out.
+func runBuildCmd(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input dataset CSV (required)")
+	out := fs.String("out", "", "output index file (required)")
+	method := fs.String("method", "fair", "partitioning method: fair|median|iterative|multi|gridrw|zipcode|quadtree")
+	model := fs.String("model", "logreg", "classifier: logreg|dtree|nb")
+	height := fs.Int("height", 8, "tree height")
+	task := fs.Int("task", 0, "label task index")
+	post := fs.String("post", "none", "post-processing: none|platt|isotonic")
+	gridSide := fs.Int("grid", 64, "base grid side length")
+	seed := fs.Int64("seed", 11, "split/layout seed")
+	minLat := fs.Float64("minlat", 0, "bounding box min latitude (required)")
+	maxLat := fs.Float64("maxlat", 0, "bounding box max latitude (required)")
+	minLon := fs.Float64("minlon", 0, "bounding box min longitude (required)")
+	maxLon := fs.Float64("maxlon", 0, "bounding box max longitude (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("build: -in and -out are required")
 	}
 	box := geo.BBox{MinLat: *minLat, MinLon: *minLon, MaxLat: *maxLat, MaxLon: *maxLon}
 	if !box.Valid() {
-		log.Fatal("a valid bounding box (-minlat/-maxlat/-minlon/-maxlon) is required")
+		return fmt.Errorf("build: a valid bounding box (-minlat/-maxlat/-minlon/-maxlon) is required")
 	}
 	grid, err := geo.NewGrid(*gridSide, *gridSide)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	ds, err := loadDataset(*in, grid, box)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(*method, *model, *height, *task, *seed)
+	if err != nil {
+		return err
+	}
+	if cfg.PostProcess, err = parsePost(*post); err != nil {
+		return err
+	}
+
+	idx, err := fairindex.Build(ds, fairindex.WithConfig(cfg))
+	if err != nil {
+		return err
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	rep, err := idx.Report(*task)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s over %q: %d neighborhoods (height %d), ENCE %.5f\n",
+		idx.Method(), ds.Name, idx.NumRegions(), idx.Height(), rep.ENCE)
+	fmt.Printf("wrote %d bytes to %s (build %v, train %v)\n",
+		len(blob), *out, idx.BuildTime(), idx.TrainTime())
+	return nil
+}
+
+// runServeCmd loads a saved Index and resolves a CSV of points to
+// neighborhood ids.
+func runServeCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	indexPath := fs.String("index", "", "serialized index file (required)")
+	points := fs.String("points", "", "points CSV: id, lat, lon (required; header optional)")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" || *points == "" {
+		return fmt.Errorf("serve: -index and -points are required")
+	}
+	blob, err := os.ReadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	var idx fairindex.Index
+	if err := idx.UnmarshalBinary(blob); err != nil {
+		return err
+	}
+	ids, lats, lons, err := readPoints(*points)
+	if err != nil {
+		return err
+	}
+	regions, err := idx.LocateBatch(lats, lons)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "lat", "lon", "region"}); err != nil {
+		return err
+	}
+	for i := range ids {
+		rec := []string{
+			ids[i],
+			strconv.FormatFloat(lats[i], 'g', -1, 64),
+			strconv.FormatFloat(lons[i], 'g', -1, 64),
+			strconv.Itoa(regions[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		if outFile != nil {
+			outFile.Close()
+		}
+		return err
+	}
+	// Close explicitly so a close-time write-back failure (NFS, disk
+	// full) fails the command instead of being swallowed by a defer.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		fmt.Printf("resolved %d points against %d neighborhoods (%s over %q), wrote %s\n",
+			len(ids), idx.NumRegions(), idx.Method(), idx.DatasetName(), *out)
+	}
+	return nil
+}
+
+// readPoints parses an id,lat,lon CSV; a header row is skipped.
+func readPoints(path string) (ids []string, lats, lons []float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = 3
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	for i, row := range rows {
+		lat, latErr := strconv.ParseFloat(row[1], 64)
+		lon, lonErr := strconv.ParseFloat(row[2], 64)
+		if latErr != nil || lonErr != nil {
+			// Only a first row with *both* coordinate fields non-numeric
+			// is a header; a single bad field is a data error even on
+			// row 1, so malformed points are never silently dropped.
+			if i == 0 && latErr != nil && lonErr != nil {
+				continue // header row
+			}
+			return nil, nil, nil, fmt.Errorf("serve: %s row %d: bad coordinates %q,%q", path, i+1, row[1], row[2])
+		}
+		ids = append(ids, row[0])
+		lats = append(lats, lat)
+		lons = append(lons, lon)
+	}
+	if len(ids) == 0 {
+		return nil, nil, nil, fmt.Errorf("serve: %s: no points", path)
+	}
+	return ids, lats, lons, nil
+}
+
+// parsePost maps the -post flag onto the pipeline enum.
+func parsePost(s string) (pipeline.PostProcess, error) {
+	switch s {
+	case "none":
+		return pipeline.PostNone, nil
+	case "platt":
+		return pipeline.PostPlatt, nil
+	case "isotonic":
+		return pipeline.PostIsotonic, nil
+	}
+	return pipeline.PostNone, fmt.Errorf("unknown post-processing %q", s)
+}
+
+// runLegacyReport is the original one-shot experiment flow.
+func runLegacyReport(args []string) error {
+	fs := flag.NewFlagSet("fairindexctl", flag.ExitOnError)
+	in := fs.String("in", "", "input dataset CSV (required)")
+	method := fs.String("method", "fair", "partitioning method: fair|median|iterative|multi|gridrw|zipcode|quadtree")
+	model := fs.String("model", "logreg", "classifier: logreg|dtree|nb")
+	height := fs.Int("height", 8, "tree height")
+	task := fs.Int("task", 0, "label task index")
+	gridSide := fs.Int("grid", 64, "base grid side length")
+	seed := fs.Int64("seed", 11, "split/layout seed")
+	minLat := fs.Float64("minlat", 0, "bounding box min latitude (required)")
+	maxLat := fs.Float64("maxlat", 0, "bounding box max latitude (required)")
+	minLon := fs.Float64("minlon", 0, "bounding box min longitude (required)")
+	maxLon := fs.Float64("maxlon", 0, "bounding box max longitude (required)")
+	showMap := fs.Bool("map", false, "print an ASCII map of the partition")
+	assign := fs.String("assign", "", "write the cell→region assignment CSV to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	box := geo.BBox{MinLat: *minLat, MinLon: *minLon, MaxLat: *maxLat, MaxLon: *maxLon}
+	if !box.Valid() {
+		return fmt.Errorf("a valid bounding box (-minlat/-maxlat/-minlon/-maxlon) is required")
+	}
+	grid, err := geo.NewGrid(*gridSide, *gridSide)
+	if err != nil {
+		return err
 	}
 
 	ds, err := loadDataset(*in, grid, box)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg, err := buildConfig(*method, *model, *height, *task, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	res, err := pipeline.Run(ds, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	report(ds, res)
 
@@ -81,10 +306,11 @@ func main() {
 	}
 	if *assign != "" {
 		if err := writeAssignment(res, *assign); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("\nwrote assignment CSV to %s\n", *assign)
 	}
+	return nil
 }
 
 func loadDataset(path string, grid geo.Grid, box geo.BBox) (*dataset.Dataset, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -101,6 +102,108 @@ func TestLoadDatasetAndAssignment(t *testing.T) {
 		t.Errorf("header = %q", lines[0])
 	}
 }
+
+func TestBuildServeRoundTrip(t *testing.T) {
+	// End-to-end: dataset CSV -> build (index file) -> serve (points
+	// CSV -> region assignments).
+	dir := t.TempDir()
+	spec := dataset.LA()
+	spec.NumRecords = 200
+	grid := geo.MustGrid(16, 16)
+	ds, err := dataset.Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "city.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(ds, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idxPath := filepath.Join(dir, "city.fidx")
+	buildArgs := []string{
+		"-in", csvPath, "-out", idxPath, "-grid", "16",
+		"-method", "fair", "-height", "4", "-seed", "1",
+		"-minlat", fmtF(ds.Box.MinLat), "-maxlat", fmtF(ds.Box.MaxLat),
+		"-minlon", fmtF(ds.Box.MinLon), "-maxlon", fmtF(ds.Box.MaxLon),
+	}
+	if err := runBuildCmd(buildArgs); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(idxPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("index file missing or empty: %v", err)
+	}
+
+	// Points CSV with a header plus the first 10 records.
+	pointsPath := filepath.Join(dir, "points.csv")
+	var sb strings.Builder
+	sb.WriteString("id,lat,lon\n")
+	for i := 0; i < 10; i++ {
+		r := ds.Records[i]
+		sb.WriteString(r.ID + "," + fmtF(r.Lat) + "," + fmtF(r.Lon) + "\n")
+	}
+	if err := os.WriteFile(pointsPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "regions.csv")
+	if err := runServeCmd([]string{"-index", idxPath, "-points", pointsPath, "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("serve output rows = %d, want 11:\n%s", len(lines), data)
+	}
+	if lines[0] != "id,lat,lon,region" {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			t.Fatalf("row %q has %d fields", line, len(fields))
+		}
+		region, err := strconv.Atoi(fields[3])
+		if err != nil || region < 0 {
+			t.Errorf("row %q: bad region", line)
+		}
+	}
+}
+
+func TestParsePost(t *testing.T) {
+	for s, want := range map[string]pipeline.PostProcess{
+		"none": pipeline.PostNone, "platt": pipeline.PostPlatt, "isotonic": pipeline.PostIsotonic,
+	} {
+		got, err := parsePost(s)
+		if err != nil || got != want {
+			t.Errorf("parsePost(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parsePost("sigmoid"); err == nil {
+		t.Error("expected error for unknown post kind")
+	}
+}
+
+func TestServeMissingInputs(t *testing.T) {
+	if err := runServeCmd([]string{"-points", "x.csv"}); err == nil {
+		t.Error("expected error without -index")
+	}
+	if err := runServeCmd([]string{"-index", "/nonexistent.fidx", "-points", "/nonexistent.csv"}); err == nil {
+		t.Error("expected error for missing index file")
+	}
+}
+
+// fmtF formats a float for CLI args and CSV rows.
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
 func TestLoadDatasetMissingFile(t *testing.T) {
 	if _, err := loadDataset("/nonexistent/file.csv", geo.MustGrid(4, 4),

@@ -1,6 +1,7 @@
-// Quickstart: generate a synthetic city, build a Fair KD-tree
-// partitioning, and compare its neighborhood calibration against the
-// standard median KD-tree.
+// Quickstart: build a fair spatial Index once, then query it many
+// times — the paper's build-once / query-many serving flow. The Fair
+// KD-tree index keeps per-neighborhood calibration error far below a
+// standard median KD-tree at the same spatial granularity.
 //
 // Run with:
 //
@@ -26,24 +27,64 @@ func main() {
 	fmt.Printf("dataset: %s, %d records, %d features, tasks %v\n",
 		ds.Name, ds.Len(), ds.NumFeatures(), ds.TaskNames)
 
-	// 2. Partition the city two ways at the same granularity.
+	// 2. Build the index two ways at the same granularity and compare
+	//    the stored calibration reports.
 	for _, method := range []fairindex.Method{
 		fairindex.MethodMedianKD,
 		fairindex.MethodFairKD,
 	} {
-		res, err := fairindex.Run(ds, fairindex.Config{
-			Method: method,
-			Height: 8, // up to 2^8 neighborhoods
-			Seed:   11,
-		})
+		idx, err := fairindex.Build(ds,
+			fairindex.WithMethod(method),
+			fairindex.WithHeight(8), // up to 2^8 neighborhoods
+			fairindex.WithSeed(11),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr := res.Tasks[0]
-		fmt.Printf("\n%s: %d neighborhoods\n", method, res.NumRegions)
-		fmt.Printf("  ENCE (neighborhood calibration error): %.5f\n", tr.ENCETrain)
-		fmt.Printf("  test accuracy:                          %.3f\n", tr.Accuracy)
-		fmt.Printf("  overall calibration ratio (train):      %.3f\n", tr.TrainCalRatio)
+		rep, err := idx.Report(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: %d neighborhoods\n", method, idx.NumRegions())
+		fmt.Printf("  ENCE (neighborhood calibration error): %.5f\n", rep.ENCETrain)
+		fmt.Printf("  test accuracy:                          %.3f\n", rep.Accuracy)
+		fmt.Printf("  overall calibration ratio (train):      %.3f\n", rep.TrainCalRatio)
+
+		if method != fairindex.MethodFairKD {
+			continue
+		}
+
+		// 3. The serving surface: O(1) point→neighborhood lookup and
+		//    calibrated scoring of one individual, no retraining.
+		rec := ds.Records[0]
+		region, err := idx.Locate(rec.Lat, rec.Lon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		score, err := idx.Score(rec, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  record %s at (%.3f, %.3f) -> neighborhood %d, P(%s)=%.3f\n",
+			rec.ID, rec.Lat, rec.Lon, region, ds.TaskNames[0], score)
+
+		// 4. Persist and restore: the round-tripped index answers the
+		//    exact same queries, so it can be built offline and shipped
+		//    to a server.
+		blob, err := idx.MarshalBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var restored fairindex.Index
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			log.Fatal(err)
+		}
+		again, err := restored.Locate(rec.Lat, rec.Lon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  serialized to %d bytes; restored index agrees: region %d\n",
+			len(blob), again)
 	}
 
 	fmt.Println("\nThe Fair KD-tree keeps per-neighborhood calibration error far")

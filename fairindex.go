@@ -18,19 +18,40 @@
 //     tree, Gaussian naive Bayes — all weighted) and the
 //     Kamiran–Calders reweighing baseline;
 //   - an end-to-end pipeline reproducing the paper's evaluation, and
-//     a synthetic city generator standing in for the EdGap data.
+//     a synthetic city generator standing in for the EdGap data;
+//   - the Index artifact: a build-once / query-many serving index
+//     with O(1) point→neighborhood lookup, calibrated per-task
+//     scoring and versioned binary serialization.
 //
 // # Quick start
 //
+// Build an Index once, then query it many times (it is immutable and
+// safe for concurrent readers):
+//
 //	ds, err := fairindex.GenerateCity(fairindex.LA(), fairindex.MustGrid(64, 64))
 //	if err != nil { ... }
+//	idx, err := fairindex.Build(ds,
+//		fairindex.WithMethod(fairindex.MethodFairKD),
+//		fairindex.WithHeight(8),
+//	)
+//	if err != nil { ... }
+//	region, err := idx.Locate(34.05, -118.25) // O(1), no tree walk
+//	score, err := idx.Score(ds.Records[0], 0) // calibrated P(y=1|x)
+//	report, err := idx.Report(0)              // stored metric report
+//	fmt.Printf("region %d, score %.3f, ENCE %.4f over %d neighborhoods\n",
+//		region, score, report.ENCE, idx.NumRegions())
+//
+// Persist with idx.MarshalBinary and restore with UnmarshalBinary —
+// the restored index reproduces bit-identical outputs, so an index
+// can be built offline and shipped to a server.
+//
+// The experiment-style surface remains: Run executes one end-to-end
+// evaluation and returns only the metric report:
+//
 //	res, err := fairindex.Run(ds, fairindex.Config{
 //		Method: fairindex.MethodFairKD,
 //		Height: 8,
 //	})
-//	if err != nil { ... }
-//	fmt.Printf("ENCE = %.4f over %d neighborhoods\n",
-//		res.Tasks[0].ENCE, res.NumRegions)
 //
 // See the examples/ directory for runnable programs and DESIGN.md for
 // the architecture and the paper-to-code mapping.

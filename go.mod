@@ -1,0 +1,3 @@
+module fairindex
+
+go 1.24

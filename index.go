@@ -1,0 +1,554 @@
+package fairindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"fairindex/internal/binenc"
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/ml"
+	"fairindex/internal/partition"
+	"fairindex/internal/pipeline"
+)
+
+// Index is the build-once / query-many artifact of the library: a
+// fairness-aware spatial index bundling the neighborhood partition,
+// the trained per-task classifiers (plus any fitted post-processing
+// calibrators), the region centroids and the build-time metric
+// reports.
+//
+// An Index is immutable after Build or UnmarshalBinary and safe for
+// concurrent use by multiple goroutines without locking: Locate,
+// LocateBatch, Score and Report only read. Point lookup is O(1) — a
+// precomputed cell→region table, no tree walk on the hot path.
+//
+// Build an Index offline, persist it with MarshalBinary, ship the
+// bytes to a server and load them with UnmarshalBinary; the restored
+// Index reproduces bit-identical Locate and Score outputs.
+type Index struct {
+	cfg          Config // defaults resolved
+	datasetName  string
+	featureNames []string
+	taskNames    []string
+
+	grid   geo.Grid
+	box    geo.BBox
+	mapper geo.Mapper
+
+	part       *partition.Partition
+	cellRegion []int // row-major cell index -> region id (hot path)
+	numRegions int
+	centroids  [][2]float64
+	encoding   Encoding // resolved final-training encoding
+
+	tasks []indexTask
+
+	buildTime, trainTime time.Duration
+}
+
+// indexTask is one task's serving bundle.
+type indexTask struct {
+	task   int
+	model  ml.Classifier
+	post   []ml.ScoreCalibrator // nil when no post-processing
+	report TaskResult
+}
+
+// Index errors.
+var (
+	// ErrIndexFormat reports bytes that are not a valid serialized
+	// Index (wrong magic, unsupported version or corrupt payload).
+	ErrIndexFormat = errors.New("fairindex: invalid index encoding")
+	// ErrNoTask reports a task id the Index was not built for.
+	ErrNoTask = errors.New("fairindex: task not in index")
+)
+
+// Build constructs an Index for the dataset: it partitions the city
+// with the configured fairness-aware method, trains the final
+// classifier(s) over the resulting neighborhoods and packages
+// everything into a reusable serving artifact. With no options it
+// builds the paper's Fair KD-tree at height 8.
+func Build(ds *Dataset, opts ...Option) (*Index, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	art, err := pipeline.Build(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(ds, art)
+}
+
+// newIndex assembles the serving artifact from trained pipeline
+// output.
+func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
+	mapper, err := geo.NewMapper(ds.Grid, ds.Box)
+	if err != nil {
+		return nil, fmt.Errorf("fairindex: index needs a dataset with a valid bounding box: %w", err)
+	}
+	ix := &Index{
+		cfg:          art.Config,
+		datasetName:  ds.Name,
+		featureNames: append([]string(nil), ds.FeatureNames...),
+		taskNames:    append([]string(nil), ds.TaskNames...),
+		grid:         ds.Grid,
+		box:          ds.Box,
+		mapper:       mapper,
+		part:         art.Partition,
+		cellRegion:   art.Partition.CellRegions(),
+		numRegions:   art.Partition.NumRegions(),
+		centroids:    art.Partition.Centroids(),
+		encoding:     art.Config.Encoding.Resolve(),
+		buildTime:    art.BuildTime,
+		trainTime:    art.TrainTime,
+	}
+	for _, tt := range art.Tasks {
+		ix.tasks = append(ix.tasks, indexTask{
+			task:   tt.Report.Task,
+			model:  tt.Model,
+			post:   tt.Post,
+			report: tt.Report,
+		})
+	}
+	return ix, nil
+}
+
+// Locate maps a geographic coordinate to its neighborhood id in
+// [0, NumRegions). Coordinates on or outside the bounding box clamp
+// to the nearest border cell, matching record ingestion. O(1): one
+// table lookup, no tree walk.
+func (ix *Index) Locate(lat, lon float64) (int, error) {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) || math.IsNaN(lon) || math.IsInf(lon, 0) {
+		return 0, fmt.Errorf("fairindex: non-finite coordinate (%v, %v)", lat, lon)
+	}
+	c := ix.mapper.CellOf(lat, lon)
+	return ix.cellRegion[ix.grid.Index(c)], nil
+}
+
+// LocateBatch maps coordinate slices to neighborhood ids, appending
+// into a fresh slice. lats and lons must have equal length.
+func (ix *Index) LocateBatch(lats, lons []float64) ([]int, error) {
+	if len(lats) != len(lons) {
+		return nil, fmt.Errorf("fairindex: %d latitudes vs %d longitudes", len(lats), len(lons))
+	}
+	out := make([]int, len(lats))
+	for i := range lats {
+		r, err := ix.Locate(lats[i], lons[i])
+		if err != nil {
+			return nil, fmt.Errorf("fairindex: point %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// LocateCell maps a grid cell directly to its neighborhood id.
+func (ix *Index) LocateCell(c Cell) (int, error) {
+	if !ix.grid.InBounds(c) {
+		return 0, fmt.Errorf("fairindex: cell %v outside %v", c, ix.grid)
+	}
+	return ix.cellRegion[ix.grid.Index(c)], nil
+}
+
+// taskByID returns the serving bundle for a task id.
+func (ix *Index) taskByID(task int) (*indexTask, error) {
+	for i := range ix.tasks {
+		if ix.tasks[i].task == task {
+			return &ix.tasks[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: task %d (have %v)", ErrNoTask, task, ix.Tasks())
+}
+
+// Score runs one individual through the task's final model: the
+// record is located via its coordinates, encoded with the index's
+// neighborhood encoding and scored; per-neighborhood post-processing
+// calibrators (when the index was built with WithPostProcess) are
+// applied. The record's feature vector must match FeatureNames.
+func (ix *Index) Score(rec Record, task int) (float64, error) {
+	it, err := ix.taskByID(task)
+	if err != nil {
+		return 0, err
+	}
+	if len(rec.X) != len(ix.featureNames) {
+		return 0, fmt.Errorf("fairindex: record has %d features, index was built on %d", len(rec.X), len(ix.featureNames))
+	}
+	region, err := ix.Locate(rec.Lat, rec.Lon)
+	if err != nil {
+		return 0, err
+	}
+	row, err := dataset.EncodeRow(rec.X, region, ix.numRegions, ix.centroids, ix.encoding)
+	if err != nil {
+		return 0, err
+	}
+	scores, err := it.model.PredictProba([][]float64{row})
+	if err != nil {
+		return 0, err
+	}
+	if it.post != nil {
+		calibrated, err := it.post[region].Apply(scores)
+		if err != nil {
+			return 0, err
+		}
+		return calibrated[0], nil
+	}
+	return scores[0], nil
+}
+
+// Report returns the stored build-time metric report for a task.
+func (ix *Index) Report(task int) (TaskResult, error) {
+	it, err := ix.taskByID(task)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return it.report, nil
+}
+
+// Method returns the partitioning strategy the index was built with.
+func (ix *Index) Method() Method { return ix.cfg.Method }
+
+// Height returns the configured tree height.
+func (ix *Index) Height() int { return ix.cfg.Height }
+
+// Model returns the classifier family of the final models.
+func (ix *Index) Model() ModelKind { return ix.cfg.Model }
+
+// NumRegions returns the number of neighborhoods.
+func (ix *Index) NumRegions() int { return ix.numRegions }
+
+// Grid returns the base grid.
+func (ix *Index) Grid() Grid { return ix.grid }
+
+// Box returns the geographic bounding box.
+func (ix *Index) Box() BBox { return ix.box }
+
+// DatasetName returns the name of the dataset the index was built on.
+func (ix *Index) DatasetName() string { return ix.datasetName }
+
+// FeatureNames returns a copy of the feature schema Score expects.
+func (ix *Index) FeatureNames() []string {
+	return append([]string(nil), ix.featureNames...)
+}
+
+// TaskNames returns a copy of the dataset's task names.
+func (ix *Index) TaskNames() []string {
+	return append([]string(nil), ix.taskNames...)
+}
+
+// Tasks returns the task ids the index can Score and Report.
+func (ix *Index) Tasks() []int {
+	out := make([]int, len(ix.tasks))
+	for i := range ix.tasks {
+		out[i] = ix.tasks[i].task
+	}
+	return out
+}
+
+// Partition returns the underlying neighborhood partition.
+func (ix *Index) Partition() *Partition { return ix.part }
+
+// Centroid returns the normalized (row, col) centroid of a region.
+func (ix *Index) Centroid(region int) ([2]float64, error) {
+	if region < 0 || region >= ix.numRegions {
+		return [2]float64{}, fmt.Errorf("fairindex: region %d out of range [0,%d)", region, ix.numRegions)
+	}
+	return ix.centroids[region], nil
+}
+
+// BuildTime returns the partition construction duration.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// TrainTime returns the final training + evaluation duration.
+func (ix *Index) TrainTime() time.Duration { return ix.trainTime }
+
+// Config returns the resolved build configuration (a copy).
+func (ix *Index) Config() Config {
+	cfg := ix.cfg
+	cfg.Alphas = append([]float64(nil), cfg.Alphas...)
+	return cfg
+}
+
+// Binary format of a serialized Index. The version gate means later
+// layout changes only need a new version constant plus a decode
+// branch; v1 layout:
+//
+//	magic "FIDX" | uvarint version
+//	config (method, height, model, encoding, task, alphas,
+//	        objective, lambda, testFrac, seed, zipSites, eceBins,
+//	        reweight, postProcess)
+//	dataset meta (name, feature names, task names)
+//	bounding box (4 × float64, exact bits)
+//	partition (grid, cell→region table, centroids — see
+//	           partition.AppendBinary)
+//	timings (build, train — nanosecond varints)
+//	tasks (id, model bytes, calibrators as a distinct-blob table +
+//	       per-region references, metric report)
+var indexMagic = [4]byte{'F', 'I', 'D', 'X'}
+
+// indexVersion is the current serialization version.
+const indexVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler with the
+// versioned compact layout above. Floats are stored bit-exact, so an
+// unmarshaled Index reproduces identical Locate/Score outputs.
+func (ix *Index) MarshalBinary() ([]byte, error) {
+	b := append([]byte(nil), indexMagic[:]...)
+	b = binenc.AppendUvarint(b, indexVersion)
+
+	// Config.
+	b = binenc.AppendVarint(b, int64(ix.cfg.Method))
+	b = binenc.AppendVarint(b, int64(ix.cfg.Height))
+	b = binenc.AppendVarint(b, int64(ix.cfg.Model))
+	b = binenc.AppendVarint(b, int64(ix.cfg.Encoding))
+	b = binenc.AppendVarint(b, int64(ix.cfg.Task))
+	b = binenc.AppendFloat64s(b, ix.cfg.Alphas)
+	b = binenc.AppendVarint(b, int64(ix.cfg.Objective))
+	b = binenc.AppendFloat64(b, ix.cfg.Lambda)
+	b = binenc.AppendFloat64(b, ix.cfg.TestFrac)
+	b = binenc.AppendVarint(b, ix.cfg.Seed)
+	b = binenc.AppendVarint(b, int64(ix.cfg.ZipSites))
+	b = binenc.AppendVarint(b, int64(ix.cfg.ECEBins))
+	b = binenc.AppendBool(b, ix.cfg.Reweight)
+	b = binenc.AppendVarint(b, int64(ix.cfg.PostProcess))
+
+	// Dataset metadata and geometry.
+	b = binenc.AppendString(b, ix.datasetName)
+	b = binenc.AppendStrings(b, ix.featureNames)
+	b = binenc.AppendStrings(b, ix.taskNames)
+	b = binenc.AppendFloat64(b, ix.box.MinLat)
+	b = binenc.AppendFloat64(b, ix.box.MinLon)
+	b = binenc.AppendFloat64(b, ix.box.MaxLat)
+	b = binenc.AppendFloat64(b, ix.box.MaxLon)
+
+	// Partition (grid + cell→region table + centroids).
+	b = ix.part.AppendBinary(b)
+
+	// Timings.
+	b = binenc.AppendVarint(b, int64(ix.buildTime))
+	b = binenc.AppendVarint(b, int64(ix.trainTime))
+
+	// Tasks.
+	b = binenc.AppendUvarint(b, uint64(len(ix.tasks)))
+	for i := range ix.tasks {
+		it := &ix.tasks[i]
+		b = binenc.AppendVarint(b, int64(it.task))
+		model, err := ml.MarshalClassifier(it.model)
+		if err != nil {
+			return nil, fmt.Errorf("fairindex: task %d: %w", it.task, err)
+		}
+		b = binenc.AppendBytes(b, model)
+		// Post-processing calibrators: most regions alias one shared
+		// global fallback, so serialize each distinct calibrator once
+		// and store per-region references (restoring also re-shares
+		// them in memory).
+		b = binenc.AppendUvarint(b, uint64(len(it.post)))
+		if len(it.post) > 0 {
+			refOf := make(map[ml.ScoreCalibrator]int, 4)
+			var distinct [][]byte
+			refs := make([]int, len(it.post))
+			for r, cal := range it.post {
+				ref, seen := refOf[cal]
+				if !seen {
+					blob, err := ml.MarshalCalibrator(cal)
+					if err != nil {
+						return nil, fmt.Errorf("fairindex: task %d region %d: %w", it.task, r, err)
+					}
+					ref = len(distinct)
+					distinct = append(distinct, blob)
+					refOf[cal] = ref
+				}
+				refs[r] = ref
+			}
+			b = binenc.AppendUvarint(b, uint64(len(distinct)))
+			for _, blob := range distinct {
+				b = binenc.AppendBytes(b, blob)
+			}
+			for _, ref := range refs {
+				b = binenc.AppendUvarint(b, uint64(ref))
+			}
+		}
+		b = appendTaskResult(b, &it.report)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, restoring an
+// Index serialized by MarshalBinary. The receiver is overwritten.
+func (ix *Index) UnmarshalBinary(data []byte) error {
+	if len(data) < len(indexMagic) || string(data[:4]) != string(indexMagic[:]) {
+		return fmt.Errorf("%w: bad magic", ErrIndexFormat)
+	}
+	r := binenc.NewReader(data[4:])
+	if v := r.Uvarint(); v != indexVersion {
+		if r.Err() == nil {
+			return fmt.Errorf("%w: unsupported version %d (have %d)", ErrIndexFormat, v, indexVersion)
+		}
+		return fmt.Errorf("%w: %v", ErrIndexFormat, r.Err())
+	}
+
+	var out Index
+	out.cfg.Method = Method(r.Int())
+	out.cfg.Height = r.Int()
+	out.cfg.Model = ModelKind(r.Int())
+	out.cfg.Encoding = Encoding(r.Int())
+	out.cfg.Task = r.Int()
+	out.cfg.Alphas = r.Float64s()
+	out.cfg.Objective = Objective(r.Int())
+	out.cfg.Lambda = r.Float64()
+	out.cfg.TestFrac = r.Float64()
+	out.cfg.Seed = r.Varint()
+	out.cfg.ZipSites = r.Int()
+	out.cfg.ECEBins = r.Int()
+	out.cfg.Reweight = r.Bool()
+	out.cfg.PostProcess = PostProcess(r.Int())
+
+	out.datasetName = r.String()
+	out.featureNames = r.Strings()
+	out.taskNames = r.Strings()
+	out.box = BBox{
+		MinLat: r.Float64(), MinLon: r.Float64(),
+		MaxLat: r.Float64(), MaxLon: r.Float64(),
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrIndexFormat, err)
+	}
+
+	part, centroids, err := partition.DecodeBinary(r)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrIndexFormat, err)
+	}
+	out.part = part
+	out.grid = part.Grid()
+	out.cellRegion = part.CellRegions()
+	out.numRegions = part.NumRegions()
+	out.centroids = centroids
+	out.encoding = out.cfg.Encoding.Resolve()
+	out.mapper, err = geo.NewMapper(out.grid, out.box)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrIndexFormat, err)
+	}
+
+	out.buildTime = time.Duration(r.Varint())
+	out.trainTime = time.Duration(r.Varint())
+
+	numTasks := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrIndexFormat, err)
+	}
+	for t := 0; t < numTasks; t++ {
+		var it indexTask
+		it.task = r.Int()
+		modelBytes := r.Bytes()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("%w: task %d: %v", ErrIndexFormat, t, err)
+		}
+		if it.model, err = ml.UnmarshalClassifier(modelBytes); err != nil {
+			return fmt.Errorf("%w: task %d: %v", ErrIndexFormat, t, err)
+		}
+		numCal := int(r.Uvarint())
+		if numCal > 0 {
+			if numCal != out.numRegions {
+				return fmt.Errorf("%w: task %d: %d calibrators for %d regions", ErrIndexFormat, t, numCal, out.numRegions)
+			}
+			numDistinct := int(r.Uvarint())
+			if err := r.Err(); err != nil {
+				return fmt.Errorf("%w: task %d calibrators: %v", ErrIndexFormat, t, err)
+			}
+			distinct := make([]ml.ScoreCalibrator, numDistinct)
+			for c := range distinct {
+				blob := r.Bytes()
+				if err := r.Err(); err != nil {
+					return fmt.Errorf("%w: task %d calibrator %d: %v", ErrIndexFormat, t, c, err)
+				}
+				if distinct[c], err = ml.UnmarshalCalibrator(blob); err != nil {
+					return fmt.Errorf("%w: task %d calibrator %d: %v", ErrIndexFormat, t, c, err)
+				}
+			}
+			it.post = make([]ml.ScoreCalibrator, numCal)
+			for c := 0; c < numCal; c++ {
+				ref := int(r.Uvarint())
+				if r.Err() == nil && (ref < 0 || ref >= numDistinct) {
+					return fmt.Errorf("%w: task %d region %d: calibrator ref %d of %d", ErrIndexFormat, t, c, ref, numDistinct)
+				}
+				if err := r.Err(); err != nil {
+					return fmt.Errorf("%w: task %d calibrator refs: %v", ErrIndexFormat, t, err)
+				}
+				it.post[c] = distinct[ref]
+			}
+		}
+		readTaskResult(r, &it.report)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("%w: task %d report: %v", ErrIndexFormat, t, err)
+		}
+		out.tasks = append(out.tasks, it)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrIndexFormat, err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after payload", ErrIndexFormat, r.Len())
+	}
+	*ix = out
+	return nil
+}
+
+// appendTaskResult appends the binary encoding of a metric report.
+// Floats keep exact bits, so NaN sentinels (e.g. an undefined
+// calibration ratio) survive the round trip.
+func appendTaskResult(b []byte, tr *TaskResult) []byte {
+	b = binenc.AppendVarint(b, int64(tr.Task))
+	b = binenc.AppendString(b, tr.TaskName)
+	for _, f := range []float64{
+		tr.ENCE, tr.ENCETrain, tr.ENCETest,
+		tr.Accuracy, tr.AUC, tr.TrainMiscal, tr.TestMiscal, tr.ECE,
+		tr.TrainCalRatio, tr.TestCalRatio,
+		tr.StatParityGap, tr.EqualOddsGap,
+	} {
+		b = binenc.AppendFloat64(b, f)
+	}
+	b = binenc.AppendUvarint(b, uint64(len(tr.TopNeighborhoods)))
+	for _, nr := range tr.TopNeighborhoods {
+		b = binenc.AppendVarint(b, int64(nr.Group))
+		b = binenc.AppendVarint(b, int64(nr.Count))
+		b = binenc.AppendFloat64(b, nr.Ratio)
+		b = binenc.AppendFloat64(b, nr.Miscal)
+		b = binenc.AppendFloat64(b, nr.ECE)
+		b = binenc.AppendFloat64(b, nr.PosRate)
+		b = binenc.AppendFloat64(b, nr.MeanConf)
+	}
+	b = binenc.AppendStrings(b, tr.ImportanceNames)
+	b = binenc.AppendFloat64s(b, tr.ImportanceValues)
+	return b
+}
+
+// readTaskResult decodes a metric report; errors latch in r.
+func readTaskResult(r *binenc.Reader, tr *TaskResult) {
+	tr.Task = r.Int()
+	tr.TaskName = r.String()
+	for _, dst := range []*float64{
+		&tr.ENCE, &tr.ENCETrain, &tr.ENCETest,
+		&tr.Accuracy, &tr.AUC, &tr.TrainMiscal, &tr.TestMiscal, &tr.ECE,
+		&tr.TrainCalRatio, &tr.TestCalRatio,
+		&tr.StatParityGap, &tr.EqualOddsGap,
+	} {
+		*dst = r.Float64()
+	}
+	n := int(r.Uvarint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		tr.TopNeighborhoods = append(tr.TopNeighborhoods, NeighborhoodReport{
+			Group:    r.Int(),
+			Count:    r.Int(),
+			Ratio:    r.Float64(),
+			Miscal:   r.Float64(),
+			ECE:      r.Float64(),
+			PosRate:  r.Float64(),
+			MeanConf: r.Float64(),
+		})
+	}
+	tr.ImportanceNames = r.Strings()
+	tr.ImportanceValues = r.Float64s()
+}

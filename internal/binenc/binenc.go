@@ -1,0 +1,263 @@
+// Package binenc provides the compact binary encoding primitives
+// shared by every serializable artifact in the library (trained
+// classifiers, partitions and the public Index). Integers use
+// varint/zig-zag encoding, floats are stored as their exact IEEE 754
+// bits (so a round-trip reproduces bit-identical model outputs), and
+// all aggregates are length-prefixed.
+//
+// Decoding goes through Reader, which carries a sticky error so call
+// sites can chain reads and check once at the end.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Decoding errors.
+var (
+	// ErrTruncated reports input that ended before the declared data.
+	ErrTruncated = errors.New("binenc: truncated input")
+	// ErrTooLarge reports a length prefix exceeding the remaining input.
+	ErrTooLarge = errors.New("binenc: declared length exceeds input")
+)
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v in zig-zag varint encoding.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// AppendBool appends a single 0/1 byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendFloat64 appends the exact IEEE 754 bits of f (little-endian).
+func AppendFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// AppendFloat64s appends a length-prefixed float64 slice.
+func AppendFloat64s(b []byte, fs []float64) []byte {
+	b = AppendUvarint(b, uint64(len(fs)))
+	for _, f := range fs {
+		b = AppendFloat64(b, f)
+	}
+	return b
+}
+
+// AppendInts appends a length-prefixed int slice (zig-zag varints).
+func AppendInts(b []byte, xs []int) []byte {
+	b = AppendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = AppendVarint(b, int64(x))
+	}
+	return b
+}
+
+// AppendString appends a length-prefixed UTF-8 string.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendStrings appends a length-prefixed string slice.
+func AppendStrings(b []byte, ss []string) []byte {
+	b = AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = AppendString(b, s)
+	}
+	return b
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(b []byte, p []byte) []byte {
+	b = AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// Reader decodes values appended by the Append functions. The first
+// failure latches into Err; subsequent reads return zero values.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The buffer is not copied.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+// fail latches the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("%w: uvarint at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zig-zag varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("%w: varint at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a zig-zag varint as an int.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// Bool reads a 0/1 byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail(fmt.Errorf("%w: bool at offset %d", ErrTruncated, r.off))
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v != 0
+}
+
+// Float64 reads exact IEEE 754 bits.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail(fmt.Errorf("%w: float64 at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return math.Float64frombits(bits)
+}
+
+// sliceLen validates a length prefix against a per-element minimum
+// size so a corrupt prefix cannot trigger a huge allocation.
+func (r *Reader) sliceLen(minElemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize > 0 && n > uint64(r.Len()/minElemSize) {
+		r.fail(fmt.Errorf("%w: %d elements declared, %d bytes left", ErrTooLarge, n, r.Len()))
+		return 0
+	}
+	return int(n)
+}
+
+// Float64s reads a length-prefixed float64 slice.
+func (r *Reader) Float64s() []float64 {
+	n := r.sliceLen(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Ints reads a length-prefixed int slice.
+func (r *Reader) Ints() []int {
+	n := r.sliceLen(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.sliceLen(1)
+	if r.err != nil {
+		return ""
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: string of %d bytes at offset %d", ErrTruncated, n, r.off))
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Strings reads a length-prefixed string slice.
+func (r *Reader) Strings() []string {
+	n := r.sliceLen(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Bytes reads a length-prefixed byte slice (copied out of the input).
+func (r *Reader) Bytes() []byte {
+	n := r.sliceLen(1)
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: %d bytes declared at offset %d", ErrTooLarge, n, r.off))
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}

@@ -1,0 +1,100 @@
+package binenc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	nan := math.NaN()
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<40)
+	b = AppendVarint(b, -12345)
+	b = AppendBool(b, true)
+	b = AppendFloat64(b, nan)
+	b = AppendFloat64s(b, []float64{0, -1.5, math.Inf(1)})
+	b = AppendInts(b, []int{3, -7, 0})
+	b = AppendString(b, "héllo")
+	b = AppendStrings(b, []string{"", "x"})
+	b = AppendBytes(b, []byte{9, 8})
+
+	r := NewReader(b)
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("varint = %d", got)
+	}
+	if !r.Bool() {
+		t.Error("bool = false")
+	}
+	if got := r.Float64(); !math.IsNaN(got) {
+		t.Errorf("float64 = %v, want NaN bits preserved", got)
+	}
+	fs := r.Float64s()
+	if len(fs) != 3 || fs[1] != -1.5 || !math.IsInf(fs[2], 1) {
+		t.Errorf("float64s = %v", fs)
+	}
+	is := r.Ints()
+	if len(is) != 3 || is[1] != -7 {
+		t.Errorf("ints = %v", is)
+	}
+	if got := r.String(); got != "héllo" {
+		t.Errorf("string = %q", got)
+	}
+	ss := r.Strings()
+	if len(ss) != 2 || ss[1] != "x" {
+		t.Errorf("strings = %v", ss)
+	}
+	bs := r.Bytes()
+	if len(bs) != 2 || bs[0] != 9 {
+		t.Errorf("bytes = %v", bs)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("%d bytes left over", r.Len())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	full := AppendFloat64s(nil, []float64{1, 2, 3})
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Float64s()
+		if r.Err() == nil {
+			t.Errorf("cut at %d: expected error", cut)
+		}
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(nil)
+	r.Uvarint() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error on empty input")
+	}
+	// Subsequent reads return zero values and keep the first error.
+	if v := r.Float64(); v != 0 {
+		t.Errorf("float64 after error = %v", v)
+	}
+	if r.Err() != first {
+		t.Error("error was overwritten")
+	}
+}
+
+func TestReaderRejectsHugeLengthPrefix(t *testing.T) {
+	// A length prefix claiming 2^50 floats must fail fast, not
+	// allocate.
+	b := AppendUvarint(nil, 1<<50)
+	r := NewReader(b)
+	if fs := r.Float64s(); fs != nil || r.Err() == nil {
+		t.Error("expected ErrTooLarge for oversized prefix")
+	}
+}

@@ -109,26 +109,48 @@ func Encode(ds *Dataset, regionOf []int, numRegions int, centroids [][2]float64,
 	}
 
 	for i := range ds.Records {
-		r := regionOf[i]
-		if r < 0 || r >= numRegions {
-			return nil, fmt.Errorf("dataset: record %d region %d out of range [0,%d)", i, r, numRegions)
-		}
-		row := make([]float64, base+locDims)
-		copy(row, ds.Records[i].X)
-		switch enc {
-		case EncCentroid:
-			row[base] = centroids[r][0]
-			row[base+1] = centroids[r][1]
-		case EncOneHot:
-			row[base+r] = 1
-		case EncCentroidOneHot:
-			row[base] = centroids[r][0]
-			row[base+1] = centroids[r][1]
-			row[base+2+r] = 1
+		row, err := EncodeRow(ds.Records[i].X, regionOf[i], numRegions, centroids, enc)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", i, err)
 		}
 		out.X[i] = row
 	}
 	return out, nil
+}
+
+// EncodeRow builds the model feature row for a single record: its
+// continuous features x followed by the location columns for its
+// region under the given encoding. This is the per-record core of
+// Encode, exposed so a serving index can score one individual without
+// materializing a whole dataset.
+func EncodeRow(x []float64, region, numRegions int, centroids [][2]float64, enc Encoding) ([]float64, error) {
+	enc = enc.Resolve()
+	if region < 0 || region >= numRegions {
+		return nil, fmt.Errorf("dataset: region %d out of range [0,%d)", region, numRegions)
+	}
+	if enc != EncOneHot && len(centroids) < numRegions {
+		return nil, fmt.Errorf("dataset: %d centroids for %d regions", len(centroids), numRegions)
+	}
+	base := len(x)
+	var row []float64
+	switch enc {
+	case EncCentroid:
+		row = make([]float64, base+2)
+		row[base] = centroids[region][0]
+		row[base+1] = centroids[region][1]
+	case EncOneHot:
+		row = make([]float64, base+numRegions)
+		row[base+region] = 1
+	case EncCentroidOneHot:
+		row = make([]float64, base+2+numRegions)
+		row[base] = centroids[region][0]
+		row[base+1] = centroids[region][1]
+		row[base+2+region] = 1
+	default:
+		return nil, fmt.Errorf("dataset: unknown encoding %v", enc)
+	}
+	copy(row, x)
+	return row, nil
 }
 
 // AggregateImportance folds per-column importances back onto the

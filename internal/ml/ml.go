@@ -28,6 +28,17 @@ type Classifier interface {
 	Name() string
 }
 
+// ScoreCalibrator is a one-dimensional score→probability calibrator
+// (Platt scaling or isotonic regression). It is the shared surface of
+// the post-processing mitigation family.
+type ScoreCalibrator interface {
+	// Fit learns the mapping from raw scores and labels, optionally
+	// weighted (nil = uniform).
+	Fit(scores []float64, labels []int, w []float64) error
+	// Apply maps raw scores to calibrated probabilities.
+	Apply(scores []float64) ([]float64, error)
+}
+
 // FeatureImporter is implemented by classifiers that can attribute
 // their decisions to input columns (used by the Figure 9 heatmaps).
 // Importances are non-negative and sum to 1 (or are all zero for a

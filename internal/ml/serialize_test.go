@@ -1,0 +1,156 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// trainingData returns a small deterministic binary problem.
+func trainingData() ([][]float64, []int) {
+	X := make([][]float64, 60)
+	y := make([]int, 60)
+	for i := range X {
+		a := float64(i%10) / 10
+		b := float64((i*7)%13) / 13
+		X[i] = []float64{a, b, a*b + 0.1}
+		if a+b > 0.9 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestClassifierSerializeRoundTrip(t *testing.T) {
+	X, y := trainingData()
+	for _, kind := range AllModelKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			clf, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := clf.Fit(X, y, nil); err != nil {
+				t.Fatal(err)
+			}
+			want, err := clf.PredictProba(X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := MarshalClassifier(clf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalClassifier(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Name() != clf.Name() {
+				t.Errorf("name = %q, want %q", back.Name(), clf.Name())
+			}
+			got, err := back.PredictProba(X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("row %d: score %v != %v after round trip", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCalibratorSerializeRoundTrip(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.35, 0.5, 0.62, 0.7, 0.85, 0.9, 0.95, 0.3}
+	labels := []int{0, 0, 0, 1, 0, 1, 1, 1, 1, 0}
+	for _, tt := range []struct {
+		name string
+		cal  ScoreCalibrator
+	}{
+		{"platt", NewPlatt()},
+		{"isotonic", NewIsotonic()},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cal.Fit(scores, labels, nil); err != nil {
+				t.Fatal(err)
+			}
+			want, err := tt.cal.Apply(scores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := MarshalCalibrator(tt.cal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalCalibrator(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.Apply(scores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("score %d: %v != %v after round trip", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSerializeUnfitted(t *testing.T) {
+	if _, err := MarshalClassifier(NewLogReg()); err == nil {
+		t.Error("expected error for unfitted logreg")
+	}
+	if _, err := MarshalCalibrator(NewPlatt()); err == nil {
+		t.Error("expected error for unfitted platt")
+	}
+}
+
+func TestDeserializeCorrupt(t *testing.T) {
+	X, y := trainingData()
+	clf := NewLogReg()
+	if err := clf.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalClassifier(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{nil, {0xFF}, blob[:len(blob)/2], {9, 9, 9}} {
+		if _, err := UnmarshalClassifier(bad); err == nil {
+			t.Errorf("expected error for corrupt input %v", bad)
+		}
+	}
+	if _, err := UnmarshalCalibrator([]byte{0x7F}); err == nil {
+		t.Error("expected error for unknown calibrator tag")
+	}
+}
+
+func TestSerializedScoresStayFinite(t *testing.T) {
+	X, y := trainingData()
+	clf, err := New(ModelNaiveBayes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Fit(X, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalClassifier(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalClassifier(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := back.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			t.Fatalf("score %d = %v out of [0,1]", i, s)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"fairindex/internal/binenc"
+	"fairindex/internal/geo"
+)
+
+// ErrDecode reports corrupt partition bytes.
+var ErrDecode = errors.New("partition: cannot decode")
+
+// CellRegions returns a copy of the flat row-major cell→region lookup
+// table. Index it with Grid().Index(cell) for an O(1), tree-free
+// region lookup — this is the table the serving hot path precomputes.
+func (p *Partition) CellRegions() []int {
+	return append([]int(nil), p.cellRegion...)
+}
+
+// AppendBinary appends the partition's versionless binary encoding:
+// grid dimensions, region count, the cell→region table and the region
+// centroids (stored bit-exact so a decoded partition reproduces the
+// exact centroid encoding the models were trained with). The caller
+// owns versioning of the enclosing container.
+func (p *Partition) AppendBinary(b []byte) []byte {
+	b = binenc.AppendVarint(b, int64(p.grid.U))
+	b = binenc.AppendVarint(b, int64(p.grid.V))
+	b = binenc.AppendVarint(b, int64(p.numRegions))
+	b = binenc.AppendInts(b, p.cellRegion)
+	centroids := p.Centroids()
+	flat := make([]float64, 0, 2*len(centroids))
+	for _, c := range centroids {
+		flat = append(flat, c[0], c[1])
+	}
+	return binenc.AppendFloat64s(b, flat)
+}
+
+// DecodeBinary reads a partition written by AppendBinary from r and
+// returns it along with the stored centroids. The decoded assignment
+// is fully re-validated through New.
+func DecodeBinary(r *binenc.Reader) (*Partition, [][2]float64, error) {
+	u, v := r.Int(), r.Int()
+	numRegions := r.Int()
+	cellRegion := r.Ints()
+	flat := r.Float64s()
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	grid, err := geo.NewGrid(u, v)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	p, err := New(grid, numRegions, cellRegion)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if len(flat) != 2*numRegions {
+		return nil, nil, fmt.Errorf("%w: %d centroid values for %d regions", ErrDecode, len(flat), numRegions)
+	}
+	centroids := make([][2]float64, numRegions)
+	for i := range centroids {
+		centroids[i] = [2]float64{flat[2*i], flat[2*i+1]}
+	}
+	return p, centroids, nil
+}

@@ -137,12 +137,39 @@ func (c Config) validate(ds *dataset.Dataset) error {
 	if c.Method == MethodMultiObjectiveFairKD && c.Alphas != nil && len(c.Alphas) != ds.NumTasks() {
 		return fmt.Errorf("%w: %d alphas for %d tasks", ErrConfig, len(c.Alphas), ds.NumTasks())
 	}
+	if c.Method != MethodMultiObjectiveFairKD && c.Alphas != nil {
+		return fmt.Errorf("%w: alphas are only meaningful for %v, got them with %v",
+			ErrConfig, MethodMultiObjectiveFairKD, c.Method)
+	}
 	return nil
 }
 
-// Run executes the full pipeline for one configuration. The returned
-// Result contains the final partition, per-task metrics and timings.
-func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+// Artifacts is the full output of a Build: everything a serving
+// index needs to answer point lookups and score individuals without
+// re-running the pipeline. Unlike Result (the experiment view, which
+// discards the trained models), Artifacts keeps the final per-task
+// classifiers and any fitted post-processing calibrators.
+type Artifacts struct {
+	// Config is the input configuration with defaults resolved.
+	Config Config
+	// Partition is the fairness-aware neighborhood partition.
+	Partition *partition.Partition
+	// Tasks holds the trained model, calibrators and metric report per
+	// evaluated task (one entry for single-task methods, one per
+	// dataset task for the multi-objective method).
+	Tasks []TrainedTask
+	// TrainIdx/TestIdx are the record indices of the stratified split.
+	TrainIdx, TestIdx []int
+	// BuildTime covers partition construction (including the method's
+	// own classifier runs); TrainTime the final training + evaluation.
+	BuildTime, TrainTime time.Duration
+}
+
+// Build executes the pipeline's three stages — split + partition
+// construction, final per-task training, evaluation — and returns the
+// trained artifacts. It is the primary entry point; Run is a thin
+// shim over it that keeps only the metric report.
+func Build(ds *dataset.Dataset, cfg Config) (*Artifacts, error) {
 	cfg = cfg.withDefaults()
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -151,6 +178,7 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Stage 1: stratified split and fairness-aware partitioning.
 	labels, err := ds.Labels(cfg.Task)
 	if err != nil {
 		return nil, err
@@ -159,29 +187,24 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-
 	buildStart := time.Now()
 	part, err := buildPartition(ds, cfg, trainIdx)
 	if err != nil {
 		return nil, err
 	}
-	buildDur := time.Since(buildStart)
 
-	res := &Result{
-		Method:     cfg.Method,
-		Height:     cfg.Height,
-		Model:      cfg.Model,
-		Partition:  part,
-		NumRegions: part.NumRegions(),
-		BuildTime:  buildDur,
-		TrainIdx:   trainIdx,
-		TestIdx:    testIdx,
+	art := &Artifacts{
+		Config:    cfg,
+		Partition: part,
+		TrainIdx:  trainIdx,
+		TestIdx:   testIdx,
+		BuildTime: time.Since(buildStart),
 	}
 
-	// Final training and metrics, per task. Single-task methods report
-	// only cfg.Task; the multi-objective method reports every task
-	// (Figure 10 shows per-objective performance of the shared
-	// partitioning).
+	// Stages 2–3: final training and metrics, per task. Single-task
+	// methods report only cfg.Task; the multi-objective method reports
+	// every task (Figure 10 shows per-objective performance of the
+	// shared partitioning).
 	tasks := []int{cfg.Task}
 	if cfg.Method == MethodMultiObjectiveFairKD {
 		tasks = make([]int, ds.NumTasks())
@@ -191,14 +214,44 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	}
 	trainStart := time.Now()
 	for _, task := range tasks {
-		tr, err := evaluateTask(ds, cfg, part, task, trainIdx, testIdx)
+		tt, err := trainTask(ds, cfg, part, task, trainIdx, testIdx)
 		if err != nil {
 			return nil, err
 		}
-		res.Tasks = append(res.Tasks, *tr)
+		art.Tasks = append(art.Tasks, *tt)
 	}
-	res.TrainTime = time.Since(trainStart)
-	return res, nil
+	art.TrainTime = time.Since(trainStart)
+	return art, nil
+}
+
+// Run executes the full pipeline for one configuration. The returned
+// Result contains the final partition, per-task metrics and timings
+// (the experiment view of Build, without the trained models).
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	art, err := Build(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return art.Result(), nil
+}
+
+// Result assembles the experiment-facing view of the artifacts.
+func (a *Artifacts) Result() *Result {
+	res := &Result{
+		Method:     a.Config.Method,
+		Height:     a.Config.Height,
+		Model:      a.Config.Model,
+		Partition:  a.Partition,
+		NumRegions: a.Partition.NumRegions(),
+		BuildTime:  a.BuildTime,
+		TrainTime:  a.TrainTime,
+		TrainIdx:   a.TrainIdx,
+		TestIdx:    a.TestIdx,
+	}
+	for _, tt := range a.Tasks {
+		res.Tasks = append(res.Tasks, tt.Report)
+	}
+	return res
 }
 
 // buildPartition produces the neighborhood partition for the method.

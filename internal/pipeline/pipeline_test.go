@@ -129,6 +129,7 @@ func TestRunConfigValidation(t *testing.T) {
 		{"negative task", Config{Method: MethodFairKD, Height: 2, Task: -1}},
 		{"bad test frac", Config{Method: MethodFairKD, Height: 2, TestFrac: 1.5}},
 		{"alpha count", Config{Method: MethodMultiObjectiveFairKD, Height: 2, Alphas: []float64{1}}},
+		{"alphas on single-objective", Config{Method: MethodFairKD, Height: 2, Alphas: []float64{0.5, 0.5}}},
 		{"unknown method", Config{Method: Method(99), Height: 2}},
 		{"bad objective", Config{Method: MethodFairKD, Height: 2, Objective: kdtree.Objective(9)}},
 	}

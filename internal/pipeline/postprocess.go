@@ -42,14 +42,8 @@ func (p PostProcess) String() string {
 // neighborhood needs for its own calibrator.
 const minPostSamples = 8
 
-// calibrator is the shared surface of ml.Platt and ml.Isotonic.
-type calibrator interface {
-	Fit(scores []float64, labels []int, w []float64) error
-	Apply(scores []float64) ([]float64, error)
-}
-
 // newCalibrator constructs the selected calibrator.
-func newCalibrator(kind PostProcess) (calibrator, error) {
+func newCalibrator(kind PostProcess) (ml.ScoreCalibrator, error) {
 	switch kind {
 	case PostPlatt:
 		return ml.NewPlatt(), nil
@@ -60,17 +54,17 @@ func newCalibrator(kind PostProcess) (calibrator, error) {
 	}
 }
 
-// postProcessScores recalibrates allScores in place per neighborhood.
-// trainIdx designates the rows calibrators may learn from; regionOf
-// assigns every row to a neighborhood in [0, numRegions).
-func postProcessScores(kind PostProcess, allScores []float64, labels, regionOf, trainIdx []int, numRegions int) error {
-	if kind == PostNone {
-		return nil
-	}
+// fitPostCalibrators fits one calibrator per region on the raw
+// training scores, falling back to a shared global calibrator for
+// regions too small or single-class. trainIdx designates the rows
+// calibrators may learn from; regionOf assigns every row to a
+// neighborhood in [0, numRegions). The returned slice is indexed by
+// region; entries may alias the global fallback.
+func fitPostCalibrators(kind PostProcess, allScores []float64, labels, regionOf, trainIdx []int, numRegions int) ([]ml.ScoreCalibrator, error) {
 	// Global fallback fitted on all training rows.
 	global, err := newCalibrator(kind)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	trainScores := make([]float64, len(trainIdx))
 	trainLabels := make([]int, len(trainIdx))
@@ -79,7 +73,7 @@ func postProcessScores(kind PostProcess, allScores []float64, labels, regionOf, 
 		trainLabels[i] = labels[j]
 	}
 	if err := global.Fit(trainScores, trainLabels, nil); err != nil {
-		return fmt.Errorf("pipeline: global post-calibration: %w", err)
+		return nil, fmt.Errorf("pipeline: global post-calibration: %w", err)
 	}
 
 	// Group training rows per region.
@@ -89,7 +83,7 @@ func postProcessScores(kind PostProcess, allScores []float64, labels, regionOf, 
 		regionTrain[r] = append(regionTrain[r], j)
 	}
 	// Fit one calibrator per eligible region.
-	regionCal := make([]calibrator, numRegions)
+	regionCal := make([]ml.ScoreCalibrator, numRegions)
 	for r := 0; r < numRegions; r++ {
 		rows := regionTrain[r]
 		pos, neg := 0, 0
@@ -112,20 +106,39 @@ func postProcessScores(kind PostProcess, allScores []float64, labels, regionOf, 
 		}
 		c, err := newCalibrator(kind)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := c.Fit(s, y, nil); err != nil {
-			return fmt.Errorf("pipeline: region %d post-calibration: %w", r, err)
+			return nil, fmt.Errorf("pipeline: region %d post-calibration: %w", r, err)
 		}
 		regionCal[r] = c
 	}
-	// Apply region calibrators to every row.
-	for j := range allScores {
-		out, err := regionCal[regionOf[j]].Apply(allScores[j : j+1])
+	return regionCal, nil
+}
+
+// postProcessScores recalibrates allScores in place per neighborhood:
+// fitPostCalibrators followed by applyPostCalibrators. PostNone is a
+// no-op.
+func postProcessScores(kind PostProcess, allScores []float64, labels, regionOf, trainIdx []int, numRegions int) error {
+	if kind == PostNone {
+		return nil
+	}
+	cals, err := fitPostCalibrators(kind, allScores, labels, regionOf, trainIdx, numRegions)
+	if err != nil {
+		return err
+	}
+	return applyPostCalibrators(cals, allScores, regionOf)
+}
+
+// applyPostCalibrators recalibrates scores in place, routing each row
+// through its region's calibrator.
+func applyPostCalibrators(regionCal []ml.ScoreCalibrator, scores []float64, regionOf []int) error {
+	for j := range scores {
+		out, err := regionCal[regionOf[j]].Apply(scores[j : j+1])
 		if err != nil {
 			return err
 		}
-		allScores[j] = out[0]
+		scores[j] = out[0]
 	}
 	return nil
 }

@@ -71,9 +71,21 @@ type Result struct {
 	TrainIdx, TestIdx []int
 }
 
-// evaluateTask trains the final model for one task over the produced
-// partition and computes every reported metric.
-func evaluateTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, task int, trainIdx, testIdx []int) (*TaskResult, error) {
+// TrainedTask bundles one task's trained final model with its fitted
+// post-processing calibrators (nil when Config.PostProcess is none;
+// otherwise indexed by region) and the metric report.
+type TrainedTask struct {
+	Report TaskResult
+	Model  ml.Classifier
+	// Post holds the per-region score calibrators; entries may share
+	// the global fallback calibrator.
+	Post []ml.ScoreCalibrator
+}
+
+// trainTask trains the final model for one task over the produced
+// partition, fits any post-processing calibrators and computes every
+// reported metric.
+func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, task int, trainIdx, testIdx []int) (*TrainedTask, error) {
 	regionOf, err := part.AssignCells(ds.Cells())
 	if err != nil {
 		return nil, err
@@ -109,8 +121,13 @@ func evaluateTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, ta
 	if err != nil {
 		return nil, err
 	}
+	out := &TrainedTask{Model: clf}
 	if cfg.PostProcess != PostNone {
-		if err := postProcessScores(cfg.PostProcess, allScores, labels, regionOf, trainIdx, part.NumRegions()); err != nil {
+		out.Post, err = fitPostCalibrators(cfg.PostProcess, allScores, labels, regionOf, trainIdx, part.NumRegions())
+		if err != nil {
+			return nil, err
+		}
+		if err := applyPostCalibrators(out.Post, allScores, regionOf); err != nil {
 			return nil, err
 		}
 	}
@@ -166,7 +183,8 @@ func evaluateTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, ta
 			tr.ImportanceValues = agg
 		}
 	}
-	return tr, nil
+	out.Report = *tr
+	return out, nil
 }
 
 // ratioOrNaN wraps calib.Ratio, mapping the undefined case to NaN.
