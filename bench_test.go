@@ -335,6 +335,37 @@ func BenchmarkIndexLocateBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexLocateBatchLarge is the sharded hot path: a
+// ≥100k-point batch splits across GOMAXPROCS workers (ns/op here is
+// per batch; divide by 131072 for ns/point). On a single-core runner
+// it degrades to the same inlined sequential kernel.
+func BenchmarkIndexLocateBatchLarge(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 131072
+	lats := make([]float64, batch)
+	lons := make([]float64, batch)
+	for i := 0; i < batch; i++ {
+		rec := &ds.Records[i%ds.Len()]
+		lats[i] = rec.Lat
+		lons[i] = rec.Lon
+	}
+	out := make([]int, batch)
+	b.SetBytes(batch * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.LocateBatchInto(out, lats, lons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkIndexScore(b *testing.B) {
 	idx, err := fullIndex()
 	if err != nil {

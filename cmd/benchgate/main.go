@@ -1,0 +1,152 @@
+// Command benchgate compares `go test -bench` output against the
+// recorded baseline in BENCH_index.json and fails (exit 1) when a
+// watched benchmark regresses beyond the tolerance factor. It is the
+// CI guard on the Index serving hot path: later PRs may make Locate
+// and LocateBatch faster, but not slower.
+//
+//	go test -run '^$' -bench 'BenchmarkIndex' -benchtime 200ms . | tee bench.out
+//	go run ./cmd/benchgate -bench bench.out -baseline BENCH_index.json
+//
+// The default tolerance (2.5x) is deliberately loose: shared CI
+// runners are noisy and differ from the machine that recorded the
+// baseline, so the gate only catches order-of-magnitude regressions —
+// an accidental O(1)→O(log n) hot path, a lock on the read path —
+// not few-percent drift. When a benchmark appears multiple times in
+// the output (-count > 1), the fastest run is compared, which further
+// damps scheduler noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// baselineFile mirrors the BENCH_index.json layout.
+type baselineFile struct {
+	Description string                   `json:"description"`
+	Benchmarks  map[string]baselineEntry `json:"benchmarks"`
+}
+
+// baselineEntry is one recorded benchmark; fields beyond ns_per_op
+// are documentation and ignored here.
+type baselineEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkIndexLocate-8   	49510341	         7.6 ns/op
+//
+// The -8 GOMAXPROCS suffix is optional and stripped.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// parseBenchOutput extracts the best (minimum) ns/op per benchmark
+// name from `go test -bench` output.
+func parseBenchOutput(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op in %q: %v", path, sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return out, nil
+}
+
+// run executes the gate; a non-nil error means the job must fail.
+func run(args []string, w *os.File) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	benchPath := fs.String("bench", "", "`go test -bench` output file (required)")
+	basePath := fs.String("baseline", "BENCH_index.json", "baseline JSON file")
+	watch := fs.String("watch", "BenchmarkIndexLocate,BenchmarkIndexLocateBatch",
+		"comma-separated benchmarks the gate enforces")
+	maxRatio := fs.Float64("max-ratio", 2.5, "fail when measured/baseline ns/op exceeds this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchPath == "" {
+		return fmt.Errorf("-bench is required")
+	}
+	if *maxRatio <= 0 {
+		return fmt.Errorf("-max-ratio %v must be positive", *maxRatio)
+	}
+
+	blob, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("%s: %v", *basePath, err)
+	}
+	measured, err := parseBenchOutput(*benchPath)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	for _, name := range strings.Split(*watch, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		entry, ok := base.Benchmarks[name]
+		if !ok || entry.NsPerOp <= 0 {
+			return fmt.Errorf("%s: watched benchmark %q has no baseline ns_per_op", *basePath, name)
+		}
+		got, ok := measured[name]
+		if !ok {
+			return fmt.Errorf("%s: watched benchmark %q missing from output (did the bench run?)", *benchPath, name)
+		}
+		ratio := got / entry.NsPerOp
+		verdict := "ok"
+		if ratio > *maxRatio {
+			verdict = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g ns/op (%.2fx > %.2fx)",
+					name, got, entry.NsPerOp, ratio, *maxRatio))
+		}
+		fmt.Fprintf(w, "%-32s %12.4g ns/op  baseline %12.4g  ratio %5.2fx  %s\n",
+			name, got, entry.NsPerOp, ratio, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("hot-path regression beyond %.2fx:\n  %s",
+			*maxRatio, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "benchgate: all watched benchmarks within %.2fx of baseline\n", *maxRatio)
+	return nil
+}

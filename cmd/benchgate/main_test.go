@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFiles drops a baseline JSON and a bench output into a temp dir.
+func writeFiles(t *testing.T, baseline, bench string) (basePath, benchPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath = filepath.Join(dir, "BENCH_index.json")
+	benchPath = filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(basePath, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchPath, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return basePath, benchPath
+}
+
+const baseline = `{
+  "benchmarks": {
+    "BenchmarkIndexLocate": {"ns_per_op": 8.0},
+    "BenchmarkIndexLocateBatch": {"ns_per_op": 8000}
+  }
+}`
+
+// gate runs the comparator against the given bench output.
+func gate(t *testing.T, baselineJSON, bench string, extra ...string) error {
+	t.Helper()
+	basePath, benchPath := writeFiles(t, baselineJSON, bench)
+	args := append([]string{"-bench", benchPath, "-baseline", basePath}, extra...)
+	return run(args, os.Stdout)
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	bench := `goos: linux
+BenchmarkIndexLocate-4    	49510341	         9.5 ns/op
+BenchmarkIndexLocateBatch-4 	   57247	      9100 ns/op
+PASS
+`
+	if err := gate(t, baseline, bench); err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the gate's own acceptance test:
+// a 10x slowdown on a watched benchmark must fail the job.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	bench := `BenchmarkIndexLocate-4    	49510341	        80 ns/op
+BenchmarkIndexLocateBatch-4 	   57247	      8100 ns/op
+`
+	err := gate(t, baseline, bench)
+	if err == nil {
+		t.Fatal("10x Locate slowdown passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkIndexLocate") {
+		t.Errorf("failure does not name the regressed benchmark: %v", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkIndexLocateBatch") {
+		t.Errorf("failure names a healthy benchmark: %v", err)
+	}
+}
+
+func TestGateFailsOnBatchSlowdown(t *testing.T) {
+	bench := `BenchmarkIndexLocate-4    	49510341	         8.2 ns/op
+BenchmarkIndexLocateBatch-4 	    5724	     81000 ns/op
+`
+	if err := gate(t, baseline, bench); err == nil {
+		t.Fatal("10x LocateBatch slowdown passed the gate")
+	}
+}
+
+// TestGateTakesFastestRun: with -count > 1 the minimum ns/op is
+// compared, damping one-off scheduler noise.
+func TestGateTakesFastestRun(t *testing.T) {
+	bench := `BenchmarkIndexLocate-4    	49510341	       120 ns/op
+BenchmarkIndexLocate-4    	49510341	         8.1 ns/op
+BenchmarkIndexLocateBatch-4 	   57247	      8100 ns/op
+`
+	if err := gate(t, baseline, bench); err != nil {
+		t.Fatalf("fastest-run selection failed: %v", err)
+	}
+}
+
+func TestGateMissingWatchedBenchmark(t *testing.T) {
+	bench := `BenchmarkIndexLocate-4    	49510341	         8.1 ns/op
+`
+	if err := gate(t, baseline, bench); err == nil {
+		t.Fatal("missing watched benchmark passed the gate")
+	}
+}
+
+func TestGateMissingBaselineEntry(t *testing.T) {
+	bench := `BenchmarkIndexLocate-4  	10	 8.1 ns/op
+BenchmarkIndexLocateBatch-4 	10	 8100 ns/op
+`
+	thin := `{"benchmarks": {"BenchmarkIndexLocate": {"ns_per_op": 8.0}}}`
+	if err := gate(t, thin, bench); err == nil {
+		t.Fatal("baseline without a watched entry passed the gate")
+	}
+}
+
+func TestGateCustomWatchAndRatio(t *testing.T) {
+	bench := `BenchmarkIndexScore-4  	10	 5000 ns/op
+`
+	custom := `{"benchmarks": {"BenchmarkIndexScore": {"ns_per_op": 1400}}}`
+	// 5000/1400 ≈ 3.6x: fails at the default 2.5 but passes at 4.
+	if err := gate(t, custom, bench, "-watch", "BenchmarkIndexScore"); err == nil {
+		t.Fatal("3.6x regression passed at max-ratio 2.5")
+	}
+	if err := gate(t, custom, bench, "-watch", "BenchmarkIndexScore", "-max-ratio", "4"); err != nil {
+		t.Fatalf("3.6x regression failed at max-ratio 4: %v", err)
+	}
+}
+
+func TestGateBadInputs(t *testing.T) {
+	if err := run([]string{}, os.Stdout); err == nil {
+		t.Error("expected error without -bench")
+	}
+	if err := gate(t, `not json`, "BenchmarkIndexLocate-4 10 8 ns/op\n"); err == nil {
+		t.Error("expected error for corrupt baseline")
+	}
+	if err := gate(t, baseline, "no bench lines here\n"); err == nil {
+		t.Error("expected error for benchless output")
+	}
+	if err := gate(t, baseline, "BenchmarkIndexLocate-4 10 8 ns/op\n", "-max-ratio", "-1"); err == nil {
+		t.Error("expected error for non-positive ratio")
+	}
+}
+
+func TestBenchLineParsing(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkIndexLocate-8   \t49510341\t         7.6 ns/op", "BenchmarkIndexLocate", 7.6, true},
+		{"BenchmarkIndexLocate   \t100\t         12 ns/op", "BenchmarkIndexLocate", 12, true},
+		{"BenchmarkIndexMarshal-2 \t  27072\t     43168 ns/op\t  18632 B/op", "BenchmarkIndexMarshal", 43168, true},
+		{"ok  \tfairindex\t0.970s", "", 0, false},
+		{"goos: linux", "", 0, false},
+	}
+	for _, tc := range cases {
+		m := benchLine.FindStringSubmatch(tc.line)
+		if tc.ok != (m != nil) {
+			t.Errorf("%q: matched = %v, want %v", tc.line, m != nil, tc.ok)
+			continue
+		}
+		if m != nil && m[1] != tc.name {
+			t.Errorf("%q: name %q, want %q", tc.line, m[1], tc.name)
+		}
+	}
+}

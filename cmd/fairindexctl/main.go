@@ -10,9 +10,18 @@
 //	             [-post none|platt|isotonic] [-grid 64] [-seed 11]
 //		build an Index artifact from a dataset CSV and save it.
 //
-//	fairindexctl serve -index city.fidx -points points.csv [-out regions.csv]
-//		load a saved Index and answer point→neighborhood lookups
-//		for a CSV of points (id, lat, lon; header optional).
+//	fairindexctl serve [-http :8080] city.fidx
+//		load a saved Index and serve it as a concurrent HTTP/JSON
+//		service: /v1/locate, /v1/locate_batch, /v1/score,
+//		/v1/report/{task}, /healthz and /v1/reload. SIGHUP (or POST
+//		/v1/reload) atomically hot-reloads the index file without
+//		dropping in-flight requests; the index may also be passed
+//		with -index instead of positionally.
+//
+//	fairindexctl serve -csv points.csv [-out regions.csv] city.fidx
+//		legacy one-shot mode: answer point→neighborhood lookups for
+//		a CSV of points (id, lat, lon; header optional) and exit.
+//		-points is accepted as an alias for -csv.
 //
 // Invoked without a subcommand it runs the legacy one-shot report:
 //
@@ -25,13 +34,19 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	fairindex "fairindex"
 	"fairindex/internal/dataset"
@@ -39,6 +54,7 @@ import (
 	"fairindex/internal/ml"
 	"fairindex/internal/pipeline"
 	"fairindex/internal/render"
+	"fairindex/internal/server"
 )
 
 func main() {
@@ -107,10 +123,12 @@ func runBuildCmd(args []string) error {
 		return err
 	}
 
+	totalStart := time.Now()
 	idx, err := fairindex.Build(ds, fairindex.WithConfig(cfg))
 	if err != nil {
 		return err
 	}
+	total := time.Since(totalStart)
 	blob, err := idx.MarshalBinary()
 	if err != nil {
 		return err
@@ -124,25 +142,101 @@ func runBuildCmd(args []string) error {
 	}
 	fmt.Printf("built %s over %q: %d neighborhoods (height %d), ENCE %.5f\n",
 		idx.Method(), ds.Name, idx.NumRegions(), idx.Height(), rep.ENCE)
-	fmt.Printf("wrote %d bytes to %s (build %v, train %v)\n",
-		len(blob), *out, idx.BuildTime(), idx.TrainTime())
+	fmt.Print(buildTimings(idx, total))
+	fmt.Printf("wrote %d bytes to %s\n", len(blob), *out)
 	return nil
 }
 
-// runServeCmd loads a saved Index and resolves a CSV of points to
-// neighborhood ids.
+// buildTimings renders the build/train wall-time line, with the
+// worker count and the parallel speedup the training pool achieved
+// (summed per-task CPU time over wall time) when tasks overlapped.
+func buildTimings(idx *fairindex.Index, total time.Duration) string {
+	line := fmt.Sprintf("timings: total %v (partition %v, final training %v",
+		total.Round(time.Millisecond), idx.BuildTime().Round(time.Millisecond),
+		idx.TrainTime().Round(time.Millisecond))
+	if w := idx.TrainWorkers(); w > 1 && idx.TrainTime() > 0 {
+		speedup := float64(idx.TrainCPUTime()) / float64(idx.TrainTime())
+		line += fmt.Sprintf(" across %d workers, speedup %.2fx", w, speedup)
+	} else if w == 1 {
+		line += " on 1 worker"
+	}
+	return line + ")\n"
+}
+
+// runServeCmd loads a saved Index and serves it — as a concurrent
+// HTTP/JSON service by default, or as the legacy one-shot CSV
+// resolver when -csv (or its old alias -points) is given.
 func runServeCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	indexPath := fs.String("index", "", "serialized index file (required)")
-	points := fs.String("points", "", "points CSV: id, lat, lon (required; header optional)")
-	out := fs.String("out", "", "output CSV path (default stdout)")
+	httpAddr := fs.String("http", ":8080", "HTTP listen address")
+	indexPath := fs.String("index", "", "serialized index file (or pass it positionally)")
+	csvPoints := fs.String("csv", "", "legacy one-shot mode: resolve this points CSV (id, lat, lon) and exit")
+	points := fs.String("points", "", "alias for -csv (deprecated)")
+	out := fs.String("out", "", "CSV mode: output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *indexPath == "" || *points == "" {
-		return fmt.Errorf("serve: -index and -points are required")
+	path := *indexPath
+	switch {
+	case fs.NArg() > 1:
+		return fmt.Errorf("serve: at most one positional index file, got %d", fs.NArg())
+	case fs.NArg() == 1 && path != "":
+		return fmt.Errorf("serve: both -index %s and positional %s given", path, fs.Arg(0))
+	case fs.NArg() == 1:
+		path = fs.Arg(0)
 	}
-	blob, err := os.ReadFile(*indexPath)
+	if path == "" {
+		return fmt.Errorf("serve: an index file is required (-index or positional)")
+	}
+	pointsPath := *csvPoints
+	if pointsPath == "" {
+		pointsPath = *points
+	}
+	if pointsPath == "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return serveHTTP(ctx, path, *httpAddr, nil)
+	}
+	return serveCSV(path, pointsPath, *out)
+}
+
+// serveHTTP runs the concurrent HTTP service until ctx is done,
+// hot-reloading the index on SIGHUP or POST /v1/reload. onReady, when
+// non-nil, observes the bound address (tests bind :0).
+func serveHTTP(ctx context.Context, indexPath, addr string, onReady func(net.Addr)) error {
+	srv, err := server.Open(indexPath)
+	if err != nil {
+		return err
+	}
+	srv.ReloadOnSignal(ctx)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	idx := srv.Index()
+	fmt.Printf("serving %s over %q (%d neighborhoods, tasks %v) on %s\n",
+		idx.Method(), idx.DatasetName(), idx.NumRegions(), idx.Tasks(), ln.Addr())
+	fmt.Printf("hot reload: kill -HUP %d or POST /v1/reload\n", os.Getpid())
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
+	}
+}
+
+// serveCSV is the legacy one-shot flow: resolve a points CSV against
+// the index and write id,lat,lon,region rows.
+func serveCSV(indexPath, pointsPath, out string) error {
+	blob, err := os.ReadFile(indexPath)
 	if err != nil {
 		return err
 	}
@@ -150,7 +244,7 @@ func runServeCmd(args []string) error {
 	if err := idx.UnmarshalBinary(blob); err != nil {
 		return err
 	}
-	ids, lats, lons, err := readPoints(*points)
+	ids, lats, lons, err := readPoints(pointsPath)
 	if err != nil {
 		return err
 	}
@@ -161,8 +255,8 @@ func runServeCmd(args []string) error {
 
 	var w io.Writer = os.Stdout
 	var outFile *os.File
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
@@ -198,9 +292,9 @@ func runServeCmd(args []string) error {
 			return err
 		}
 	}
-	if *out != "" {
+	if out != "" {
 		fmt.Printf("resolved %d points against %d neighborhoods (%s over %q), wrote %s\n",
-			len(ids), idx.NumRegions(), idx.Method(), idx.DatasetName(), *out)
+			len(ids), idx.NumRegions(), idx.Method(), idx.DatasetName(), out)
 	}
 	return nil
 }

@@ -1,12 +1,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	fairindex "fairindex"
 	"fairindex/internal/dataset"
 	"fairindex/internal/geo"
 	"fairindex/internal/pipeline"
@@ -209,5 +217,183 @@ func TestLoadDatasetMissingFile(t *testing.T) {
 	if _, err := loadDataset("/nonexistent/file.csv", geo.MustGrid(4, 4),
 		geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 1, MaxLon: 1}); err == nil {
 		t.Error("expected error for missing file")
+	}
+}
+
+// writeCityAndIndex builds a small dataset CSV + index file pair.
+func writeCityAndIndex(t *testing.T, dir string) (csvPath, idxPath string, ds *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = 200
+	grid := geo.MustGrid(16, 16)
+	ds, err := dataset.Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath = filepath.Join(dir, "city.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(ds, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idxPath = filepath.Join(dir, "city.fidx")
+	if err := runBuildCmd([]string{
+		"-in", csvPath, "-out", idxPath, "-grid", "16",
+		"-method", "fair", "-height", "4", "-seed", "1",
+		"-minlat", fmtF(ds.Box.MinLat), "-maxlat", fmtF(ds.Box.MaxLat),
+		"-minlon", fmtF(ds.Box.MinLon), "-maxlon", fmtF(ds.Box.MaxLon),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return csvPath, idxPath, ds
+}
+
+// TestServeHTTPSmoke boots the HTTP server on an ephemeral port,
+// queries /healthz and /v1/locate, and shuts it down via context
+// cancellation — the CLI-level slice of the serving subsystem.
+func TestServeHTTPSmoke(t *testing.T) {
+	_, idxPath, ds := writeCityAndIndex(t, t.TempDir())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serveHTTP(ctx, idxPath, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Regions int    `json:"regions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Regions < 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	rec := ds.Records[0]
+	resp, err = http.Get(fmt.Sprintf("%s/v1/locate?lat=%v&lon=%v", base, rec.Lat, rec.Lon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loc struct {
+		Region int `json:"region"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&loc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if loc.Region < 0 || loc.Region >= health.Regions {
+		t.Fatalf("locate region %d outside [0,%d)", loc.Region, health.Regions)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestServeCSVFlag covers the legacy mode behind -csv with a
+// positional index argument.
+func TestServeCSVFlag(t *testing.T) {
+	dir := t.TempDir()
+	_, idxPath, ds := writeCityAndIndex(t, dir)
+	pointsPath := filepath.Join(dir, "points.csv")
+	var sb strings.Builder
+	sb.WriteString("id,lat,lon\n")
+	for i := 0; i < 5; i++ {
+		r := ds.Records[i]
+		sb.WriteString(r.ID + "," + fmtF(r.Lat) + "," + fmtF(r.Lon) + "\n")
+	}
+	if err := os.WriteFile(pointsPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "regions.csv")
+	if err := runServeCmd([]string{"-csv", pointsPath, "-out", outPath, idxPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != 6 {
+		t.Fatalf("rows = %d, want 6:\n%s", len(lines), data)
+	}
+}
+
+// TestServeArgValidation covers the index-path plumbing rules.
+func TestServeArgValidation(t *testing.T) {
+	if err := runServeCmd([]string{"-index", "a.fidx", "b.fidx"}); err == nil {
+		t.Error("expected error for both -index and positional")
+	}
+	if err := runServeCmd([]string{"a.fidx", "b.fidx"}); err == nil {
+		t.Error("expected error for two positional index files")
+	}
+	if err := runServeCmd([]string{}); err == nil {
+		t.Error("expected error for no index file")
+	}
+}
+
+// TestBuildTimings pins the observability line: totals, worker count
+// and (for parallel multi-task builds) the speedup figure.
+func TestBuildTimings(t *testing.T) {
+	spec := dataset.LA()
+	spec.NumRecords = 200
+	ds, err := dataset.Generate(spec, geo.MustGrid(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := fairindex.Build(ds, fairindex.WithHeight(3), fairindex.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := buildTimings(idx, 123*time.Millisecond)
+	if !strings.Contains(line, "total 123ms") || !strings.Contains(line, "partition") {
+		t.Errorf("timings line = %q", line)
+	}
+	if idx.TrainWorkers() == 1 && !strings.Contains(line, "on 1 worker") {
+		t.Errorf("single-task line misses worker count: %q", line)
+	}
+
+	prev := runtime.GOMAXPROCS(4)
+	multi, err := fairindex.Build(ds,
+		fairindex.WithMethod(fairindex.MethodMultiObjectiveFairKD),
+		fairindex.WithHeight(3), fairindex.WithSeed(1))
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.TrainWorkers() < 2 {
+		t.Fatalf("multi-task build used %d workers", multi.TrainWorkers())
+	}
+	line = buildTimings(multi, time.Second)
+	if !strings.Contains(line, "workers, speedup") {
+		t.Errorf("parallel line misses speedup: %q", line)
 	}
 }

@@ -20,8 +20,10 @@
 //   - an end-to-end pipeline reproducing the paper's evaluation, and
 //     a synthetic city generator standing in for the EdGap data;
 //   - the Index artifact: a build-once / query-many serving index
-//     with O(1) point→neighborhood lookup, calibrated per-task
-//     scoring and versioned binary serialization.
+//     with O(1) point→neighborhood lookup, sharded batch lookups,
+//     calibrated per-task scoring and versioned binary serialization;
+//     internal/server (via fairindexctl serve) exposes it as a
+//     concurrent HTTP/JSON service with atomic hot reload.
 //
 // # Quick start
 //

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"fairindex/internal/binenc"
@@ -47,6 +49,10 @@ type Index struct {
 	tasks []indexTask
 
 	buildTime, trainTime time.Duration
+	// Build-box observability, not serialized: the training worker
+	// pool size and the summed per-task training durations.
+	trainWorkers int
+	trainCPUTime time.Duration
 }
 
 // indexTask is one task's serving bundle.
@@ -105,6 +111,8 @@ func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
 		encoding:     art.Config.Encoding.Resolve(),
 		buildTime:    art.BuildTime,
 		trainTime:    art.TrainTime,
+		trainWorkers: art.TrainWorkers,
+		trainCPUTime: art.TaskCPUTime(),
 	}
 	for _, tt := range art.Tasks {
 		ix.tasks = append(ix.tasks, indexTask{
@@ -117,33 +125,151 @@ func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
 	return ix, nil
 }
 
+// RegionInvalid is the sentinel neighborhood id stored by LocateBatch
+// and returned by Locate for a point that cannot be located
+// (non-finite coordinates). Valid region ids are always >= 0.
+const RegionInvalid = -1
+
 // Locate maps a geographic coordinate to its neighborhood id in
 // [0, NumRegions). Coordinates on or outside the bounding box clamp
-// to the nearest border cell, matching record ingestion. O(1): one
-// table lookup, no tree walk.
+// to the nearest border cell, matching record ingestion; non-finite
+// coordinates return RegionInvalid and an error. O(1): one table
+// lookup, no tree walk.
 func (ix *Index) Locate(lat, lon float64) (int, error) {
 	if math.IsNaN(lat) || math.IsInf(lat, 0) || math.IsNaN(lon) || math.IsInf(lon, 0) {
-		return 0, fmt.Errorf("fairindex: non-finite coordinate (%v, %v)", lat, lon)
+		return RegionInvalid, fmt.Errorf("fairindex: non-finite coordinate (%v, %v)", lat, lon)
 	}
 	c := ix.mapper.CellOf(lat, lon)
 	return ix.cellRegion[ix.grid.Index(c)], nil
 }
 
-// LocateBatch maps coordinate slices to neighborhood ids, appending
-// into a fresh slice. lats and lons must have equal length.
+// Batch sharding thresholds: batches below shardMinBatch points stay
+// on the caller's goroutine, and each worker gets at least
+// shardMinPoints points so small batches are not drowned in goroutine
+// overhead.
+const (
+	shardMinBatch  = 16384
+	shardMinPoints = 4096
+)
+
+// maxBatchPointErrors bounds how many per-point errors a batch keeps
+// verbatim; beyond it the joined error summarizes the remainder, so a
+// hostile million-NaN batch cannot balloon memory.
+const maxBatchPointErrors = 8
+
+// LocateBatch maps coordinate slices to neighborhood ids into a fresh
+// slice. lats and lons must have equal length.
+//
+// Unlike looping over Locate, a batch never aborts mid-slice: every
+// valid point is resolved, each invalid (non-finite) point yields
+// RegionInvalid at its position, and the returned error joins the
+// per-point failures (nil when every point resolved). The returned
+// slice is complete even when err != nil; only a length mismatch
+// returns a nil slice.
+//
+// Large batches are sharded across GOMAXPROCS worker goroutines —
+// results are independent of the sharding, bit-identical to Locate.
 func (ix *Index) LocateBatch(lats, lons []float64) ([]int, error) {
 	if len(lats) != len(lons) {
 		return nil, fmt.Errorf("fairindex: %d latitudes vs %d longitudes", len(lats), len(lons))
 	}
 	out := make([]int, len(lats))
-	for i := range lats {
-		r, err := ix.Locate(lats[i], lons[i])
-		if err != nil {
-			return nil, fmt.Errorf("fairindex: point %d: %w", i, err)
-		}
-		out[i] = r
+	return out, ix.LocateBatchInto(out, lats, lons)
+}
+
+// LocateBatchInto is LocateBatch writing into a caller-provided slice,
+// for servers that recycle result buffers on the hot path. dst, lats
+// and lons must have equal length; semantics otherwise match
+// LocateBatch.
+func (ix *Index) LocateBatchInto(dst []int, lats, lons []float64) error {
+	if len(lats) != len(lons) {
+		return fmt.Errorf("fairindex: %d latitudes vs %d longitudes", len(lats), len(lons))
 	}
-	return out, nil
+	if len(dst) != len(lats) {
+		return fmt.Errorf("fairindex: destination holds %d regions for %d points", len(dst), len(lats))
+	}
+	n := len(lats)
+	workers := runtime.GOMAXPROCS(0)
+	if n >= shardMinBatch && workers > 1 {
+		if byPoints := n / shardMinPoints; byPoints < workers {
+			workers = byPoints
+		}
+		return ix.locateSharded(dst, lats, lons, workers)
+	}
+	return ix.locateRange(dst, lats, lons, 0)
+}
+
+// locateSharded fans a batch out over contiguous shards, one worker
+// goroutine each. The Index is immutable, so workers share it without
+// locking; per-shard errors are joined in shard order.
+func (ix *Index) locateSharded(dst []int, lats, lons []float64, workers int) error {
+	n := len(lats)
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = ix.locateRange(dst[lo:hi], lats[lo:hi], lons[lo:hi], lo)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// locateRange is the batch hot loop: the mapper arithmetic of
+// Mapper.CellOf inlined with the grid geometry hoisted out of the
+// loop. The cell expression keeps CellOf's exact operation order so
+// batch results stay bit-identical to per-point Locate. base offsets
+// point indices in error messages when called on a shard.
+func (ix *Index) locateRange(dst []int, lats, lons []float64, base int) error {
+	u, v := ix.grid.U, ix.grid.V
+	uF, vF := float64(u), float64(v)
+	minLat, minLon := ix.box.MinLat, ix.box.MinLon
+	latSpan := ix.box.MaxLat - minLat
+	lonSpan := ix.box.MaxLon - minLon
+	table := ix.cellRegion
+	var errs []error
+	invalid := 0
+	for i, lat := range lats {
+		lon := lons[i]
+		// x−x is 0 exactly when x is finite (NaN and ±Inf both yield
+		// NaN), so this one branch is Locate's four predicate checks.
+		if lat-lat != 0 || lon-lon != 0 {
+			dst[i] = RegionInvalid
+			invalid++
+			if len(errs) < maxBatchPointErrors {
+				errs = append(errs, fmt.Errorf("fairindex: point %d: non-finite coordinate (%v, %v)", base+i, lat, lon))
+			}
+			continue
+		}
+		row := int(uF * (lat - minLat) / latSpan)
+		col := int(vF * (lon - minLon) / lonSpan)
+		if row < 0 {
+			row = 0
+		} else if row >= u {
+			row = u - 1
+		}
+		if col < 0 {
+			col = 0
+		} else if col >= v {
+			col = v - 1
+		}
+		dst[i] = table[row*v+col]
+	}
+	if invalid > len(errs) {
+		errs = append(errs, fmt.Errorf("fairindex: %d further invalid points", invalid-len(errs)))
+	}
+	return errors.Join(errs...)
 }
 
 // LocateCell maps a grid cell directly to its neighborhood id.
@@ -262,8 +388,20 @@ func (ix *Index) Centroid(region int) ([2]float64, error) {
 // BuildTime returns the partition construction duration.
 func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
 
-// TrainTime returns the final training + evaluation duration.
+// TrainTime returns the final training + evaluation duration (wall
+// clock; with multiple tasks the per-task work overlaps).
 func (ix *Index) TrainTime() time.Duration { return ix.trainTime }
+
+// TrainWorkers returns the worker-pool size the final training ran
+// with (1 = sequential). Build-box observability only: 0 on an Index
+// restored with UnmarshalBinary.
+func (ix *Index) TrainWorkers() int { return ix.trainWorkers }
+
+// TrainCPUTime returns the summed per-task training durations — the
+// sequential cost the build's worker pool amortized; the ratio
+// TrainCPUTime/TrainTime is the parallel speedup. Build-box
+// observability only: 0 on an Index restored with UnmarshalBinary.
+func (ix *Index) TrainCPUTime() time.Duration { return ix.trainCPUTime }
 
 // Config returns the resolved build configuration (a copy).
 func (ix *Index) Config() Config {

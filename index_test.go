@@ -2,6 +2,10 @@ package fairindex_test
 
 import (
 	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -95,8 +99,120 @@ func TestIndexLocateBatch(t *testing.T) {
 			t.Fatalf("point %d: batch %d != single %d", i, regions[i], single)
 		}
 	}
-	if _, err := idx.LocateBatch(lats, lons[:n-1]); err == nil {
-		t.Error("expected length-mismatch error")
+	if out, err := idx.LocateBatch(lats, lons[:n-1]); err == nil || out != nil {
+		t.Errorf("length mismatch: out = %v, err = %v; want nil slice + error", out, err)
+	}
+}
+
+// TestIndexLocateBatchPartialErrors pins the per-point error
+// semantics: invalid points yield RegionInvalid at their positions
+// and a joined error, while the rest of the batch still resolves.
+func TestIndexLocateBatchPartialErrors(t *testing.T) {
+	idx, ds := buildSmallIndex(t, fairindex.WithHeight(4))
+	nan := math.NaN()
+	lats := []float64{ds.Records[0].Lat, nan, ds.Records[1].Lat, math.Inf(1), ds.Records[2].Lat}
+	lons := []float64{ds.Records[0].Lon, ds.Records[0].Lon, nan, ds.Records[1].Lon, ds.Records[2].Lon}
+	regions, err := idx.LocateBatch(lats, lons)
+	if err == nil {
+		t.Fatal("expected a joined error for the invalid points")
+	}
+	if len(regions) != len(lats) {
+		t.Fatalf("got %d regions for %d points", len(regions), len(lats))
+	}
+	for _, bad := range []int{1, 2, 3} {
+		if regions[bad] != fairindex.RegionInvalid {
+			t.Errorf("point %d: region %d, want RegionInvalid", bad, regions[bad])
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("point %d", bad)) {
+			t.Errorf("joined error misses point %d: %v", bad, err)
+		}
+	}
+	for _, good := range []int{0, 4} {
+		want, werr := idx.Locate(lats[good], lons[good])
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if regions[good] != want {
+			t.Errorf("point %d: region %d, want %d despite sibling errors", good, regions[good], want)
+		}
+	}
+
+	// An all-invalid flood keeps the joined error bounded.
+	n := 10000
+	floodLats := make([]float64, n)
+	floodLons := make([]float64, n)
+	for i := range floodLats {
+		floodLats[i] = nan
+	}
+	regions, err = idx.LocateBatch(floodLats, floodLons)
+	if err == nil {
+		t.Fatal("expected error for all-invalid batch")
+	}
+	if len(err.Error()) > 4096 {
+		t.Errorf("joined error not bounded: %d bytes", len(err.Error()))
+	}
+	for i, r := range regions {
+		if r != fairindex.RegionInvalid {
+			t.Fatalf("point %d: region %d, want RegionInvalid", i, r)
+		}
+	}
+}
+
+// TestIndexLocateBatchSharded forces the multi-worker path (GOMAXPROCS
+// is pinned above 1 for the test) and verifies a large batch —
+// including out-of-box and invalid points — is bit-identical to
+// per-point Locate, with error indices unshifted by sharding.
+func TestIndexLocateBatchSharded(t *testing.T) {
+	idx, _ := buildSmallIndex(t, fairindex.WithHeight(5), fairindex.WithSeed(3))
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	box := idx.Box()
+	latSpan := box.MaxLat - box.MinLat
+	lonSpan := box.MaxLon - box.MinLon
+	const n = 120000
+	lats := make([]float64, n)
+	lons := make([]float64, n)
+	for i := range lats {
+		// Deterministic pseudo-random spread, ~10% outside the box.
+		f := float64(i%997) / 997
+		g := float64(i%613) / 613
+		lats[i] = box.MinLat + (f*1.2-0.1)*latSpan
+		lons[i] = box.MinLon + (g*1.2-0.1)*lonSpan
+	}
+	badEvery := 30011 // a handful of invalid points across shards
+	for i := 0; i < n; i += badEvery {
+		lats[i] = math.NaN()
+	}
+	regions, err := idx.LocateBatch(lats, lons)
+	if err == nil {
+		t.Fatal("expected joined error for the injected NaN points")
+	}
+	if len(regions) != n {
+		t.Fatalf("got %d regions for %d points", len(regions), n)
+	}
+	for i := range regions {
+		want, werr := idx.Locate(lats[i], lons[i])
+		if werr != nil {
+			if regions[i] != fairindex.RegionInvalid {
+				t.Fatalf("point %d: region %d, want RegionInvalid", i, regions[i])
+			}
+			continue
+		}
+		if regions[i] != want {
+			t.Fatalf("point %d: batch %d != single %d", i, regions[i], want)
+		}
+	}
+	// Error indices are global, not shard-local.
+	if !strings.Contains(err.Error(), fmt.Sprintf("point %d", badEvery)) {
+		t.Errorf("joined error misses global point index %d: %v", badEvery, err)
+	}
+
+	// LocateBatchInto reuses the buffer and rejects a wrong-size one.
+	if err := idx.LocateBatchInto(regions, lats, lons); err == nil {
+		t.Error("expected joined error from LocateBatchInto as well")
+	}
+	if err := idx.LocateBatchInto(regions[:n-1], lats, lons); err == nil {
+		t.Error("expected destination-size error")
 	}
 }
 

@@ -8,6 +8,9 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairindex/internal/calib"
@@ -161,8 +164,72 @@ type Artifacts struct {
 	// TrainIdx/TestIdx are the record indices of the stratified split.
 	TrainIdx, TestIdx []int
 	// BuildTime covers partition construction (including the method's
-	// own classifier runs); TrainTime the final training + evaluation.
+	// own classifier runs); TrainTime the final training + evaluation
+	// (wall clock — with multiple tasks the per-task work overlaps).
 	BuildTime, TrainTime time.Duration
+	// TrainWorkers is the worker-pool size the final training ran
+	// with (1 = sequential). Comparing the summed per-task TrainTimes
+	// against the wall-clock TrainTime gives the parallel speedup.
+	TrainWorkers int
+}
+
+// TaskCPUTime sums the per-task training durations — the sequential
+// cost the worker pool amortized.
+func (a *Artifacts) TaskCPUTime() time.Duration {
+	var sum time.Duration
+	for i := range a.Tasks {
+		sum += a.Tasks[i].TrainTime
+	}
+	return sum
+}
+
+// forEachTask runs fn(i) for every i in [0, n) on a bounded pool of
+// worker goroutines and returns the lowest-index error, so multi-task
+// stages scale with cores while keeping deterministic error
+// selection. fn must be safe for concurrent invocation across
+// distinct i. The returned worker count is what the pool actually
+// used (1 = ran on the calling goroutine).
+func forEachTask(n int, fn func(i int) error) (workers int, err error) {
+	workers = runtime.GOMAXPROCS(0)
+	if n < workers {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		next := make(chan int)
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if errs[i] = fn(i); errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		// Stop dispatching once any task fails; in-flight tasks finish
+		// but a multi-second tail of doomed work is skipped.
+		for i := 0; i < n && !failed.Load(); i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, e := range errs {
+		if e != nil {
+			return workers, e
+		}
+	}
+	return workers, nil
 }
 
 // Build executes the pipeline's three stages — split + partition
@@ -204,7 +271,10 @@ func Build(ds *dataset.Dataset, cfg Config) (*Artifacts, error) {
 	// Stages 2–3: final training and metrics, per task. Single-task
 	// methods report only cfg.Task; the multi-objective method reports
 	// every task (Figure 10 shows per-objective performance of the
-	// shared partitioning).
+	// shared partitioning). Tasks are independent — same partition,
+	// fresh classifier each — so they train on a bounded worker pool;
+	// results land at their task's slot, keeping output order and every
+	// metric identical to a sequential run.
 	tasks := []int{cfg.Task}
 	if cfg.Method == MethodMultiObjectiveFairKD {
 		tasks = make([]int, ds.NumTasks())
@@ -213,13 +283,32 @@ func Build(ds *dataset.Dataset, cfg Config) (*Artifacts, error) {
 		}
 	}
 	trainStart := time.Now()
-	for _, task := range tasks {
-		tt, err := trainTask(ds, cfg, part, task, trainIdx, testIdx)
-		if err != nil {
-			return nil, err
-		}
-		art.Tasks = append(art.Tasks, *tt)
+	// The record→region assignment and the encoded feature matrix are
+	// task-independent: compute them once here and share them
+	// read-only across the workers instead of once per task.
+	regionOf, err := part.AssignCells(ds.Cells())
+	if err != nil {
+		return nil, err
 	}
+	encoded, err := dataset.Encode(ds, regionOf, part.NumRegions(), part.Centroids(), cfg.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	art.Tasks = make([]TrainedTask, len(tasks))
+	workers, err := forEachTask(len(tasks), func(i int) error {
+		taskStart := time.Now()
+		tt, err := trainTask(ds, cfg, part, regionOf, encoded, tasks[i], trainIdx, testIdx)
+		if err != nil {
+			return err
+		}
+		tt.TrainTime = time.Since(taskStart)
+		art.Tasks[i] = *tt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	art.TrainWorkers = workers
 	art.TrainTime = time.Since(trainStart)
 	return art, nil
 }
@@ -296,15 +385,20 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition
 		if alphas == nil {
 			alphas = uniformAlphas(ds.NumTasks())
 		}
+		// The per-task Step-1 classifier runs are independent, so they
+		// share the same bounded worker pool as the final training.
 		scoreSets := make([][]float64, ds.NumTasks())
 		labelSets := make([][]int, ds.NumTasks())
-		for task := 0; task < ds.NumTasks(); task++ {
+		if _, err := forEachTask(ds.NumTasks(), func(task int) error {
 			_, scores, taskLabels, err := initialRun(ds, cfg, trainIdx, task)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			scoreSets[task] = scores
 			labelSets[task] = taskLabels
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		tree, err := kdtree.BuildMultiObjective(grid, trainCells, scoreSets, labelSets, alphas, treeConfig(cfg))
 		if err != nil {

@@ -2,7 +2,10 @@ package pipeline
 
 import (
 	"errors"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"fairindex/internal/dataset"
 	"fairindex/internal/geo"
@@ -256,5 +259,99 @@ func TestMethodString(t *testing.T) {
 		if got := tt.m.String(); got != tt.want {
 			t.Errorf("String = %q, want %q", got, tt.want)
 		}
+	}
+}
+
+// TestBuildParallelMatchesSequential pins that the multi-task worker
+// pool changes only wall-clock time: a Build forced onto one worker
+// and a Build across several produce bit-identical partitions, metric
+// reports and task order.
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	ds := testCity(t)
+	cfg := Config{Method: MethodMultiObjectiveFairKD, Height: 5, Seed: 1}
+
+	prev := runtime.GOMAXPROCS(1)
+	seq, seqErr := Build(ds, cfg)
+	runtime.GOMAXPROCS(4)
+	par, parErr := Build(ds, cfg)
+	runtime.GOMAXPROCS(prev)
+	if seqErr != nil || parErr != nil {
+		t.Fatal(seqErr, parErr)
+	}
+	if seq.TrainWorkers != 1 {
+		t.Errorf("sequential build used %d workers", seq.TrainWorkers)
+	}
+	if par.TrainWorkers < 2 {
+		t.Errorf("parallel build used %d workers, want >= 2", par.TrainWorkers)
+	}
+	if len(par.Tasks) != len(seq.Tasks) || len(par.Tasks) != ds.NumTasks() {
+		t.Fatalf("task counts: parallel %d, sequential %d", len(par.Tasks), len(seq.Tasks))
+	}
+	for i := range seq.Tasks {
+		sr, pr := seq.Tasks[i].Report, par.Tasks[i].Report
+		if pr.Task != sr.Task || pr.TaskName != sr.TaskName ||
+			pr.ENCE != sr.ENCE || pr.ENCETrain != sr.ENCETrain || pr.ENCETest != sr.ENCETest ||
+			pr.Accuracy != sr.Accuracy || pr.AUC != sr.AUC || pr.ECE != sr.ECE ||
+			pr.TrainMiscal != sr.TrainMiscal || pr.TestMiscal != sr.TestMiscal ||
+			pr.StatParityGap != sr.StatParityGap || pr.EqualOddsGap != sr.EqualOddsGap {
+			t.Errorf("task %d: parallel report %+v != sequential %+v", i, pr, sr)
+		}
+		if len(sr.TopNeighborhoods) != len(pr.TopNeighborhoods) {
+			t.Errorf("task %d: neighborhood report counts differ", i)
+		}
+		if par.Tasks[i].TrainTime <= 0 {
+			t.Errorf("task %d: missing per-task train time", i)
+		}
+	}
+	if par.Partition.NumRegions() != seq.Partition.NumRegions() {
+		t.Errorf("regions: parallel %d != sequential %d", par.Partition.NumRegions(), seq.Partition.NumRegions())
+	}
+	if par.TaskCPUTime() <= 0 {
+		t.Error("TaskCPUTime not recorded")
+	}
+}
+
+// TestForEachTaskErrorsAndBounds exercises the pool helper directly:
+// lowest-index error wins, n=0 is a no-op, and the concurrency stays
+// within GOMAXPROCS.
+func TestForEachTaskErrorsAndBounds(t *testing.T) {
+	if w, err := forEachTask(0, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil || w != 0 {
+		t.Errorf("n=0: workers %d err %v", w, err)
+	}
+
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := forEachTask(8, func(i int) error {
+		switch i {
+		case 2:
+			return errB
+		case 5:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errB) {
+		t.Errorf("err = %v, want the lowest-index error", err)
+	}
+
+	var running, peak atomic.Int64
+	if _, err := forEachTask(32, func(i int) error {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		running.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Errorf("pool peaked at %d concurrent tasks with GOMAXPROCS=4", p)
 	}
 }

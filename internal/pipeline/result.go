@@ -80,20 +80,18 @@ type TrainedTask struct {
 	// Post holds the per-region score calibrators; entries may share
 	// the global fallback calibrator.
 	Post []ml.ScoreCalibrator
+	// TrainTime is this task's own training + evaluation duration;
+	// with Build's worker pool the per-task times overlap, so they sum
+	// to more than Artifacts.TrainTime when tasks ran in parallel.
+	TrainTime time.Duration
 }
 
 // trainTask trains the final model for one task over the produced
 // partition, fits any post-processing calibrators and computes every
-// reported metric.
-func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, task int, trainIdx, testIdx []int) (*TrainedTask, error) {
-	regionOf, err := part.AssignCells(ds.Cells())
-	if err != nil {
-		return nil, err
-	}
-	encoded, err := dataset.Encode(ds, regionOf, part.NumRegions(), part.Centroids(), cfg.Encoding)
-	if err != nil {
-		return nil, err
-	}
+// reported metric. regionOf and encoded are the task-independent
+// record→region assignment and encoded feature matrix — computed once
+// by Build and shared read-only across the parallel task workers.
+func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, regionOf []int, encoded *dataset.Encoded, task int, trainIdx, testIdx []int) (*TrainedTask, error) {
 	labels, err := ds.Labels(task)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,516 @@
+// Package server turns a fairindex.Index artifact into an always-on
+// HTTP/JSON lookup service: the online half of the build-once /
+// query-many split. A build box trains an index and ships the .fidx
+// bytes; this server loads them and answers point→neighborhood,
+// batch, scoring and report queries under concurrent load.
+//
+// Concurrency model: an Index is immutable and lock-free for readers,
+// so the server keeps the current index behind an atomic.Pointer and
+// every request loads it exactly once — requests in flight during a
+// hot reload finish against the index they started with, and no
+// request ever observes a half-swapped artifact. Reload (the /v1/reload
+// endpoint, or SIGHUP via ReloadOnSignal) re-reads the index file,
+// fully deserializes and validates it off the request path, and only
+// then swaps the pointer.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	fairindex "fairindex"
+)
+
+// DefaultMaxBatch bounds /v1/locate_batch request size (points per
+// request) unless overridden with WithMaxBatch.
+const DefaultMaxBatch = 1 << 20
+
+// maxBodyBytes caps request bodies; a full-size batch of float64
+// pairs in JSON stays well under this.
+const maxBodyBytes = 64 << 20
+
+// Server serves a fairness-aware spatial index over HTTP. Create one
+// with New or Open, then use it as an http.Handler. All methods are
+// safe for concurrent use.
+type Server struct {
+	idx      atomic.Pointer[fairindex.Index]
+	mux      *http.ServeMux
+	path     string // index file backing Reload; "" disables
+	maxBatch int
+	logger   *log.Logger
+	started  time.Time
+	reloads  atomic.Int64
+	// reloadMu serializes Reload's read+swap so two racing reloads
+	// (SIGHUP vs /v1/reload) cannot install the older file last.
+	// Readers never take it — they only load the atomic pointer.
+	reloadMu sync.Mutex
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithPath sets the index file Reload re-reads. Open sets it
+// automatically.
+func WithPath(path string) Option {
+	return func(s *Server) { s.path = path }
+}
+
+// WithMaxBatch caps the number of points one /v1/locate_batch request
+// may carry (default DefaultMaxBatch).
+func WithMaxBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithLogger routes request-path warnings (reload failures) to l; the
+// default discards nothing and writes to the standard logger.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
+// New returns a Server serving idx.
+func New(idx *fairindex.Index, opts ...Option) *Server {
+	s := &Server{
+		maxBatch: DefaultMaxBatch,
+		logger:   log.Default(),
+		started:  time.Now(),
+	}
+	s.idx.Store(idx)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/locate", s.handleLocate)
+	s.mux.HandleFunc("POST /v1/locate", s.handleLocate)
+	s.mux.HandleFunc("POST /v1/locate_batch", s.handleLocateBatch)
+	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("GET /v1/report/{task}", s.handleReport)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	return s
+}
+
+// Open loads a serialized index from path and returns a Server with
+// hot reload from that path enabled.
+func Open(path string, opts ...Option) (*Server, error) {
+	idx, err := loadIndexFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(idx, append([]Option{WithPath(path)}, opts...)...), nil
+}
+
+// loadIndexFile reads and deserializes a .fidx file.
+func loadIndexFile(path string) (*fairindex.Index, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	idx := new(fairindex.Index)
+	if err := idx.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("server: %s: %w", path, err)
+	}
+	return idx, nil
+}
+
+// Index returns the currently served index.
+func (s *Server) Index() *fairindex.Index { return s.idx.Load() }
+
+// Swap atomically replaces the served index and returns the previous
+// one. In-flight requests keep using the index they loaded.
+func (s *Server) Swap(idx *fairindex.Index) *fairindex.Index {
+	old := s.idx.Swap(idx)
+	s.reloads.Add(1)
+	return old
+}
+
+// Reloads returns how many times the served index has been swapped.
+func (s *Server) Reloads() int64 { return s.reloads.Load() }
+
+// ErrNoReloadPath reports a Reload on a Server constructed without a
+// backing index file.
+var ErrNoReloadPath = errors.New("server: no index path configured for reload")
+
+// Reload re-reads the backing index file and atomically swaps it in.
+// The old index keeps serving until the new one is fully
+// deserialized; on any error the served index is left untouched.
+func (s *Server) Reload() error {
+	if s.path == "" {
+		return ErrNoReloadPath
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	idx, err := loadIndexFile(s.path)
+	if err != nil {
+		return err
+	}
+	s.Swap(idx)
+	return nil
+}
+
+// ReloadOnSignal reloads the index on every SIGHUP until ctx is done
+// — the conventional zero-downtime refresh: rebuild the .fidx in
+// place, then `kill -HUP` the server. Reload failures are logged and
+// the previous index keeps serving.
+func (s *Server) ReloadOnSignal(ctx context.Context) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	go func() {
+		defer signal.Stop(ch)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+				if err := s.Reload(); err != nil {
+					s.logger.Printf("server: SIGHUP reload failed, keeping current index: %v", err)
+				} else {
+					idx := s.Index()
+					s.logger.Printf("server: reloaded %s (%d neighborhoods)", s.path, idx.NumRegions())
+				}
+			}
+		}
+	}()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Wire types. Field names are the API contract documented in README
+// §Serving.
+
+type locateRequest struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+type locateResponse struct {
+	Region int `json:"region"`
+}
+
+type locateBatchRequest struct {
+	Lats []float64 `json:"lats"`
+	Lons []float64 `json:"lons"`
+}
+
+type locateBatchResponse struct {
+	Regions []int `json:"regions"`
+	// Invalid counts points that resolved to the RegionInvalid
+	// sentinel; Error carries the joined per-point detail. Both are
+	// omitted when every point resolved.
+	Invalid int    `json:"invalid,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+type scoreRequest struct {
+	Task     int       `json:"task"`
+	Lat      float64   `json:"lat"`
+	Lon      float64   `json:"lon"`
+	Features []float64 `json:"features"`
+}
+
+type scoreResponse struct {
+	Score  float64 `json:"score"`
+	Region int     `json:"region"`
+}
+
+type healthzResponse struct {
+	Status    string `json:"status"`
+	Dataset   string `json:"dataset"`
+	Method    string `json:"method"`
+	Regions   int    `json:"regions"`
+	Tasks     []int  `json:"tasks"`
+	Reloads   int64  `json:"reloads"`
+	UptimeSec int64  `json:"uptime_sec"`
+}
+
+type reloadResponse struct {
+	Reloads int64 `json:"reloads"`
+	Regions int   `json:"regions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// jsonFloat marshals non-finite values as null — several report
+// fields use NaN as an "undefined" sentinel (e.g. a calibration ratio
+// with no positives), which encoding/json would otherwise reject.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// neighborhoodJSON is the wire form of one per-neighborhood report
+// entry.
+type neighborhoodJSON struct {
+	Group    int       `json:"group"`
+	Count    int       `json:"count"`
+	Ratio    jsonFloat `json:"ratio"`
+	Miscal   jsonFloat `json:"miscal"`
+	ECE      jsonFloat `json:"ece"`
+	PosRate  jsonFloat `json:"pos_rate"`
+	MeanConf jsonFloat `json:"mean_conf"`
+}
+
+// reportResponse is the wire form of a stored TaskResult.
+type reportResponse struct {
+	Task             int                `json:"task"`
+	TaskName         string             `json:"task_name"`
+	ENCE             jsonFloat          `json:"ence"`
+	ENCETrain        jsonFloat          `json:"ence_train"`
+	ENCETest         jsonFloat          `json:"ence_test"`
+	Accuracy         jsonFloat          `json:"accuracy"`
+	AUC              jsonFloat          `json:"auc"`
+	TrainMiscal      jsonFloat          `json:"train_miscal"`
+	TestMiscal       jsonFloat          `json:"test_miscal"`
+	ECE              jsonFloat          `json:"ece"`
+	TrainCalRatio    jsonFloat          `json:"train_cal_ratio"`
+	TestCalRatio     jsonFloat          `json:"test_cal_ratio"`
+	StatParityGap    jsonFloat          `json:"stat_parity_gap"`
+	EqualOddsGap     jsonFloat          `json:"equal_odds_gap"`
+	TopNeighborhoods []neighborhoodJSON `json:"top_neighborhoods"`
+	ImportanceNames  []string           `json:"importance_names,omitempty"`
+	ImportanceValues []jsonFloat        `json:"importance_values,omitempty"`
+}
+
+// newReportResponse converts a stored report into its wire form.
+func newReportResponse(tr fairindex.TaskResult) reportResponse {
+	out := reportResponse{
+		Task:          tr.Task,
+		TaskName:      tr.TaskName,
+		ENCE:          jsonFloat(tr.ENCE),
+		ENCETrain:     jsonFloat(tr.ENCETrain),
+		ENCETest:      jsonFloat(tr.ENCETest),
+		Accuracy:      jsonFloat(tr.Accuracy),
+		AUC:           jsonFloat(tr.AUC),
+		TrainMiscal:   jsonFloat(tr.TrainMiscal),
+		TestMiscal:    jsonFloat(tr.TestMiscal),
+		ECE:           jsonFloat(tr.ECE),
+		TrainCalRatio: jsonFloat(tr.TrainCalRatio),
+		TestCalRatio:  jsonFloat(tr.TestCalRatio),
+		StatParityGap: jsonFloat(tr.StatParityGap),
+		EqualOddsGap:  jsonFloat(tr.EqualOddsGap),
+	}
+	for _, nr := range tr.TopNeighborhoods {
+		out.TopNeighborhoods = append(out.TopNeighborhoods, neighborhoodJSON{
+			Group:    nr.Group,
+			Count:    nr.Count,
+			Ratio:    jsonFloat(nr.Ratio),
+			Miscal:   jsonFloat(nr.Miscal),
+			ECE:      jsonFloat(nr.ECE),
+			PosRate:  jsonFloat(nr.PosRate),
+			MeanConf: jsonFloat(nr.MeanConf),
+		})
+	}
+	out.ImportanceNames = tr.ImportanceNames
+	for _, v := range tr.ImportanceValues {
+		out.ImportanceValues = append(out.ImportanceValues, jsonFloat(v))
+	}
+	return out
+}
+
+// writeJSON writes v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("server: writing response: %v", err)
+	}
+}
+
+// writeError writes a JSON error body.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeJSON strictly decodes a single JSON object request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	// A second document (or trailing garbage) is a malformed request.
+	if dec.More() {
+		return errors.New("invalid JSON body: trailing data")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	idx := s.idx.Load()
+	s.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:    "ok",
+		Dataset:   idx.DatasetName(),
+		Method:    idx.Method().String(),
+		Regions:   idx.NumRegions(),
+		Tasks:     idx.Tasks(),
+		Reloads:   s.reloads.Load(),
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	var req locateRequest
+	if r.Method == http.MethodGet {
+		var err error
+		if req.Lat, err = queryFloat(r, "lat"); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Lon, err = queryFloat(r, "lon"); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	region, err := s.idx.Load().Locate(req.Lat, req.Lon)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, locateResponse{Region: region})
+}
+
+// queryFloat parses a required float query parameter.
+func queryFloat(r *http.Request, key string) (float64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %v", key, err)
+	}
+	return f, nil
+}
+
+func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
+	var req locateBatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Lats) != len(req.Lons) {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d lats vs %d lons", len(req.Lats), len(req.Lons)))
+		return
+	}
+	if len(req.Lats) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Lats) > s.maxBatch {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d points exceeds limit %d", len(req.Lats), s.maxBatch))
+		return
+	}
+	// One atomic load per request: the whole batch resolves against a
+	// single index snapshot even if a reload lands mid-request.
+	idx := s.idx.Load()
+	regions := make([]int, len(req.Lats))
+	err := idx.LocateBatchInto(regions, req.Lats, req.Lons)
+	resp := locateBatchResponse{Regions: regions}
+	if err != nil {
+		// Per-point failures are not a request failure: every valid
+		// point resolved, sentinels mark the rest.
+		resp.Error = err.Error()
+		for _, region := range regions {
+			if region == fairindex.RegionInvalid {
+				resp.Invalid++
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req scoreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	idx := s.idx.Load()
+	// Locate first: it is the only part that can fail on coordinates,
+	// so Score below cannot fail for a reason Locate already accepted.
+	region, err := idx.Locate(req.Lat, req.Lon)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec := fairindex.Record{Lat: req.Lat, Lon: req.Lon, X: req.Features}
+	score, err := idx.Score(rec, req.Task)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, fairindex.ErrNoTask) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, scoreResponse{Score: score, Region: region})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	task, err := strconv.Atoi(r.PathValue("task"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("task id %q: %v", r.PathValue("task"), err))
+		return
+	}
+	rep, err := s.idx.Load().Report(task)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fairindex.ErrNoTask) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, newReportResponse(rep))
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.Reload(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoReloadPath) {
+			status = http.StatusConflict
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, reloadResponse{
+		Reloads: s.reloads.Load(),
+		Regions: s.idx.Load().NumRegions(),
+	})
+}
