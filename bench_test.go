@@ -384,6 +384,78 @@ func BenchmarkIndexScore(b *testing.B) {
 	}
 }
 
+// Query-engine benchmarks: the region workload added with the query
+// subsystem. RangeQuery sweeps a quarter-box window (prunes via the
+// per-region bounding rects), NearestRegions runs the centroid
+// kd-tree search, GroupStats aggregates the stored per-region
+// sufficient statistics over a quarter-box window.
+
+func BenchmarkIndexRangeQuery(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	box := idx.Box()
+	q := fairindex.BBox{
+		MinLat: box.MinLat, MinLon: box.MinLon,
+		MaxLat: (box.MinLat + box.MaxLat) / 2, MaxLon: (box.MinLon + box.MaxLon) / 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		overlaps, err := idx.RangeQuery(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("quarter-box window: %d of %d regions", len(overlaps), idx.NumRegions())
+		}
+	}
+}
+
+func BenchmarkIndexNearestRegions(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ds.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := &ds.Records[i%n]
+		if _, err := idx.NearestRegions(rec.Lat, rec.Lon, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexGroupStats(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	box := idx.Box()
+	overlaps, err := idx.RangeQuery(fairindex.BBox{
+		MinLat: box.MinLat, MinLon: box.MinLon,
+		MaxLat: (box.MinLat + box.MaxLat) / 2, MaxLon: (box.MinLon + box.MaxLon) / 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := make([]int, len(overlaps))
+	for i, ov := range overlaps {
+		regions[i] = ov.Region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.GroupStats(0, regions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkIndexMarshal(b *testing.B) {
 	idx, err := fullIndex()
 	if err != nil {

@@ -1,8 +1,9 @@
 // Command benchgate compares `go test -bench` output against the
 // recorded baseline in BENCH_index.json and fails (exit 1) when a
 // watched benchmark regresses beyond the tolerance factor. It is the
-// CI guard on the Index serving hot path: later PRs may make Locate
-// and LocateBatch faster, but not slower.
+// CI guard on the Index serving hot path: later PRs may make Locate,
+// LocateBatch and the region queries (RangeQuery, NearestRegions,
+// GroupStats) faster, but not slower.
 //
 //	go test -run '^$' -bench 'BenchmarkIndex' -benchtime 200ms . | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out -baseline BENCH_index.json
@@ -92,7 +93,8 @@ func run(args []string, w *os.File) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	benchPath := fs.String("bench", "", "`go test -bench` output file (required)")
 	basePath := fs.String("baseline", "BENCH_index.json", "baseline JSON file")
-	watch := fs.String("watch", "BenchmarkIndexLocate,BenchmarkIndexLocateBatch",
+	watch := fs.String("watch",
+		"BenchmarkIndexLocate,BenchmarkIndexLocateBatch,BenchmarkIndexRangeQuery,BenchmarkIndexNearestRegions,BenchmarkIndexGroupStats",
 		"comma-separated benchmarks the gate enforces")
 	maxRatio := fs.Float64("max-ratio", 2.5, "fail when measured/baseline ns/op exceeds this")
 	if err := fs.Parse(args); err != nil {

@@ -25,9 +25,19 @@ func writeFiles(t *testing.T, baseline, bench string) (basePath, benchPath strin
 const baseline = `{
   "benchmarks": {
     "BenchmarkIndexLocate": {"ns_per_op": 8.0},
-    "BenchmarkIndexLocateBatch": {"ns_per_op": 8000}
+    "BenchmarkIndexLocateBatch": {"ns_per_op": 8000},
+    "BenchmarkIndexRangeQuery": {"ns_per_op": 3000},
+    "BenchmarkIndexNearestRegions": {"ns_per_op": 1000},
+    "BenchmarkIndexGroupStats": {"ns_per_op": 3000}
   }
 }`
+
+// healthyQueries are in-tolerance result lines for the query-engine
+// benchmarks, appended to fixtures that exercise the other entries.
+const healthyQueries = `BenchmarkIndexRangeQuery-4  	  100	      3100 ns/op
+BenchmarkIndexNearestRegions-4 	  100	      1050 ns/op
+BenchmarkIndexGroupStats-4  	  100	      3050 ns/op
+`
 
 // gate runs the comparator against the given bench output.
 func gate(t *testing.T, baselineJSON, bench string, extra ...string) error {
@@ -41,7 +51,7 @@ func TestGatePassesWithinTolerance(t *testing.T) {
 	bench := `goos: linux
 BenchmarkIndexLocate-4    	49510341	         9.5 ns/op
 BenchmarkIndexLocateBatch-4 	   57247	      9100 ns/op
-PASS
+` + healthyQueries + `PASS
 `
 	if err := gate(t, baseline, bench); err != nil {
 		t.Fatalf("within-tolerance run failed: %v", err)
@@ -53,7 +63,7 @@ PASS
 func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 	bench := `BenchmarkIndexLocate-4    	49510341	        80 ns/op
 BenchmarkIndexLocateBatch-4 	   57247	      8100 ns/op
-`
+` + healthyQueries
 	err := gate(t, baseline, bench)
 	if err == nil {
 		t.Fatal("10x Locate slowdown passed the gate")
@@ -69,7 +79,7 @@ BenchmarkIndexLocateBatch-4 	   57247	      8100 ns/op
 func TestGateFailsOnBatchSlowdown(t *testing.T) {
 	bench := `BenchmarkIndexLocate-4    	49510341	         8.2 ns/op
 BenchmarkIndexLocateBatch-4 	    5724	     81000 ns/op
-`
+` + healthyQueries
 	if err := gate(t, baseline, bench); err == nil {
 		t.Fatal("10x LocateBatch slowdown passed the gate")
 	}
@@ -81,7 +91,7 @@ func TestGateTakesFastestRun(t *testing.T) {
 	bench := `BenchmarkIndexLocate-4    	49510341	       120 ns/op
 BenchmarkIndexLocate-4    	49510341	         8.1 ns/op
 BenchmarkIndexLocateBatch-4 	   57247	      8100 ns/op
-`
+` + healthyQueries
 	if err := gate(t, baseline, bench); err != nil {
 		t.Fatalf("fastest-run selection failed: %v", err)
 	}

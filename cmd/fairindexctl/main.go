@@ -23,6 +23,15 @@
 //		a CSV of points (id, lat, lon; header optional) and exit.
 //		-points is accepted as an alias for -csv.
 //
+//	fairindexctl query range -minlat .. -maxlat .. -minlon .. -maxlon .. city.fidx
+//	fairindexctl query knn -lat .. -lon .. [-k 5] city.fidx
+//	fairindexctl query stats -task 0 {-regions 1,2,3 | -minlat .. -maxlat .. -minlon .. -maxlon ..} city.fidx
+//		run region queries against a saved Index without a server:
+//		range lists the neighborhoods intersecting a window (cells +
+//		covered fraction), knn the k nearest neighborhoods by
+//		centroid distance, stats the aggregated calibration/fairness
+//		report over a window given as region ids or as a rectangle.
+//
 // Invoked without a subcommand it runs the legacy one-shot report:
 //
 //	fairindexctl -in city.csv -minlat .. -maxlat .. -minlon .. -maxlon .. \
@@ -40,11 +49,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,6 +81,11 @@ func main() {
 			return
 		case "serve":
 			if err := runServeCmd(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		case "query":
+			if err := runQueryCmd(os.Args[2:], os.Stdout); err != nil {
 				log.Fatal(err)
 			}
 			return
@@ -161,6 +177,126 @@ func buildTimings(idx *fairindex.Index, total time.Duration) string {
 		line += " on 1 worker"
 	}
 	return line + ")\n"
+}
+
+// runQueryCmd answers region queries against a saved index: range
+// (window → intersecting neighborhoods), knn (point → k nearest
+// neighborhoods) and stats (window → aggregated fairness report).
+func runQueryCmd(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("query: a subcommand is required: range|knn|stats")
+	}
+	op, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("query "+op, flag.ExitOnError)
+	minLat := fs.Float64("minlat", math.NaN(), "window min latitude (range/stats)")
+	maxLat := fs.Float64("maxlat", math.NaN(), "window max latitude (range/stats)")
+	minLon := fs.Float64("minlon", math.NaN(), "window min longitude (range/stats)")
+	maxLon := fs.Float64("maxlon", math.NaN(), "window max longitude (range/stats)")
+	lat := fs.Float64("lat", math.NaN(), "query latitude (knn)")
+	lon := fs.Float64("lon", math.NaN(), "query longitude (knn)")
+	k := fs.Int("k", 5, "number of nearest neighborhoods (knn)")
+	task := fs.Int("task", 0, "label task (stats)")
+	regionsFlag := fs.String("regions", "", "comma-separated region ids (stats; alternative to a window)")
+	switch op {
+	case "range", "knn", "stats":
+	default:
+		return fmt.Errorf("query: unknown subcommand %q (want range|knn|stats)", op)
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query %s: exactly one index file is required, got %d", op, fs.NArg())
+	}
+	blob, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var idx fairindex.Index
+	if err := idx.UnmarshalBinary(blob); err != nil {
+		return err
+	}
+
+	window := func() (fairindex.BBox, error) {
+		box := fairindex.BBox{MinLat: *minLat, MinLon: *minLon, MaxLat: *maxLat, MaxLon: *maxLon}
+		for _, v := range []float64{*minLat, *maxLat, *minLon, *maxLon} {
+			if math.IsNaN(v) {
+				return box, fmt.Errorf("query %s: a full window (-minlat/-maxlat/-minlon/-maxlon) is required", op)
+			}
+		}
+		return box, nil
+	}
+
+	switch op {
+	case "range":
+		box, err := window()
+		if err != nil {
+			return err
+		}
+		overlaps, err := idx.RangeQuery(box)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d of %d neighborhoods intersect the window\n", len(overlaps), idx.NumRegions())
+		for _, ov := range overlaps {
+			fmt.Fprintf(w, "  region %-4d cells %-5d fraction %.4f\n", ov.Region, ov.Cells, ov.Fraction)
+		}
+	case "knn":
+		if math.IsNaN(*lat) || math.IsNaN(*lon) {
+			return fmt.Errorf("query knn: -lat and -lon are required")
+		}
+		neighbors, err := idx.NearestRegions(*lat, *lon, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d nearest neighborhoods to (%v, %v):\n", len(neighbors), *lat, *lon)
+		for i, nd := range neighbors {
+			fmt.Fprintf(w, "  %2d. region %-4d distance %.5f°\n", i+1, nd.Region, nd.Distance)
+		}
+	case "stats":
+		windowGiven := false
+		for _, v := range []float64{*minLat, *maxLat, *minLon, *maxLon} {
+			if !math.IsNaN(v) {
+				windowGiven = true
+			}
+		}
+		var regions []int
+		if *regionsFlag != "" {
+			if windowGiven {
+				return fmt.Errorf("query stats: give -regions or a window, not both")
+			}
+			for _, part := range strings.Split(*regionsFlag, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return fmt.Errorf("query stats: -regions entry %q: %v", part, err)
+				}
+				regions = append(regions, id)
+			}
+		} else {
+			box, err := window()
+			if err != nil {
+				return fmt.Errorf("query stats: give -regions or a window: %w", err)
+			}
+			overlaps, err := idx.RangeQuery(box)
+			if err != nil {
+				return err
+			}
+			for _, ov := range overlaps {
+				regions = append(regions, ov.Region)
+			}
+		}
+		ws, err := idx.GroupStats(*task, regions)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "window of %d neighborhoods, population %d (task %d)\n", len(ws.Regions), ws.Count, ws.Task)
+		fmt.Fprintf(w, "  ENCE %.5f  miscalibration %.4f  calibration ratio %.4f\n", ws.ENCE, ws.Miscal, ws.CalRatio)
+		fmt.Fprintf(w, "  mean confidence %.4f  positive rate %.4f\n", ws.MeanConf, ws.PosRate)
+		for _, rs := range ws.Regions {
+			fmt.Fprintf(w, "  region %-4d pop %-5d calibration %.3f  miscal %.4f\n", rs.Region, rs.Count, rs.CalRatio, rs.Miscal)
+		}
+	}
+	return nil
 }
 
 // runServeCmd loads a saved Index and serves it — as a concurrent

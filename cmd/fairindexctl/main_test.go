@@ -397,3 +397,119 @@ func TestBuildTimings(t *testing.T) {
 		t.Errorf("parallel line misses speedup: %q", line)
 	}
 }
+
+// writeQueryIndex builds a small index and persists it for query
+// subcommand tests.
+func writeQueryIndex(t *testing.T) (string, *fairindex.Index) {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = 200
+	ds, err := dataset.Generate(spec, geo.MustGrid(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := fairindex.Build(ds, fairindex.WithHeight(4), fairindex.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "city.fidx")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, idx
+}
+
+func TestQueryRange(t *testing.T) {
+	path, idx := writeQueryIndex(t)
+	box := idx.Box()
+	var out strings.Builder
+	args := []string{"range",
+		"-minlat", fmtF(box.MinLat), "-maxlat", fmtF(box.MaxLat),
+		"-minlon", fmtF(box.MinLon), "-maxlon", fmtF(box.MaxLon), path}
+	if err := runQueryCmd(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%d of %d neighborhoods intersect the window", idx.NumRegions(), idx.NumRegions())
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("output %q missing %q", out.String(), want)
+	}
+	if got := strings.Count(out.String(), "region "); got != idx.NumRegions() {
+		t.Errorf("listed %d regions, want %d", got, idx.NumRegions())
+	}
+}
+
+func TestQueryKNN(t *testing.T) {
+	path, idx := writeQueryIndex(t)
+	box := idx.Box()
+	lat := (box.MinLat + box.MaxLat) / 2
+	lon := (box.MinLon + box.MaxLon) / 2
+	var out strings.Builder
+	if err := runQueryCmd([]string{"knn", "-lat", fmtF(lat), "-lon", fmtF(lon), "-k", "3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	neighbors, err := idx.NearestRegions(lat, lon, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 nearest neighborhoods") {
+		t.Errorf("output %q missing header", out.String())
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("region %-4d", neighbors[0].Region)) {
+		t.Errorf("output %q missing nearest region %d", out.String(), neighbors[0].Region)
+	}
+}
+
+func TestQueryStats(t *testing.T) {
+	path, idx := writeQueryIndex(t)
+	var out strings.Builder
+	if err := runQueryCmd([]string{"stats", "-task", "0", "-regions", "0,1,2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := idx.GroupStats(0, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("window of 3 neighborhoods, population %d", ws.Count)
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("output %q missing %q", out.String(), want)
+	}
+
+	// Window form: the whole box must aggregate the full population.
+	box := idx.Box()
+	out.Reset()
+	args := []string{"stats", "-task", "0",
+		"-minlat", fmtF(box.MinLat), "-maxlat", fmtF(box.MaxLat),
+		"-minlon", fmtF(box.MinLon), "-maxlon", fmtF(box.MaxLon), path}
+	if err := runQueryCmd(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "population 200") {
+		t.Errorf("full-window output %q should cover all 200 records", out.String())
+	}
+}
+
+func TestQueryArgValidation(t *testing.T) {
+	path, _ := writeQueryIndex(t)
+	var out strings.Builder
+	cases := [][]string{
+		{},                                 // no subcommand
+		{"warp", path},                     // unknown subcommand
+		{"range", path},                    // missing window
+		{"knn", path},                      // missing point
+		{"knn", "-lat", "1", "-lon", "2"},  // missing index file
+		{"stats", "-task", "0", path},      // neither regions nor window
+		{"stats", "-regions", "x,y", path}, // malformed region list
+		{"knn", "-lat", "1", "-lon", "2", "-k", "0", path}, // bad k
+		{"stats", "-task", "0", "-regions", "1,2", "-minlat", "33.9", "-maxlat", "34.1",
+			"-minlon", "-118.4", "-maxlon", "-118.1", path}, // both window forms
+	}
+	for _, args := range cases {
+		if err := runQueryCmd(args, &out); err == nil {
+			t.Errorf("runQueryCmd(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -23,7 +23,11 @@
 //     with O(1) point→neighborhood lookup, sharded batch lookups,
 //     calibrated per-task scoring and versioned binary serialization;
 //     internal/server (via fairindexctl serve) exposes it as a
-//     concurrent HTTP/JSON service with atomic hot reload.
+//     concurrent HTTP/JSON service with atomic hot reload;
+//   - the region-query engine over the same artifact: pruned range
+//     queries (RangeQuery), k-nearest-region queries over a centroid
+//     kd-tree (NearestRegions) and exact window fairness aggregation
+//     (GroupStats) — see docs/QUERIES.md for the query model.
 //
 // # Quick start
 //

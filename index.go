@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fairindex/internal/binenc"
+	"fairindex/internal/calib"
 	"fairindex/internal/dataset"
 	"fairindex/internal/geo"
 	"fairindex/internal/ml"
@@ -46,6 +47,14 @@ type Index struct {
 	centroids  [][2]float64
 	encoding   Encoding // resolved final-training encoding
 
+	// Query acceleration (see query.go): per-region bounding
+	// rectangles and cell counts for pruned RangeQuery, and the
+	// centroid kd-tree layout for NearestRegions. Derived at Build
+	// time, carried by the v2 codec, recomputed when loading v1 files.
+	regionRects []geo.CellRect
+	regionCells []int
+	knnOrder    []int
+
 	tasks []indexTask
 
 	buildTime, trainTime time.Duration
@@ -61,6 +70,10 @@ type indexTask struct {
 	model  ml.Classifier
 	post   []ml.ScoreCalibrator // nil when no post-processing
 	report TaskResult
+	// stats holds the final model's per-region calibration sufficient
+	// statistics (indexed by region id), backing GroupStats. Nil on an
+	// index restored from a pre-v2 artifact.
+	stats []calib.GroupStats
 }
 
 // Index errors.
@@ -114,12 +127,14 @@ func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
 		trainWorkers: art.TrainWorkers,
 		trainCPUTime: art.TaskCPUTime(),
 	}
+	ix.buildAccel()
 	for _, tt := range art.Tasks {
 		ix.tasks = append(ix.tasks, indexTask{
 			task:   tt.Report.Task,
 			model:  tt.Model,
 			post:   tt.Post,
 			report: tt.Report,
+			stats:  append([]calib.GroupStats(nil), tt.RegionStats...),
 		})
 	}
 	return ix, nil
@@ -412,7 +427,7 @@ func (ix *Index) Config() Config {
 
 // Binary format of a serialized Index. The version gate means later
 // layout changes only need a new version constant plus a decode
-// branch; v1 layout:
+// branch; v2 layout (v2 additions marked):
 //
 //	magic "FIDX" | uvarint version
 //	config (method, height, model, encoding, task, alphas,
@@ -422,13 +437,27 @@ func (ix *Index) Config() Config {
 //	bounding box (4 × float64, exact bits)
 //	partition (grid, cell→region table, centroids — see
 //	           partition.AppendBinary)
+//	[v2] query acceleration (per-region bounding rects as 4 varints
+//	     each, per-region cell counts, centroid kd-tree layout — see
+//	     query.go)
 //	timings (build, train — nanosecond varints)
 //	tasks (id, model bytes, calibrators as a distinct-blob table +
-//	       per-region references, metric report)
+//	       per-region references, metric report,
+//	       [v2] per-region stats count + (count, Σ score, Σ label)
+//	       triples backing GroupStats — 0 when absent)
+//
+// v1 files (no acceleration or stats sections) still load: the
+// acceleration structures are recomputed from the partition and
+// GroupStats reports ErrNoRegionStats.
 var indexMagic = [4]byte{'F', 'I', 'D', 'X'}
 
-// indexVersion is the current serialization version.
-const indexVersion = 1
+// Serialization versions.
+const (
+	// indexVersion is the version MarshalBinary writes.
+	indexVersion = 2
+	// indexVersionV1 is the pre-query-engine layout, still decodable.
+	indexVersionV1 = 1
+)
 
 // MarshalBinary implements encoding.BinaryMarshaler with the
 // versioned compact layout above. Floats are stored bit-exact, so an
@@ -464,6 +493,16 @@ func (ix *Index) MarshalBinary() ([]byte, error) {
 
 	// Partition (grid + cell→region table + centroids).
 	b = ix.part.AppendBinary(b)
+
+	// Query acceleration (v2): bounding rects, cell counts, kd layout.
+	for _, r := range ix.regionRects {
+		b = binenc.AppendVarint(b, int64(r.Row0))
+		b = binenc.AppendVarint(b, int64(r.Col0))
+		b = binenc.AppendVarint(b, int64(r.Row1))
+		b = binenc.AppendVarint(b, int64(r.Col1))
+	}
+	b = binenc.AppendInts(b, ix.regionCells)
+	b = binenc.AppendInts(b, ix.knnOrder)
 
 	// Timings.
 	b = binenc.AppendVarint(b, int64(ix.buildTime))
@@ -510,6 +549,15 @@ func (ix *Index) MarshalBinary() ([]byte, error) {
 			}
 		}
 		b = appendTaskResult(b, &it.report)
+		// Per-region calibration stats (v2): additive sufficient
+		// statistics backing GroupStats; 0 marks an index restored
+		// from a v1 artifact that never carried them.
+		b = binenc.AppendUvarint(b, uint64(len(it.stats)))
+		for _, st := range it.stats {
+			b = binenc.AppendVarint(b, int64(st.Count))
+			b = binenc.AppendFloat64(b, st.SumScore)
+			b = binenc.AppendFloat64(b, st.SumLabel)
+		}
 	}
 	return b, nil
 }
@@ -521,9 +569,10 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: bad magic", ErrIndexFormat)
 	}
 	r := binenc.NewReader(data[4:])
-	if v := r.Uvarint(); v != indexVersion {
+	version := r.Uvarint()
+	if version != indexVersion && version != indexVersionV1 {
 		if r.Err() == nil {
-			return fmt.Errorf("%w: unsupported version %d (have %d)", ErrIndexFormat, v, indexVersion)
+			return fmt.Errorf("%w: unsupported version %d (have %d)", ErrIndexFormat, version, indexVersion)
 		}
 		return fmt.Errorf("%w: %v", ErrIndexFormat, r.Err())
 	}
@@ -568,6 +617,16 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 	out.mapper, err = geo.NewMapper(out.grid, out.box)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrIndexFormat, err)
+	}
+
+	if version >= 2 {
+		if err := out.readAccel(r); err != nil {
+			return err
+		}
+	} else {
+		// v1 artifacts predate the query engine: derive the
+		// acceleration structures from the decoded partition.
+		out.buildAccel()
 	}
 
 	out.buildTime = time.Duration(r.Varint())
@@ -622,6 +681,28 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("%w: task %d report: %v", ErrIndexFormat, t, err)
 		}
+		if version >= 2 {
+			numStats := int(r.Uvarint())
+			if err := r.Err(); err != nil {
+				return fmt.Errorf("%w: task %d stats: %v", ErrIndexFormat, t, err)
+			}
+			if numStats != 0 {
+				if numStats != out.numRegions {
+					return fmt.Errorf("%w: task %d: %d region stats for %d regions", ErrIndexFormat, t, numStats, out.numRegions)
+				}
+				it.stats = make([]calib.GroupStats, numStats)
+				for s := range it.stats {
+					it.stats[s] = calib.GroupStats{
+						Count:    r.Int(),
+						SumScore: r.Float64(),
+						SumLabel: r.Float64(),
+					}
+				}
+				if err := r.Err(); err != nil {
+					return fmt.Errorf("%w: task %d stats: %v", ErrIndexFormat, t, err)
+				}
+			}
+		}
 		out.tasks = append(out.tasks, it)
 	}
 	if err := r.Err(); err != nil {
@@ -631,6 +712,54 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: %d trailing bytes after payload", ErrIndexFormat, r.Len())
 	}
 	*ix = out
+	return nil
+}
+
+// readAccel restores the query acceleration section of a v2 artifact
+// and validates its structural invariants: rects must lie on the
+// grid, cell counts must be positive and sum to the grid, and the kd
+// layout must be a permutation of the region ids. (Consistency with
+// the cell→region table beyond that is the builder's contract; the
+// structures are also recomputable via buildAccel.)
+func (ix *Index) readAccel(r *binenc.Reader) error {
+	ix.regionRects = make([]geo.CellRect, ix.numRegions)
+	for i := range ix.regionRects {
+		rect := geo.CellRect{Row0: r.Int(), Col0: r.Int(), Row1: r.Int(), Col1: r.Int()}
+		if r.Err() == nil && (rect.Row0 < 0 || rect.Col0 < 0 ||
+			rect.Row0 >= rect.Row1 || rect.Col0 >= rect.Col1 ||
+			rect.Row1 > ix.grid.U || rect.Col1 > ix.grid.V) {
+			return fmt.Errorf("%w: region %d bounding rect %v outside %v", ErrIndexFormat, i, rect, ix.grid)
+		}
+		ix.regionRects[i] = rect
+	}
+	ix.regionCells = r.Ints()
+	ix.knnOrder = r.Ints()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: acceleration: %v", ErrIndexFormat, err)
+	}
+	if len(ix.regionCells) != ix.numRegions {
+		return fmt.Errorf("%w: %d region cell counts for %d regions", ErrIndexFormat, len(ix.regionCells), ix.numRegions)
+	}
+	total := 0
+	for i, n := range ix.regionCells {
+		if n < 1 || n > ix.regionRects[i].Area() {
+			return fmt.Errorf("%w: region %d: %d cells in bounding rect %v", ErrIndexFormat, i, n, ix.regionRects[i])
+		}
+		total += n
+	}
+	if total != ix.grid.NumCells() {
+		return fmt.Errorf("%w: region cells sum to %d over a %d-cell grid", ErrIndexFormat, total, ix.grid.NumCells())
+	}
+	if len(ix.knnOrder) != ix.numRegions {
+		return fmt.Errorf("%w: kd layout holds %d of %d regions", ErrIndexFormat, len(ix.knnOrder), ix.numRegions)
+	}
+	seen := make([]bool, ix.numRegions)
+	for _, region := range ix.knnOrder {
+		if region < 0 || region >= ix.numRegions || seen[region] {
+			return fmt.Errorf("%w: kd layout is not a permutation of region ids", ErrIndexFormat)
+		}
+		seen[region] = true
+	}
 	return nil
 }
 

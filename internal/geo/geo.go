@@ -65,6 +65,19 @@ func (r CellRect) Intersects(o CellRect) bool {
 	return r.Row0 < o.Row1 && o.Row0 < r.Row1 && r.Col0 < o.Col1 && o.Col0 < r.Col1
 }
 
+// Intersect returns the rectangle of cells shared by r and o; the
+// result is empty (Area() == 0) when they do not overlap.
+func (r CellRect) Intersect(o CellRect) CellRect {
+	out := CellRect{
+		Row0: max(r.Row0, o.Row0), Col0: max(r.Col0, o.Col0),
+		Row1: min(r.Row1, o.Row1), Col1: min(r.Col1, o.Col1),
+	}
+	if out.Row1 <= out.Row0 || out.Col1 <= out.Col0 {
+		return CellRect{}
+	}
+	return out
+}
+
 // SplitRows splits the rectangle horizontally after k rows (counted
 // from Row0), returning the top part [Row0, Row0+k) and the bottom
 // part [Row0+k, Row1). k must be in [0, Rows()].

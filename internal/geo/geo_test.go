@@ -170,3 +170,26 @@ func TestStringers(t *testing.T) {
 		t.Errorf("Grid string = %q", got)
 	}
 }
+
+func TestCellRectIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want CellRect
+	}{
+		{CellRect{0, 0, 4, 4}, CellRect{2, 2, 6, 6}, CellRect{2, 2, 4, 4}},
+		{CellRect{0, 0, 4, 4}, CellRect{0, 0, 4, 4}, CellRect{0, 0, 4, 4}},
+		{CellRect{0, 0, 4, 4}, CellRect{4, 4, 8, 8}, CellRect{}},
+		{CellRect{0, 0, 4, 4}, CellRect{1, 2, 2, 3}, CellRect{1, 2, 2, 3}},
+		{CellRect{}, CellRect{0, 0, 4, 4}, CellRect{}},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Intersect(tc.b); got != tc.want {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Intersect(tc.a); got != tc.want {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", tc.b, tc.a, got, tc.want)
+		}
+		if tc.a.Intersects(tc.b) != !tc.a.Intersect(tc.b).Empty() {
+			t.Errorf("Intersects and Intersect disagree for %v, %v", tc.a, tc.b)
+		}
+	}
+}

@@ -80,6 +80,13 @@ type TrainedTask struct {
 	// Post holds the per-region score calibrators; entries may share
 	// the global fallback calibrator.
 	Post []ml.ScoreCalibrator
+	// RegionStats holds the final model's per-region calibration
+	// sufficient statistics (count, Σ score, Σ label) over the full
+	// dataset, indexed by region id. Unlike Report.TopNeighborhoods
+	// (capped at 10) it covers every region, and the sums are
+	// additive, so an Index can aggregate them exactly over any
+	// query window (GroupStats).
+	RegionStats []calib.GroupStats
 	// TrainTime is this task's own training + evaluation duration;
 	// with Build's worker pool the per-task times overlap, so they sum
 	// to more than Artifacts.TrainTime when tasks ran in parallel.
@@ -160,6 +167,12 @@ func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, regio
 		return nil, err
 	}
 	if tr.TopNeighborhoods, err = calib.TopNeighborhoods(allScores, labels, regionOf, part.NumRegions(), 10, cfg.ECEBins); err != nil {
+		return nil, err
+	}
+	// Full per-region sufficient statistics over the (post-processed)
+	// serving scores, kept beyond the top-10 report so the Index can
+	// answer exact fairness aggregates over arbitrary region sets.
+	if out.RegionStats, err = calib.GroupBy(allScores, labels, regionOf, part.NumRegions()); err != nil {
 		return nil, err
 	}
 	// Gaps are measured over neighborhoods with at least 10 members so

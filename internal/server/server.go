@@ -2,7 +2,8 @@
 // HTTP/JSON lookup service: the online half of the build-once /
 // query-many split. A build box trains an index and ships the .fidx
 // bytes; this server loads them and answers point→neighborhood,
-// batch, scoring and report queries under concurrent load.
+// batch, scoring, report, range, k-nearest-region and window
+// fairness-stats queries under concurrent load.
 //
 // Concurrency model: an Index is immutable and lock-free for readers,
 // so the server keeps the current index behind an atomic.Pointer and
@@ -105,6 +106,10 @@ func New(idx *fairindex.Index, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/locate_batch", s.handleLocateBatch)
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("GET /v1/report/{task}", s.handleReport)
+	s.mux.HandleFunc("POST /v1/range", s.handleRange)
+	s.mux.HandleFunc("GET /v1/knn", s.handleKNN)
+	s.mux.HandleFunc("POST /v1/knn", s.handleKNN)
+	s.mux.HandleFunc("POST /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	return s
 }
@@ -234,6 +239,73 @@ type scoreRequest struct {
 type scoreResponse struct {
 	Score  float64 `json:"score"`
 	Region int     `json:"region"`
+}
+
+// rectJSON is the wire form of a geographic query rectangle.
+type rectJSON struct {
+	MinLat float64 `json:"min_lat"`
+	MinLon float64 `json:"min_lon"`
+	MaxLat float64 `json:"max_lat"`
+	MaxLon float64 `json:"max_lon"`
+}
+
+type rangeRequest = rectJSON
+
+type regionOverlapJSON struct {
+	Region   int     `json:"region"`
+	Cells    int     `json:"cells"`
+	Fraction float64 `json:"fraction"`
+}
+
+type rangeResponse struct {
+	// Regions intersecting the window, ascending region id; empty
+	// (not an error) when the window misses the index's bounding box.
+	Regions []regionOverlapJSON `json:"regions"`
+	Count   int                 `json:"count"`
+}
+
+type knnRequest struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+	K   int     `json:"k"`
+}
+
+type neighborDistJSON struct {
+	Region   int     `json:"region"`
+	Distance float64 `json:"distance"`
+}
+
+type knnResponse struct {
+	Neighbors []neighborDistJSON `json:"neighbors"`
+}
+
+// statsRequest selects the window either as an explicit region list
+// (e.g. piped from /v1/range or /v1/knn output) or as a rectangle
+// resolved through RangeQuery — exactly one of the two.
+type statsRequest struct {
+	Task    int       `json:"task"`
+	Regions []int     `json:"regions,omitempty"`
+	Rect    *rectJSON `json:"rect,omitempty"`
+}
+
+type regionStatJSON struct {
+	Region   int       `json:"region"`
+	Count    int       `json:"count"`
+	MeanConf jsonFloat `json:"mean_conf"`
+	PosRate  jsonFloat `json:"pos_rate"`
+	Miscal   jsonFloat `json:"miscal"`
+	CalRatio jsonFloat `json:"cal_ratio"`
+}
+
+type statsResponse struct {
+	Task     int              `json:"task"`
+	Count    int              `json:"count"`
+	MeanConf jsonFloat        `json:"mean_conf"`
+	PosRate  jsonFloat        `json:"pos_rate"`
+	Miscal   jsonFloat        `json:"miscal"`
+	CalRatio jsonFloat        `json:"cal_ratio"`
+	ENCE     jsonFloat        `json:"ence"`
+	Regions  []regionStatJSON `json:"regions"`
 }
 
 type healthzResponse struct {
@@ -498,6 +570,148 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, newReportResponse(rep))
+}
+
+// writeQueryError maps query-engine errors onto HTTP statuses:
+// malformed queries are the client's fault, an unknown task is 404
+// and a pre-v2 artifact without region stats is a 409 conflict with
+// the served index's capabilities.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, fairindex.ErrNoTask):
+		status = http.StatusNotFound
+	case errors.Is(err, fairindex.ErrNoRegionStats):
+		status = http.StatusConflict
+	}
+	s.writeError(w, status, err)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	overlaps, err := s.idx.Load().RangeQuery(fairindex.BBox{
+		MinLat: req.MinLat, MinLon: req.MinLon,
+		MaxLat: req.MaxLat, MaxLon: req.MaxLon,
+	})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	resp := rangeResponse{Regions: make([]regionOverlapJSON, len(overlaps)), Count: len(overlaps)}
+	for i, ov := range overlaps {
+		resp.Regions[i] = regionOverlapJSON{Region: ov.Region, Cells: ov.Cells, Fraction: ov.Fraction}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if r.Method == http.MethodGet {
+		var err error
+		if req.Lat, err = queryFloat(r, "lat"); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Lon, err = queryFloat(r, "lon"); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		raw := r.URL.Query().Get("k")
+		if raw == "" {
+			s.writeError(w, http.StatusBadRequest, errors.New("missing query parameter \"k\""))
+			return
+		}
+		if req.K, err = strconv.Atoi(raw); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"k\": %v", err))
+			return
+		}
+	} else if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K > s.maxBatch {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("k of %d exceeds limit %d", req.K, s.maxBatch))
+		return
+	}
+	neighbors, err := s.idx.Load().NearestRegions(req.Lat, req.Lon, req.K)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	resp := knnResponse{Neighbors: make([]neighborDistJSON, len(neighbors))}
+	for i, nd := range neighbors {
+		resp.Neighbors[i] = neighborDistJSON{Region: nd.Region, Distance: nd.Distance}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var req statsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Regions == nil) == (req.Rect == nil) {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("exactly one of \"regions\" and \"rect\" must be given"))
+		return
+	}
+	// One atomic load: the rect resolution and the stats aggregation
+	// must see the same index generation.
+	idx := s.idx.Load()
+	regions := req.Regions
+	if req.Rect != nil {
+		overlaps, err := idx.RangeQuery(fairindex.BBox{
+			MinLat: req.Rect.MinLat, MinLon: req.Rect.MinLon,
+			MaxLat: req.Rect.MaxLat, MaxLon: req.Rect.MaxLon,
+		})
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		regions = make([]int, len(overlaps))
+		for i, ov := range overlaps {
+			regions[i] = ov.Region
+		}
+	}
+	// Cap the window after rect resolution so a rectangle cannot
+	// smuggle in a larger window than an explicit region list may.
+	if len(regions) > s.maxBatch {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("window of %d regions exceeds limit %d", len(regions), s.maxBatch))
+		return
+	}
+	ws, err := idx.GroupStats(req.Task, regions)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	resp := statsResponse{
+		Task:     ws.Task,
+		Count:    ws.Count,
+		MeanConf: jsonFloat(ws.MeanConf),
+		PosRate:  jsonFloat(ws.PosRate),
+		Miscal:   jsonFloat(ws.Miscal),
+		CalRatio: jsonFloat(ws.CalRatio),
+		ENCE:     jsonFloat(ws.ENCE),
+		Regions:  make([]regionStatJSON, len(ws.Regions)),
+	}
+	for i, rs := range ws.Regions {
+		resp.Regions[i] = regionStatJSON{
+			Region:   rs.Region,
+			Count:    rs.Count,
+			MeanConf: jsonFloat(rs.MeanConf),
+			PosRate:  jsonFloat(rs.PosRate),
+			Miscal:   jsonFloat(rs.Miscal),
+			CalRatio: jsonFloat(rs.CalRatio),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -507,3 +507,167 @@ func TestReloadKeepsServingOnFailure(t *testing.T) {
 		t.Errorf("reload endpoint status %d, want 500", code)
 	}
 }
+
+// TestServerQueryEndpoints drives /v1/range, /v1/knn and /v1/stats
+// end to end against the library's own query results.
+func TestServerQueryEndpoints(t *testing.T) {
+	idx, _ := buildIndex(t)
+	srv := New(idx)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	box := idx.Box()
+
+	// Range: a quadrant window must match RangeQuery exactly.
+	midLat := (box.MinLat + box.MaxLat) / 2
+	midLon := (box.MinLon + box.MaxLon) / 2
+	body := fmt.Sprintf(`{"min_lat":%v,"min_lon":%v,"max_lat":%v,"max_lon":%v}`,
+		box.MinLat, box.MinLon, midLat, midLon)
+	var rr rangeResponse
+	if code := postJSON(t, client, ts.URL+"/v1/range", body, &rr); code != http.StatusOK {
+		t.Fatalf("range status %d", code)
+	}
+	want, err := idx.RangeQuery(fairindex.BBox{MinLat: box.MinLat, MinLon: box.MinLon, MaxLat: midLat, MaxLon: midLon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Count != len(want) || len(rr.Regions) != len(want) {
+		t.Fatalf("range returned %d regions, want %d", rr.Count, len(want))
+	}
+	for i, ov := range want {
+		got := rr.Regions[i]
+		if got.Region != ov.Region || got.Cells != ov.Cells || got.Fraction != ov.Fraction {
+			t.Fatalf("range region %d: %+v, want %+v", i, got, ov)
+		}
+	}
+
+	// kNN via GET and POST agree with NearestRegions.
+	wantN, err := idx.NearestRegions(midLat, midLon, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kg, kp knnResponse
+	if code := getJSON(t, client, fmt.Sprintf("%s/v1/knn?lat=%v&lon=%v&k=3", ts.URL, midLat, midLon), &kg); code != http.StatusOK {
+		t.Fatalf("knn GET status %d", code)
+	}
+	if code := postJSON(t, client, ts.URL+"/v1/knn", fmt.Sprintf(`{"lat":%v,"lon":%v,"k":3}`, midLat, midLon), &kp); code != http.StatusOK {
+		t.Fatalf("knn POST status %d", code)
+	}
+	for i, nd := range wantN {
+		if kg.Neighbors[i].Region != nd.Region || kg.Neighbors[i].Distance != nd.Distance {
+			t.Fatalf("knn GET neighbor %d = %+v, want %+v", i, kg.Neighbors[i], nd)
+		}
+		if kp.Neighbors[i] != kg.Neighbors[i] {
+			t.Fatalf("knn GET and POST disagree at %d", i)
+		}
+	}
+
+	// Stats by explicit region list.
+	regions := []int{want[0].Region}
+	ws, err := idx.GroupStats(0, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr statsResponse
+	if code := postJSON(t, client, ts.URL+"/v1/stats", fmt.Sprintf(`{"task":0,"regions":[%d]}`, regions[0]), &sr); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if sr.Count != ws.Count || float64(sr.ENCE) != ws.ENCE || len(sr.Regions) != 1 {
+		t.Fatalf("stats = %+v, want aggregate of %+v", sr, ws)
+	}
+
+	// Stats by rectangle resolve through RangeQuery first.
+	var sr2 statsResponse
+	if code := postJSON(t, client, ts.URL+"/v1/stats", fmt.Sprintf(`{"task":0,"rect":%s}`, body), &sr2); code != http.StatusOK {
+		t.Fatalf("stats-by-rect status %d", code)
+	}
+	ids := make([]int, len(want))
+	for i, ov := range want {
+		ids[i] = ov.Region
+	}
+	wantW, err := idx.GroupStats(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr2.Count != wantW.Count || float64(sr2.ENCE) != wantW.ENCE || len(sr2.Regions) != len(wantW.Regions) {
+		t.Fatalf("stats-by-rect = %+v, want aggregate over %v", sr2, ids)
+	}
+}
+
+// TestServerQueryBadRequests pins the edge-case contract of the query
+// endpoints: malformed rectangles, k=0 and capability conflicts.
+func TestServerQueryBadRequests(t *testing.T) {
+	idx, _ := buildIndex(t)
+	srv := New(idx, WithMaxBatch(8))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	box := idx.Box()
+
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"range inverted rect", "/v1/range",
+			fmt.Sprintf(`{"min_lat":%v,"min_lon":%v,"max_lat":%v,"max_lon":%v}`, box.MaxLat, box.MinLon, box.MinLat, box.MaxLon),
+			http.StatusBadRequest},
+		{"range non-numeric corner", "/v1/range",
+			`{"min_lat":"south","min_lon":0,"max_lat":1,"max_lon":1}`,
+			http.StatusBadRequest},
+		{"range unknown field", "/v1/range", `{"min_lat":0,"bogus":1}`, http.StatusBadRequest},
+		{"knn k=0", "/v1/knn", `{"lat":34,"lon":-118,"k":0}`, http.StatusBadRequest},
+		{"knn negative k", "/v1/knn", `{"lat":34,"lon":-118,"k":-2}`, http.StatusBadRequest},
+		{"knn k beyond cap", "/v1/knn", `{"lat":34,"lon":-118,"k":9}`, http.StatusRequestEntityTooLarge},
+		{"stats no window", "/v1/stats", `{"task":0}`, http.StatusBadRequest},
+		{"stats both windows", "/v1/stats",
+			`{"task":0,"regions":[0],"rect":{"min_lat":0,"min_lon":0,"max_lat":1,"max_lon":1}}`,
+			http.StatusBadRequest},
+		{"stats duplicate region", "/v1/stats", `{"task":0,"regions":[1,1]}`, http.StatusBadRequest},
+		{"stats region out of range", "/v1/stats", `{"task":0,"regions":[99999]}`, http.StatusBadRequest},
+		{"stats unknown task", "/v1/stats", `{"task":42,"regions":[0]}`, http.StatusNotFound},
+		{"stats window beyond cap", "/v1/stats", `{"task":0,"regions":[0,1,2,3,4,5,6,7,8]}`, http.StatusRequestEntityTooLarge},
+		{"stats rect window beyond cap", "/v1/stats",
+			fmt.Sprintf(`{"task":0,"rect":{"min_lat":%v,"min_lon":%v,"max_lat":%v,"max_lon":%v}}`,
+				box.MinLat, box.MinLon, box.MaxLat, box.MaxLon), // full box >> 8 regions
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errResp errorResponse
+			if code := postJSON(t, client, ts.URL+tc.url, tc.body, &errResp); code != tc.want {
+				t.Fatalf("status %d, want %d (error %q)", code, tc.want, errResp.Error)
+			}
+			if errResp.Error == "" {
+				t.Error("error body missing")
+			}
+		})
+	}
+
+	// GET /v1/knn parameter validation.
+	if code := getJSON(t, client, ts.URL+"/v1/knn?lat=34&lon=-118", nil); code != http.StatusBadRequest {
+		t.Errorf("missing k: status %d, want 400", code)
+	}
+	if code := getJSON(t, client, ts.URL+"/v1/knn?lat=34&lon=-118&k=abc", nil); code != http.StatusBadRequest {
+		t.Errorf("non-numeric k: status %d, want 400", code)
+	}
+
+	// An empty window (rect off the map) aggregates to zero, not 400;
+	// NaN calibration ratio serializes as null.
+	raw, err := client.Post(ts.URL+"/v1/stats", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"task":0,"rect":{"min_lat":%v,"min_lon":%v,"max_lat":%v,"max_lon":%v}}`,
+			box.MaxLat+1, box.MinLon, box.MaxLat+2, box.MaxLon)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	blob, err := io.ReadAll(raw.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.StatusCode != http.StatusOK {
+		t.Fatalf("empty-window stats status %d: %s", raw.StatusCode, blob)
+	}
+	if !strings.Contains(string(blob), `"cal_ratio":null`) {
+		t.Errorf("empty window should have null cal_ratio, got %s", blob)
+	}
+}

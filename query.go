@@ -1,0 +1,433 @@
+package fairindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fairindex/internal/calib"
+	"fairindex/internal/geo"
+)
+
+// This file is the Index's region-query engine: range queries over a
+// geographic window, k-nearest-region queries and fairness aggregates
+// over arbitrary region sets. Point lookups (index.go) answer "which
+// neighborhood is this coordinate in?"; these answer the FiSH-style
+// workload "which neighborhoods does this window touch, and is the
+// model fair over them?".
+//
+// All three run off small acceleration structures derived from the
+// partition at Build time and carried by the v2 serialization format
+// (recomputed when loading a v1 file):
+//
+//   - regionRects/regionCells: each region's bounding cell rectangle
+//     and cell count. RangeQuery prunes against the bounding rects and,
+//     for regions that exactly fill their rect (every KD-tree, quadtree
+//     and uniform-grid region does), counts overlap by rectangle
+//     intersection alone — no cell scan at all.
+//   - knnOrder: the region centroids arranged as an implicit balanced
+//     kd-tree (median layout), giving NearestRegions a pruned
+//     branch-and-bound search instead of a full centroid scan.
+
+// Query errors.
+var (
+	// ErrQuery reports a malformed query argument (non-finite or
+	// inverted rectangle, non-finite point, non-positive k, bad region
+	// id).
+	ErrQuery = errors.New("fairindex: invalid query")
+	// ErrNoRegionStats reports a GroupStats call on an index that does
+	// not carry per-region calibration statistics — an artifact
+	// serialized before the v2 format. Rebuild (or re-save) the index
+	// to enable fairness aggregation.
+	ErrNoRegionStats = errors.New("fairindex: index carries no per-region stats (pre-v2 artifact)")
+)
+
+// RegionOverlap reports one region intersecting a range query: how
+// many of its grid cells fall inside the query window and which
+// fraction of the region that is (1.0 = fully contained).
+type RegionOverlap struct {
+	Region   int     // neighborhood id
+	Cells    int     // cells of the region inside the window
+	Fraction float64 // Cells / total cells of the region, in (0, 1]
+}
+
+// RegionDistance reports one region of a NearestRegions result.
+type RegionDistance struct {
+	Region   int     // neighborhood id
+	Distance float64 // planar Euclidean centroid distance, in degrees
+}
+
+// RegionStat is one region's build-time calibration summary inside a
+// WindowStats aggregate, computed from the stored sufficient
+// statistics of the final (post-processed) model over the full
+// dataset.
+type RegionStat struct {
+	Region   int
+	Count    int     // population
+	MeanConf float64 // e(N): mean predicted score
+	PosRate  float64 // o(N): empirical positive rate
+	Miscal   float64 // |e − o|
+	CalRatio float64 // e/o (Eq. 2); NaN when the region has no positives
+}
+
+// WindowStats aggregates the stored per-region calibration report
+// over a set of regions (a "query window") for one task. Sums are
+// exact: the index stores additive sufficient statistics per region,
+// so any window aggregate matches what a full re-evaluation over
+// those regions' records would produce.
+type WindowStats struct {
+	Task     int
+	Count    int          // total population of the window
+	MeanConf float64      // e over the window (0 when empty)
+	PosRate  float64      // o over the window (0 when empty)
+	Miscal   float64      // |e − o| over the window
+	CalRatio float64      // e/o over the window; NaN when no positives
+	ENCE     float64      // Definition 3 restricted to the window's regions
+	Regions  []RegionStat // per-region detail, ascending region id
+}
+
+// RegionRect returns the bounding rectangle of a region's cells.
+func (ix *Index) RegionRect(region int) (CellRect, error) {
+	if region < 0 || region >= ix.numRegions {
+		return CellRect{}, fmt.Errorf("%w: region %d out of range [0,%d)", ErrQuery, region, ix.numRegions)
+	}
+	return ix.regionRects[region], nil
+}
+
+// RegionCells returns the number of grid cells a region covers.
+func (ix *Index) RegionCells(region int) (int, error) {
+	if region < 0 || region >= ix.numRegions {
+		return 0, fmt.Errorf("%w: region %d out of range [0,%d)", ErrQuery, region, ix.numRegions)
+	}
+	return ix.regionCells[region], nil
+}
+
+// queryCellRect maps a geographic query rectangle onto the grid:
+// the half-open rectangle of cells between the cells containing the
+// window's southwest and northeast corners (clamped to the grid,
+// matching Locate's convention for boundary and outside points). The
+// empty rectangle is returned when the window lies strictly outside
+// the index's bounding box. Degenerate windows (a line or a single
+// point, MinLat == MaxLat) are valid and resolve to the row/column of
+// cells containing them.
+func (ix *Index) queryCellRect(q BBox) (geo.CellRect, error) {
+	for _, v := range [4]float64{q.MinLat, q.MinLon, q.MaxLat, q.MaxLon} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return geo.CellRect{}, fmt.Errorf("%w: non-finite rectangle %+v", ErrQuery, q)
+		}
+	}
+	if q.MinLat > q.MaxLat || q.MinLon > q.MaxLon {
+		return geo.CellRect{}, fmt.Errorf("%w: inverted rectangle %+v", ErrQuery, q)
+	}
+	if q.MaxLat < ix.box.MinLat || q.MinLat > ix.box.MaxLat ||
+		q.MaxLon < ix.box.MinLon || q.MinLon > ix.box.MaxLon {
+		return geo.CellRect{}, nil
+	}
+	sw := ix.mapper.CellOf(q.MinLat, q.MinLon)
+	ne := ix.mapper.CellOf(q.MaxLat, q.MaxLon)
+	return geo.CellRect{Row0: sw.Row, Col0: sw.Col, Row1: ne.Row + 1, Col1: ne.Col + 1}, nil
+}
+
+// RangeQuery returns the regions intersecting an axis-aligned
+// geographic rectangle, ordered by ascending region id, with each
+// region's overlapping cell count and covered fraction. The window is
+// resolved at cell granularity (see queryCellRect); a window strictly
+// outside the index's bounding box yields an empty result, a
+// malformed (inverted or non-finite) rectangle an error.
+//
+// The scan is pruned by the per-region bounding rectangles: regions
+// whose bounds miss the window are skipped without touching the
+// cell→region table, and regions that exactly fill their bounding
+// rectangle are counted by rectangle intersection alone. Results are
+// identical to a brute-force scan of every grid cell (pinned by a
+// property test).
+func (ix *Index) RangeQuery(q BBox) ([]RegionOverlap, error) {
+	qr, err := ix.queryCellRect(q)
+	if err != nil {
+		return nil, err
+	}
+	if qr.Empty() {
+		return nil, nil
+	}
+	var out []RegionOverlap
+	v := ix.grid.V
+	for region, rect := range ix.regionRects {
+		inter := rect.Intersect(qr)
+		if inter.Empty() {
+			continue
+		}
+		cells := 0
+		if ix.regionCells[region] == rect.Area() {
+			// Solid region: its cells are exactly its bounding rect.
+			cells = inter.Area()
+		} else {
+			for row := inter.Row0; row < inter.Row1; row++ {
+				base := row * v
+				for col := inter.Col0; col < inter.Col1; col++ {
+					if ix.cellRegion[base+col] == region {
+						cells++
+					}
+				}
+			}
+		}
+		if cells > 0 {
+			out = append(out, RegionOverlap{
+				Region:   region,
+				Cells:    cells,
+				Fraction: float64(cells) / float64(ix.regionCells[region]),
+			})
+		}
+	}
+	return out, nil
+}
+
+// NearestRegions returns the k regions whose centroids are nearest to
+// the coordinate, ordered by ascending distance (ties broken by
+// ascending region id). Distance is planar Euclidean over degrees —
+// adequate at city scale; it is not a great-circle distance. The
+// point may lie outside the index's bounding box. k is clamped to
+// NumRegions; k < 1 and non-finite coordinates are errors.
+//
+// The search runs branch-and-bound over the centroid kd-tree built at
+// Build/UnmarshalBinary time; results are identical to a full sorted
+// centroid scan (pinned by a property test).
+func (ix *Index) NearestRegions(lat, lon float64, k int) ([]RegionDistance, error) {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) || math.IsNaN(lon) || math.IsInf(lon, 0) {
+		return nil, fmt.Errorf("%w: non-finite coordinate (%v, %v)", ErrQuery, lat, lon)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k must be at least 1, got %d", ErrQuery, k)
+	}
+	if k > ix.numRegions {
+		k = ix.numRegions
+	}
+	res := make([]RegionDistance, 0, k)
+	ix.knnVisit(&res, k, lat, lon, 0, len(ix.knnOrder), 0)
+	for i := range res {
+		res[i].Distance = math.Sqrt(res[i].Distance)
+	}
+	return res, nil
+}
+
+// centroidDegrees converts a region's stored normalized centroid to
+// geographic degrees.
+func (ix *Index) centroidDegrees(region int) (lat, lon float64) {
+	c := ix.centroids[region]
+	lat = ix.box.MinLat + c[0]*(ix.box.MaxLat-ix.box.MinLat)
+	lon = ix.box.MinLon + c[1]*(ix.box.MaxLon-ix.box.MinLon)
+	return lat, lon
+}
+
+// knnVisit recursively searches the implicit kd-tree rooted at the
+// median of knnOrder[lo:hi). axis 0 splits on latitude (rows), axis 1
+// on longitude (columns). res accumulates the best k candidates in
+// (squared distance, region id) order; subtrees are pruned when their
+// splitting plane is provably farther than the current worst
+// candidate.
+func (ix *Index) knnVisit(res *[]RegionDistance, k int, lat, lon float64, lo, hi, axis int) {
+	if lo >= hi {
+		return
+	}
+	mid := lo + (hi-lo)/2
+	region := ix.knnOrder[mid]
+	cLat, cLon := ix.centroidDegrees(region)
+	dLat, dLon := lat-cLat, lon-cLon
+	insertNeighbor(res, k, RegionDistance{Region: region, Distance: dLat*dLat + dLon*dLon})
+	delta := dLat
+	if axis == 1 {
+		delta = dLon
+	}
+	nearLo, nearHi, farLo, farHi := lo, mid, mid+1, hi
+	if delta > 0 {
+		nearLo, nearHi, farLo, farHi = mid+1, hi, lo, mid
+	}
+	ix.knnVisit(res, k, lat, lon, nearLo, nearHi, 1-axis)
+	// The far half only holds centroids at least |delta| away along
+	// the split axis. <= (not <): an equidistant centroid with a
+	// smaller region id must still displace the current worst.
+	if len(*res) < k || delta*delta <= (*res)[len(*res)-1].Distance {
+		ix.knnVisit(res, k, lat, lon, farLo, farHi, 1-axis)
+	}
+}
+
+// insertNeighbor inserts a candidate into the sorted top-k slice,
+// keeping (distance, region id) order and dropping the worst entry
+// when full.
+func insertNeighbor(res *[]RegionDistance, k int, nd RegionDistance) {
+	s := *res
+	pos := sort.Search(len(s), func(i int) bool {
+		if s[i].Distance != nd.Distance {
+			return s[i].Distance > nd.Distance
+		}
+		return s[i].Region > nd.Region
+	})
+	if len(s) < k {
+		s = append(s, RegionDistance{})
+	} else if pos >= k {
+		return
+	}
+	copy(s[pos+1:], s[pos:])
+	s[pos] = nd
+	*res = s
+}
+
+// buildKNNOrder arranges region ids as an implicit balanced kd-tree
+// over their centroids: the subtree spanning order[lo:hi) is rooted
+// at the median index lo+(hi-lo)/2, the left half holds centroids at
+// or below the root along the level's axis, the right half at or
+// above. Ties sort by region id, so the layout is deterministic.
+func buildKNNOrder(centroids [][2]float64) []int {
+	order := make([]int, len(centroids))
+	for i := range order {
+		order[i] = i
+	}
+	var build func(lo, hi, axis int)
+	build = func(lo, hi, axis int) {
+		if hi-lo <= 1 {
+			return
+		}
+		seg := order[lo:hi]
+		sort.Slice(seg, func(a, b int) bool {
+			ca, cb := centroids[seg[a]], centroids[seg[b]]
+			if ca[axis] != cb[axis] {
+				return ca[axis] < cb[axis]
+			}
+			return seg[a] < seg[b]
+		})
+		mid := lo + (hi-lo)/2
+		build(lo, mid, 1-axis)
+		build(mid+1, hi, 1-axis)
+	}
+	build(0, len(order), 0)
+	return order
+}
+
+// regionBounds computes each region's bounding cell rectangle and
+// cell count from the flat cell→region table.
+func regionBounds(grid geo.Grid, cellRegion []int, numRegions int) ([]geo.CellRect, []int) {
+	rects := make([]geo.CellRect, numRegions)
+	for i := range rects {
+		rects[i] = geo.CellRect{Row0: grid.U, Col0: grid.V} // empty sentinel
+	}
+	counts := make([]int, numRegions)
+	for i, region := range cellRegion {
+		c := grid.CellAt(i)
+		r := &rects[region]
+		if c.Row < r.Row0 {
+			r.Row0 = c.Row
+		}
+		if c.Row+1 > r.Row1 {
+			r.Row1 = c.Row + 1
+		}
+		if c.Col < r.Col0 {
+			r.Col0 = c.Col
+		}
+		if c.Col+1 > r.Col1 {
+			r.Col1 = c.Col + 1
+		}
+		counts[region]++
+	}
+	return rects, counts
+}
+
+// buildAccel (re)derives the query acceleration structures from the
+// partition and centroids. Build and the v1 decode path call it; the
+// v2 decode path restores the structures from the serialized artifact
+// instead.
+func (ix *Index) buildAccel() {
+	ix.regionRects, ix.regionCells = regionBounds(ix.grid, ix.cellRegion, ix.numRegions)
+	ix.knnOrder = buildKNNOrder(ix.centroids)
+}
+
+// GroupStats aggregates the stored per-region calibration report over
+// a set of regions for one task: the FiSH-style "is this window
+// fair?" audit. The region list must hold distinct in-range ids —
+// typically the regions returned by RangeQuery or NearestRegions.
+// Empty regions contribute zero weight; an empty window returns
+// all-zero aggregates (CalRatio NaN).
+//
+// The aggregate is exact, not approximate: the index stores each
+// region's additive sufficient statistics (population, Σ score,
+// Σ label) from the final post-processed model over the full dataset.
+// Note that RangeQuery windows cut regions at cell granularity while
+// stats cover whole regions — a region partially inside the window
+// contributes its entire population (see docs/QUERIES.md for the
+// fairness caveats).
+//
+// Indexes serialized before the v2 format carry no per-region stats;
+// GroupStats then fails with ErrNoRegionStats.
+func (ix *Index) GroupStats(task int, regions []int) (WindowStats, error) {
+	it, err := ix.taskByID(task)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	if it.stats == nil {
+		return WindowStats{}, ErrNoRegionStats
+	}
+	// Region ids are dense, so a bitmap both rejects duplicates and —
+	// scanned in order — yields the ascending-id aggregation without a
+	// sort.
+	seen := make([]bool, ix.numRegions)
+	for _, region := range regions {
+		if region < 0 || region >= ix.numRegions {
+			return WindowStats{}, fmt.Errorf("%w: region %d out of range [0,%d)", ErrQuery, region, ix.numRegions)
+		}
+		if seen[region] {
+			return WindowStats{}, fmt.Errorf("%w: duplicate region %d", ErrQuery, region)
+		}
+		seen[region] = true
+	}
+
+	out := WindowStats{Task: task, CalRatio: math.NaN()}
+	if len(regions) > 0 {
+		out.Regions = make([]RegionStat, 0, len(regions))
+	}
+	var sumScore, sumLabel float64
+	for region, in := range seen {
+		if !in {
+			continue
+		}
+		st := it.stats[region]
+		out.Count += st.Count
+		sumScore += st.SumScore
+		sumLabel += st.SumLabel
+		out.Regions = append(out.Regions, regionStatOf(region, st))
+	}
+	if out.Count > 0 {
+		out.MeanConf = sumScore / float64(out.Count)
+		out.PosRate = sumLabel / float64(out.Count)
+		out.Miscal = math.Abs(out.MeanConf - out.PosRate)
+		if out.PosRate > 0 {
+			out.CalRatio = out.MeanConf / out.PosRate
+		}
+		// Definition 3 restricted to the window: population-weighted
+		// mean of per-region |e − o| over the window's total.
+		for region, in := range seen {
+			if !in {
+				continue
+			}
+			if st := it.stats[region]; st.Count > 0 {
+				out.ENCE += (float64(st.Count) / float64(out.Count)) * st.MiscalAbs()
+			}
+		}
+	}
+	return out, nil
+}
+
+// regionStatOf converts stored sufficient statistics into the public
+// per-region summary.
+func regionStatOf(region int, st calib.GroupStats) RegionStat {
+	ratio := math.NaN()
+	if st.PosRate() > 0 {
+		ratio = st.MeanScore() / st.PosRate()
+	}
+	return RegionStat{
+		Region:   region,
+		Count:    st.Count,
+		MeanConf: st.MeanScore(),
+		PosRate:  st.PosRate(),
+		Miscal:   st.MiscalAbs(),
+		CalRatio: ratio,
+	}
+}
