@@ -19,6 +19,7 @@ import (
 	"fairindex/internal/kdtree"
 	"fairindex/internal/ml"
 	"fairindex/internal/pipeline"
+	"fairindex/internal/registry"
 )
 
 // benchOptions is the reduced workload shared by the figure benches.
@@ -544,6 +545,58 @@ func BenchmarkLogRegFit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRegistryLookup measures the multi-index catalog's request
+// hot path: resolving a resident entry by name must stay one atomic
+// snapshot load plus a map read plus an atomic entry load — no lock.
+// Watched by cmd/benchgate: a mutex sneaking onto this path is an
+// order-of-magnitude regression under contention and fails CI.
+func BenchmarkRegistryLookup(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := registry.New()
+	names := []string{"la-fair-h8", "la-zipcode", "la-quadtree", "houston-fair"}
+	for _, name := range names {
+		if err := reg.AddIndex(name, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Lookup(names[i&3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryLookupParallel is the same hot path under
+// GOMAXPROCS-way contention — the shape a loaded multi-tenant server
+// actually sees. Lock-free resolution should scale near-linearly.
+func BenchmarkRegistryLookupParallel(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := registry.New()
+	names := []string{"la-fair-h8", "la-zipcode", "la-quadtree", "houston-fair"}
+	for _, name := range names {
+		if err := reg.AddIndex(name, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := reg.Lookup(names[i&3]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
 }
 
 func BenchmarkENCEMetric(b *testing.B) {

@@ -2,10 +2,11 @@
 // recorded baseline in BENCH_index.json and fails (exit 1) when a
 // watched benchmark regresses beyond the tolerance factor. It is the
 // CI guard on the Index serving hot path: later PRs may make Locate,
-// LocateBatch and the region queries (RangeQuery, NearestRegions,
-// GroupStats) faster, but not slower.
+// LocateBatch, the region queries (RangeQuery, NearestRegions,
+// GroupStats) and the multi-index registry lookup faster, but not
+// slower.
 //
-//	go test -run '^$' -bench 'BenchmarkIndex' -benchtime 200ms . | tee bench.out
+//	go test -run '^$' -bench 'BenchmarkIndex|BenchmarkRegistry' -benchtime 200ms . | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out -baseline BENCH_index.json
 //
 // The default tolerance (2.5x) is deliberately loose: shared CI
@@ -94,7 +95,7 @@ func run(args []string, w *os.File) error {
 	benchPath := fs.String("bench", "", "`go test -bench` output file (required)")
 	basePath := fs.String("baseline", "BENCH_index.json", "baseline JSON file")
 	watch := fs.String("watch",
-		"BenchmarkIndexLocate,BenchmarkIndexLocateBatch,BenchmarkIndexRangeQuery,BenchmarkIndexNearestRegions,BenchmarkIndexGroupStats",
+		"BenchmarkIndexLocate,BenchmarkIndexLocateBatch,BenchmarkIndexRangeQuery,BenchmarkIndexNearestRegions,BenchmarkIndexGroupStats,BenchmarkRegistryLookup",
 		"comma-separated benchmarks the gate enforces")
 	maxRatio := fs.Float64("max-ratio", 2.5, "fail when measured/baseline ns/op exceeds this")
 	if err := fs.Parse(args); err != nil {

@@ -28,15 +28,18 @@ const baseline = `{
     "BenchmarkIndexLocateBatch": {"ns_per_op": 8000},
     "BenchmarkIndexRangeQuery": {"ns_per_op": 3000},
     "BenchmarkIndexNearestRegions": {"ns_per_op": 1000},
-    "BenchmarkIndexGroupStats": {"ns_per_op": 3000}
+    "BenchmarkIndexGroupStats": {"ns_per_op": 3000},
+    "BenchmarkRegistryLookup": {"ns_per_op": 18}
   }
 }`
 
 // healthyQueries are in-tolerance result lines for the query-engine
-// benchmarks, appended to fixtures that exercise the other entries.
+// and registry benchmarks, appended to fixtures that exercise the
+// other entries.
 const healthyQueries = `BenchmarkIndexRangeQuery-4  	  100	      3100 ns/op
 BenchmarkIndexNearestRegions-4 	  100	      1050 ns/op
 BenchmarkIndexGroupStats-4  	  100	      3050 ns/op
+BenchmarkRegistryLookup-4  	 1000	        19 ns/op
 `
 
 // gate runs the comparator against the given bench output.

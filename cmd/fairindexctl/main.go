@@ -10,13 +10,21 @@
 //	             [-post none|platt|isotonic] [-grid 64] [-seed 11]
 //		build an Index artifact from a dataset CSV and save it.
 //
-//	fairindexctl serve [-http :8080] city.fidx
-//		load a saved Index and serve it as a concurrent HTTP/JSON
-//		service: /v1/locate, /v1/locate_batch, /v1/score,
-//		/v1/report/{task}, /healthz and /v1/reload. SIGHUP (or POST
-//		/v1/reload) atomically hot-reloads the index file without
-//		dropping in-flight requests; the index may also be passed
-//		with -index instead of positionally.
+//	fairindexctl serve [-http :8080] city.fidx [more.fidx ...]
+//	fairindexctl serve -dir artifacts/ [-max-indexes 8] [-default la-fair-h8]
+//		load one or more saved Indexes and serve them from a single
+//		concurrent HTTP/JSON process. Each artifact is a named
+//		catalog entry ([name=]path arguments, or the file base name);
+//		-dir serves every *.fidx in a directory, loading entries
+//		lazily on first use and LRU-evicting beyond -max-indexes.
+//		Named routes /v1/i/{name}/locate|locate_batch|score|
+//		report/{task}|range|knn|stats address one entry; the
+//		unprefixed /v1/* routes resolve to the default entry
+//		(-default, or the sole entry); /v1/indexes lists the catalog
+//		and /v1/compare runs one request across several entries.
+//		SIGHUP (or POST /v1/reload) rescans -dir and atomically
+//		hot-reloads every resident index without dropping in-flight
+//		requests; POST /v1/i/{name}/reload reloads one entry.
 //
 //	fairindexctl serve -csv points.csv [-out regions.csv] city.fidx
 //		legacy one-shot mode: answer point→neighborhood lookups for
@@ -31,6 +39,8 @@
 //		covered fraction), knn the k nearest neighborhoods by
 //		centroid distance, stats the aggregated calibration/fairness
 //		report over a window given as region ids or as a rectangle.
+//		The index may also be passed with -index instead of
+//		positionally.
 //
 // Invoked without a subcommand it runs the legacy one-shot report:
 //
@@ -43,6 +53,7 @@
 package main
 
 import (
+	"cmp"
 	"context"
 	"encoding/csv"
 	"flag"
@@ -54,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -64,6 +76,7 @@ import (
 	"fairindex/internal/geo"
 	"fairindex/internal/ml"
 	"fairindex/internal/pipeline"
+	"fairindex/internal/registry"
 	"fairindex/internal/render"
 	"fairindex/internal/server"
 )
@@ -197,6 +210,7 @@ func runQueryCmd(args []string, w io.Writer) error {
 	k := fs.Int("k", 5, "number of nearest neighborhoods (knn)")
 	task := fs.Int("task", 0, "label task (stats)")
 	regionsFlag := fs.String("regions", "", "comma-separated region ids (stats; alternative to a window)")
+	indexPath := fs.String("index", "", "serialized index file (or pass it positionally)")
 	switch op {
 	case "range", "knn", "stats":
 	default:
@@ -205,17 +219,23 @@ func runQueryCmd(args []string, w io.Writer) error {
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
+	path := *indexPath
+	switch {
+	case fs.NArg() > 1:
 		return fmt.Errorf("query %s: exactly one index file is required, got %d", op, fs.NArg())
+	case fs.NArg() == 1 && path != "":
+		return fmt.Errorf("query %s: both -index %s and positional %s given", op, path, fs.Arg(0))
+	case fs.NArg() == 1:
+		path = fs.Arg(0)
 	}
-	blob, err := os.ReadFile(fs.Arg(0))
+	if path == "" {
+		return fmt.Errorf("query %s: an index file is required (-index or positional)", op)
+	}
+	idxp, err := fairindex.LoadIndex(path)
 	if err != nil {
 		return err
 	}
-	var idx fairindex.Index
-	if err := idx.UnmarshalBinary(blob); err != nil {
-		return err
-	}
+	idx := *idxp
 
 	window := func() (fairindex.BBox, error) {
 		box := fairindex.BBox{MinLat: *minLat, MinLon: *minLon, MaxLat: *maxLat, MaxLon: *maxLon}
@@ -299,59 +319,140 @@ func runQueryCmd(args []string, w io.Writer) error {
 	return nil
 }
 
-// runServeCmd loads a saved Index and serves it — as a concurrent
-// HTTP/JSON service by default, or as the legacy one-shot CSV
-// resolver when -csv (or its old alias -points) is given.
+// indexSpec is one [name=]path serve argument.
+type indexSpec struct {
+	name, path string
+}
+
+// parseIndexSpec splits a [name=]path argument; the name defaults to
+// the file base without the .fidx extension.
+func parseIndexSpec(arg string) (indexSpec, error) {
+	spec := indexSpec{path: arg}
+	if name, path, ok := strings.Cut(arg, "="); ok {
+		spec.name, spec.path = name, path
+	}
+	if spec.path == "" {
+		return spec, fmt.Errorf("serve: empty index path in %q", arg)
+	}
+	if spec.name == "" {
+		spec.name = strings.TrimSuffix(filepath.Base(spec.path), registry.Ext)
+	}
+	if spec.name == "" {
+		return spec, fmt.Errorf("serve: cannot derive an index name from %q", arg)
+	}
+	return spec, nil
+}
+
+// runServeCmd loads one or more saved Indexes and serves them — as a
+// concurrent HTTP/JSON service by default, or as the legacy one-shot
+// CSV resolver when -csv (or its old alias -points) is given.
 func runServeCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	httpAddr := fs.String("http", ":8080", "HTTP listen address")
-	indexPath := fs.String("index", "", "serialized index file (or pass it positionally)")
+	var specs []string
+	fs.Func("index", "index artifact as [name=]path (repeatable; positional arguments are equivalent)",
+		func(v string) error { specs = append(specs, v); return nil })
+	dir := fs.String("dir", "", "serve every *.fidx artifact in this directory (rescanned on reload)")
+	maxIndexes := fs.Int("max-indexes", 0, "bound on concurrently resident indexes, LRU-evicted (0 = unlimited)")
+	defName := fs.String("default", "", "catalog entry the unprefixed /v1 routes resolve to (default: the sole entry)")
 	csvPoints := fs.String("csv", "", "legacy one-shot mode: resolve this points CSV (id, lat, lon) and exit")
 	points := fs.String("points", "", "alias for -csv (deprecated)")
 	out := fs.String("out", "", "CSV mode: output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	path := *indexPath
-	switch {
-	case fs.NArg() > 1:
-		return fmt.Errorf("serve: at most one positional index file, got %d", fs.NArg())
-	case fs.NArg() == 1 && path != "":
-		return fmt.Errorf("serve: both -index %s and positional %s given", path, fs.Arg(0))
-	case fs.NArg() == 1:
-		path = fs.Arg(0)
+	specs = append(specs, fs.Args()...)
+	entries := make([]indexSpec, len(specs))
+	for i, arg := range specs {
+		var err error
+		if entries[i], err = parseIndexSpec(arg); err != nil {
+			return err
+		}
 	}
-	if path == "" {
-		return fmt.Errorf("serve: an index file is required (-index or positional)")
-	}
-	pointsPath := *csvPoints
-	if pointsPath == "" {
-		pointsPath = *points
-	}
-	if pointsPath == "" {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
-		return serveHTTP(ctx, path, *httpAddr, nil)
-	}
-	return serveCSV(path, pointsPath, *out)
-}
 
-// serveHTTP runs the concurrent HTTP service until ctx is done,
-// hot-reloading the index on SIGHUP or POST /v1/reload. onReady, when
-// non-nil, observes the bound address (tests bind :0).
-func serveHTTP(ctx context.Context, indexPath, addr string, onReady func(net.Addr)) error {
-	srv, err := server.Open(indexPath)
+	if pointsPath := cmp.Or(*csvPoints, *points); pointsPath != "" {
+		if *dir != "" || len(entries) != 1 {
+			return fmt.Errorf("serve: CSV mode needs exactly one index file, got %d (-dir not supported)", len(entries))
+		}
+		return serveCSV(entries[0].path, pointsPath, *out)
+	}
+	if *dir == "" && len(entries) == 0 {
+		return fmt.Errorf("serve: at least one index file (-index, positional) or -dir is required")
+	}
+
+	srv, err := newServeServer(entries, *dir, *maxIndexes, *defName)
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveHTTP(ctx, srv, *httpAddr, nil)
+}
+
+// newServeServer assembles the index catalog from explicit entries
+// and/or a scanned artifact directory. Explicit files must exist
+// (fail fast at boot); directory entries load lazily on first use.
+func newServeServer(entries []indexSpec, dir string, maxIndexes int, defName string) (*server.Server, error) {
+	var regOpts []registry.Option
+	if dir != "" {
+		regOpts = append(regOpts, registry.WithDir(dir))
+	}
+	if maxIndexes > 0 {
+		regOpts = append(regOpts, registry.WithMaxLoaded(maxIndexes))
+	}
+	if defName != "" {
+		regOpts = append(regOpts, registry.WithDefault(defName))
+	}
+	reg := registry.New(regOpts...)
+	for _, e := range entries {
+		if _, err := os.Stat(e.path); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if err := reg.Add(e.name, e.path); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	if dir != "" {
+		if err := reg.Rescan(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	if reg.Len() == 0 {
+		return nil, fmt.Errorf("serve: no index artifacts registered (empty -dir?)")
+	}
+	// Fail fast on the default artifact: a serve whose unprefixed
+	// routes can never answer should not boot quietly.
+	if name := reg.DefaultName(); name != "" {
+		if _, err := reg.Lookup(name); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	return server.NewMulti(reg), nil
+}
+
+// serveHTTP runs the concurrent HTTP service until ctx is done,
+// hot-reloading the catalog on SIGHUP or POST /v1/reload. onReady,
+// when non-nil, observes the bound address (tests bind :0).
+func serveHTTP(ctx context.Context, srv *server.Server, addr string, onReady func(net.Addr)) error {
 	srv.ReloadOnSignal(ctx)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	idx := srv.Index()
-	fmt.Printf("serving %s over %q (%d neighborhoods, tasks %v) on %s\n",
-		idx.Method(), idx.DatasetName(), idx.NumRegions(), idx.Tasks(), ln.Addr())
+	reg := srv.Registry()
+	def := reg.DefaultName()
+	fmt.Printf("serving %d indexes (%d resident) on %s\n", reg.Len(), reg.LoadedCount(), ln.Addr())
+	for _, info := range reg.List() {
+		line := fmt.Sprintf("  %s [%s]", info.Name, info.State)
+		if info.State == registry.StateLoaded {
+			line += fmt.Sprintf(": %s over %q, %d neighborhoods, tasks %v (codec v%d)",
+				info.Method, info.Dataset, info.Regions, info.Tasks, info.CodecVersion)
+		}
+		if info.Name == def {
+			line += "  <- default"
+		}
+		fmt.Println(line)
+	}
 	fmt.Printf("hot reload: kill -HUP %d or POST /v1/reload\n", os.Getpid())
 	if onReady != nil {
 		onReady(ln.Addr())
@@ -372,14 +473,11 @@ func serveHTTP(ctx context.Context, indexPath, addr string, onReady func(net.Add
 // serveCSV is the legacy one-shot flow: resolve a points CSV against
 // the index and write id,lat,lon,region rows.
 func serveCSV(indexPath, pointsPath, out string) error {
-	blob, err := os.ReadFile(indexPath)
+	idxp, err := fairindex.LoadIndex(indexPath)
 	if err != nil {
 		return err
 	}
-	var idx fairindex.Index
-	if err := idx.UnmarshalBinary(blob); err != nil {
-		return err
-	}
+	idx := *idxp
 	ids, lats, lons, err := readPoints(pointsPath)
 	if err != nil {
 		return err

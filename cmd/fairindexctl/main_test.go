@@ -259,12 +259,16 @@ func writeCityAndIndex(t *testing.T, dir string) (csvPath, idxPath string, ds *d
 func TestServeHTTPSmoke(t *testing.T) {
 	_, idxPath, ds := writeCityAndIndex(t, t.TempDir())
 
+	srv, err := newServeServer([]indexSpec{{name: "city", path: idxPath}}, "", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	addrCh := make(chan net.Addr, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- serveHTTP(ctx, idxPath, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+		done <- serveHTTP(ctx, srv, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
 	}()
 	var base string
 	select {
@@ -347,16 +351,154 @@ func TestServeCSVFlag(t *testing.T) {
 	}
 }
 
-// TestServeArgValidation covers the index-path plumbing rules.
+// TestServeArgValidation covers the index-spec plumbing rules.
 func TestServeArgValidation(t *testing.T) {
-	if err := runServeCmd([]string{"-index", "a.fidx", "b.fidx"}); err == nil {
-		t.Error("expected error for both -index and positional")
-	}
-	if err := runServeCmd([]string{"a.fidx", "b.fidx"}); err == nil {
-		t.Error("expected error for two positional index files")
-	}
 	if err := runServeCmd([]string{}); err == nil {
-		t.Error("expected error for no index file")
+		t.Error("expected error for no index file and no -dir")
+	}
+	// Explicit entries fail fast when the file does not exist.
+	if err := runServeCmd([]string{"/nonexistent/a.fidx"}); err == nil {
+		t.Error("expected error for a missing explicit index file")
+	}
+	// CSV mode stays single-index.
+	if err := runServeCmd([]string{"-csv", "p.csv", "a.fidx", "b.fidx"}); err == nil {
+		t.Error("expected error for CSV mode with two index files")
+	}
+	if _, err := parseIndexSpec("la="); err == nil {
+		t.Error("expected error for an empty path spec")
+	}
+	if _, err := newServeServer([]indexSpec{}, t.TempDir(), 0, ""); err == nil {
+		t.Error("expected error for an empty artifact directory")
+	}
+}
+
+// TestParseIndexSpec covers [name=]path parsing and default naming.
+func TestParseIndexSpec(t *testing.T) {
+	got, err := parseIndexSpec("artifacts/la-fair-h8.fidx")
+	if err != nil || got.name != "la-fair-h8" || got.path != "artifacts/la-fair-h8.fidx" {
+		t.Errorf("parseIndexSpec = %+v, %v", got, err)
+	}
+	got, err = parseIndexSpec("la=west/city.fidx")
+	if err != nil || got.name != "la" || got.path != "west/city.fidx" {
+		t.Errorf("parseIndexSpec named = %+v, %v", got, err)
+	}
+}
+
+// TestServeMultiIndex boots the CLI server over two differently
+// partitioned indexes of the same dataset and checks the named
+// routes, the catalog listing and the comparison endpoint — the
+// CLI-level slice of multi-index serving.
+func TestServeMultiIndex(t *testing.T) {
+	dir := t.TempDir()
+	_, idxPath, ds := writeCityAndIndex(t, dir)
+	// Second partitioning of the same dataset, zipcode method.
+	idxB, err := fairindex.Build(ds, fairindex.WithMethod(fairindex.MethodZipCode), fairindex.WithHeight(4), fairindex.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := idxB.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipPath := filepath.Join(dir, "zip.fidx")
+	if err := os.WriteFile(zipPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := newServeServer([]indexSpec{
+		{name: "fair", path: idxPath},
+		{name: "zip", path: zipPath},
+	}, "", 0, "fair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serveHTTP(ctx, srv, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	getInto := func(url string, out any) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var list struct {
+		Default string `json:"default"`
+		Indexes []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"indexes"`
+	}
+	getInto(base+"/v1/indexes", &list)
+	if list.Default != "fair" || len(list.Indexes) != 2 {
+		t.Fatalf("/v1/indexes = %+v", list)
+	}
+
+	// Named locates answer from the right index; the default route
+	// matches the "fair" entry.
+	rec := ds.Records[0]
+	var def, fair, zip struct {
+		Region int `json:"region"`
+	}
+	getInto(fmt.Sprintf("%s/v1/locate?lat=%v&lon=%v", base, rec.Lat, rec.Lon), &def)
+	getInto(fmt.Sprintf("%s/v1/i/fair/locate?lat=%v&lon=%v", base, rec.Lat, rec.Lon), &fair)
+	getInto(fmt.Sprintf("%s/v1/i/zip/locate?lat=%v&lon=%v", base, rec.Lat, rec.Lon), &zip)
+	if def.Region != fair.Region {
+		t.Errorf("default route region %d != named fair region %d", def.Region, fair.Region)
+	}
+
+	// Compare agrees with the per-index locates.
+	body := fmt.Sprintf(`{"indexes":["fair","zip"],"lat":%v,"lon":%v}`, rec.Lat, rec.Lon)
+	resp, err := http.Post(base+"/v1/compare", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmp struct {
+		Op      string `json:"op"`
+		Indexes []struct {
+			Name   string `json:"name"`
+			Region int    `json:"region"`
+		} `json:"indexes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cmp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cmp.Op != "locate" || len(cmp.Indexes) != 2 ||
+		cmp.Indexes[0].Region != fair.Region || cmp.Indexes[1].Region != zip.Region {
+		t.Fatalf("/v1/compare = %+v (fair %d, zip %d)", cmp, fair.Region, zip.Region)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }
 

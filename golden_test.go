@@ -1,0 +1,188 @@
+package fairindex
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-artifact compatibility tests: the two .fidx fixtures under
+// testdata/ are canonical v1 and v2 encodings of the same build (see
+// buildGoldenIndex / TestRegenTestdata). They pin, byte for byte,
+// that today's decoder still reads files written by older releases —
+// a codec change that silently breaks an old artifact store fails
+// here before it ships. The expected query outputs below were
+// recorded from the fixture at commit time; exact equality (down to
+// the float bits) is intentional.
+
+// goldenProbes are fixed in-box coordinates with their pinned
+// neighborhood assignments.
+var goldenProbes = []struct {
+	lat, lon float64
+	region   int
+}{
+	{34.00, -118.25, 4},
+	{33.65, -118.65, 0},
+	{34.35, -117.85, 7},
+	{33.90, -118.00, 3},
+	{34.20, -118.40, 5},
+}
+
+// goldenWindow is the fixed range-query window (the city's southwest
+// quadrant) with pinned overlap results.
+var goldenWindow = BBox{MinLat: 33.60, MinLon: -118.70, MaxLat: 34.00, MaxLon: -118.25}
+
+// goldenOverlaps pins RangeQuery(goldenWindow) exactly.
+var goldenOverlaps = []RegionOverlap{
+	{Region: 0, Cells: 15, Fraction: 0.8333333333333334},
+	{Region: 1, Cells: 5, Fraction: 0.8333333333333334},
+	{Region: 4, Cells: 5, Fraction: 0.4166666666666667},
+}
+
+// Pinned GroupStats aggregate over the golden window (task 0).
+// ENCE/miscal are pinned by exact bit pattern: the sufficient
+// statistics are stored floats, so any drift means the codec or the
+// aggregation changed.
+const (
+	goldenNumRegions = 8
+	goldenCount      = 118
+	goldenENCEBits   = 0x3f9cc66612d7a839
+)
+
+// goldenWindowRegions projects pinned overlaps onto their region ids.
+func goldenWindowRegions(ov []RegionOverlap) []int {
+	out := make([]int, len(ov))
+	for i := range ov {
+		out[i] = ov[i].Region
+	}
+	return out
+}
+
+// loadGolden reads one committed fixture.
+func loadGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("missing golden fixture (run TestRegenTestdata with FAIRINDEX_REGEN=1): %v", err)
+	}
+	return blob
+}
+
+// checkGoldenQueries runs the pinned spot checks shared by the v1 and
+// v2 fixtures: both decode the same underlying build, so every purely
+// spatial answer must agree exactly.
+func checkGoldenQueries(t *testing.T, ix *Index) {
+	t.Helper()
+	if ix.NumRegions() != goldenNumRegions {
+		t.Fatalf("NumRegions = %d, want %d", ix.NumRegions(), goldenNumRegions)
+	}
+	for _, p := range goldenProbes {
+		region, err := ix.Locate(p.lat, p.lon)
+		if err != nil {
+			t.Fatalf("Locate(%v, %v): %v", p.lat, p.lon, err)
+		}
+		if region != p.region {
+			t.Errorf("Locate(%v, %v) = %d, want pinned %d", p.lat, p.lon, region, p.region)
+		}
+	}
+	ov, err := ix.RangeQuery(goldenWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov) != len(goldenOverlaps) {
+		t.Fatalf("RangeQuery returned %d overlaps, want %d (%v)", len(ov), len(goldenOverlaps), ov)
+	}
+	for i, want := range goldenOverlaps {
+		if ov[i] != want {
+			t.Errorf("overlap %d = %+v, want pinned %+v", i, ov[i], want)
+		}
+	}
+}
+
+// TestGoldenV2Artifact pins the current-format fixture: it must load,
+// answer the pinned queries, carry region stats with the exact pinned
+// aggregate, and re-marshal to the identical bytes.
+func TestGoldenV2Artifact(t *testing.T) {
+	blob := loadGolden(t, "golden_v2.fidx")
+	var ix Index
+	if err := ix.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("golden v2 artifact no longer loads: %v", err)
+	}
+	if ix.CodecVersion() != 2 {
+		t.Errorf("CodecVersion = %d, want 2", ix.CodecVersion())
+	}
+	checkGoldenQueries(t, &ix)
+
+	ws, err := ix.GroupStats(0, goldenWindowRegions(goldenOverlaps))
+	if err != nil {
+		t.Fatalf("GroupStats on golden v2: %v", err)
+	}
+	if ws.Count != goldenCount {
+		t.Errorf("window population = %d, want pinned %d", ws.Count, goldenCount)
+	}
+	if bits := math.Float64bits(ws.ENCE); bits != goldenENCEBits {
+		t.Errorf("window ENCE bits = %#x (%v), want pinned %#x", bits, ws.ENCE, goldenENCEBits)
+	}
+
+	// Bit-identical round trip: decode → encode reproduces the file.
+	out, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, blob) {
+		t.Errorf("golden v2 re-marshal diverges: %d bytes vs %d on disk", len(out), len(blob))
+	}
+}
+
+// TestGoldenV1Artifact pins backward compatibility with the pre-query
+// codec: the v1 fixture must keep loading, answer the same pinned
+// spatial queries (acceleration structures are recomputed), report
+// ErrNoRegionStats for GroupStats, and re-marshal through the v1
+// writer to the identical bytes.
+func TestGoldenV1Artifact(t *testing.T) {
+	blob := loadGolden(t, "golden_v1.fidx")
+	var ix Index
+	if err := ix.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("golden v1 artifact no longer loads: %v", err)
+	}
+	if ix.CodecVersion() != 1 {
+		t.Errorf("CodecVersion = %d, want 1", ix.CodecVersion())
+	}
+	checkGoldenQueries(t, &ix)
+
+	if _, err := ix.GroupStats(0, goldenWindowRegions(goldenOverlaps)); !errors.Is(err, ErrNoRegionStats) {
+		t.Errorf("v1 GroupStats error = %v, want ErrNoRegionStats", err)
+	}
+
+	out, err := marshalBinaryV1(&ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, blob) {
+		t.Errorf("golden v1 re-marshal diverges: %d bytes vs %d on disk", len(out), len(blob))
+	}
+}
+
+// TestGoldenCrossVersionParity: the two fixtures decode to indexes
+// that agree on every cell of the grid — same build, two codecs.
+func TestGoldenCrossVersionParity(t *testing.T) {
+	var v1, v2 Index
+	if err := v1.UnmarshalBinary(loadGolden(t, "golden_v1.fidx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.UnmarshalBinary(loadGolden(t, "golden_v2.fidx")); err != nil {
+		t.Fatal(err)
+	}
+	grid := v2.Grid()
+	for i := 0; i < grid.NumCells(); i++ {
+		c := grid.CellAt(i)
+		r1, err1 := v1.LocateCell(c)
+		r2, err2 := v2.LocateCell(c)
+		if err1 != nil || err2 != nil || r1 != r2 {
+			t.Fatalf("cell %v: v1 %d/%v vs v2 %d/%v", c, r1, err1, r2, err2)
+		}
+	}
+}

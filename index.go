@@ -3,7 +3,9 @@ package fairindex
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -56,6 +58,12 @@ type Index struct {
 	knnOrder    []int
 
 	tasks []indexTask
+
+	// codecVersion is the serialization version the Index came from:
+	// the version tag of the artifact UnmarshalBinary decoded, or
+	// indexVersion (what MarshalBinary writes) for a freshly built
+	// Index.
+	codecVersion int
 
 	buildTime, trainTime time.Duration
 	// Build-box observability, not serialized: the training worker
@@ -122,6 +130,7 @@ func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
 		numRegions:   art.Partition.NumRegions(),
 		centroids:    art.Partition.Centroids(),
 		encoding:     art.Config.Encoding.Resolve(),
+		codecVersion: indexVersion,
 		buildTime:    art.BuildTime,
 		trainTime:    art.TrainTime,
 		trainWorkers: art.TrainWorkers,
@@ -136,6 +145,42 @@ func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
 			report: tt.Report,
 			stats:  append([]calib.GroupStats(nil), tt.RegionStats...),
 		})
+	}
+	return ix, nil
+}
+
+// ReadIndex reads a serialized Index (the .fidx byte stream written
+// by MarshalBinary) from r until EOF and restores it. It is the
+// loading entry point for servers and registries that stream
+// artifacts from files, object stores or network connections:
+//
+//	f, _ := os.Open("city.fidx")
+//	idx, err := fairindex.ReadIndex(f)
+//
+// On any error the returned Index is nil; a partially read stream
+// never produces a usable artifact.
+func ReadIndex(r io.Reader) (*Index, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("fairindex: reading index: %w", err)
+	}
+	ix := new(Index)
+	if err := ix.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// LoadIndex reads a serialized Index from a .fidx file.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fairindex: %w", err)
+	}
+	defer f.Close()
+	ix, err := ReadIndex(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return ix, nil
 }
@@ -361,6 +406,13 @@ func (ix *Index) Model() ModelKind { return ix.cfg.Model }
 // NumRegions returns the number of neighborhoods.
 func (ix *Index) NumRegions() int { return ix.numRegions }
 
+// CodecVersion returns the .fidx serialization version the Index was
+// restored from — indexVersion for a freshly built Index (that is
+// what MarshalBinary writes), or the version tag of the decoded
+// artifact (older versions load with reduced capabilities, e.g. v1
+// has no stored region stats).
+func (ix *Index) CodecVersion() int { return ix.codecVersion }
+
 // Grid returns the base grid.
 func (ix *Index) Grid() Grid { return ix.grid }
 
@@ -578,6 +630,7 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 	}
 
 	var out Index
+	out.codecVersion = int(version)
 	out.cfg.Method = Method(r.Int())
 	out.cfg.Height = r.Int()
 	out.cfg.Model = ModelKind(r.Int())
@@ -654,6 +707,12 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 			numDistinct := int(r.Uvarint())
 			if err := r.Err(); err != nil {
 				return fmt.Errorf("%w: task %d calibrators: %v", ErrIndexFormat, t, err)
+			}
+			// Every distinct calibrator must be referenced by at least
+			// one region; bounding by numCal keeps a hostile count from
+			// sizing the slice before any bytes back it.
+			if numDistinct <= 0 || numDistinct > numCal {
+				return fmt.Errorf("%w: task %d: %d distinct calibrators for %d regions", ErrIndexFormat, t, numDistinct, numCal)
 			}
 			distinct := make([]ml.ScoreCalibrator, numDistinct)
 			for c := range distinct {

@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairindex/internal/geo"
+)
+
+// FuzzDatasetCSV throws arbitrary text at the canonical CSV reader:
+// every input must either parse into a dataset that passes Validate
+// and survives a write→read round trip, or be rejected with an error
+// — never panic. Seeds live in testdata/fuzz/FuzzDatasetCSV and are
+// extended inline with the interesting shapes (quoting, wrong arity,
+// label prefixes, non-finite numbers).
+func FuzzDatasetCSV(f *testing.F) {
+	seeds := []string{
+		"id,lat,lon,income,label:approved\nr0,34.1,-118.3,1.5,1\nr1,33.9,-118.1,0.5,0\n",
+		"id,lat,lon,label:hot\nr0,34.0,-118.2,1\n",
+		"id,lat,lon,a,b,label:x,label:y\nr0,34,-118,1,2,0,1\nr1,34.5,-117.5,3,4,1,0\n",
+		"id,lat,lon,income,label:approved\n",                        // header only
+		"lat,lon,id,income,label:approved\nr0,34,-118,1,1\n",        // wrong meta order
+		"id,lat,lon,income\nr0,34,-118,1\n",                         // no labels
+		"id,lat,lon,label:a,income\nr0,34,-118,1,2\n",               // feature after label
+		"id,lat,lon,income,label:approved\nr0,34,-118,1\n",          // wrong arity
+		"id,lat,lon,income,label:approved\nr0,north,-118,1,1\n",     // bad lat
+		"id,lat,lon,income,label:approved\nr0,34,-118,NaN,1\n",      // non-finite feature
+		"id,lat,lon,income,label:approved\nr0,34,-118,1,2\n",        // non-binary label
+		"id,lat,lon,\"inc,ome\",label:approved\nr0,34,-118,1,1\n",   // quoted comma
+		"id,lat,lon,income,label:approved\n\"r,0\",34,-118,1e2,0\n", // quoted id, exponent
+		"id,lat,lon,income,label:approved\r\nr0,34,-118,1,1\r\n",    // CRLF
+		"",
+		"\xef\xbb\xbfid,lat,lon,label:x\nr0,34,-118,1\n", // BOM
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	grid := geo.MustGrid(8, 8)
+	box := geo.BBox{MinLat: 33.5, MinLon: -119, MaxLat: 34.5, MaxLon: -117}
+	f.Fuzz(func(t *testing.T, data string) {
+		ds, err := ReadCSV(strings.NewReader(data), "fuzz", grid, box)
+		if err != nil {
+			return // rejected input is the expected outcome
+		}
+		// Accepted input must be a structurally valid dataset...
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted a dataset Validate rejects: %v", err)
+		}
+		// ...that survives the canonical write→read round trip.
+		var buf bytes.Buffer
+		if err := WriteCSV(ds, &buf); err != nil {
+			t.Fatalf("accepted dataset does not serialize: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()), "fuzz", grid, box)
+		if err != nil {
+			t.Fatalf("canonical serialization does not re-parse: %v", err)
+		}
+		if back.Len() != ds.Len() || back.NumFeatures() != ds.NumFeatures() || back.NumTasks() != ds.NumTasks() {
+			t.Fatalf("round trip changed shape: %dx%dx%d -> %dx%dx%d",
+				ds.Len(), ds.NumFeatures(), ds.NumTasks(),
+				back.Len(), back.NumFeatures(), back.NumTasks())
+		}
+		for i := range ds.Records {
+			a, b := &ds.Records[i], &back.Records[i]
+			if a.ID != b.ID || a.Cell != b.Cell {
+				t.Fatalf("record %d changed identity: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package geo
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrBadGrid is returned when a grid has non-positive dimensions.
@@ -20,6 +21,12 @@ type Grid struct {
 func NewGrid(u, v int) (Grid, error) {
 	if u <= 0 || v <= 0 {
 		return Grid{}, fmt.Errorf("%w: %dx%d", ErrBadGrid, u, v)
+	}
+	// u*v must not overflow: NumCells sizes the cell→region table, and
+	// a wrapped product would let hostile dimensions pass the table
+	// length check while Index() computes offsets past its end.
+	if u > math.MaxInt/v {
+		return Grid{}, fmt.Errorf("%w: %dx%d overflows the cell count", ErrBadGrid, u, v)
 	}
 	return Grid{U: u, V: v}, nil
 }
@@ -41,7 +48,7 @@ func (g Grid) NumCells() int { return g.U * g.V }
 func (g Grid) Bounds() CellRect { return CellRect{0, 0, g.U, g.V} }
 
 // Valid reports whether the grid has positive dimensions.
-func (g Grid) Valid() bool { return g.U > 0 && g.V > 0 }
+func (g Grid) Valid() bool { return g.U > 0 && g.V > 0 && g.U <= math.MaxInt/g.V }
 
 // InBounds reports whether cell c lies on the grid.
 func (g Grid) InBounds(c Cell) bool {

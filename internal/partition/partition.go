@@ -48,6 +48,12 @@ func New(grid geo.Grid, numRegions int, cellRegion []int) (*Partition, error) {
 	if numRegions <= 0 {
 		return nil, fmt.Errorf("partition: region count must be positive, got %d", numRegions)
 	}
+	// Pigeonhole bound before the region-coverage allocation: more
+	// regions than cells guarantees an empty region, and rejecting it
+	// here keeps a hostile decoded region count from sizing `seen`.
+	if numRegions > len(cellRegion) {
+		return nil, fmt.Errorf("%w: %d regions over %d cells", ErrEmptyRegion, numRegions, len(cellRegion))
+	}
 	seen := make([]bool, numRegions)
 	for i, r := range cellRegion {
 		if r < 0 || r >= numRegions {

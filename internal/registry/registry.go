@@ -1,0 +1,578 @@
+// Package registry serves many fair spatial indexes from one
+// process: a named catalog of fairindex.Index artifacts with lazy
+// loading, bounded memory and per-entry hot reload. It is the
+// multi-tenant layer between the .fidx artifact store (a directory of
+// build outputs — one per dataset, partitioning method or fairness
+// configuration) and the HTTP serving surface, which resolves every
+// request through Lookup.
+//
+// Concurrency model: the catalog itself is an immutable map snapshot
+// behind an atomic pointer, and each entry keeps its Index behind its
+// own atomic pointer. The request hot path (Lookup of a loaded entry)
+// is therefore lock-free — one atomic snapshot load, one map read,
+// one atomic entry load — and mutations (lazy loads, reloads, rescans,
+// evictions) build new state off to the side before publishing it
+// atomically. Per-entry reloads keep the corrupt-reload-keeps-serving
+// invariant: a failed load records the error and leaves the old Index
+// in place, so readers never observe a half-loaded artifact.
+//
+// Memory is bounded with an LRU cap (WithMaxLoaded): every Lookup
+// stamps the entry with a logical clock tick, and when a load pushes
+// the number of resident indexes over the cap the least-recently-used
+// file-backed entries are unloaded back to the "available" state —
+// they reload lazily on next use. Entries registered directly from
+// memory (AddIndex) have no backing file to reload from and are
+// pinned: never evicted, never reloaded.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	fairindex "fairindex"
+)
+
+// Registry errors.
+var (
+	// ErrNotFound reports a name the registry has no entry for.
+	ErrNotFound = errors.New("registry: no such index")
+	// ErrNoPath reports a reload of an entry with no backing file.
+	ErrNoPath = errors.New("registry: index has no backing file")
+	// ErrNoDefault reports a Default lookup on a registry with several
+	// entries and no configured default.
+	ErrNoDefault = errors.New("registry: no default index configured")
+	// ErrDuplicate reports a name registered twice.
+	ErrDuplicate = errors.New("registry: index name already registered")
+	// ErrBadName reports a name the registry rejects (empty, or
+	// containing path separators — names must be routable as a single
+	// URL path segment).
+	ErrBadName = errors.New("registry: invalid index name")
+)
+
+// Ext is the artifact file extension directory scans look for; the
+// entry name is the file base without it (la-fair-h8.fidx → la-fair-h8).
+const Ext = ".fidx"
+
+// Registry is a concurrent name → Index catalog. Create one with New,
+// register entries with Add/AddIndex or a directory scan (WithDir +
+// Rescan), and resolve requests with Lookup. All methods are safe for
+// concurrent use.
+type Registry struct {
+	// entries is the published catalog snapshot; mutators copy it,
+	// never modify it in place. Readers only Load.
+	entries atomic.Pointer[map[string]*Entry]
+	// clock is the logical LRU clock; every Lookup ticks it.
+	clock atomic.Int64
+
+	// defName is atomic (not mu-guarded) because Default() sits on the
+	// request hot path; nil means "no explicit default".
+	defName atomic.Pointer[string]
+
+	// mu serializes catalog mutations (Add, Rescan, eviction). The
+	// lock order is Entry.loadMu before Registry.mu; mu is never held
+	// while taking an entry lock.
+	mu        sync.Mutex
+	dir       string
+	maxLoaded int // 0 = unlimited
+	logger    *log.Logger
+}
+
+// Entry is one named index slot: a backing file plus the atomically
+// swappable loaded Index (nil while unloaded).
+type Entry struct {
+	name string
+	path string // "" = pinned in-memory entry
+	// fromDir marks entries discovered by a directory scan; Rescan
+	// removes them again when their file disappears, but never
+	// removes explicitly registered entries.
+	fromDir bool
+
+	idx      atomic.Pointer[fairindex.Index]
+	lastUsed atomic.Int64
+	reloads  atomic.Int64
+	lastErr  atomic.Pointer[string] // most recent load failure, nil after success
+
+	// loadMu serializes load/reload/swap of this entry so two racing
+	// lazy loads cannot both read the file. Eviction does not take it
+	// (the hot path must never wait behind a file read); instead it
+	// refuses to evict entries whose last reload failed, so the last
+	// good generation of an entry with a corrupt backing file is
+	// never discarded.
+	loadMu sync.Mutex
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithDir sets the artifact directory Rescan scans for *.fidx files.
+func WithDir(dir string) Option {
+	return func(r *Registry) { r.dir = dir }
+}
+
+// WithMaxLoaded bounds how many indexes may be resident at once
+// (0 = unlimited). Exceeding loads evict the least-recently-used
+// file-backed entries; pinned in-memory entries do not count against
+// the bound and are never evicted.
+func WithMaxLoaded(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.maxLoaded = n
+		}
+	}
+}
+
+// WithDefault names the entry unnamed (single-index) requests resolve
+// to. Without it, a sole entry is the implicit default.
+func WithDefault(name string) Option {
+	return func(r *Registry) { r.defName.Store(&name) }
+}
+
+// WithLogger routes load/evict/rescan diagnostics to l.
+func WithLogger(l *log.Logger) Option {
+	return func(r *Registry) {
+		if l != nil {
+			r.logger = l
+		}
+	}
+}
+
+// New returns an empty Registry. Call Add/AddIndex to register
+// entries, or Rescan to discover them from the configured directory.
+func New(opts ...Option) *Registry {
+	r := &Registry{logger: log.Default()}
+	for _, opt := range opts {
+		opt(r)
+	}
+	empty := map[string]*Entry{}
+	r.entries.Store(&empty)
+	return r
+}
+
+// Open is the one-call constructor for directory serving: a Registry
+// over dir, populated by an initial Rescan.
+func Open(dir string, opts ...Option) (*Registry, error) {
+	r := New(append([]Option{WithDir(dir)}, opts...)...)
+	if err := r.Rescan(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// checkName rejects names that cannot be a single URL path segment.
+func checkName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	return nil
+}
+
+// publish installs a new catalog snapshot; callers hold r.mu.
+func (r *Registry) publish(m map[string]*Entry) { r.entries.Store(&m) }
+
+// snapshot returns the current catalog; never nil.
+func (r *Registry) snapshot() map[string]*Entry { return *r.entries.Load() }
+
+// Add registers a lazily loaded file-backed entry. The file is not
+// read until the first Lookup, so a registry over a large artifact
+// store starts instantly.
+func (r *Registry) Add(name, path string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if path == "" {
+		return fmt.Errorf("registry: %q: empty path", name)
+	}
+	return r.insert(&Entry{name: name, path: path})
+}
+
+// AddIndex registers an already loaded in-memory index. The entry is
+// pinned: it has no backing file, is never evicted and cannot be
+// reloaded (Swap replaces it instead).
+func (r *Registry) AddIndex(name string, idx *fairindex.Index) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if idx == nil {
+		return fmt.Errorf("registry: %q: nil index", name)
+	}
+	e := &Entry{name: name}
+	e.idx.Store(idx)
+	return r.insert(e)
+}
+
+// insert publishes a catalog extended by e.
+func (r *Registry) insert(e *Entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snapshot()
+	if _, dup := old[e.name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, e.name)
+	}
+	next := make(map[string]*Entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[e.name] = e
+	r.publish(next)
+	return nil
+}
+
+// SetDefault names the entry unnamed requests resolve to; it need not
+// exist yet (a later Add or Rescan may introduce it).
+func (r *Registry) SetDefault(name string) { r.defName.Store(&name) }
+
+// DefaultName returns the effective default entry name: the
+// configured one, else the sole registered entry, else "". Lock-free
+// (it sits on the unnamed-route request path).
+func (r *Registry) DefaultName() string {
+	if def := r.defName.Load(); def != nil && *def != "" {
+		return *def
+	}
+	m := r.snapshot()
+	if len(m) == 1 {
+		for name := range m {
+			return name
+		}
+	}
+	return ""
+}
+
+// Lookup resolves a name to its loaded Index, lazily loading the
+// backing file on first use. This is the serving hot path: when the
+// entry is resident it takes one atomic snapshot load, one map read
+// and one atomic entry load — no locks.
+func (r *Registry) Lookup(name string) (*fairindex.Index, error) {
+	e, ok := r.snapshot()[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.lastUsed.Store(r.clock.Add(1))
+	if idx := e.idx.Load(); idx != nil {
+		return idx, nil
+	}
+	return r.loadEntry(e)
+}
+
+// Default resolves the default entry (see DefaultName).
+func (r *Registry) Default() (*fairindex.Index, error) {
+	name := r.DefaultName()
+	if name == "" {
+		return nil, ErrNoDefault
+	}
+	return r.Lookup(name)
+}
+
+// loadEntry is Lookup's slow path: read the backing file, publish the
+// Index, then enforce the residency bound.
+func (r *Registry) loadEntry(e *Entry) (*fairindex.Index, error) {
+	e.loadMu.Lock()
+	if idx := e.idx.Load(); idx != nil { // raced with another loader
+		e.loadMu.Unlock()
+		return idx, nil
+	}
+	idx, err := fairindex.LoadIndex(e.path)
+	if err != nil {
+		e.setErr(err)
+		e.loadMu.Unlock()
+		return nil, fmt.Errorf("registry: loading %q: %w", e.name, err)
+	}
+	e.idx.Store(idx)
+	e.lastErr.Store(nil)
+	e.loadMu.Unlock()
+	r.evictOver(e)
+	return idx, nil
+}
+
+func (e *Entry) setErr(err error) {
+	msg := err.Error()
+	e.lastErr.Store(&msg)
+}
+
+// evictOver unloads least-recently-used file-backed entries until the
+// resident count is within the bound again. keep (the entry that
+// triggered the check) is exempt, so a load can never evict itself.
+func (r *Registry) evictOver(keep *Entry) {
+	if r.maxLoaded <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var resident []*Entry
+	for _, e := range r.snapshot() {
+		// Entries whose last reload failed are exempt: evicting one
+		// would trade its last good generation for a backing file
+		// known to be corrupt, silently voiding the
+		// corrupt-reload-keeps-serving invariant at the next lookup.
+		if e.path != "" && e.idx.Load() != nil && e.lastErr.Load() == nil {
+			resident = append(resident, e)
+		}
+	}
+	if len(resident) <= r.maxLoaded {
+		return
+	}
+	sort.Slice(resident, func(i, j int) bool {
+		return resident[i].lastUsed.Load() < resident[j].lastUsed.Load()
+	})
+	over := len(resident) - r.maxLoaded
+	for _, e := range resident {
+		if over == 0 {
+			break
+		}
+		if e == keep {
+			continue
+		}
+		e.idx.Store(nil)
+		over--
+		r.logger.Printf("registry: evicted %q (LRU, max %d resident)", e.name, r.maxLoaded)
+	}
+}
+
+// Reload re-reads an entry's backing file and atomically swaps the
+// new Index in. On any error the currently served Index (if any) is
+// left untouched — the per-entry corrupt-reload-keeps-serving
+// invariant. Pinned in-memory entries return ErrNoPath.
+func (r *Registry) Reload(name string) error {
+	e, ok := r.snapshot()[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if e.path == "" {
+		return fmt.Errorf("%w: %q", ErrNoPath, name)
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	idx, err := fairindex.LoadIndex(e.path)
+	if err != nil {
+		e.setErr(err)
+		return fmt.Errorf("registry: reloading %q: %w", name, err)
+	}
+	e.idx.Store(idx)
+	e.lastErr.Store(nil)
+	e.reloads.Add(1)
+	return nil
+}
+
+// ReloadLoaded reloads every currently resident file-backed entry.
+// Per-entry failures leave that entry serving its old Index; the
+// returned error joins them. Unloaded entries are left unloaded —
+// they pick up new bytes lazily anyway.
+func (r *Registry) ReloadLoaded() error {
+	var errs []error
+	for _, name := range r.Names() {
+		e := r.snapshot()[name]
+		if e == nil || e.path == "" || e.idx.Load() == nil {
+			continue
+		}
+		if err := r.Reload(name); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Swap atomically replaces an entry's Index and returns the previous
+// one (nil if the entry was unloaded). In-flight requests keep using
+// the Index they resolved. Counts as a reload in the entry's stats.
+func (r *Registry) Swap(name string, idx *fairindex.Index) (*fairindex.Index, error) {
+	e, ok := r.snapshot()[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.loadMu.Lock()
+	old := e.idx.Swap(idx)
+	e.lastErr.Store(nil)
+	e.reloads.Add(1)
+	e.loadMu.Unlock()
+	return old, nil
+}
+
+// SetIndex stores an entry's Index without counting a reload — the
+// initial-population step for an entry whose artifact the caller
+// already has in memory (e.g. a server opened from a single file).
+func (r *Registry) SetIndex(name string, idx *fairindex.Index) error {
+	e, ok := r.snapshot()[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.loadMu.Lock()
+	e.idx.Store(idx)
+	e.lastErr.Store(nil)
+	e.loadMu.Unlock()
+	return nil
+}
+
+// Rescan re-lists the configured directory: new *.fidx files become
+// available entries (named by file base), and directory-discovered
+// entries whose file vanished are dropped from the catalog.
+// Explicitly registered and pinned entries always survive. A registry
+// without a directory rescans to itself.
+func (r *Registry) Rescan() error {
+	if r.dir == "" {
+		return nil
+	}
+	names, err := scanDir(r.dir)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snapshot()
+	next := make(map[string]*Entry, len(old)+len(names))
+	for k, e := range old {
+		if e.fromDir {
+			continue // re-added below iff the file still exists
+		}
+		next[k] = e
+	}
+	for name, path := range names {
+		if prev, ok := old[name]; ok {
+			if prev.fromDir {
+				next[name] = prev // keep loaded state and LRU stamp
+			}
+			// An explicit entry shadows a same-named directory file.
+			continue
+		}
+		next[name] = &Entry{name: name, path: path, fromDir: true}
+	}
+	for k, e := range old {
+		if e.fromDir {
+			if _, still := next[k]; !still {
+				r.logger.Printf("registry: dropped %q (file removed)", k)
+			}
+		}
+	}
+	r.publish(next)
+	return nil
+}
+
+// scanDir lists name → path for every *.fidx file in dir.
+func scanDir(dir string) (map[string]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	out := make(map[string]string)
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), Ext) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), Ext)
+		if name == "" {
+			continue
+		}
+		out[name] = filepath.Join(dir, de.Name())
+	}
+	return out, nil
+}
+
+// Dir returns the configured artifact directory ("" when none).
+func (r *Registry) Dir() string { return r.dir }
+
+// MaxLoaded returns the residency bound (0 = unlimited).
+func (r *Registry) MaxLoaded() int { return r.maxLoaded }
+
+// Names returns the registered entry names, sorted.
+func (r *Registry) Names() []string {
+	m := r.snapshot()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered entries.
+func (r *Registry) Len() int { return len(r.snapshot()) }
+
+// LoadedCount returns how many entries are currently resident.
+func (r *Registry) LoadedCount() int {
+	n := 0
+	for _, e := range r.snapshot() {
+		if e.idx.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Entry load states reported by Info.
+const (
+	// StateAvailable marks a registered entry whose artifact has not
+	// been loaded (never used, or evicted back to disk).
+	StateAvailable = "available"
+	// StateLoaded marks a resident entry.
+	StateLoaded = "loaded"
+	// StateFailed marks an entry whose most recent load or reload
+	// failed; a previously loaded Index may still be serving.
+	StateFailed = "failed"
+)
+
+// Info is a point-in-time description of one entry, for listings.
+type Info struct {
+	Name    string
+	Path    string // "" for pinned in-memory entries
+	State   string
+	Pinned  bool
+	Reloads int64
+	LastErr string
+	// Artifact fields, populated only while loaded.
+	CodecVersion int
+	Regions      int
+	Dataset      string
+	Method       string
+	Tasks        []int
+}
+
+// info snapshots one entry's state.
+func (e *Entry) info() Info {
+	out := Info{
+		Name:    e.name,
+		Path:    e.path,
+		Pinned:  e.path == "",
+		Reloads: e.reloads.Load(),
+	}
+	if msg := e.lastErr.Load(); msg != nil {
+		out.LastErr = *msg
+	}
+	if idx := e.idx.Load(); idx != nil {
+		out.State = StateLoaded
+		out.CodecVersion = idx.CodecVersion()
+		out.Regions = idx.NumRegions()
+		out.Dataset = idx.DatasetName()
+		out.Method = idx.Method().String()
+		out.Tasks = idx.Tasks()
+	} else if out.LastErr != "" {
+		out.State = StateFailed
+	} else {
+		out.State = StateAvailable
+	}
+	return out
+}
+
+// Info describes one entry by name.
+func (r *Registry) Info(name string) (Info, bool) {
+	e, ok := r.snapshot()[name]
+	if !ok {
+		return Info{}, false
+	}
+	return e.info(), true
+}
+
+// List describes every entry, sorted by name.
+func (r *Registry) List() []Info {
+	m := r.snapshot()
+	out := make([]Info, 0, len(m))
+	for _, e := range m {
+		out = append(out, e.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,649 @@
+package registry
+
+import (
+	"errors"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	fairindex "fairindex"
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// buildIndex builds a small LA index; the options pick distinct
+// partitioning generations so tests can tell entries apart.
+func buildIndex(t testing.TB, opts ...fairindex.Option) *fairindex.Index {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = 300
+	ds, err := dataset.Generate(spec, geo.MustGrid(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) == 0 {
+		opts = []fairindex.Option{fairindex.WithHeight(3), fairindex.WithSeed(5)}
+	}
+	idx, err := fairindex.Build(ds, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// writeIndex marshals idx to dir/name and returns the path.
+func writeIndex(t testing.TB, idx *fairindex.Index, dir, name string) string {
+	t.Helper()
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// quietLogger keeps eviction chatter out of test output.
+func quietLogger() *log.Logger { return log.New(nopWriter{}, "", 0) }
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestRegistryLazyLoadAndLookup(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	path := writeIndex(t, idx, dir, "la.fidx")
+
+	r := New(WithLogger(quietLogger()))
+	if err := r.Add("la", path); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LoadedCount(); got != 0 {
+		t.Fatalf("LoadedCount before first Lookup = %d, want 0 (lazy)", got)
+	}
+	got, err := r.Lookup("la")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRegions() != idx.NumRegions() {
+		t.Errorf("loaded index has %d regions, want %d", got.NumRegions(), idx.NumRegions())
+	}
+	if r.LoadedCount() != 1 {
+		t.Errorf("LoadedCount = %d, want 1", r.LoadedCount())
+	}
+	// Second lookup returns the exact same resident artifact.
+	again, err := r.Lookup("la")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Error("second Lookup returned a different Index pointer")
+	}
+	if _, err := r.Lookup("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown name error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRegistryNameValidationAndDuplicates(t *testing.T) {
+	r := New()
+	for _, bad := range []string{"", "a/b", `a\b`} {
+		if err := r.Add(bad, "x.fidx"); !errors.Is(err, ErrBadName) {
+			t.Errorf("Add(%q) error = %v, want ErrBadName", bad, err)
+		}
+	}
+	if err := r.Add("la", "a.fidx"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("la", "b.fidx"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate Add error = %v, want ErrDuplicate", err)
+	}
+	if err := r.AddIndex("mem", nil); err == nil {
+		t.Error("AddIndex(nil) succeeded")
+	}
+}
+
+func TestRegistryDefault(t *testing.T) {
+	idx := buildIndex(t)
+	r := New()
+	if _, err := r.Default(); !errors.Is(err, ErrNoDefault) {
+		t.Errorf("empty registry Default error = %v, want ErrNoDefault", err)
+	}
+	if err := r.AddIndex("solo", idx); err != nil {
+		t.Fatal(err)
+	}
+	// A sole entry is the implicit default.
+	if got, err := r.Default(); err != nil || got != idx {
+		t.Fatalf("sole-entry Default = %v, %v", got, err)
+	}
+	if err := r.AddIndex("other", idx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Default(); !errors.Is(err, ErrNoDefault) {
+		t.Errorf("two-entry Default error = %v, want ErrNoDefault", err)
+	}
+	r.SetDefault("solo")
+	if got, err := r.Default(); err != nil || got != idx {
+		t.Fatalf("explicit Default = %v, %v", got, err)
+	}
+	if r.DefaultName() != "solo" {
+		t.Errorf("DefaultName = %q", r.DefaultName())
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	r := New(WithMaxLoaded(2), WithLogger(quietLogger()))
+	for _, name := range []string{"a", "b", "c"} {
+		if err := r.Add(name, writeIndex(t, idx, dir, name+".fidx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLookup := func(name string) {
+		t.Helper()
+		if _, err := r.Lookup(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLookup("a")
+	mustLookup("b")
+	if r.LoadedCount() != 2 {
+		t.Fatalf("LoadedCount = %d, want 2", r.LoadedCount())
+	}
+	// Touch a so b is the LRU entry, then load c: b must be evicted.
+	mustLookup("a")
+	mustLookup("c")
+	if r.LoadedCount() != 2 {
+		t.Fatalf("LoadedCount after eviction = %d, want 2", r.LoadedCount())
+	}
+	states := map[string]string{}
+	for _, info := range r.List() {
+		states[info.Name] = info.State
+	}
+	if states["a"] != StateLoaded || states["c"] != StateLoaded || states["b"] != StateAvailable {
+		t.Errorf("states after eviction = %v", states)
+	}
+	// The evicted entry transparently reloads on next use.
+	mustLookup("b")
+	if r.LoadedCount() != 2 {
+		t.Errorf("LoadedCount after re-load = %d, want 2", r.LoadedCount())
+	}
+}
+
+func TestRegistryPinnedEntriesSurviveEviction(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	r := New(WithMaxLoaded(1), WithLogger(quietLogger()))
+	if err := r.AddIndex("pinned", idx); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := r.Add(name, writeIndex(t, idx, dir, name+".fidx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Lookup("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("b"); err != nil {
+		t.Fatal(err)
+	}
+	// a was evicted (bound 1 file-backed resident), pinned never is.
+	if got, err := r.Lookup("pinned"); err != nil || got != idx {
+		t.Fatalf("pinned Lookup = %v, %v", got, err)
+	}
+	var fileResident int
+	for _, info := range r.List() {
+		if info.Name == "pinned" {
+			if info.State != StateLoaded || !info.Pinned {
+				t.Errorf("pinned info = %+v", info)
+			}
+			continue
+		}
+		if info.State == StateLoaded {
+			fileResident++
+		}
+	}
+	if fileResident != 1 {
+		t.Errorf("file-backed resident entries = %d, want 1", fileResident)
+	}
+	if err := r.Reload("pinned"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("pinned Reload error = %v, want ErrNoPath", err)
+	}
+}
+
+func TestRegistryReloadKeepsServingOnCorruptFile(t *testing.T) {
+	idxA := buildIndex(t, fairindex.WithHeight(3), fairindex.WithSeed(1))
+	idxB := buildIndex(t, fairindex.WithHeight(5), fairindex.WithSeed(2))
+	if idxA.NumRegions() == idxB.NumRegions() {
+		t.Fatal("want distinguishable generations")
+	}
+	dir := t.TempDir()
+	path := writeIndex(t, idxA, dir, "la.fidx")
+	r := New(WithLogger(quietLogger()))
+	if err := r.Add("la", path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("la")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRegions() != idxA.NumRegions() {
+		t.Fatalf("initial generation has %d regions", got.NumRegions())
+	}
+
+	// Corrupt reload: error surfaces, old index keeps serving, the
+	// failure is visible in the listing.
+	if err := os.WriteFile(path, []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("la"); err == nil {
+		t.Fatal("expected reload error for corrupt file")
+	}
+	got, err = r.Lookup("la")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRegions() != idxA.NumRegions() {
+		t.Error("failed reload disturbed the served index")
+	}
+	info := r.List()[0]
+	if info.State != StateLoaded || info.LastErr == "" {
+		t.Errorf("after failed reload: %+v", info)
+	}
+
+	// Healthy reload swaps generations and clears the error.
+	writeIndex(t, idxB, dir, "la.fidx")
+	if err := r.Reload("la"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.Lookup("la")
+	if got.NumRegions() != idxB.NumRegions() {
+		t.Errorf("post-reload generation has %d regions, want %d", got.NumRegions(), idxB.NumRegions())
+	}
+	info = r.List()[0]
+	if info.LastErr != "" || info.Reloads != 1 {
+		t.Errorf("after healthy reload: %+v", info)
+	}
+
+	if err := r.Reload("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Reload(missing) error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRegistryLazyLoadFailureIsReported(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.fidx")
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(WithLogger(quietLogger()))
+	if err := r.Add("bad", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("bad"); err == nil {
+		t.Fatal("expected lazy-load error for corrupt file")
+	}
+	info := r.List()[0]
+	if info.State != StateFailed || info.LastErr == "" {
+		t.Errorf("info after failed lazy load = %+v", info)
+	}
+}
+
+func TestRegistryRescan(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	writeIndex(t, idx, dir, "a.fidx")
+	writeIndex(t, idx, dir, "b.fidx")
+	// Non-artifacts are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Names(); !equalStrings(got, []string{"a", "b"}) {
+		t.Fatalf("Names after Open = %v", got)
+	}
+	if _, err := r.Lookup("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new file appears, one disappears; rescan tracks both while
+	// keeping the loaded state of surviving entries.
+	writeIndex(t, idx, dir, "c.fidx")
+	if err := os.Remove(filepath.Join(dir, "b.fidx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rescan(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Names(); !equalStrings(got, []string{"a", "c"}) {
+		t.Fatalf("Names after rescan = %v", got)
+	}
+	for _, info := range r.List() {
+		switch info.Name {
+		case "a":
+			if info.State != StateLoaded {
+				t.Errorf("entry a lost its loaded state: %+v", info)
+			}
+		case "c":
+			if info.State != StateAvailable {
+				t.Errorf("entry c = %+v", info)
+			}
+		}
+	}
+
+	// Explicit entries survive rescans even outside the directory.
+	other := writeIndex(t, idx, t.TempDir(), "x.fidx")
+	if err := r.Add("explicit", other); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rescan(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Names(); !equalStrings(got, []string{"a", "c", "explicit"}) {
+		t.Fatalf("Names after second rescan = %v", got)
+	}
+}
+
+func TestRegistryReloadLoaded(t *testing.T) {
+	idxA := buildIndex(t, fairindex.WithHeight(3), fairindex.WithSeed(1))
+	idxB := buildIndex(t, fairindex.WithHeight(5), fairindex.WithSeed(2))
+	dir := t.TempDir()
+	writeIndex(t, idxA, dir, "a.fidx")
+	writeIndex(t, idxA, dir, "b.fidx")
+	r, err := Open(dir, WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("a"); err != nil {
+		t.Fatal(err)
+	}
+	// b stays unloaded; rewriting both files and reloading must only
+	// touch the resident entry.
+	writeIndex(t, idxB, dir, "a.fidx")
+	writeIndex(t, idxB, dir, "b.fidx")
+	if err := r.ReloadLoaded(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Lookup("a")
+	if got.NumRegions() != idxB.NumRegions() {
+		t.Errorf("resident entry not reloaded: %d regions", got.NumRegions())
+	}
+	for _, info := range r.List() {
+		if info.Name == "b" && info.State != StateAvailable {
+			t.Errorf("unloaded entry was eagerly loaded: %+v", info)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegistryConcurrentLookupEvictReload is the registry's central
+// -race proof: many reader goroutines resolve entries through the
+// lock-free hot path while other goroutines force LRU evictions (by
+// touching entries round-robin over a bound smaller than the catalog),
+// hot-reload an entry between two generations, and rescan the
+// directory. Every lookup must return a complete, internally
+// consistent Index from one of the two generations.
+func TestRegistryConcurrentLookupEvictReload(t *testing.T) {
+	idxA := buildIndex(t, fairindex.WithHeight(3), fairindex.WithSeed(1))
+	idxB := buildIndex(t, fairindex.WithHeight(5), fairindex.WithSeed(2))
+	regionsA, regionsB := idxA.NumRegions(), idxB.NumRegions()
+	if regionsA == regionsB {
+		t.Fatal("want distinguishable generations")
+	}
+	dir := t.TempDir()
+	names := []string{"a", "b", "c", "d"}
+	for _, name := range names {
+		writeIndex(t, idxA, dir, name+".fidx")
+	}
+	r, err := Open(dir, WithMaxLoaded(2), WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Logf(format, args...)
+	}
+
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := names[(w+i)%len(names)]
+				idx, err := r.Lookup(name)
+				if err != nil {
+					fail("reader %d: Lookup(%q): %v", w, name, err)
+					return
+				}
+				n := idx.NumRegions()
+				if n != regionsA && n != regionsB {
+					fail("reader %d: %q has %d regions, matching neither generation", w, name, n)
+					return
+				}
+				// Drive a real query through the resolved artifact: a
+				// torn index would crash or return garbage here.
+				if region, err := idx.Locate(34.05, -118.25); err != nil || region < 0 || region >= n {
+					fail("reader %d: Locate on %q = %d, %v", w, name, region, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Reloader: flip entry "a" between generations. Concurrent lazy
+	// loads (after an eviction) read the file at arbitrary moments, so
+	// the rewrite must be atomic — write-then-rename, the same
+	// discipline a production artifact store needs. (No t.Fatal off
+	// the test goroutine: failures go through fail.)
+	blobA, errA := idxA.MarshalBinary()
+	blobB, errB := idxB.MarshalBinary()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			blob := blobA
+			if i%2 == 0 {
+				blob = blobB
+			}
+			tmp := filepath.Join(dir, "a.fidx.tmp")
+			if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+				fail("rewrite: %v", err)
+				return
+			}
+			if err := os.Rename(tmp, filepath.Join(dir, "a.fidx")); err != nil {
+				fail("rename: %v", err)
+				return
+			}
+			if err := r.Reload("a"); err != nil {
+				fail("reload: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Rescanner: keep republishing the catalog snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if err := r.Rescan(); err != nil {
+				fail("rescan: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d concurrent failures (see log)", n)
+	}
+	// The residency bound holds once the dust settles (transient
+	// overshoot during racing loads is allowed, steady state is not).
+	if _, err := r.Lookup("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LoadedCount(); got > 2+1 { // +1: a racing load may finish after its eviction check
+		t.Errorf("LoadedCount = %d, want <= 3", got)
+	}
+}
+
+// TestRegistryConcurrentLazyLoadSingleflight: racing first lookups of
+// the same entry must resolve to one loaded artifact, not N.
+func TestRegistryConcurrentLazyLoad(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	r := New(WithLogger(quietLogger()))
+	if err := r.Add("la", writeIndex(t, idx, dir, "la.fidx")); err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	got := make([]*fairindex.Index, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], _ = r.Lookup("la")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] == nil || got[i] != got[0] {
+			t.Fatalf("lookup %d returned %p, want shared %p", i, got[i], got[0])
+		}
+	}
+}
+
+// TestRegistryEvictionSparesFailedEntries: an entry whose backing
+// file went corrupt after a successful load must keep its last good
+// generation even under LRU pressure — evicting it would trade a
+// serving index for a file known to be unloadable.
+func TestRegistryEvictionSparesFailedEntries(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	r := New(WithMaxLoaded(1), WithLogger(quietLogger()))
+	pathA := writeIndex(t, idx, dir, "a.fidx")
+	for _, name := range []string{"a", "b", "c"} {
+		if err := r.Add(name, writeIndex(t, idx, dir, name+".fidx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Lookup("a"); err != nil {
+		t.Fatal(err)
+	}
+	// a's file goes corrupt; the failed reload latches the error but
+	// keeps the old generation serving.
+	if err := os.WriteFile(pathA, []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("a"); err == nil {
+		t.Fatal("expected reload error")
+	}
+	// LRU pressure from the other entries must not evict a.
+	if _, err := r.Lookup("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("c"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("a")
+	if err != nil {
+		t.Fatalf("failed-reload entry was evicted and re-read its corrupt file: %v", err)
+	}
+	if got.NumRegions() != idx.NumRegions() {
+		t.Error("failed-reload entry lost its last good generation")
+	}
+}
+
+// TestRegistrySetIndexDoesNotCountReload: seeding an entry with an
+// in-memory artifact is not a reload.
+func TestRegistrySetIndexDoesNotCountReload(t *testing.T) {
+	idx := buildIndex(t)
+	r := New(WithLogger(quietLogger()))
+	if err := r.Add("la", "somewhere/la.fidx"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetIndex("la", idx); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := r.Info("la")
+	if !ok || info.State != StateLoaded || info.Reloads != 0 {
+		t.Fatalf("after SetIndex: %+v, %v", info, ok)
+	}
+	if got, err := r.Lookup("la"); err != nil || got != idx {
+		t.Fatalf("Lookup after SetIndex = %v, %v", got, err)
+	}
+	if err := r.SetIndex("nope", idx); !errors.Is(err, ErrNotFound) {
+		t.Errorf("SetIndex(nope) error = %v, want ErrNotFound", err)
+	}
+	if _, ok := r.Info("nope"); ok {
+		t.Error("Info(nope) = ok")
+	}
+}
+
+// TestRegistryInfoFields pins the listing surface /v1/indexes is
+// built from.
+func TestRegistryInfoFields(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	path := writeIndex(t, idx, dir, "la.fidx")
+	r := New(WithMaxLoaded(4), WithLogger(quietLogger()))
+	if err := r.Add("la", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("la"); err != nil {
+		t.Fatal(err)
+	}
+	info := r.List()[0]
+	if info.Name != "la" || info.Path != path || info.Pinned {
+		t.Errorf("identity fields: %+v", info)
+	}
+	if info.CodecVersion != idx.CodecVersion() || info.Regions != idx.NumRegions() {
+		t.Errorf("artifact fields: %+v", info)
+	}
+	if info.Dataset != idx.DatasetName() || info.Method != idx.Method().String() {
+		t.Errorf("metadata fields: %+v", info)
+	}
+	if len(info.Tasks) == 0 {
+		t.Error("tasks missing")
+	}
+	if r.MaxLoaded() != 4 {
+		t.Errorf("MaxLoaded = %d", r.MaxLoaded())
+	}
+	if r.Dir() != "" {
+		t.Errorf("Dir = %q", r.Dir())
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

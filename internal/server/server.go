@@ -1,18 +1,29 @@
-// Package server turns a fairindex.Index artifact into an always-on
+// Package server turns fairindex.Index artifacts into an always-on
 // HTTP/JSON lookup service: the online half of the build-once /
-// query-many split. A build box trains an index and ships the .fidx
+// query-many split. A build box trains indexes and ships the .fidx
 // bytes; this server loads them and answers point→neighborhood,
 // batch, scoring, report, range, k-nearest-region and window
 // fairness-stats queries under concurrent load.
 //
+// One process serves many indexes: requests address a specific
+// artifact through the /v1/i/{index}/... routes (e.g. a fair and a
+// zipcode partitioning of the same city side by side), /v1/indexes
+// lists the catalog, and /v1/compare runs one locate or window-stats
+// request against several named indexes and reports their fairness
+// deltas. The unprefixed single-index routes of earlier versions
+// (/v1/locate, ...) stay wired to the catalog's default entry.
+//
 // Concurrency model: an Index is immutable and lock-free for readers,
-// so the server keeps the current index behind an atomic.Pointer and
-// every request loads it exactly once — requests in flight during a
-// hot reload finish against the index they started with, and no
-// request ever observes a half-swapped artifact. Reload (the /v1/reload
-// endpoint, or SIGHUP via ReloadOnSignal) re-reads the index file,
-// fully deserializes and validates it off the request path, and only
-// then swaps the pointer.
+// and the backing registry resolves a name with one atomic catalog
+// load plus one atomic entry load — so every request binds to exactly
+// one index generation and no lock is ever taken on the request path.
+// Requests in flight during a hot reload finish against the index
+// they started with, and no request ever observes a half-swapped
+// artifact. Reload (the /v1/reload endpoint, or SIGHUP via
+// ReloadOnSignal) rescans the artifact directory and re-reads every
+// resident index off the request path, swapping each entry only after
+// its new bytes fully deserialize and validate; per-entry failures
+// keep that entry serving its previous index.
 package server
 
 import (
@@ -26,12 +37,12 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	fairindex "fairindex"
+	"fairindex/internal/registry"
 )
 
 // DefaultMaxBatch bounds /v1/locate_batch request size (points per
@@ -42,28 +53,34 @@ const DefaultMaxBatch = 1 << 20
 // pairs in JSON stays well under this.
 const maxBodyBytes = 64 << 20
 
-// Server serves a fairness-aware spatial index over HTTP. Create one
-// with New or Open, then use it as an http.Handler. All methods are
-// safe for concurrent use.
+// DefaultIndexName is the registry entry name the single-index
+// constructors (New, Open) register their artifact under.
+const DefaultIndexName = "default"
+
+// maxCompareIndexes bounds how many indexes one /v1/compare request
+// may fan out to.
+const maxCompareIndexes = 16
+
+// Server serves fairness-aware spatial indexes over HTTP. Create one
+// with New or Open (single index, backward compatible) or NewMulti /
+// OpenDir (a whole catalog), then use it as an http.Handler. All
+// methods are safe for concurrent use.
 type Server struct {
-	idx      atomic.Pointer[fairindex.Index]
+	reg      *registry.Registry
 	mux      *http.ServeMux
-	path     string // index file backing Reload; "" disables
+	path     string // single-index mode: file backing the default entry
 	maxBatch int
 	logger   *log.Logger
 	started  time.Time
 	reloads  atomic.Int64
-	// reloadMu serializes Reload's read+swap so two racing reloads
-	// (SIGHUP vs /v1/reload) cannot install the older file last.
-	// Readers never take it — they only load the atomic pointer.
-	reloadMu sync.Mutex
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
-// WithPath sets the index file Reload re-reads. Open sets it
-// automatically.
+// WithPath sets the index file the default entry reloads from in
+// single-index mode. Open sets it automatically; NewMulti/OpenDir
+// ignore it (entries carry their own paths).
 func WithPath(path string) Option {
 	return func(s *Server) { s.path = path }
 }
@@ -88,94 +105,161 @@ func WithLogger(l *log.Logger) Option {
 	}
 }
 
-// New returns a Server serving idx.
-func New(idx *fairindex.Index, opts ...Option) *Server {
+// newServer applies options and wires the route table.
+func newServer(opts ...Option) *Server {
 	s := &Server{
 		maxBatch: DefaultMaxBatch,
 		logger:   log.Default(),
 		started:  time.Now(),
 	}
-	s.idx.Store(idx)
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/locate", s.handleLocate)
-	s.mux.HandleFunc("POST /v1/locate", s.handleLocate)
-	s.mux.HandleFunc("POST /v1/locate_batch", s.handleLocateBatch)
-	s.mux.HandleFunc("POST /v1/score", s.handleScore)
-	s.mux.HandleFunc("GET /v1/report/{task}", s.handleReport)
-	s.mux.HandleFunc("POST /v1/range", s.handleRange)
-	s.mux.HandleFunc("GET /v1/knn", s.handleKNN)
-	s.mux.HandleFunc("POST /v1/knn", s.handleKNN)
-	s.mux.HandleFunc("POST /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
+	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/i/{index}/reload", s.handleReloadOne)
+	// Every data route exists twice: unprefixed against the default
+	// entry, and under /v1/i/{index}/ against a named one. The handler
+	// is shared; resolveIndex picks the entry from the path.
+	for _, p := range []string{"/v1", "/v1/i/{index}"} {
+		s.mux.HandleFunc("GET "+p+"/locate", s.handleLocate)
+		s.mux.HandleFunc("POST "+p+"/locate", s.handleLocate)
+		s.mux.HandleFunc("POST "+p+"/locate_batch", s.handleLocateBatch)
+		s.mux.HandleFunc("POST "+p+"/score", s.handleScore)
+		s.mux.HandleFunc("GET "+p+"/report/{task}", s.handleReport)
+		s.mux.HandleFunc("POST "+p+"/range", s.handleRange)
+		s.mux.HandleFunc("GET "+p+"/knn", s.handleKNN)
+		s.mux.HandleFunc("POST "+p+"/knn", s.handleKNN)
+		s.mux.HandleFunc("POST "+p+"/stats", s.handleStats)
+	}
 	return s
 }
 
-// Open loads a serialized index from path and returns a Server with
-// hot reload from that path enabled.
+// New returns a single-index Server serving idx as the default entry.
+func New(idx *fairindex.Index, opts ...Option) *Server {
+	s := newServer(opts...)
+	s.reg = registry.New(registry.WithLogger(s.logger), registry.WithDefault(DefaultIndexName))
+	if s.path != "" {
+		// File-backed default entry: /v1/reload re-reads the file.
+		// SetIndex seeds the already-loaded artifact without counting
+		// a phantom reload at boot.
+		if err := s.reg.Add(DefaultIndexName, s.path); err != nil {
+			panic("server: registering default entry: " + err.Error()) // fresh registry, cannot collide
+		}
+		s.reg.SetIndex(DefaultIndexName, idx)
+	} else if err := s.reg.AddIndex(DefaultIndexName, idx); err != nil {
+		panic("server: registering default entry: " + err.Error())
+	}
+	return s
+}
+
+// Open loads a serialized index from path and returns a single-index
+// Server with hot reload from that path enabled.
 func Open(path string, opts ...Option) (*Server, error) {
-	idx, err := loadIndexFile(path)
+	idx, err := fairindex.LoadIndex(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	return New(idx, append([]Option{WithPath(path)}, opts...)...), nil
 }
 
-// loadIndexFile reads and deserializes a .fidx file.
-func loadIndexFile(path string) (*fairindex.Index, error) {
-	blob, err := os.ReadFile(path)
+// NewMulti returns a Server over an externally configured registry:
+// the caller chooses the entries, the default and the residency
+// bound.
+func NewMulti(reg *registry.Registry, opts ...Option) *Server {
+	s := newServer(opts...)
+	s.reg = reg
+	return s
+}
+
+// OpenDir returns a Server over every *.fidx artifact in dir,
+// discovered now and on each reload/SIGHUP rescan. Entries load
+// lazily on first use; regOpts configure the registry (e.g.
+// registry.WithMaxLoaded, registry.WithDefault).
+func OpenDir(dir string, regOpts []registry.Option, opts ...Option) (*Server, error) {
+	s := newServer(opts...)
+	reg, err := registry.Open(dir, append([]registry.Option{registry.WithLogger(s.logger)}, regOpts...)...)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	idx := new(fairindex.Index)
-	if err := idx.UnmarshalBinary(blob); err != nil {
-		return nil, fmt.Errorf("server: %s: %w", path, err)
-	}
-	return idx, nil
+	s.reg = reg
+	return s, nil
 }
 
-// Index returns the currently served index.
-func (s *Server) Index() *fairindex.Index { return s.idx.Load() }
+// Registry returns the backing index catalog.
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// Swap atomically replaces the served index and returns the previous
-// one. In-flight requests keep using the index they loaded.
+// Index returns the currently served default index, or nil when the
+// catalog has no resolvable default entry.
+func (s *Server) Index() *fairindex.Index {
+	idx, err := s.reg.Default()
+	if err != nil {
+		return nil
+	}
+	return idx
+}
+
+// Swap atomically replaces the served default index and returns the
+// previous one. In-flight requests keep using the index they loaded.
 func (s *Server) Swap(idx *fairindex.Index) *fairindex.Index {
-	old := s.idx.Swap(idx)
+	name := s.reg.DefaultName()
+	if name == "" {
+		return nil
+	}
+	old, err := s.reg.Swap(name, idx)
+	if err != nil {
+		return nil
+	}
 	s.reloads.Add(1)
 	return old
 }
 
-// Reloads returns how many times the served index has been swapped.
+// Reloads returns how many times the server successfully reloaded or
+// swapped indexes (per-entry counts are in /v1/indexes).
 func (s *Server) Reloads() int64 { return s.reloads.Load() }
 
-// ErrNoReloadPath reports a Reload on a Server constructed without a
-// backing index file.
+// ErrNoReloadPath reports a Reload on a Server with neither an
+// artifact directory nor any file-backed entry to re-read.
 var ErrNoReloadPath = errors.New("server: no index path configured for reload")
 
-// Reload re-reads the backing index file and atomically swaps it in.
-// The old index keeps serving until the new one is fully
-// deserialized; on any error the served index is left untouched.
+// Reload refreshes the whole catalog: rescan the artifact directory
+// (new files become available entries, removed ones are dropped),
+// then re-read every resident file-backed entry. Each entry keeps
+// serving its old index until its new bytes fully deserialize; on any
+// per-entry error that entry is left untouched and the joined error
+// is returned.
 func (s *Server) Reload() error {
-	if s.path == "" {
-		return ErrNoReloadPath
-	}
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	idx, err := loadIndexFile(s.path)
-	if err != nil {
+	if err := s.reg.Rescan(); err != nil {
 		return err
 	}
-	s.Swap(idx)
+	if s.reg.Dir() == "" && !s.hasFileBackedEntry() {
+		return ErrNoReloadPath
+	}
+	if err := s.reg.ReloadLoaded(); err != nil {
+		return err
+	}
+	s.reloads.Add(1)
 	return nil
 }
 
-// ReloadOnSignal reloads the index on every SIGHUP until ctx is done
-// — the conventional zero-downtime refresh: rebuild the .fidx in
-// place, then `kill -HUP` the server. Reload failures are logged and
-// the previous index keeps serving.
+// hasFileBackedEntry reports whether any entry can be re-read from
+// disk.
+func (s *Server) hasFileBackedEntry() bool {
+	for _, info := range s.reg.List() {
+		if info.Path != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// ReloadOnSignal reloads the catalog on every SIGHUP until ctx is
+// done — the conventional zero-downtime refresh: rebuild or add .fidx
+// files in place, then `kill -HUP` the server. Reload failures are
+// logged and the previous indexes keep serving.
 func (s *Server) ReloadOnSignal(ctx context.Context) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGHUP)
@@ -187,10 +271,10 @@ func (s *Server) ReloadOnSignal(ctx context.Context) {
 				return
 			case <-ch:
 				if err := s.Reload(); err != nil {
-					s.logger.Printf("server: SIGHUP reload failed, keeping current index: %v", err)
+					s.logger.Printf("server: SIGHUP reload failed, keeping current indexes: %v", err)
 				} else {
-					idx := s.Index()
-					s.logger.Printf("server: reloaded %s (%d neighborhoods)", s.path, idx.NumRegions())
+					s.logger.Printf("server: reloaded catalog (%d entries, %d resident)",
+						s.reg.Len(), s.reg.LoadedCount())
 				}
 			}
 		}
@@ -201,6 +285,43 @@ func (s *Server) ReloadOnSignal(ctx context.Context) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	s.mux.ServeHTTP(w, r)
+}
+
+// resolveIndex binds a request to one index generation: the {index}
+// path segment when present (named route), the catalog default
+// otherwise. A non-nil error has already been written to w.
+func (s *Server) resolveIndex(w http.ResponseWriter, r *http.Request) (*fairindex.Index, bool) {
+	name := r.PathValue("index")
+	var (
+		idx *fairindex.Index
+		err error
+	)
+	if name != "" {
+		idx, err = s.reg.Lookup(name)
+	} else {
+		idx, err = s.reg.Default()
+	}
+	if err != nil {
+		s.writeRegistryError(w, err)
+		return nil, false
+	}
+	return idx, true
+}
+
+// writeRegistryError maps catalog resolution errors onto HTTP
+// statuses: an unknown name is 404, a missing default is a 409
+// conflict with the server's configuration, and a failing artifact
+// load is the server's fault (502: the artifact store handed us bad
+// bytes).
+func (s *Server) writeRegistryError(w http.ResponseWriter, err error) {
+	status := http.StatusBadGateway
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, registry.ErrNoDefault):
+		status = http.StatusConflict
+	}
+	s.writeError(w, status, err)
 }
 
 // Wire types. Field names are the API contract documented in README
@@ -310,17 +431,94 @@ type statsResponse struct {
 
 type healthzResponse struct {
 	Status    string `json:"status"`
-	Dataset   string `json:"dataset"`
-	Method    string `json:"method"`
-	Regions   int    `json:"regions"`
-	Tasks     []int  `json:"tasks"`
+	Dataset   string `json:"dataset,omitempty"`
+	Method    string `json:"method,omitempty"`
+	Regions   int    `json:"regions,omitempty"`
+	Tasks     []int  `json:"tasks,omitempty"`
+	Indexes   int    `json:"indexes"`
+	Loaded    int    `json:"loaded"`
 	Reloads   int64  `json:"reloads"`
 	UptimeSec int64  `json:"uptime_sec"`
 }
 
 type reloadResponse struct {
 	Reloads int64 `json:"reloads"`
-	Regions int   `json:"regions"`
+	Regions int   `json:"regions,omitempty"`
+	Indexes int   `json:"indexes"`
+	Loaded  int   `json:"loaded"`
+}
+
+type reloadOneResponse struct {
+	Index   string `json:"index"`
+	Reloads int64  `json:"reloads"`
+	Regions int    `json:"regions"`
+}
+
+// indexInfoJSON is one /v1/indexes catalog entry; the artifact fields
+// (codec_version, regions, ...) are present only while the entry is
+// resident.
+type indexInfoJSON struct {
+	Name         string `json:"name"`
+	State        string `json:"state"`
+	Default      bool   `json:"default,omitempty"`
+	Pinned       bool   `json:"pinned,omitempty"`
+	Path         string `json:"path,omitempty"`
+	CodecVersion int    `json:"codec_version,omitempty"`
+	Regions      int    `json:"regions,omitempty"`
+	Dataset      string `json:"dataset,omitempty"`
+	Method       string `json:"method,omitempty"`
+	Tasks        []int  `json:"tasks,omitempty"`
+	Reloads      int64  `json:"reloads,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+type indexesResponse struct {
+	Default   string          `json:"default,omitempty"`
+	MaxLoaded int             `json:"max_loaded,omitempty"`
+	Loaded    int             `json:"loaded"`
+	Indexes   []indexInfoJSON `json:"indexes"`
+}
+
+// compareRequest fans one request out to several named indexes.
+// Exactly one mode: locate (lat+lon) resolves the same point in every
+// index; stats (task + rect or regions) aggregates the same window in
+// every index and reports fairness deltas against the first-named
+// baseline. A rect window is resolved through each index's own
+// RangeQuery — the same ground rectangle, each index's own
+// neighborhoods — which is the meaningful cross-partitioning
+// comparison; an explicit region-id list is applied verbatim to every
+// index and only makes sense when the indexes share a partitioning.
+type compareRequest struct {
+	Indexes []string  `json:"indexes"`
+	Lat     *float64  `json:"lat,omitempty"`
+	Lon     *float64  `json:"lon,omitempty"`
+	Task    *int      `json:"task,omitempty"`
+	Regions []int     `json:"regions,omitempty"`
+	Rect    *rectJSON `json:"rect,omitempty"`
+}
+
+// fairnessDeltaJSON is one index's window-stats delta against the
+// compare baseline (index minus baseline; negative ENCE delta = this
+// index is better calibrated over the window).
+type fairnessDeltaJSON struct {
+	ENCE     jsonFloat `json:"ence"`
+	Miscal   jsonFloat `json:"miscal"`
+	CalRatio jsonFloat `json:"cal_ratio"`
+	MeanConf jsonFloat `json:"mean_conf"`
+	PosRate  jsonFloat `json:"pos_rate"`
+}
+
+type compareEntryJSON struct {
+	Name   string             `json:"name"`
+	Region *int               `json:"region,omitempty"`
+	Stats  *statsResponse     `json:"stats,omitempty"`
+	Delta  *fairnessDeltaJSON `json:"delta,omitempty"`
+}
+
+type compareResponse struct {
+	Op       string             `json:"op"`
+	Baseline string             `json:"baseline,omitempty"`
+	Indexes  []compareEntryJSON `json:"indexes"`
 }
 
 type errorResponse struct {
@@ -439,16 +637,51 @@ func decodeJSON(r *http.Request, v any) error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	idx := s.idx.Load()
-	s.writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:    "ok",
-		Dataset:   idx.DatasetName(),
-		Method:    idx.Method().String(),
-		Regions:   idx.NumRegions(),
-		Tasks:     idx.Tasks(),
+		Indexes:   s.reg.Len(),
+		Loaded:    s.reg.LoadedCount(),
 		Reloads:   s.reloads.Load(),
 		UptimeSec: int64(time.Since(s.started).Seconds()),
-	})
+	}
+	// The default-entry summary is best effort: a catalog without a
+	// default (or whose default fails to load) is still healthy as
+	// long as the process answers.
+	if idx, err := s.reg.Default(); err == nil {
+		resp.Dataset = idx.DatasetName()
+		resp.Method = idx.Method().String()
+		resp.Regions = idx.NumRegions()
+		resp.Tasks = idx.Tasks()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	def := s.reg.DefaultName()
+	infos := s.reg.List()
+	resp := indexesResponse{
+		Default:   def,
+		MaxLoaded: s.reg.MaxLoaded(),
+		Loaded:    s.reg.LoadedCount(),
+		Indexes:   make([]indexInfoJSON, len(infos)),
+	}
+	for i, info := range infos {
+		resp.Indexes[i] = indexInfoJSON{
+			Name:         info.Name,
+			State:        info.State,
+			Default:      info.Name == def,
+			Pinned:       info.Pinned,
+			Path:         info.Path,
+			CodecVersion: info.CodecVersion,
+			Regions:      info.Regions,
+			Dataset:      info.Dataset,
+			Method:       info.Method,
+			Tasks:        info.Tasks,
+			Reloads:      info.Reloads,
+			Error:        info.LastErr,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
@@ -467,7 +700,11 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	region, err := s.idx.Load().Locate(req.Lat, req.Lon)
+	idx, ok := s.resolveIndex(w, r)
+	if !ok {
+		return
+	}
+	region, err := idx.Locate(req.Lat, req.Lon)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -508,9 +745,13 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d points exceeds limit %d", len(req.Lats), s.maxBatch))
 		return
 	}
-	// One atomic load per request: the whole batch resolves against a
-	// single index snapshot even if a reload lands mid-request.
-	idx := s.idx.Load()
+	// One catalog resolution per request: the whole batch resolves
+	// against a single index snapshot even if a reload lands
+	// mid-request.
+	idx, ok := s.resolveIndex(w, r)
+	if !ok {
+		return
+	}
 	regions := make([]int, len(req.Lats))
 	err := idx.LocateBatchInto(regions, req.Lats, req.Lons)
 	resp := locateBatchResponse{Regions: regions}
@@ -533,7 +774,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	idx := s.idx.Load()
+	idx, ok := s.resolveIndex(w, r)
+	if !ok {
+		return
+	}
 	// Locate first: it is the only part that can fail on coordinates,
 	// so Score below cannot fail for a reason Locate already accepted.
 	region, err := idx.Locate(req.Lat, req.Lon)
@@ -560,7 +804,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("task id %q: %v", r.PathValue("task"), err))
 		return
 	}
-	rep, err := s.idx.Load().Report(task)
+	idx, ok := s.resolveIndex(w, r)
+	if !ok {
+		return
+	}
+	rep, err := idx.Report(task)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, fairindex.ErrNoTask) {
@@ -593,7 +841,11 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	overlaps, err := s.idx.Load().RangeQuery(fairindex.BBox{
+	idx, ok := s.resolveIndex(w, r)
+	if !ok {
+		return
+	}
+	overlaps, err := idx.RangeQuery(fairindex.BBox{
 		MinLat: req.MinLat, MinLon: req.MinLon,
 		MaxLat: req.MaxLat, MaxLon: req.MaxLon,
 	})
@@ -638,7 +890,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("k of %d exceeds limit %d", req.K, s.maxBatch))
 		return
 	}
-	neighbors, err := s.idx.Load().NearestRegions(req.Lat, req.Lon, req.K)
+	idx, ok := s.resolveIndex(w, r)
+	if !ok {
+		return
+	}
+	neighbors, err := idx.NearestRegions(req.Lat, req.Lon, req.K)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -650,29 +906,19 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	var req statsRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if (req.Regions == nil) == (req.Rect == nil) {
-		s.writeError(w, http.StatusBadRequest,
-			errors.New("exactly one of \"regions\" and \"rect\" must be given"))
-		return
-	}
-	// One atomic load: the rect resolution and the stats aggregation
-	// must see the same index generation.
-	idx := s.idx.Load()
-	regions := req.Regions
-	if req.Rect != nil {
+// windowStats aggregates one window (explicit region list, or a rect
+// resolved through the index's own RangeQuery) against one index. It
+// is shared by /v1/stats and /v1/compare, so both endpoints enforce
+// the same window cap and produce the same wire shape.
+func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, rect *rectJSON) (*statsResponse, int, error) {
+	regions := regionList
+	if rect != nil {
 		overlaps, err := idx.RangeQuery(fairindex.BBox{
-			MinLat: req.Rect.MinLat, MinLon: req.Rect.MinLon,
-			MaxLat: req.Rect.MaxLat, MaxLon: req.Rect.MaxLon,
+			MinLat: rect.MinLat, MinLon: rect.MinLon,
+			MaxLat: rect.MaxLat, MaxLon: rect.MaxLon,
 		})
 		if err != nil {
-			s.writeQueryError(w, err)
-			return
+			return nil, 0, err
 		}
 		regions = make([]int, len(overlaps))
 		for i, ov := range overlaps {
@@ -682,16 +928,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Cap the window after rect resolution so a rectangle cannot
 	// smuggle in a larger window than an explicit region list may.
 	if len(regions) > s.maxBatch {
-		s.writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("window of %d regions exceeds limit %d", len(regions), s.maxBatch))
-		return
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("window of %d regions exceeds limit %d", len(regions), s.maxBatch)
 	}
-	ws, err := idx.GroupStats(req.Task, regions)
+	ws, err := idx.GroupStats(task, regions)
 	if err != nil {
-		s.writeQueryError(w, err)
-		return
+		return nil, 0, err
 	}
-	resp := statsResponse{
+	resp := &statsResponse{
 		Task:     ws.Task,
 		Count:    ws.Count,
 		MeanConf: jsonFloat(ws.MeanConf),
@@ -711,6 +955,129 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CalRatio: jsonFloat(rs.CalRatio),
 		}
 	}
+	return resp, 0, nil
+}
+
+// writeStatsError routes windowStats failures: an explicit status
+// (the window cap) wins, anything else is a query-engine error.
+func (s *Server) writeStatsError(w http.ResponseWriter, status int, err error) {
+	if status != 0 {
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeQueryError(w, err)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var req statsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Regions == nil) == (req.Rect == nil) {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("exactly one of \"regions\" and \"rect\" must be given"))
+		return
+	}
+	// One catalog resolution: the rect resolution and the stats
+	// aggregation must see the same index generation.
+	idx, ok := s.resolveIndex(w, r)
+	if !ok {
+		return
+	}
+	resp, status, err := s.windowStats(idx, req.Task, req.Regions, req.Rect)
+	if err != nil {
+		s.writeStatsError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, *resp)
+}
+
+// handleCompare fans one request out to N named indexes — the
+// side-by-side workload: how does the same point, or the same ground
+// window, resolve under alternative fair partitionings of a city?
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Indexes) < 2 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("\"indexes\" must name at least 2 indexes, got %d", len(req.Indexes)))
+		return
+	}
+	if len(req.Indexes) > maxCompareIndexes {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("comparing %d indexes exceeds limit %d", len(req.Indexes), maxCompareIndexes))
+		return
+	}
+	locateMode := req.Lat != nil && req.Lon != nil
+	statsMode := req.Task != nil && (req.Regions != nil) != (req.Rect != nil)
+	if locateMode == statsMode {
+		s.writeError(w, http.StatusBadRequest, errors.New(
+			"exactly one compare mode: locate (\"lat\"+\"lon\") or stats (\"task\" plus one of \"regions\"/\"rect\")"))
+		return
+	}
+
+	// Bind every index generation up front so one compare response is
+	// a consistent snapshot even under concurrent reloads; duplicate
+	// names are rejected rather than silently double-counted.
+	idxs := make([]*fairindex.Index, len(req.Indexes))
+	seen := make(map[string]bool, len(req.Indexes))
+	for i, name := range req.Indexes {
+		if seen[name] {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("duplicate index %q", name))
+			return
+		}
+		seen[name] = true
+		idx, err := s.reg.Lookup(name)
+		if err != nil {
+			s.writeRegistryError(w, err)
+			return
+		}
+		idxs[i] = idx
+	}
+
+	resp := compareResponse{Indexes: make([]compareEntryJSON, len(idxs))}
+	if locateMode {
+		resp.Op = "locate"
+		for i, idx := range idxs {
+			region, err := idx.Locate(*req.Lat, *req.Lon)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("index %q: %w", req.Indexes[i], err))
+				return
+			}
+			r := region
+			resp.Indexes[i] = compareEntryJSON{Name: req.Indexes[i], Region: &r}
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	resp.Op = "stats"
+	resp.Baseline = req.Indexes[0]
+	var base *statsResponse
+	for i, idx := range idxs {
+		stats, status, err := s.windowStats(idx, *req.Task, req.Regions, req.Rect)
+		if err != nil {
+			s.writeStatsError(w, status, fmt.Errorf("index %q: %w", req.Indexes[i], err))
+			return
+		}
+		entry := compareEntryJSON{Name: req.Indexes[i], Stats: stats}
+		if i == 0 {
+			base = stats
+		} else {
+			entry.Delta = &fairnessDeltaJSON{
+				ENCE:     stats.ENCE - base.ENCE,
+				Miscal:   stats.Miscal - base.Miscal,
+				CalRatio: stats.CalRatio - base.CalRatio,
+				MeanConf: stats.MeanConf - base.MeanConf,
+				PosRate:  stats.PosRate - base.PosRate,
+			}
+		}
+		resp.Indexes[i] = entry
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -723,8 +1090,39 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, reloadResponse{
+	resp := reloadResponse{
 		Reloads: s.reloads.Load(),
-		Regions: s.idx.Load().NumRegions(),
+		Indexes: s.reg.Len(),
+		Loaded:  s.reg.LoadedCount(),
+	}
+	if idx := s.Index(); idx != nil {
+		resp.Regions = idx.NumRegions()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReloadOne(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("index")
+	if err := s.reg.Reload(name); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, registry.ErrNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, registry.ErrNoPath):
+			status = http.StatusConflict
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.reloads.Add(1)
+	info, ok := s.reg.Info(name)
+	if !ok {
+		s.writeRegistryError(w, fmt.Errorf("%w: %q", registry.ErrNotFound, name))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, reloadOneResponse{
+		Index:   name,
+		Reloads: info.Reloads,
+		Regions: info.Regions,
 	})
 }

@@ -1,0 +1,101 @@
+package fairindex
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// buildGoldenIndex builds the canonical fixture artifact: paper-style
+// LA synthetic data, Fair KD-tree height 3 on an 8×8 grid with Platt
+// post-processing, seed 11. Small enough to commit (a few KB), rich
+// enough to exercise every codec section (calibrator reference table,
+// acceleration structures, per-region stats).
+func buildGoldenIndex(tb testing.TB) *Index {
+	tb.Helper()
+	return buildFuzzSeedIndex(tb) // same canonical configuration
+}
+
+// writeFuzzSeed writes one seed in the Go fuzzing corpus-file format.
+func writeFuzzSeed(tb testing.TB, dir, name string, data []byte) {
+	tb.Helper()
+	body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestRegenTestdata rewrites the committed golden .fidx fixtures and
+// the FuzzUnmarshalBinary seed corpus from the canonical build. It
+// only runs when FAIRINDEX_REGEN=1:
+//
+//	FAIRINDEX_REGEN=1 go test -run TestRegenTestdata .
+//
+// After regenerating, update the pinned spot-check constants in
+// golden_test.go from this test's output and commit both.
+func TestRegenTestdata(t *testing.T) {
+	if os.Getenv("FAIRINDEX_REGEN") == "" {
+		t.Skip("set FAIRINDEX_REGEN=1 to rewrite testdata fixtures")
+	}
+	idx := buildGoldenIndex(t)
+	v2, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := marshalBinaryV1(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "golden_v2.fidx"), v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "golden_v1.fidx"), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	corpusDir := filepath.Join("testdata", "fuzz", "FuzzUnmarshalBinary")
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFuzzSeed(t, corpusDir, "seed_v2", v2)
+	writeFuzzSeed(t, corpusDir, "seed_v1", v1)
+	trunc := append([]byte(nil), v2[:len(v2)/2]...)
+	writeFuzzSeed(t, corpusDir, "seed_truncated", trunc)
+	mut := append([]byte(nil), v2...)
+	mut[len(mut)/3] ^= 0xff
+	writeFuzzSeed(t, corpusDir, "seed_bitflip", mut)
+	writeFuzzSeed(t, corpusDir, "seed_bad_magic", []byte("XDIF\x02 not an index"))
+	writeFuzzSeed(t, corpusDir, "seed_bad_version", []byte("FIDX\x7f"))
+
+	// Print the pinned values golden_test.go asserts, ready to paste.
+	t.Logf("golden_v2.fidx: %d bytes, golden_v1.fidx: %d bytes", len(v2), len(v1))
+	t.Logf("goldenNumRegions = %d", idx.NumRegions())
+	for _, p := range goldenProbes {
+		region, err := idx.Locate(p.lat, p.lon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("probe (%v, %v) -> region %d", p.lat, p.lon, region)
+	}
+	ov, err := idx.RangeQuery(goldenWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("goldenWindow overlaps = %d", len(ov))
+	for _, o := range ov {
+		t.Logf("  region %d cells %d fraction %v", o.Region, o.Cells, o.Fraction)
+	}
+	ws, err := idx.GroupStats(0, goldenWindowRegions(ov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("goldenENCEBits = %#x (ENCE %v)", math.Float64bits(ws.ENCE), ws.ENCE)
+	t.Logf("goldenCount = %d", ws.Count)
+	fmt.Println("regenerated testdata; update golden_test.go pins if values changed")
+}
