@@ -1,0 +1,19 @@
+//go:build slow
+
+// Large-scale build benchmarks, behind the `slow` tag so the default
+// bench suite stays fast:
+//
+//	go test -tags slow -run '^$' -bench 'BenchmarkIndexBuild100k' -benchtime 1x .
+//
+// BenchmarkIndexBuild100k is the acceptance point of the build
+// performance overhaul (≥3x single-core over the recorded naive
+// baseline; see BENCH_index.json) and runs once per CI cycle as a
+// smoke test. BenchmarkIndexBuild1M is the paper-scale headroom
+// check, run manually when re-recording the scaling curve.
+package fairindex_test
+
+import "testing"
+
+func BenchmarkIndexBuild100k(b *testing.B) { benchmarkScaledBuild(b, 100_000) }
+
+func BenchmarkIndexBuild1M(b *testing.B) { benchmarkScaledBuild(b, 1_000_000) }

@@ -276,6 +276,7 @@ func BenchmarkIndexBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx, err := fairindex.Build(ds,
@@ -291,6 +292,37 @@ func BenchmarkIndexBuild(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkScaledBuild is the build-pipeline scaling series: a skewed
+// synthetic city at n records (dataset.Scaled), Fair KD-tree at the
+// default height 8. BenchmarkIndexBuild10k runs in the default suite;
+// the 100k and 1M points live behind the `slow` build tag
+// (bench_scale_test.go) and anchor the recorded scaling curve in
+// BENCH_index.json.
+func benchmarkScaledBuild(b *testing.B, n int) {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.Scaled(dataset.LA(), n), geo.MustGrid(64, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := fairindex.Build(ds,
+			fairindex.WithMethod(fairindex.MethodFairKD),
+			fairindex.WithHeight(8),
+			fairindex.WithSeed(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("n=%d: %d regions, build %v, train %v",
+				n, idx.NumRegions(), idx.BuildTime(), idx.TrainTime())
+		}
+	}
+}
+
+func BenchmarkIndexBuild10k(b *testing.B) { benchmarkScaledBuild(b, 10_000) }
 
 func BenchmarkIndexLocate(b *testing.B) {
 	idx, err := fullIndex()

@@ -1,21 +1,29 @@
 // Command benchgate compares `go test -bench` output against the
 // recorded baseline in BENCH_index.json and fails (exit 1) when a
 // watched benchmark regresses beyond the tolerance factor. It is the
-// CI guard on the Index serving hot path: later PRs may make Locate,
+// CI guard on the Index hot paths: later PRs may make Locate,
 // LocateBatch, the region queries (RangeQuery, NearestRegions,
-// GroupStats) and the multi-index registry lookup faster, but not
-// slower.
+// GroupStats), the multi-index registry lookup and the build pipeline
+// (BenchmarkIndexBuild, BenchmarkIndexBuild10k — and, in the slow CI
+// job, BenchmarkIndexBuild100k) faster, but not slower.
 //
 //	go test -run '^$' -bench 'BenchmarkIndex|BenchmarkRegistry' -benchtime 200ms . | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out -baseline BENCH_index.json
 //
-// The default tolerance (2.5x) is deliberately loose: shared CI
+// The default time tolerance (2.5x) is deliberately loose: shared CI
 // runners are noisy and differ from the machine that recorded the
 // baseline, so the gate only catches order-of-magnitude regressions —
 // an accidental O(1)→O(log n) hot path, a lock on the read path —
 // not few-percent drift. When a benchmark appears multiple times in
 // the output (-count > 1), the fastest run is compared, which further
 // damps scheduler noise.
+//
+// With -max-alloc-ratio > 0 the gate additionally enforces allocs/op
+// for watched entries whose baseline records allocs_per_op.
+// Allocation counts are deterministic — a build that suddenly
+// materializes a dense one-hot matrix again jumps orders of magnitude
+// — so this ratio can be far tighter than the time one without
+// flaking on shared runners.
 package main
 
 import (
@@ -45,27 +53,42 @@ type baselineFile struct {
 }
 
 // baselineEntry is one recorded benchmark; fields beyond ns_per_op
-// are documentation and ignored here.
+// and allocs_per_op are documentation and ignored here. A zero or
+// absent allocs_per_op means the entry has no allocation baseline and
+// is gated on time only.
 type baselineEntry struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// measurement is one benchmark's best observed numbers. allocs is -1
+// when the output carried no allocation report (benchmarks without
+// b.ReportAllocs).
+type measurement struct {
+	ns     float64
+	allocs float64
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkIndexLocate-8   	49510341	         7.6 ns/op
+//	BenchmarkIndexBuild-8    	      33	  36579574 ns/op	 2110672 B/op	    2972 allocs/op
 //
-// The -8 GOMAXPROCS suffix is optional and stripped.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+// The -8 GOMAXPROCS suffix is optional and stripped; B/op and
+// allocs/op appear only for benchmarks reporting allocations.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op(?:\s+[0-9.eE+]+ B/op)?(?:\s+([0-9]+) allocs/op)?`)
 
-// parseBenchOutput extracts the best (minimum) ns/op per benchmark
-// name from `go test -bench` output.
-func parseBenchOutput(path string) (map[string]float64, error) {
+// parseBenchOutput extracts the best (minimum) ns/op — and, when
+// reported, allocs/op — per benchmark name from `go test -bench`
+// output. Minima are tracked independently: with -count > 1 the gate
+// compares each metric's least noisy run.
+func parseBenchOutput(path string) (map[string]measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]float64)
+	out := make(map[string]measurement)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -76,9 +99,24 @@ func parseBenchOutput(path string) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: bad ns/op in %q: %v", path, sc.Text(), err)
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		allocs := -1.0
+		if m[3] != "" {
+			if allocs, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("%s: bad allocs/op in %q: %v", path, sc.Text(), err)
+			}
 		}
+		prev, seen := out[m[1]]
+		if !seen {
+			out[m[1]] = measurement{ns: ns, allocs: allocs}
+			continue
+		}
+		if ns < prev.ns {
+			prev.ns = ns
+		}
+		if allocs >= 0 && (prev.allocs < 0 || allocs < prev.allocs) {
+			prev.allocs = allocs
+		}
+		out[m[1]] = prev
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -95,9 +133,11 @@ func run(args []string, w *os.File) error {
 	benchPath := fs.String("bench", "", "`go test -bench` output file (required)")
 	basePath := fs.String("baseline", "BENCH_index.json", "baseline JSON file")
 	watch := fs.String("watch",
-		"BenchmarkIndexLocate,BenchmarkIndexLocateBatch,BenchmarkIndexRangeQuery,BenchmarkIndexNearestRegions,BenchmarkIndexGroupStats,BenchmarkRegistryLookup",
+		"BenchmarkIndexLocate,BenchmarkIndexLocateBatch,BenchmarkIndexRangeQuery,BenchmarkIndexNearestRegions,BenchmarkIndexGroupStats,BenchmarkRegistryLookup,BenchmarkIndexBuild,BenchmarkIndexBuild10k",
 		"comma-separated benchmarks the gate enforces")
 	maxRatio := fs.Float64("max-ratio", 2.5, "fail when measured/baseline ns/op exceeds this")
+	maxAllocRatio := fs.Float64("max-alloc-ratio", 0,
+		"also fail when measured/baseline allocs/op exceeds this, for watched entries with a recorded allocs_per_op (0 disables; allocation counts are deterministic, so this can be much tighter than -max-ratio)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +146,9 @@ func run(args []string, w *os.File) error {
 	}
 	if *maxRatio <= 0 {
 		return fmt.Errorf("-max-ratio %v must be positive", *maxRatio)
+	}
+	if *maxAllocRatio < 0 {
+		return fmt.Errorf("-max-alloc-ratio %v must be zero or positive", *maxAllocRatio)
 	}
 
 	blob, err := os.ReadFile(*basePath)
@@ -135,21 +178,40 @@ func run(args []string, w *os.File) error {
 		if !ok {
 			return fmt.Errorf("%s: watched benchmark %q missing from output (did the bench run?)", *benchPath, name)
 		}
-		ratio := got / entry.NsPerOp
+		ratio := got.ns / entry.NsPerOp
 		verdict := "ok"
 		if ratio > *maxRatio {
 			verdict = "FAIL"
 			failures = append(failures,
 				fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g ns/op (%.2fx > %.2fx)",
-					name, got, entry.NsPerOp, ratio, *maxRatio))
+					name, got.ns, entry.NsPerOp, ratio, *maxRatio))
 		}
 		fmt.Fprintf(w, "%-32s %12.4g ns/op  baseline %12.4g  ratio %5.2fx  %s\n",
-			name, got, entry.NsPerOp, ratio, verdict)
+			name, got.ns, entry.NsPerOp, ratio, verdict)
+		if *maxAllocRatio > 0 && entry.AllocsPerOp > 0 {
+			if got.allocs < 0 {
+				return fmt.Errorf("%s: watched benchmark %q has an allocs_per_op baseline but reported no allocs/op (missing b.ReportAllocs?)", *benchPath, name)
+			}
+			aRatio := got.allocs / entry.AllocsPerOp
+			aVerdict := "ok"
+			if aRatio > *maxAllocRatio {
+				aVerdict = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("%s: %.4g allocs/op vs baseline %.4g allocs/op (%.2fx > %.2fx)",
+						name, got.allocs, entry.AllocsPerOp, aRatio, *maxAllocRatio))
+			}
+			fmt.Fprintf(w, "%-32s %12.4g allocs/op baseline %9.4g  ratio %5.2fx  %s\n",
+				name, got.allocs, entry.AllocsPerOp, aRatio, aVerdict)
+		}
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("hot-path regression beyond %.2fx:\n  %s",
-			*maxRatio, strings.Join(failures, "\n  "))
+		return fmt.Errorf("hot-path regression beyond tolerance:\n  %s",
+			strings.Join(failures, "\n  "))
 	}
-	fmt.Fprintf(w, "benchgate: all watched benchmarks within %.2fx of baseline\n", *maxRatio)
+	fmt.Fprintf(w, "benchgate: all watched benchmarks within tolerance (ns %.2fx", *maxRatio)
+	if *maxAllocRatio > 0 {
+		fmt.Fprintf(w, ", allocs %.2fx", *maxAllocRatio)
+	}
+	fmt.Fprintf(w, ")\n")
 	return nil
 }

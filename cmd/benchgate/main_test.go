@@ -29,17 +29,21 @@ const baseline = `{
     "BenchmarkIndexRangeQuery": {"ns_per_op": 3000},
     "BenchmarkIndexNearestRegions": {"ns_per_op": 1000},
     "BenchmarkIndexGroupStats": {"ns_per_op": 3000},
-    "BenchmarkRegistryLookup": {"ns_per_op": 18}
+    "BenchmarkRegistryLookup": {"ns_per_op": 18},
+    "BenchmarkIndexBuild": {"ns_per_op": 36000000, "allocs_per_op": 3000},
+    "BenchmarkIndexBuild10k": {"ns_per_op": 150000000, "allocs_per_op": 12000}
   }
 }`
 
-// healthyQueries are in-tolerance result lines for the query-engine
-// and registry benchmarks, appended to fixtures that exercise the
-// other entries.
+// healthyQueries are in-tolerance result lines for the query-engine,
+// registry and build benchmarks, appended to fixtures that exercise
+// the other entries.
 const healthyQueries = `BenchmarkIndexRangeQuery-4  	  100	      3100 ns/op
 BenchmarkIndexNearestRegions-4 	  100	      1050 ns/op
 BenchmarkIndexGroupStats-4  	  100	      3050 ns/op
 BenchmarkRegistryLookup-4  	 1000	        19 ns/op
+BenchmarkIndexBuild-4  	   10	  37000000 ns/op	 2110672 B/op	    2980 allocs/op
+BenchmarkIndexBuild10k-4  	    5	 155000000 ns/op	 5941552 B/op	   11900 allocs/op
 `
 
 // gate runs the comparator against the given bench output.
@@ -146,6 +150,43 @@ func TestGateBadInputs(t *testing.T) {
 	}
 }
 
+// TestGateAllocs: with -max-alloc-ratio the gate enforces allocs/op
+// for entries carrying an allocation baseline, and an allocation blowup
+// fails even when ns/op is within tolerance.
+func TestGateAllocs(t *testing.T) {
+	healthy := `BenchmarkIndexLocate-4    	49510341	         8.1 ns/op
+BenchmarkIndexLocateBatch-4 	   57247	      8100 ns/op
+` + healthyQueries
+	if err := gate(t, baseline, healthy, "-max-alloc-ratio", "2"); err != nil {
+		t.Fatalf("healthy allocs failed the gate: %v", err)
+	}
+	// 90000 allocs on a 3000 baseline: 30x, while time stays healthy.
+	blown := strings.Replace(healthy,
+		"BenchmarkIndexBuild-4  	   10	  37000000 ns/op	 2110672 B/op	    2980 allocs/op",
+		"BenchmarkIndexBuild-4  	   10	  37000000 ns/op	 9110672 B/op	   90000 allocs/op", 1)
+	err := gate(t, baseline, blown, "-max-alloc-ratio", "2")
+	if err == nil {
+		t.Fatal("30x allocation regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") || !strings.Contains(err.Error(), "BenchmarkIndexBuild") {
+		t.Errorf("failure does not name the allocation regression: %v", err)
+	}
+	// Without the flag, allocations are not gated.
+	if err := gate(t, baseline, blown); err != nil {
+		t.Fatalf("alloc gating ran without -max-alloc-ratio: %v", err)
+	}
+	// A baselined entry that stops reporting allocations is an error.
+	silent := strings.Replace(healthy,
+		"BenchmarkIndexBuild-4  	   10	  37000000 ns/op	 2110672 B/op	    2980 allocs/op",
+		"BenchmarkIndexBuild-4  	   10	  37000000 ns/op", 1)
+	if err := gate(t, baseline, silent, "-max-alloc-ratio", "2"); err == nil {
+		t.Fatal("missing allocs/op report passed an alloc-gated run")
+	}
+	if err := gate(t, baseline, healthy, "-max-alloc-ratio", "-1"); err == nil {
+		t.Fatal("negative -max-alloc-ratio accepted")
+	}
+}
+
 func TestBenchLineParsing(t *testing.T) {
 	cases := []struct {
 		line string
@@ -168,5 +209,17 @@ func TestBenchLineParsing(t *testing.T) {
 		if m != nil && m[1] != tc.name {
 			t.Errorf("%q: name %q, want %q", tc.line, m[1], tc.name)
 		}
+	}
+
+	// Full allocation-reporting line: allocs/op must land in group 3.
+	m := benchLine.FindStringSubmatch("BenchmarkIndexBuild-8 \t      33\t  36579574 ns/op\t 2110672 B/op\t    2972 allocs/op")
+	if m == nil || m[1] != "BenchmarkIndexBuild" || m[2] != "36579574" || m[3] != "2972" {
+		t.Errorf("allocation line parsed as %v", m)
+	}
+	// B/op without allocs/op (SetBytes-style output) must not leak into
+	// the allocs group.
+	m = benchLine.FindStringSubmatch("BenchmarkIndexMarshal-2 \t  27072\t     43168 ns/op\t  18632 B/op")
+	if m == nil || m[3] != "" {
+		t.Errorf("B/op-only line parsed as %v", m)
 	}
 }

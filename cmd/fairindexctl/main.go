@@ -177,17 +177,24 @@ func runBuildCmd(args []string) error {
 }
 
 // buildTimings renders the build/train wall-time line, with the
-// worker count and the parallel speedup the training pool achieved
+// worker budget and the parallel speedup the training pool achieved
 // (summed per-task CPU time over wall time) when tasks overlapped.
+// TrainWorkers is the build's worker *budget*; the task-level speedup
+// ratio is only meaningful when more than one task shared it (a
+// single-task build spends the budget inside the model's forward
+// passes, where per-task CPU ≈ wall time by construction).
 func buildTimings(idx *fairindex.Index, total time.Duration) string {
 	line := fmt.Sprintf("timings: total %v (partition %v, final training %v",
 		total.Round(time.Millisecond), idx.BuildTime().Round(time.Millisecond),
 		idx.TrainTime().Round(time.Millisecond))
-	if w := idx.TrainWorkers(); w > 1 && idx.TrainTime() > 0 {
+	w := idx.TrainWorkers()
+	if len(idx.Tasks()) > 1 && w > 1 && idx.TrainTime() > 0 {
 		speedup := float64(idx.TrainCPUTime()) / float64(idx.TrainTime())
 		line += fmt.Sprintf(" across %d workers, speedup %.2fx", w, speedup)
 	} else if w == 1 {
 		line += " on 1 worker"
+	} else {
+		line += fmt.Sprintf(", worker budget %d", w)
 	}
 	return line + ")\n"
 }

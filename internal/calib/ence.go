@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // GroupStats accumulates the per-group quantities needed by ENCE and
@@ -41,6 +42,15 @@ func (g GroupStats) SignedDeviation() float64 { return g.SumScore - g.SumLabel }
 // GroupBy accumulates GroupStats for each group id in [0, numGroups).
 // groups[i] is the group of instance i; out-of-range ids are an error.
 func GroupBy(scores []float64, labels []int, groups []int, numGroups int) ([]GroupStats, error) {
+	if numGroups < 0 {
+		return nil, fmt.Errorf("calib: negative group count %d", numGroups)
+	}
+	return groupByInto(make([]GroupStats, numGroups), scores, labels, groups, numGroups)
+}
+
+// groupByInto is GroupBy accumulating into a caller-provided slice
+// (already sized and zeroed to numGroups entries).
+func groupByInto(out []GroupStats, scores []float64, labels []int, groups []int, numGroups int) ([]GroupStats, error) {
 	if err := checkPair(scores, labels); err != nil {
 		return nil, err
 	}
@@ -50,7 +60,6 @@ func GroupBy(scores []float64, labels []int, groups []int, numGroups int) ([]Gro
 	if numGroups < 0 {
 		return nil, fmt.Errorf("calib: negative group count %d", numGroups)
 	}
-	out := make([]GroupStats, numGroups)
 	for i, g := range groups {
 		if g < 0 || g >= numGroups {
 			return nil, fmt.Errorf("calib: group id %d of instance %d out of range [0,%d)", g, i, numGroups)
@@ -60,6 +69,28 @@ func GroupBy(scores []float64, labels []int, groups []int, numGroups int) ([]Gro
 		out[g].SumLabel += float64(label01(labels[i]))
 	}
 	return out, nil
+}
+
+// statsPool recycles the per-group accumulators behind ENCE, which
+// the pipeline evaluates several times per task (full/train/test
+// splits) on every build; the stats never escape the call.
+var statsPool = sync.Pool{New: func() any { return new([]GroupStats) }}
+
+// pooledStats returns a zeroed numGroups-long accumulator from the
+// pool.
+func pooledStats(numGroups int) *[]GroupStats {
+	p := statsPool.Get().(*[]GroupStats)
+	s := *p
+	if cap(s) < numGroups {
+		s = make([]GroupStats, numGroups)
+	} else {
+		s = s[:numGroups]
+		for i := range s {
+			s[i] = GroupStats{}
+		}
+	}
+	*p = s
+	return p
 }
 
 // ENCEFromStats computes Definition 3 from pre-aggregated group stats:
@@ -88,9 +119,16 @@ func ENCEFromStats(stats []GroupStats) float64 {
 
 // ENCE computes the Expected Neighborhood Calibration Error
 // (Definition 3) for instances assigned to groups (neighborhoods)
-// identified by ids in [0, numGroups).
+// identified by ids in [0, numGroups). The accumulators come from an
+// internal pool — ENCE is on the build pipeline's evaluation path and
+// must not churn O(regions) garbage per call.
 func ENCE(scores []float64, labels []int, groups []int, numGroups int) (float64, error) {
-	stats, err := GroupBy(scores, labels, groups, numGroups)
+	if numGroups < 0 {
+		return 0, fmt.Errorf("calib: negative group count %d", numGroups)
+	}
+	p := pooledStats(numGroups)
+	defer statsPool.Put(p)
+	stats, err := groupByInto(*p, scores, labels, groups, numGroups)
 	if err != nil {
 		return 0, err
 	}
@@ -132,19 +170,28 @@ func TopNeighborhoods(scores []float64, labels []int, groups []int, numGroups, k
 	if k > numGroups {
 		k = numGroups
 	}
-	reports := make([]NeighborhoodReport, 0, k)
-	for _, g := range order[:k] {
-		st := stats[g]
-		// Gather the group's instances for the inner ECE.
-		var gs []float64
-		var gl []int
-		for i, gid := range groups {
-			if gid == g {
-				gs = append(gs, scores[i])
-				gl = append(gl, labels[i])
-			}
+	// Bucket the selected groups' instances in one pass over the data
+	// (instead of one scan per report); within each bucket the
+	// instance order is unchanged, so the per-neighborhood ECE is
+	// identical to a per-group gather.
+	slot := make(map[int]int, k)
+	gsBySlot := make([][]float64, k)
+	glBySlot := make([][]int, k)
+	for s, g := range order[:k] {
+		slot[g] = s
+		gsBySlot[s] = make([]float64, 0, stats[g].Count)
+		glBySlot[s] = make([]int, 0, stats[g].Count)
+	}
+	for i, gid := range groups {
+		if s, ok := slot[gid]; ok {
+			gsBySlot[s] = append(gsBySlot[s], scores[i])
+			glBySlot[s] = append(glBySlot[s], labels[i])
 		}
-		ece, err := ECE(gs, gl, bins)
+	}
+	reports := make([]NeighborhoodReport, 0, k)
+	for s, g := range order[:k] {
+		st := stats[g]
+		ece, err := ECE(gsBySlot[s], glBySlot[s], bins)
 		if err != nil {
 			return nil, err
 		}

@@ -52,11 +52,30 @@ func (e Encoding) String() string {
 // Encoded is a design matrix with metadata about which columns came
 // from the location attribute, so feature-importance reports can
 // aggregate them back into a single "Neighborhood" entry (Figure 9).
+//
+// It comes in two layouts sharing the same column order (continuous
+// features first, then location columns):
+//
+//   - Encode materializes dense rows in X;
+//   - EncodeGrouped leaves X nil and fills the factorized view
+//     instead: row i is conceptually concat(Base[i], Shared[Group[i]]).
+//     Every location column depends only on the record's region, so
+//     the wide location block is stored once per region — the layout
+//     ml.GroupedDesign trains on without ever materializing the
+//     O(records × regions) one-hot matrix.
 type Encoded struct {
-	X       [][]float64
+	X       [][]float64 // dense rows; nil when built by EncodeGrouped
 	Names   []string
 	LocCols []int // indices into Names of location-derived columns
+
+	// Factorized layout (EncodeGrouped only).
+	Base   [][]float64 // per-record continuous features (shares Record.X backing)
+	Group  []int       // per-record region id
+	Shared [][]float64 // per-region location columns
 }
+
+// Grouped reports whether the Encoded carries the factorized layout.
+func (e *Encoded) Grouped() bool { return e.X == nil }
 
 // Encode builds a design matrix from the dataset's continuous
 // features plus the neighborhood attribute.
@@ -114,6 +133,86 @@ func Encode(ds *Dataset, regionOf []int, numRegions int, centroids [][2]float64,
 			return nil, fmt.Errorf("dataset: record %d: %w", i, err)
 		}
 		out.X[i] = row
+	}
+	return out, nil
+}
+
+// EncodeGrouped builds the factorized form of the same design matrix
+// Encode would produce: identical column order, names and location
+// metadata, but the location block is stored once per region instead
+// of once per record. Base rows alias the records' feature slices and
+// Group aliases regionOf (no copies); callers must not mutate either
+// while the Encoded is in use.
+func EncodeGrouped(ds *Dataset, regionOf []int, numRegions int, centroids [][2]float64, enc Encoding) (*Encoded, error) {
+	enc = enc.Resolve()
+	if len(regionOf) != ds.Len() {
+		return nil, fmt.Errorf("dataset: regionOf has %d entries, want %d", len(regionOf), ds.Len())
+	}
+	if enc != EncOneHot && len(centroids) < numRegions {
+		return nil, fmt.Errorf("dataset: %d centroids for %d regions", len(centroids), numRegions)
+	}
+	base := ds.NumFeatures()
+	var locDims int
+	switch enc {
+	case EncCentroid:
+		locDims = 2
+	case EncOneHot:
+		locDims = numRegions
+	case EncCentroidOneHot:
+		locDims = 2 + numRegions
+	default:
+		return nil, fmt.Errorf("dataset: unknown encoding %v", enc)
+	}
+
+	out := &Encoded{
+		Names: make([]string, 0, base+locDims),
+		Base:  make([][]float64, ds.Len()),
+		Group: regionOf,
+	}
+	out.Names = append(out.Names, ds.FeatureNames...)
+	switch enc {
+	case EncCentroid:
+		out.Names = append(out.Names, "loc:row", "loc:col")
+	case EncOneHot:
+		for r := 0; r < numRegions; r++ {
+			out.Names = append(out.Names, fmt.Sprintf("loc:N%d", r))
+		}
+	case EncCentroidOneHot:
+		out.Names = append(out.Names, "loc:row", "loc:col")
+		for r := 0; r < numRegions; r++ {
+			out.Names = append(out.Names, fmt.Sprintf("loc:N%d", r))
+		}
+	}
+	out.LocCols = make([]int, locDims)
+	for i := range out.LocCols {
+		out.LocCols[i] = base + i
+	}
+
+	for i := range ds.Records {
+		r := regionOf[i]
+		if r < 0 || r >= numRegions {
+			return nil, fmt.Errorf("dataset: record %d: region %d out of range [0,%d)", i, r, numRegions)
+		}
+		out.Base[i] = ds.Records[i].X
+	}
+	// One shared location row per region, laid out as a single backing
+	// array. The values match EncodeRow's location block exactly.
+	backing := make([]float64, numRegions*locDims)
+	out.Shared = make([][]float64, numRegions)
+	for r := 0; r < numRegions; r++ {
+		row := backing[r*locDims : (r+1)*locDims : (r+1)*locDims]
+		switch enc {
+		case EncCentroid:
+			row[0] = centroids[r][0]
+			row[1] = centroids[r][1]
+		case EncOneHot:
+			row[r] = 1
+		case EncCentroidOneHot:
+			row[0] = centroids[r][0]
+			row[1] = centroids[r][1]
+			row[2+r] = 1
+		}
+		out.Shared[r] = row
 	}
 	return out, nil
 }

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"sort"
+	"testing"
+
+	"fairindex/internal/geo"
+)
+
+// EncodeGrouped must describe exactly the matrix Encode materializes:
+// same names, same location columns, and concat(Base[i],
+// Shared[Group[i]]) bit-equal to the dense row.
+func TestEncodeGroupedMatchesDense(t *testing.T) {
+	grid := geo.MustGrid(16, 16)
+	spec := LA()
+	spec.NumRecords = 300
+	ds, err := Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numRegions := 7
+	regionOf := make([]int, ds.Len())
+	centroids := make([][2]float64, numRegions)
+	for i := range regionOf {
+		regionOf[i] = i % numRegions
+	}
+	for r := range centroids {
+		centroids[r] = [2]float64{float64(r) / 10, 1 - float64(r)/10}
+	}
+	for _, enc := range []Encoding{EncDefault, EncCentroid, EncOneHot, EncCentroidOneHot} {
+		dense, err := Encode(ds, regionOf, numRegions, centroids, enc)
+		if err != nil {
+			t.Fatalf("%v: Encode: %v", enc, err)
+		}
+		grouped, err := EncodeGrouped(ds, regionOf, numRegions, centroids, enc)
+		if err != nil {
+			t.Fatalf("%v: EncodeGrouped: %v", enc, err)
+		}
+		if !grouped.Grouped() || dense.Grouped() {
+			t.Fatalf("%v: Grouped() flags wrong", enc)
+		}
+		if len(grouped.Names) != len(dense.Names) {
+			t.Fatalf("%v: %d names vs %d", enc, len(grouped.Names), len(dense.Names))
+		}
+		for i := range dense.Names {
+			if grouped.Names[i] != dense.Names[i] {
+				t.Fatalf("%v: name %d %q vs %q", enc, i, grouped.Names[i], dense.Names[i])
+			}
+		}
+		if len(grouped.LocCols) != len(dense.LocCols) {
+			t.Fatalf("%v: loc col counts differ", enc)
+		}
+		for i := range dense.LocCols {
+			if grouped.LocCols[i] != dense.LocCols[i] {
+				t.Fatalf("%v: loc col %d differs", enc, i)
+			}
+		}
+		for i := range dense.X {
+			row := dense.X[i]
+			base := grouped.Base[i]
+			shared := grouped.Shared[grouped.Group[i]]
+			if len(base)+len(shared) != len(row) {
+				t.Fatalf("%v: row %d width %d vs %d", enc, i, len(base)+len(shared), len(row))
+			}
+			for j, v := range base {
+				if row[j] != v {
+					t.Fatalf("%v: row %d base col %d: %v vs %v", enc, i, j, v, row[j])
+				}
+			}
+			for j, v := range shared {
+				if row[len(base)+j] != v {
+					t.Fatalf("%v: row %d shared col %d: %v vs %v", enc, i, j, v, row[len(base)+j])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeGroupedErrors(t *testing.T) {
+	grid := geo.MustGrid(8, 8)
+	spec := Houston()
+	spec.NumRecords = 20
+	ds, err := Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeGrouped(ds, make([]int, 3), 2, make([][2]float64, 2), EncCentroid); err == nil {
+		t.Fatal("expected regionOf length error")
+	}
+	if _, err := EncodeGrouped(ds, make([]int, ds.Len()), 4, make([][2]float64, 2), EncCentroid); err == nil {
+		t.Fatal("expected centroid count error")
+	}
+	bad := make([]int, ds.Len())
+	bad[5] = 9
+	if _, err := EncodeGrouped(ds, bad, 4, make([][2]float64, 4), EncCentroid); err == nil {
+		t.Fatal("expected region range error")
+	}
+}
+
+// Scaled specs must be deterministic, hit the requested size, and
+// actually skew population into dominant clusters.
+func TestScaledSpec(t *testing.T) {
+	spec := Scaled(LA(), 10000)
+	if spec.NumRecords != 10000 {
+		t.Fatalf("NumRecords = %d", spec.NumRecords)
+	}
+	if spec.Districts <= LA().Districts {
+		t.Fatalf("districts did not grow: %d", spec.Districts)
+	}
+	if spec.WeightTail <= 0 {
+		t.Fatal("expected a heavy weight tail")
+	}
+	grid := geo.MustGrid(64, 64)
+	a, err := Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 10000 || b.Len() != a.Len() {
+		t.Fatalf("lengths %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Records {
+		if a.Records[i].Lat != b.Records[i].Lat || a.Records[i].Lon != b.Records[i].Lon {
+			t.Fatalf("record %d not deterministic", i)
+		}
+	}
+	// Skew check: with the heavy weight tail, the most populated decile
+	// of occupied cells must hold clearly more of the population than
+	// the same spec generated with the legacy near-uniform weights.
+	legacy := spec
+	legacy.WeightTail = 0
+	c, err := Generate(legacy, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := topDecileShare(a.CellCounts())
+	flat := topDecileShare(c.CellCounts())
+	if skewed <= flat+0.03 {
+		t.Fatalf("heavy tail did not concentrate population: top-decile share %.3f (skewed) vs %.3f (legacy)", skewed, flat)
+	}
+}
+
+// topDecileShare returns the fraction of all records held by the most
+// populated 10% of occupied cells.
+func topDecileShare(counts []int) float64 {
+	occupied := make([]int, 0, len(counts))
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			occupied = append(occupied, c)
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(occupied)))
+	top := len(occupied) / 10
+	if top == 0 {
+		top = 1
+	}
+	mass := 0
+	for _, c := range occupied[:top] {
+		mass += c
+	}
+	return float64(mass) / float64(total)
+}

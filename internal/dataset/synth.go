@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"fairindex/internal/geo"
@@ -28,6 +29,30 @@ type CitySpec struct {
 	Districts  int     // number of population clusters
 	ShockScale float64 // magnitude of district label shocks (0 disables)
 	Seed       int64
+	// WeightTail, when positive, switches district sampling weights
+	// from the near-uniform legacy draw to a Pareto-like heavy tail
+	// with this exponent: a handful of mega-districts dominate the
+	// population, the skew real city workloads show. Zero keeps the
+	// legacy behavior (and the exact record streams of LA/Houston).
+	WeightTail float64
+}
+
+// Scaled returns a copy of spec grown to n records — the spec family
+// behind the 10k/100k/1M build benchmarks. The district count grows
+// like √n so cluster density stays city-like instead of smearing into
+// uniform noise, and district weights switch to a heavy tail
+// (WeightTail) so population — and therefore the label shocks that
+// drive group-correlated miscalibration — concentrates in a few
+// dominant clusters. Deterministic for a fixed (spec, n).
+func Scaled(spec CitySpec, n int) CitySpec {
+	spec.Name = fmt.Sprintf("%s %d", spec.Name, n)
+	spec.NumRecords = n
+	if d := int(math.Sqrt(float64(n)) / 2); d > spec.Districts {
+		spec.Districts = d
+	}
+	spec.WeightTail = 1.3
+	spec.Seed = spec.Seed*31 + int64(n)
+	return spec
 }
 
 // LA returns the spec mirroring the paper's Los Angeles dataset
@@ -111,8 +136,13 @@ func Generate(spec CitySpec, grid geo.Grid) (*Dataset, error) {
 	latSpan := spec.Box.MaxLat - spec.Box.MinLat
 	lonSpan := spec.Box.MaxLon - spec.Box.MinLon
 
+	var totalWeight float64
+	for i := range districts {
+		totalWeight += districts[i].weight
+	}
+
 	for i := 0; i < spec.NumRecords; i++ {
-		d := &districts[pickDistrict(districts, rng)]
+		d := &districts[pickDistrict(districts, totalWeight, rng)]
 
 		lat := clampF(d.lat+rng.NormFloat64()*d.sigmaLat, spec.Box.MinLat, spec.Box.MaxLat-latSpan*1e-9)
 		lon := clampF(d.lon+rng.NormFloat64()*d.sigmaLon, spec.Box.MinLon, spec.Box.MaxLon-lonSpan*1e-9)
@@ -183,15 +213,26 @@ func makeDistricts(spec CitySpec, rng *rand.Rand) []district {
 	var meanShockACT, meanShockEmp float64
 	for i := range ds {
 		ds[i] = district{
-			lat:        spec.Box.MinLat + latSpan*(0.12+0.76*rng.Float64()),
-			lon:        spec.Box.MinLon + lonSpan*(0.12+0.76*rng.Float64()),
-			sigmaLat:   latSpan * (0.03 + 0.05*rng.Float64()),
-			sigmaLon:   lonSpan * (0.03 + 0.05*rng.Float64()),
-			weight:     0.35 + rng.Float64(),
-			incomeBase: clampF(62+rng.NormFloat64()*22, 25, 160),
-			shockACT:   rng.NormFloat64() * 2.4,
-			shockEmp:   rng.NormFloat64() * 3.1,
+			lat:      spec.Box.MinLat + latSpan*(0.12+0.76*rng.Float64()),
+			lon:      spec.Box.MinLon + lonSpan*(0.12+0.76*rng.Float64()),
+			sigmaLat: latSpan * (0.03 + 0.05*rng.Float64()),
+			sigmaLon: lonSpan * (0.03 + 0.05*rng.Float64()),
 		}
+		// One uniform draw feeds both weight models, in the same stream
+		// position as before, so the legacy record streams (LA, Houston)
+		// are untouched when WeightTail is zero.
+		wu := rng.Float64()
+		if spec.WeightTail > 0 {
+			if wu > 0.999 {
+				wu = 0.999
+			}
+			ds[i].weight = math.Pow(1/(1-wu), spec.WeightTail)
+		} else {
+			ds[i].weight = 0.35 + wu
+		}
+		ds[i].incomeBase = clampF(62+rng.NormFloat64()*22, 25, 160)
+		ds[i].shockACT = rng.NormFloat64() * 2.4
+		ds[i].shockEmp = rng.NormFloat64() * 3.1
 		meanShockACT += ds[i].shockACT
 		meanShockEmp += ds[i].shockEmp
 	}
@@ -205,11 +246,9 @@ func makeDistricts(spec CitySpec, rng *rand.Rand) []district {
 }
 
 // pickDistrict samples a district index proportional to weight.
-func pickDistrict(ds []district, rng *rand.Rand) int {
-	var total float64
-	for i := range ds {
-		total += ds[i].weight
-	}
+// total must be the sum of all weights (hoisted out of the per-record
+// loop by the caller; the selection itself is unchanged).
+func pickDistrict(ds []district, total float64, rng *rand.Rand) int {
 	x := rng.Float64() * total
 	for i := range ds {
 		x -= ds[i].weight

@@ -15,6 +15,11 @@ import (
 // deviation. The deviations stay fixed for the whole construction —
 // that is the Fair KD-tree's defining trait and its weakness that
 // Algorithm 3 (BuildIterative) addresses.
+//
+// The prefix-sum workspace is pooled and sibling subtrees evaluate on
+// a bounded worker pool (Config.Workers); both are invisible in the
+// output — the tree, its leaf order and the region ids it induces are
+// identical to a sequential, allocation-naive build.
 func BuildFair(grid geo.Grid, cells []geo.Cell, deviations []float64, cfg Config) (*Tree, error) {
 	if err := validateBuild(grid, cells, cfg.Height); err != nil {
 		return nil, err
@@ -25,37 +30,15 @@ func BuildFair(grid geo.Grid, cells []geo.Cell, deviations []float64, cfg Config
 	if len(deviations) != len(cells) {
 		return nil, fmt.Errorf("%w: %d deviations for %d records", ErrBadInput, len(deviations), len(cells))
 	}
-	sums, err := NewCellSums(grid, cells, deviations)
+	sums, err := newCellSumsPooled(grid, cells, deviations)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{Grid: grid, Height: cfg.Height}
-	t.Root = growFair(sums, grid.Bounds(), 0, cfg)
-	return t, nil
-}
-
-// growFair recursively splits rect with the configured fairness
-// objective (SplitNeighborhood of Algorithm 2, both axes handled
-// directly instead of via transposition).
-func growFair(sums *CellSums, rect geo.CellRect, depth int, cfg Config) *Node {
-	n := &Node{Rect: rect, Depth: depth}
-	if depth >= cfg.Height {
-		return n
-	}
-	axis, ok := splitAxis(rect, depth)
-	if !ok {
-		return n
-	}
-	k := bestSplit(rect, axis, func(_ int, left, right geo.CellRect) float64 {
+	defer sums.release()
+	g := newGrower(sums, cfg.Height, cfg.Workers, func(left, right geo.CellRect) float64 {
 		return splitScore(cfg.Objective, cfg.Lambda, sums, left, right)
 	})
-	if k < 0 {
-		return n
-	}
-	left, right := splitRect(rect, axis, k)
-	n.Axis = axis
-	n.SplitK = k
-	n.Left = growFair(sums, left, depth+1, cfg)
-	n.Right = growFair(sums, right, depth+1, cfg)
-	return n
+	t := &Tree{Grid: grid, Height: cfg.Height}
+	t.Root = g.grow(grid.Bounds(), 0)
+	return t, nil
 }

@@ -1,0 +1,75 @@
+package kdtree
+
+import (
+	"sync"
+
+	"fairindex/internal/geo"
+)
+
+// grower is the shared recursive construction engine behind the
+// median and fair KD builders: pick the depth's axis, scan split
+// candidates over the prefix-sum workspace with the builder's scoring
+// function, recurse into both halves. Independent sibling subtrees
+// may evaluate on a bounded worker pool; the merge is deterministic —
+// each parent assigns its children to fixed fields and waits for both
+// — so the tree shape, the depth-first leaf order and therefore the
+// region ids are identical to a sequential build for any worker
+// count.
+type grower struct {
+	sums   *CellSums
+	height int
+	score  func(left, right geo.CellRect) float64
+	sem    chan struct{} // parallelism budget; nil = sequential
+}
+
+// newGrower returns a grower with a worker budget of workers-1 extra
+// goroutines (<= 1 disables parallelism).
+func newGrower(sums *CellSums, height int, workers int, score func(left, right geo.CellRect) float64) *grower {
+	g := &grower{sums: sums, height: height, score: score}
+	if workers > 1 {
+		g.sem = make(chan struct{}, workers-1)
+	}
+	return g
+}
+
+// grow builds the subtree rooted at rect.
+func (g *grower) grow(rect geo.CellRect, depth int) *Node {
+	n := &Node{Rect: rect, Depth: depth}
+	if depth >= g.height {
+		return n
+	}
+	axis, ok := splitAxis(rect, depth)
+	if !ok {
+		return n
+	}
+	k := bestSplit(rect, axis, func(_ int, left, right geo.CellRect) float64 {
+		return g.score(left, right)
+	})
+	if k < 0 {
+		return n
+	}
+	left, right := splitRect(rect, axis, k)
+	n.Axis = axis
+	n.SplitK = k
+	if g.sem != nil {
+		select {
+		case g.sem <- struct{}{}:
+			// Budget available: evaluate the left subtree on another
+			// goroutine while this one takes the right.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n.Left = g.grow(left, depth+1)
+				<-g.sem
+			}()
+			n.Right = g.grow(right, depth+1)
+			wg.Wait()
+			return n
+		default:
+		}
+	}
+	n.Left = g.grow(left, depth+1)
+	n.Right = g.grow(right, depth+1)
+	return n
+}

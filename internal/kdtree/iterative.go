@@ -2,6 +2,7 @@ package kdtree
 
 import (
 	"fmt"
+	"sync"
 
 	"fairindex/internal/geo"
 	"fairindex/internal/partition"
@@ -19,6 +20,13 @@ type RetrainFunc func(p *partition.Partition) ([]float64, error)
 // scores at every level, so deeper splits see deviations that already
 // reflect the coarser redistricting. It improves fairness over
 // BuildFair at the cost of ⌈log t⌉ retraining runs (Theorem 4).
+//
+// One pooled prefix-sum workspace is re-aggregated per level instead
+// of allocated, and the level's nodes — which are independent given
+// the workspace — evaluate their splits on a bounded worker pool
+// (Config.Workers). Children are linked level-by-level in node order,
+// so the tree and its region ids are identical to the sequential
+// build.
 func BuildIterative(grid geo.Grid, cells []geo.Cell, cfg Config, retrain RetrainFunc) (*Tree, error) {
 	if err := validateBuild(grid, cells, cfg.Height); err != nil {
 		return nil, err
@@ -32,6 +40,9 @@ func BuildIterative(grid geo.Grid, cells []geo.Cell, cfg Config, retrain Retrain
 	t := &Tree{Grid: grid, Height: cfg.Height}
 	t.Root = &Node{Rect: grid.Bounds()}
 	level := []*Node{t.Root}
+
+	sums := cellSumsPool.Get().(*CellSums)
+	defer sums.release()
 
 	for depth := 0; depth < cfg.Height && len(level) > 0; depth++ {
 		// The current level is a complete non-overlapping partitioning
@@ -48,30 +59,69 @@ func BuildIterative(grid geo.Grid, cells []geo.Cell, cfg Config, retrain Retrain
 			return nil, fmt.Errorf("%w: retrain returned %d deviations for %d records",
 				ErrBadInput, len(deviations), len(cells))
 		}
-		sums, err := NewCellSums(grid, cells, deviations)
-		if err != nil {
+		if err := sums.reset(grid, cells, deviations); err != nil {
 			return nil, err
 		}
+		splitLevel(level, sums, cfg, depth)
 		var next []*Node
 		for _, n := range level {
-			axis, ok := splitAxis(n.Rect, depth)
-			if !ok {
-				continue // stays a leaf
+			if n.Left != nil {
+				next = append(next, n.Left, n.Right)
 			}
-			k := bestSplit(n.Rect, axis, func(_ int, left, right geo.CellRect) float64 {
-				return splitScore(cfg.Objective, cfg.Lambda, sums, left, right)
-			})
-			if k < 0 {
-				continue
-			}
-			left, right := splitRect(n.Rect, axis, k)
-			n.Axis = axis
-			n.SplitK = k
-			n.Left = &Node{Rect: left, Depth: depth + 1}
-			n.Right = &Node{Rect: right, Depth: depth + 1}
-			next = append(next, n.Left, n.Right)
 		}
 		level = next
 	}
 	return t, nil
+}
+
+// splitLevel evaluates every node of one breadth-first level: nodes
+// that can split get their axis, offset and children assigned; the
+// rest stay leaves. Nodes are independent given the shared read-only
+// workspace, so they are scanned on up to cfg.Workers goroutines; the
+// outcome lands on each node's own fields, keeping the result
+// order-free.
+func splitLevel(level []*Node, sums *CellSums, cfg Config, depth int) {
+	splitOne := func(n *Node) {
+		axis, ok := splitAxis(n.Rect, depth)
+		if !ok {
+			return // stays a leaf
+		}
+		k := bestSplit(n.Rect, axis, func(_ int, left, right geo.CellRect) float64 {
+			return splitScore(cfg.Objective, cfg.Lambda, sums, left, right)
+		})
+		if k < 0 {
+			return
+		}
+		left, right := splitRect(n.Rect, axis, k)
+		n.Axis = axis
+		n.SplitK = k
+		n.Left = &Node{Rect: left, Depth: depth + 1}
+		n.Right = &Node{Rect: right, Depth: depth + 1}
+	}
+	workers := cfg.Workers
+	if workers > len(level) {
+		workers = len(level)
+	}
+	if workers <= 1 || len(level) < 4 {
+		for _, n := range level {
+			splitOne(n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(level) + workers - 1) / workers
+	for lo := 0; lo < len(level); lo += chunk {
+		hi := lo + chunk
+		if hi > len(level) {
+			hi = len(level)
+		}
+		wg.Add(1)
+		go func(nodes []*Node) {
+			defer wg.Done()
+			for _, n := range nodes {
+				splitOne(n)
+			}
+		}(level[lo:hi])
+	}
+	wg.Wait()
 }

@@ -13,39 +13,25 @@ import (
 // KD-trees cover the whole domain, the property the paper selects
 // them for (§4).
 func BuildMedian(grid geo.Grid, cells []geo.Cell, height int) (*Tree, error) {
+	return BuildMedianWorkers(grid, cells, height, 1)
+}
+
+// BuildMedianWorkers is BuildMedian evaluating independent sibling
+// subtrees on a bounded worker pool. The result is identical for any
+// worker count (see grower).
+func BuildMedianWorkers(grid geo.Grid, cells []geo.Cell, height, workers int) (*Tree, error) {
 	if err := validateBuild(grid, cells, height); err != nil {
 		return nil, err
 	}
-	sums, err := NewCellSums(grid, cells, nil)
+	sums, err := newCellSumsPooled(grid, cells, nil)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{Grid: grid, Height: height}
-	t.Root = growMedian(sums, grid.Bounds(), 0, height)
-	return t, nil
-}
-
-// growMedian recursively splits rect until the height budget or the
-// geometry runs out.
-func growMedian(sums *CellSums, rect geo.CellRect, depth, height int) *Node {
-	n := &Node{Rect: rect, Depth: depth}
-	if depth >= height {
-		return n
-	}
-	axis, ok := splitAxis(rect, depth)
-	if !ok {
-		return n
-	}
-	k := bestSplit(rect, axis, func(_ int, left, right geo.CellRect) float64 {
+	defer sums.release()
+	g := newGrower(sums, height, workers, func(left, right geo.CellRect) float64 {
 		return math.Abs(sums.CountRect(left) - sums.CountRect(right))
 	})
-	if k < 0 {
-		return n
-	}
-	left, right := splitRect(rect, axis, k)
-	n.Axis = axis
-	n.SplitK = k
-	n.Left = growMedian(sums, left, depth+1, height)
-	n.Right = growMedian(sums, right, depth+1, height)
-	return n
+	t := &Tree{Grid: grid, Height: height}
+	t.Root = g.grow(grid.Bounds(), 0)
+	return t, nil
 }

@@ -2,6 +2,7 @@ package kdtree
 
 import (
 	"fmt"
+	"sync"
 
 	"fairindex/internal/geo"
 )
@@ -11,6 +12,13 @@ import (
 // This is what makes every split scan O(U' + V') and the whole build
 // match the paper's O(|D|·⌈log t⌉) complexity (Theorem 3): each
 // record contributes to the aggregates once per level.
+//
+// A CellSums is the builders' only O(grid) workspace. The builders
+// draw it from an internal pool and return it when construction
+// finishes, so repeated builds — a registry rebuilding many city
+// indexes, the iterative builder re-aggregating once per level —
+// reuse one workspace instead of allocating three grid-sized tables
+// per (re)build.
 type CellSums struct {
 	grid  geo.Grid
 	count []float64 // (U+1)×(V+1) prefix sums of record counts
@@ -18,27 +26,68 @@ type CellSums struct {
 	abs   []float64 // prefix sums of per-cell |deviation mass|
 }
 
+// cellSumsPool recycles workspaces across builds. Tables keep their
+// capacity; reset re-dimensions and zeroes them.
+var cellSumsPool = sync.Pool{New: func() any { return new(CellSums) }}
+
 // NewCellSums aggregates records into per-cell sums. values[i] is the
 // signed deviation (s_i − y_i) of record i; nil means all-zero values
 // (sufficient for the median tree, which only needs counts).
 func NewCellSums(grid geo.Grid, cells []geo.Cell, values []float64) (*CellSums, error) {
+	s := &CellSums{}
+	if err := s.reset(grid, cells, values); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newCellSumsPooled is NewCellSums drawing the workspace from the
+// pool; pair with release.
+func newCellSumsPooled(grid geo.Grid, cells []geo.Cell, values []float64) (*CellSums, error) {
+	s := cellSumsPool.Get().(*CellSums)
+	if err := s.reset(grid, cells, values); err != nil {
+		cellSumsPool.Put(s)
+		return nil, err
+	}
+	return s, nil
+}
+
+// release returns a pooled workspace. The caller must not use s
+// afterwards.
+func (s *CellSums) release() { cellSumsPool.Put(s) }
+
+// growZeroed returns buf resized to n with every element zero.
+func growZeroed(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// reset re-aggregates the workspace over a new record set, reusing
+// the table capacity. This is the per-level step of the iterative
+// builder and the entry point of every fresh build.
+func (s *CellSums) reset(grid geo.Grid, cells []geo.Cell, values []float64) error {
 	if !grid.Valid() {
-		return nil, geo.ErrBadGrid
+		return geo.ErrBadGrid
 	}
 	if values != nil && len(values) != len(cells) {
-		return nil, fmt.Errorf("%w: %d values for %d cells", ErrBadInput, len(values), len(cells))
+		return fmt.Errorf("%w: %d values for %d cells", ErrBadInput, len(values), len(cells))
 	}
 	stride := grid.V + 1
-	s := &CellSums{
-		grid:  grid,
-		count: make([]float64, (grid.U+1)*stride),
-		value: make([]float64, (grid.U+1)*stride),
-		abs:   make([]float64, (grid.U+1)*stride),
-	}
+	size := (grid.U + 1) * stride
+	s.grid = grid
+	s.count = growZeroed(s.count, size)
+	s.value = growZeroed(s.value, size)
+	s.abs = growZeroed(s.abs, size)
 	// Scatter per-cell totals into the (row+1, col+1) slot...
 	for i, c := range cells {
 		if !grid.InBounds(c) {
-			return nil, fmt.Errorf("%w: record %d cell %v outside %v", ErrBadInput, i, c, grid)
+			return fmt.Errorf("%w: record %d cell %v outside %v", ErrBadInput, i, c, grid)
 		}
 		at := (c.Row+1)*stride + (c.Col + 1)
 		s.count[at]++
@@ -66,7 +115,7 @@ func NewCellSums(grid geo.Grid, cells []geo.Cell, values []float64) (*CellSums, 
 			s.abs[at] += s.abs[at-1] + s.abs[at-stride] - s.abs[at-stride-1]
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // rectSum evaluates a prefix-sum table over a half-open rect.

@@ -44,10 +44,11 @@ func BuildFairQuadtree(grid geo.Grid, cells []geo.Cell, deviations []float64, he
 	if len(deviations) != len(cells) {
 		return nil, fmt.Errorf("%w: %d deviations for %d records", ErrBadInput, len(deviations), len(cells))
 	}
-	sums, err := NewCellSums(grid, cells, deviations)
+	sums, err := newCellSumsPooled(grid, cells, deviations)
 	if err != nil {
 		return nil, err
 	}
+	defer sums.release()
 	t := &QuadTree{Grid: grid, Height: height}
 	t.Root = growQuad(sums, grid.Bounds(), 0, height)
 	return t, nil

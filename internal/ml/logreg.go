@@ -20,6 +20,14 @@ type LogReg struct {
 	Epochs       int
 	L2           float64
 
+	// Workers bounds the goroutines used for the per-row forward
+	// passes of Fit, FitGrouped and the PredictProba variants (<= 1 =
+	// single-threaded). Results are bit-identical for any value: rows
+	// are scored independently into a predictions buffer and every
+	// order-sensitive accumulation (gradients, weight totals) stays
+	// sequential in row order. Not part of the model; not serialized.
+	Workers int
+
 	std     *Standardizer
 	weights []float64
 	bias    float64
@@ -35,9 +43,19 @@ func NewLogReg() *LogReg {
 // Name implements Classifier.
 func (m *LogReg) Name() string { return "logreg" }
 
-// Fit implements Classifier.
+// Fit implements Classifier. The dense training loop is bit-identical
+// to FitReference (the retained naive implementation): the scratch
+// pooling, the flat standardized matrix and the optionally parallel
+// forward pass change where intermediate values live, never the
+// floating-point operations or their order.
 func (m *LogReg) Fit(X [][]float64, y []int, w []float64) error {
-	w, err := validateFit(X, y, w)
+	cols, err := checkMatrix(X, y)
+	if err != nil {
+		return err
+	}
+	sc := scratchPool.Get().(*fitScratch)
+	defer scratchPool.Put(sc)
+	w, err = effectiveWeights(len(X), w, sc)
 	if err != nil {
 		return err
 	}
@@ -48,8 +66,19 @@ func (m *LogReg) Fit(X [][]float64, y []int, w []float64) error {
 	if err != nil {
 		return err
 	}
-	Z := m.std.Transform(X)
-	n, cols := len(Z), len(Z[0])
+	n := len(X)
+
+	// Standardize once into a flat row-major matrix (same values the
+	// reference's Transform produces, without the per-row allocations).
+	z := grown(sc.zdense, n*cols)
+	sc.zdense = z
+	mean, scale := m.std.Mean, m.std.Scale
+	for i, row := range X {
+		off := i * cols
+		for j, v := range row {
+			z[off+j] = (v - mean[j]) / scale[j]
+		}
+	}
 
 	var totalW float64
 	for _, wi := range w {
@@ -58,19 +87,36 @@ func (m *LogReg) Fit(X [][]float64, y []int, w []float64) error {
 
 	m.weights = make([]float64, cols)
 	m.bias = 0
-	grad := make([]float64, cols)
+	grad := grown(sc.grad, cols)
+	sc.grad = grad
+	preds := grown(sc.preds, n)
+	sc.preds = preds
 
 	for epoch := 0; epoch < m.Epochs; epoch++ {
+		// Forward pass: rows are independent given the epoch's weights,
+		// so chunks may run on separate goroutines.
+		parallelRows(n, m.Workers, func(lo, hi int) {
+			wt, bias := m.weights, m.bias
+			for i := lo; i < hi; i++ {
+				row := z[i*cols : i*cols+cols]
+				var u float64
+				for j, v := range row {
+					u += wt[j] * v
+				}
+				preds[i] = sigmoid(u + bias)
+			}
+		})
+		// Gradient accumulation: strictly sequential in row order — the
+		// summation order defines the result bits.
 		for j := range grad {
 			grad[j] = 0
 		}
 		var gradB float64
 		for i := 0; i < n; i++ {
-			p := sigmoid(dot(m.weights, Z[i]) + m.bias)
-			g := w[i] * (p - label01(y[i]))
-			row := Z[i]
-			for j := 0; j < cols; j++ {
-				grad[j] += g * row[j]
+			g := w[i] * (preds[i] - label01(y[i]))
+			row := z[i*cols : i*cols+cols]
+			for j, v := range row {
+				grad[j] += g * v
 			}
 			gradB += g
 		}
@@ -84,7 +130,10 @@ func (m *LogReg) Fit(X [][]float64, y []int, w []float64) error {
 	return nil
 }
 
-// PredictProba implements Classifier.
+// PredictProba implements Classifier. Standardization is fused into
+// the dot product — (v−μ)/σ is rounded to float64 either way, so the
+// scores are bit-identical to transforming first (PredictProbaReference)
+// while allocating only the output slice.
 func (m *LogReg) PredictProba(X [][]float64) ([]float64, error) {
 	if !m.fitted {
 		return nil, ErrNotFitted
@@ -92,11 +141,18 @@ func (m *LogReg) PredictProba(X [][]float64) ([]float64, error) {
 	if err := validatePredict(X, len(m.weights)); err != nil {
 		return nil, err
 	}
-	Z := m.std.Transform(X)
-	out := make([]float64, len(Z))
-	for i, row := range Z {
-		out[i] = sigmoid(dot(m.weights, row) + m.bias)
-	}
+	out := make([]float64, len(X))
+	mean, scale := m.std.Mean, m.std.Scale
+	parallelRows(len(X), m.Workers, func(lo, hi int) {
+		wt, bias := m.weights, m.bias
+		for i := lo; i < hi; i++ {
+			var u float64
+			for j, v := range X[i] {
+				u += wt[j] * ((v - mean[j]) / scale[j])
+			}
+			out[i] = sigmoid(u + bias)
+		}
+	})
 	return out, nil
 }
 

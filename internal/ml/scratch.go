@@ -1,0 +1,113 @@
+package ml
+
+import (
+	"fmt"
+	"sync"
+)
+
+// fitScratch holds the reusable buffers of the allocation-free
+// training paths. One scratch serves one Fit/Predict call; the pool
+// recycles it across calls — including the pipeline's repeated
+// per-task and multi-objective runs — so steady-state training does
+// not grow the heap with O(n·cols) garbage per call.
+type fitScratch struct {
+	zdense     []float64 // n×C standardized dense matrix, flat (dense path)
+	zbase      []float64 // n×B standardized base block, flat (grouped path)
+	zshared    []float64 // G×S standardized shared block, flat (grouped path)
+	sharedDot  []float64 // G per-epoch shared-block partial dot products
+	sharedGrad []float64 // G per-epoch gradient group sums
+	preds      []float64 // n per-epoch predictions
+	grad       []float64 // C gradient accumulator
+	uniform    []float64 // n uniform weights when the caller passes nil
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(fitScratch) }}
+
+// grown returns buf resized to n, reusing its capacity when possible.
+// Contents are unspecified; callers overwrite every element.
+func grown(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// effectiveWeights validates w against n rows and returns the weight
+// slice to train with. A nil w resolves to uniform weights drawn from
+// the scratch (so the hot paths never allocate them); the returned
+// slice must not outlive the scratch.
+func effectiveWeights(n int, w []float64, sc *fitScratch) ([]float64, error) {
+	if w == nil {
+		sc.uniform = grown(sc.uniform, n)
+		u := sc.uniform
+		for i := range u {
+			u[i] = 1
+		}
+		return u, nil
+	}
+	if len(w) != n {
+		return nil, fmt.Errorf("%w: %d weights for %d rows", ErrBadWeights, len(w), n)
+	}
+	var total float64
+	for i, wi := range w {
+		if wi < 0 {
+			return nil, fmt.Errorf("%w: negative weight %v at row %d", ErrBadWeights, wi, i)
+		}
+		total += wi
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: weights sum to %v", ErrBadWeights, total)
+	}
+	return w, nil
+}
+
+// checkMatrix checks the dense design-matrix preconditions shared by
+// Fit (the weight handling lives in effectiveWeights).
+func checkMatrix(X [][]float64, y []int) (cols int, err error) {
+	if len(X) == 0 {
+		return 0, ErrNoData
+	}
+	if len(y) != len(X) {
+		return 0, fmt.Errorf("%w: %d rows vs %d labels", ErrShape, len(X), len(y))
+	}
+	cols = len(X[0])
+	if cols == 0 {
+		return 0, fmt.Errorf("%w: rows have no columns", ErrShape)
+	}
+	for i, row := range X {
+		if len(row) != cols {
+			return 0, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), cols)
+		}
+	}
+	return cols, nil
+}
+
+// parallelRows runs fn over [0, n) split into contiguous chunks on up
+// to workers goroutines. fn(lo, hi) must only write state owned by
+// rows [lo, hi), so the result is independent of the chunking — this
+// is what keeps the parallel forward passes bit-identical to a
+// sequential run. With workers <= 1 (or a small n) fn runs inline.
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	const minChunk = 1024
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

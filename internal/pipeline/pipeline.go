@@ -107,6 +107,15 @@ type Config struct {
 	// neighborhood (the §3 post-processing mitigation family);
 	// default none.
 	PostProcess PostProcess
+	// TrainWorkers bounds the goroutines the build may use across all
+	// its parallel stages: the per-task training pool, the
+	// classifiers' forward passes and the KD builders' sibling
+	// recursion. 0 resolves to GOMAXPROCS; 1 forces a sequential
+	// build. Every produced artifact is bit-identical for any value —
+	// parallelism only ever computes independent rows/subtrees, never
+	// reorders a floating-point reduction (pinned by BuildReference
+	// parity tests). Not serialized into index artifacts.
+	TrainWorkers int
 }
 
 // withDefaults fills unset optional fields.
@@ -136,6 +145,9 @@ func (c Config) validate(ds *dataset.Dataset) error {
 	}
 	if c.TestFrac < 0 || c.TestFrac >= 1 {
 		return fmt.Errorf("%w: test fraction %v", ErrConfig, c.TestFrac)
+	}
+	if c.TrainWorkers < 0 {
+		return fmt.Errorf("%w: train workers %d", ErrConfig, c.TrainWorkers)
 	}
 	if c.Method == MethodMultiObjectiveFairKD && c.Alphas != nil && len(c.Alphas) != ds.NumTasks() {
 		return fmt.Errorf("%w: %d alphas for %d tasks", ErrConfig, len(c.Alphas), ds.NumTasks())
@@ -167,9 +179,11 @@ type Artifacts struct {
 	// own classifier runs); TrainTime the final training + evaluation
 	// (wall clock — with multiple tasks the per-task work overlaps).
 	BuildTime, TrainTime time.Duration
-	// TrainWorkers is the worker-pool size the final training ran
-	// with (1 = sequential). Comparing the summed per-task TrainTimes
-	// against the wall-clock TrainTime gives the parallel speedup.
+	// TrainWorkers is the resolved worker budget the build ran with
+	// (1 = fully sequential): the bound on goroutines across the
+	// per-task pool and the intra-model forward passes. Comparing the
+	// summed per-task TrainTimes against the wall-clock TrainTime
+	// gives the task-level parallel speedup.
 	TrainWorkers int
 }
 
@@ -184,13 +198,13 @@ func (a *Artifacts) TaskCPUTime() time.Duration {
 }
 
 // forEachTask runs fn(i) for every i in [0, n) on a bounded pool of
-// worker goroutines and returns the lowest-index error, so multi-task
-// stages scale with cores while keeping deterministic error
-// selection. fn must be safe for concurrent invocation across
+// up to maxWorkers goroutines and returns the lowest-index error, so
+// multi-task stages scale with cores while keeping deterministic
+// error selection. fn must be safe for concurrent invocation across
 // distinct i. The returned worker count is what the pool actually
 // used (1 = ran on the calling goroutine).
-func forEachTask(n int, fn func(i int) error) (workers int, err error) {
-	workers = runtime.GOMAXPROCS(0)
+func forEachTask(n, maxWorkers int, fn func(i int) error) (workers int, err error) {
+	workers = maxWorkers
 	if n < workers {
 		workers = n
 	}
@@ -236,13 +250,40 @@ func forEachTask(n int, fn func(i int) error) (workers int, err error) {
 // construction, final per-task training, evaluation — and returns the
 // trained artifacts. It is the primary entry point; Run is a thin
 // shim over it that keeps only the metric report.
+//
+// Build is the optimized path: the final logistic-regression training
+// runs over the factorized (grouped) neighborhood encoding with
+// pooled scratch and a bounded worker budget (Config.TrainWorkers).
+// BuildReference is its retained sequential, allocation-naive twin;
+// both produce bit-identical artifacts (see DESIGN.md §10).
 func Build(ds *dataset.Dataset, cfg Config) (*Artifacts, error) {
+	return build(ds, cfg, false)
+}
+
+// resolveWorkers maps the configured budget to an effective pool
+// size.
+func resolveWorkers(cfg Config) int {
+	if cfg.TrainWorkers > 0 {
+		return cfg.TrainWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// build is the shared engine behind Build (ref=false: pooled buffers,
+// worker pools, grouped fast kernels) and BuildReference (ref=true:
+// sequential, allocation-naive, reference kernels — same arithmetic,
+// same bits).
+func build(ds *dataset.Dataset, cfg Config, ref bool) (*Artifacts, error) {
 	cfg = cfg.withDefaults()
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.validate(ds); err != nil {
 		return nil, err
+	}
+	workers := resolveWorkers(cfg)
+	if ref {
+		workers = 1
 	}
 
 	// Stage 1: stratified split and fairness-aware partitioning.
@@ -255,7 +296,7 @@ func Build(ds *dataset.Dataset, cfg Config) (*Artifacts, error) {
 		return nil, err
 	}
 	buildStart := time.Now()
-	part, err := buildPartition(ds, cfg, trainIdx)
+	part, err := buildPartition(ds, cfg, trainIdx, workers, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -285,19 +326,36 @@ func Build(ds *dataset.Dataset, cfg Config) (*Artifacts, error) {
 	trainStart := time.Now()
 	// The record→region assignment and the encoded feature matrix are
 	// task-independent: compute them once here and share them
-	// read-only across the workers instead of once per task.
+	// read-only across the workers instead of once per task. The
+	// default logistic-regression model trains on the factorized
+	// (grouped) encoding, so the O(records × regions) one-hot matrix
+	// is never materialized; other model families get dense rows.
 	regionOf, err := part.AssignCells(ds.Cells())
 	if err != nil {
 		return nil, err
 	}
-	encoded, err := dataset.Encode(ds, regionOf, part.NumRegions(), part.Centroids(), cfg.Encoding)
+	var encoded *dataset.Encoded
+	if cfg.Model == ml.ModelLogReg {
+		encoded, err = dataset.EncodeGrouped(ds, regionOf, part.NumRegions(), part.Centroids(), cfg.Encoding)
+	} else {
+		encoded, err = dataset.Encode(ds, regionOf, part.NumRegions(), part.Centroids(), cfg.Encoding)
+	}
 	if err != nil {
 		return nil, err
 	}
+	// Budget split: with one task the whole budget goes to that task's
+	// forward passes; with several, tasks parallelize and share it.
+	fitWorkers := workers
+	if len(tasks) > 1 {
+		fitWorkers = workers / len(tasks)
+		if fitWorkers < 1 {
+			fitWorkers = 1
+		}
+	}
 	art.Tasks = make([]TrainedTask, len(tasks))
-	workers, err := forEachTask(len(tasks), func(i int) error {
+	_, err = forEachTask(len(tasks), workers, func(i int) error {
 		taskStart := time.Now()
-		tt, err := trainTask(ds, cfg, part, regionOf, encoded, tasks[i], trainIdx, testIdx)
+		tt, err := trainTask(ds, cfg, part, regionOf, encoded, tasks[i], trainIdx, testIdx, fitWorkers, ref)
 		if err != nil {
 			return err
 		}
@@ -346,25 +404,30 @@ func (a *Artifacts) Result() *Result {
 // buildPartition produces the neighborhood partition for the method.
 // Only training records drive data-dependent splits, so no label
 // information leaks from the held-out set.
-func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition.Partition, error) {
+//
+// The Step-1 classifier runs stay on the dense (pre-overhaul)
+// training semantics: the deviations that drive split selection — and
+// therefore the partition structure and region ids — are bit-for-bit
+// what earlier releases produced.
+func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int, workers int, ref bool) (*partition.Partition, error) {
 	grid := ds.Grid
 	cells := ds.Cells()
 	trainCells := dataset.Gather(cells, trainIdx)
 
 	switch cfg.Method {
 	case MethodMedianKD:
-		tree, err := kdtree.BuildMedian(grid, cells, cfg.Height)
+		tree, err := kdtree.BuildMedianWorkers(grid, cells, cfg.Height, workers)
 		if err != nil {
 			return nil, err
 		}
 		return tree.Partition()
 
 	case MethodFairKD:
-		dev, err := initialDeviations(ds, cfg, trainIdx, cfg.Task)
+		dev, err := initialDeviations(ds, cfg, trainIdx, cfg.Task, workers, ref)
 		if err != nil {
 			return nil, err
 		}
-		tree, err := kdtree.BuildFair(grid, trainCells, dev, treeConfig(cfg))
+		tree, err := kdtree.BuildFair(grid, trainCells, dev, treeConfig(cfg, workers))
 		if err != nil {
 			return nil, err
 		}
@@ -372,9 +435,9 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition
 
 	case MethodIterativeFairKD:
 		retrain := func(p *partition.Partition) ([]float64, error) {
-			return deviationsFor(ds, cfg, p, cfg.Task, trainIdx)
+			return deviationsFor(ds, cfg, p, cfg.Task, trainIdx, workers, ref)
 		}
-		tree, err := kdtree.BuildIterative(grid, trainCells, treeConfig(cfg), retrain)
+		tree, err := kdtree.BuildIterative(grid, trainCells, treeConfig(cfg, workers), retrain)
 		if err != nil {
 			return nil, err
 		}
@@ -387,10 +450,14 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition
 		}
 		// The per-task Step-1 classifier runs are independent, so they
 		// share the same bounded worker pool as the final training.
+		fitWorkers := workers / ds.NumTasks()
+		if fitWorkers < 1 {
+			fitWorkers = 1
+		}
 		scoreSets := make([][]float64, ds.NumTasks())
 		labelSets := make([][]int, ds.NumTasks())
-		if _, err := forEachTask(ds.NumTasks(), func(task int) error {
-			_, scores, taskLabels, err := initialRun(ds, cfg, trainIdx, task)
+		if _, err := forEachTask(ds.NumTasks(), workers, func(task int) error {
+			_, scores, taskLabels, err := initialRun(ds, cfg, trainIdx, task, fitWorkers, ref)
 			if err != nil {
 				return err
 			}
@@ -400,7 +467,7 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition
 		}); err != nil {
 			return nil, err
 		}
-		tree, err := kdtree.BuildMultiObjective(grid, trainCells, scoreSets, labelSets, alphas, treeConfig(cfg))
+		tree, err := kdtree.BuildMultiObjective(grid, trainCells, scoreSets, labelSets, alphas, treeConfig(cfg, workers))
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +480,7 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition
 		return partition.Voronoi(grid, cfg.ZipSites, cfg.Seed+1, ds.CellCounts())
 
 	case MethodFairQuadtree:
-		dev, err := initialDeviations(ds, cfg, trainIdx, cfg.Task)
+		dev, err := initialDeviations(ds, cfg, trainIdx, cfg.Task, workers, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -429,8 +496,8 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int) (*partition
 }
 
 // treeConfig maps the pipeline config onto the kdtree config.
-func treeConfig(cfg Config) kdtree.Config {
-	return kdtree.Config{Height: cfg.Height, Objective: cfg.Objective, Lambda: cfg.Lambda}
+func treeConfig(cfg Config, workers int) kdtree.Config {
+	return kdtree.Config{Height: cfg.Height, Objective: cfg.Objective, Lambda: cfg.Lambda, Workers: workers}
 }
 
 // uniformAlphas returns equal task weights summing to 1.
@@ -444,33 +511,36 @@ func uniformAlphas(m int) []float64 {
 
 // initialDeviations runs the Step-1 classifier over the cell-identity
 // partition and returns the training records' signed deviations.
-func initialDeviations(ds *dataset.Dataset, cfg Config, trainIdx []int, task int) ([]float64, error) {
-	dev, _, _, err := initialRun(ds, cfg, trainIdx, task)
+func initialDeviations(ds *dataset.Dataset, cfg Config, trainIdx []int, task, workers int, ref bool) ([]float64, error) {
+	dev, _, _, err := initialRun(ds, cfg, trainIdx, task, workers, ref)
 	return dev, err
 }
 
 // initialRun trains on the base grid (cell identity, centroid
 // encoding) and returns the training records' deviations, scores and
 // labels in trainIdx order.
-func initialRun(ds *dataset.Dataset, cfg Config, trainIdx []int, task int) (dev, scores []float64, labels []int, err error) {
+func initialRun(ds *dataset.Dataset, cfg Config, trainIdx []int, task, workers int, ref bool) (dev, scores []float64, labels []int, err error) {
 	p0, err := partition.CellIdentity(ds.Grid)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return runOnPartition(ds, cfg, p0, task, trainIdx, dataset.EncCentroid, nil)
+	return runOnPartition(ds, cfg, p0, task, trainIdx, dataset.EncCentroid, nil, workers, ref)
 }
 
 // deviationsFor retrains on an arbitrary partition (Iterative level
 // callback) and returns training-record deviations.
-func deviationsFor(ds *dataset.Dataset, cfg Config, p *partition.Partition, task int, trainIdx []int) ([]float64, error) {
-	dev, _, _, err := runOnPartition(ds, cfg, p, task, trainIdx, dataset.EncCentroid, nil)
+func deviationsFor(ds *dataset.Dataset, cfg Config, p *partition.Partition, task int, trainIdx []int, workers int, ref bool) ([]float64, error) {
+	dev, _, _, err := runOnPartition(ds, cfg, p, task, trainIdx, dataset.EncCentroid, nil, workers, ref)
 	return dev, err
 }
 
 // runOnPartition encodes the dataset against a partition, trains on
 // the train split (optionally weighted) and returns deviations,
-// scores and labels of the training records, in trainIdx order.
-func runOnPartition(ds *dataset.Dataset, cfg Config, p *partition.Partition, task int, trainIdx []int, enc dataset.Encoding, weights []float64) (dev, scores []float64, labels []int, err error) {
+// scores and labels of the training records, in trainIdx order. It
+// always uses the dense training path (partition-shaping runs must
+// reproduce historical splits bit-for-bit); workers only parallelizes
+// the per-row forward passes, which is invisible in the output.
+func runOnPartition(ds *dataset.Dataset, cfg Config, p *partition.Partition, task int, trainIdx []int, enc dataset.Encoding, weights []float64, workers int, ref bool) (dev, scores []float64, labels []int, err error) {
 	regionOf, err := p.AssignCells(ds.Cells())
 	if err != nil {
 		return nil, nil, nil, err
@@ -490,6 +560,19 @@ func runOnPartition(ds *dataset.Dataset, cfg Config, p *partition.Partition, tas
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	setFitWorkers(clf, workers)
+	if ref {
+		if lr, ok := clf.(*ml.LogReg); ok {
+			if err := lr.FitReference(trainX, trainY, weights); err != nil {
+				return nil, nil, nil, err
+			}
+			scores, err = lr.PredictProbaReference(trainX)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return deviationsOf(scores, trainY), scores, trainY, nil
+		}
+	}
 	if err := clf.Fit(trainX, trainY, weights); err != nil {
 		return nil, nil, nil, err
 	}
@@ -497,9 +580,26 @@ func runOnPartition(ds *dataset.Dataset, cfg Config, p *partition.Partition, tas
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	dev = make([]float64, len(scores))
+	return deviationsOf(scores, trainY), scores, trainY, nil
+}
+
+// deviationsOf returns the signed deviations s_i − y_i.
+func deviationsOf(scores []float64, y []int) []float64 {
+	dev := make([]float64, len(scores))
 	for i, s := range scores {
-		dev[i] = s - float64(trainY[i])
+		yi := 0.0
+		if y[i] != 0 {
+			yi = 1
+		}
+		dev[i] = s - yi
 	}
-	return dev, scores, trainY, nil
+	return dev
+}
+
+// setFitWorkers hands the worker budget to classifiers that can use
+// one.
+func setFitWorkers(clf ml.Classifier, workers int) {
+	if lr, ok := clf.(*ml.LogReg); ok {
+		lr.Workers = workers
+	}
 }

@@ -313,17 +313,15 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 
 // TestForEachTaskErrorsAndBounds exercises the pool helper directly:
 // lowest-index error wins, n=0 is a no-op, and the concurrency stays
-// within GOMAXPROCS.
+// within the worker budget.
 func TestForEachTaskErrorsAndBounds(t *testing.T) {
-	if w, err := forEachTask(0, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil || w != 0 {
+	if w, err := forEachTask(0, 4, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil || w != 0 {
 		t.Errorf("n=0: workers %d err %v", w, err)
 	}
 
-	prev := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(prev)
 	errA := errors.New("a")
 	errB := errors.New("b")
-	_, err := forEachTask(8, func(i int) error {
+	_, err := forEachTask(8, 4, func(i int) error {
 		switch i {
 		case 2:
 			return errB
@@ -337,7 +335,7 @@ func TestForEachTaskErrorsAndBounds(t *testing.T) {
 	}
 
 	var running, peak atomic.Int64
-	if _, err := forEachTask(32, func(i int) error {
+	if _, err := forEachTask(32, 4, func(i int) error {
 		n := running.Add(1)
 		for {
 			p := peak.Load()
@@ -352,6 +350,6 @@ func TestForEachTaskErrorsAndBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	if p := peak.Load(); p > 4 {
-		t.Errorf("pool peaked at %d concurrent tasks with GOMAXPROCS=4", p)
+		t.Errorf("pool peaked at %d concurrent tasks with a budget of 4", p)
 	}
 }

@@ -98,12 +98,17 @@ type TrainedTask struct {
 // reported metric. regionOf and encoded are the task-independent
 // record→region assignment and encoded feature matrix — computed once
 // by Build and shared read-only across the parallel task workers.
-func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, regionOf []int, encoded *dataset.Encoded, task int, trainIdx, testIdx []int) (*TrainedTask, error) {
+//
+// When encoded carries the factorized layout (the logistic-regression
+// default), training and scoring run the grouped kernels; fitWorkers
+// bounds their forward-pass goroutines. ref selects the retained
+// naive reference kernels (BuildReference) — bit-identical outputs,
+// different machinery.
+func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, regionOf []int, encoded *dataset.Encoded, task int, trainIdx, testIdx []int, fitWorkers int, ref bool) (*TrainedTask, error) {
 	labels, err := ds.Labels(task)
 	if err != nil {
 		return nil, err
 	}
-	trainX := dataset.Gather(encoded.X, trainIdx)
 	trainY := dataset.Gather(labels, trainIdx)
 	trainGroups := dataset.Gather(regionOf, trainIdx)
 
@@ -119,10 +124,8 @@ func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, regio
 	if err != nil {
 		return nil, err
 	}
-	if err := clf.Fit(trainX, trainY, weights); err != nil {
-		return nil, err
-	}
-	allScores, err := clf.PredictProba(encoded.X)
+	setFitWorkers(clf, fitWorkers)
+	allScores, err := fitAndScore(clf, encoded, trainIdx, trainY, weights, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +199,48 @@ func trainTask(ds *dataset.Dataset, cfg Config, part *partition.Partition, regio
 	}
 	out.Report = *tr
 	return out, nil
+}
+
+// fitAndScore trains clf on the encoded train split and scores every
+// record. It dispatches on the encoding layout: the grouped layout
+// trains the logistic regression with the factorized kernels (the
+// only model Build pairs with it); dense rows use the classic path.
+// With ref it runs the retained reference kernels instead — same
+// arithmetic, naive execution.
+func fitAndScore(clf ml.Classifier, encoded *dataset.Encoded, trainIdx []int, trainY []int, weights []float64, ref bool) ([]float64, error) {
+	if encoded.Grouped() {
+		lr, ok := clf.(*ml.LogReg)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: grouped encoding requires logistic regression, got %s", clf.Name())
+		}
+		trainDesign := &ml.GroupedDesign{
+			Base:   dataset.Gather(encoded.Base, trainIdx),
+			Group:  dataset.Gather(encoded.Group, trainIdx),
+			Shared: encoded.Shared,
+		}
+		allDesign := &ml.GroupedDesign{Base: encoded.Base, Group: encoded.Group, Shared: encoded.Shared}
+		if ref {
+			if err := lr.FitGroupedReference(trainDesign, trainY, weights); err != nil {
+				return nil, err
+			}
+			return lr.PredictProbaGroupedReference(allDesign)
+		}
+		if err := lr.FitGrouped(trainDesign, trainY, weights); err != nil {
+			return nil, err
+		}
+		return lr.PredictProbaGrouped(allDesign)
+	}
+	trainX := dataset.Gather(encoded.X, trainIdx)
+	if lr, ok := clf.(*ml.LogReg); ok && ref {
+		if err := lr.FitReference(trainX, trainY, weights); err != nil {
+			return nil, err
+		}
+		return lr.PredictProbaReference(encoded.X)
+	}
+	if err := clf.Fit(trainX, trainY, weights); err != nil {
+		return nil, err
+	}
+	return clf.PredictProba(encoded.X)
 }
 
 // ratioOrNaN wraps calib.Ratio, mapping the undefined case to NaN.

@@ -37,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -725,6 +726,14 @@ func queryFloat(r *http.Request, key string) (float64, error) {
 	return f, nil
 }
 
+// regionsPool recycles the per-request /v1/locate_batch region
+// buffers: batches run up to maxBatch points, so allocating a fresh
+// result slice per request makes the batch hot path a steady GC
+// burden under load. Buffers are returned after the response is fully
+// serialized — LocateBatchInto overwrites every element, so a dirty
+// buffer is safe to reuse.
+var regionsPool = sync.Pool{New: func() any { return new([]int) }}
+
 func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	var req locateBatchRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -752,7 +761,15 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	regions := make([]int, len(req.Lats))
+	buf := regionsPool.Get().(*[]int)
+	defer regionsPool.Put(buf)
+	regions := *buf
+	if cap(regions) < len(req.Lats) {
+		regions = make([]int, len(req.Lats))
+	} else {
+		regions = regions[:len(req.Lats)]
+	}
+	*buf = regions
 	err := idx.LocateBatchInto(regions, req.Lats, req.Lons)
 	resp := locateBatchResponse{Regions: regions}
 	if err != nil {

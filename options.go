@@ -165,6 +165,22 @@ func WithPostProcess(p PostProcess) Option {
 	}
 }
 
+// WithTrainWorkers bounds the goroutines Build may use across its
+// parallel stages (per-task training pool, classifier forward passes,
+// KD sibling recursion). 0 — the default — resolves to GOMAXPROCS; 1
+// forces a fully sequential build. The produced Index is bit-identical
+// for any value, so this is purely a resource-control knob (e.g. to
+// keep a build box responsive while serving).
+func WithTrainWorkers(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: train workers %d", ErrConfig, n)
+		}
+		c.TrainWorkers = n
+		return nil
+	}
+}
+
 // WithConfig replaces the whole configuration with cfg — the bridge
 // from the legacy Config-struct surface into the options world. Apply
 // it first; later options override individual fields.

@@ -1,0 +1,114 @@
+package fairindex
+
+import (
+	"bytes"
+	"testing"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+	"fairindex/internal/pipeline"
+)
+
+// TestIndexBuildParity is the overhaul's acceptance gate at the
+// artifact level: for every partition method, several heights and
+// seeds, the optimized Build (grouped training kernels, pooled
+// scratch, TrainWorkers > 1) must serialize to the exact bytes of an
+// index assembled from pipeline.BuildReference — the retained
+// sequential, allocation-naive build. Wall-clock durations are the
+// only fields allowed to differ; the test zeroes them on both sides
+// before comparing.
+//
+// Run under -race in CI, this also proves the parallel stages share
+// nothing they should not.
+func TestIndexBuildParity(t *testing.T) {
+	spec := dataset.LA()
+	spec.NumRecords = 420
+	ds, err := dataset.Generate(spec, geo.MustGrid(20, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Method{
+		MethodMedianKD, MethodFairKD, MethodIterativeFairKD,
+		MethodMultiObjectiveFairKD, MethodGridReweight, MethodZipCode,
+		MethodFairQuadtree,
+	}
+	for _, m := range methods {
+		for _, height := range []int{3, 6} {
+			for _, seed := range []int64{2, 11, 77} {
+				cfg := Config{Method: m, Height: height, Seed: seed, TrainWorkers: 3}
+				opt, err := Build(ds, WithConfig(cfg))
+				if err != nil {
+					t.Fatalf("%v h=%d seed=%d: Build: %v", m, height, seed, err)
+				}
+				refArt, err := pipeline.BuildReference(ds, cfg)
+				if err != nil {
+					t.Fatalf("%v h=%d seed=%d: BuildReference: %v", m, height, seed, err)
+				}
+				ref, err := newIndex(ds, refArt)
+				if err != nil {
+					t.Fatalf("%v h=%d seed=%d: newIndex(reference): %v", m, height, seed, err)
+				}
+				// Durations are wall-clock observability, not artifact
+				// content; everything else must match bit for bit.
+				opt.buildTime, opt.trainTime = 0, 0
+				ref.buildTime, ref.trainTime = 0, 0
+				optBytes, err := opt.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				refBytes, err := ref.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(optBytes, refBytes) {
+					at := 0
+					for at < len(optBytes) && at < len(refBytes) && optBytes[at] == refBytes[at] {
+						at++
+					}
+					t.Fatalf("%v h=%d seed=%d: optimized .fidx (%d bytes) diverges from reference (%d bytes) at offset %d",
+						m, height, seed, len(optBytes), len(refBytes), at)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexBuildParityPostProcess extends the byte parity to indexes
+// carrying fitted per-region calibrators, the artifact component the
+// main sweep does not exercise.
+func TestIndexBuildParityPostProcess(t *testing.T) {
+	spec := dataset.Houston()
+	spec.NumRecords = 380
+	ds, err := dataset.Generate(spec, geo.MustGrid(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, post := range []PostProcess{PostPlatt, PostIsotonic} {
+		cfg := Config{Method: MethodFairKD, Height: 4, Seed: 5, TrainWorkers: 4, PostProcess: post}
+		opt, err := Build(ds, WithConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refArt, err := pipeline.BuildReference(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := newIndex(ds, refArt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.buildTime, opt.trainTime = 0, 0
+		ref.buildTime, ref.trainTime = 0, 0
+		optBytes, err := opt.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBytes, err := ref.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(optBytes, refBytes) {
+			t.Fatalf("post-process %v: optimized and reference artifacts differ", post)
+		}
+	}
+}
