@@ -10,6 +10,20 @@
 //	             [-post none|platt|isotonic] [-grid 64] [-seed 11]
 //		build an Index artifact from a dataset CSV and save it.
 //
+//	fairindexctl ingest -in city.csv -out city.fidx [-chunk 4096] [build flags...]
+//		build's streaming twin: ingest the CSV in bounded chunks
+//		(two passes over the file, O(chunk) transient memory instead
+//		of a materialized copy) and save a bit-identical artifact.
+//
+//	fairindexctl append -in new.csv [-out city.fidx] [-threshold 0.02] city.fidx
+//		fold new records into a saved index's live per-region
+//		statistics (partition and models unchanged) and report the
+//		calibration drift they caused; with -out the folded
+//		statistics are persisted so drift survives the next load.
+//		-threshold arms the rebuild recommendation for this
+//		invocation (the threshold is runtime policy, not part of the
+//		artifact — arm it wherever the index is loaded).
+//
 //	fairindexctl serve [-http :8080] city.fidx [more.fidx ...]
 //	fairindexctl serve -dir artifacts/ [-max-indexes 8] [-default la-fair-h8]
 //		load one or more saved Indexes and serve them from a single
@@ -25,6 +39,11 @@
 //		SIGHUP (or POST /v1/reload) rescans -dir and atomically
 //		hot-reloads every resident index without dropping in-flight
 //		requests; POST /v1/i/{name}/reload reloads one entry.
+//		-drift-threshold arms every served index's rebuild
+//		recommendation: once appends (POST /v1/append or
+//		/v1/i/{name}/append) drift a task's live ENCE that far from
+//		its build-time baseline, the entry advertises
+//		rebuild_recommended in /v1/indexes.
 //
 //	fairindexctl serve -csv points.csv [-out regions.csv] city.fidx
 //		legacy one-shot mode: answer point→neighborhood lookups for
@@ -92,6 +111,16 @@ func main() {
 				log.Fatal(err)
 			}
 			return
+		case "ingest":
+			if err := runIngestCmd(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		case "append":
+			if err := runAppendCmd(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
 		case "serve":
 			if err := runServeCmd(os.Args[2:]); err != nil {
 				log.Fatal(err)
@@ -111,8 +140,15 @@ func main() {
 
 // runBuildCmd builds an Index from a dataset CSV and writes the
 // serialized artifact to -out.
-func runBuildCmd(args []string) error {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
+func runBuildCmd(args []string) error { return runBuildLike("build", args, false) }
+
+// runIngestCmd is build's streaming twin: the CSV is read in bounded
+// chunks (two passes over the file) instead of being materialized up
+// front, and the resulting artifact is bit-identical to build's.
+func runIngestCmd(args []string) error { return runBuildLike("ingest", args, true) }
+
+func runBuildLike(cmd string, args []string, streaming bool) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	in := fs.String("in", "", "input dataset CSV (required)")
 	out := fs.String("out", "", "output index file (required)")
 	method := fs.String("method", "fair", "partitioning method: fair|median|iterative|multi|gridrw|zipcode|quadtree")
@@ -126,21 +162,21 @@ func runBuildCmd(args []string) error {
 	maxLat := fs.Float64("maxlat", 0, "bounding box max latitude (required)")
 	minLon := fs.Float64("minlon", 0, "bounding box min longitude (required)")
 	maxLon := fs.Float64("maxlon", 0, "bounding box max longitude (required)")
+	var chunk *int
+	if streaming {
+		chunk = fs.Int("chunk", fairindex.DefaultStreamChunk, "records per streaming ingest batch")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
-		return fmt.Errorf("build: -in and -out are required")
+		return fmt.Errorf("%s: -in and -out are required", cmd)
 	}
 	box := geo.BBox{MinLat: *minLat, MinLon: *minLon, MaxLat: *maxLat, MaxLon: *maxLon}
 	if !box.Valid() {
-		return fmt.Errorf("build: a valid bounding box (-minlat/-maxlat/-minlon/-maxlon) is required")
+		return fmt.Errorf("%s: a valid bounding box (-minlat/-maxlat/-minlon/-maxlon) is required", cmd)
 	}
 	grid, err := geo.NewGrid(*gridSide, *gridSide)
-	if err != nil {
-		return err
-	}
-	ds, err := loadDataset(*in, grid, box)
 	if err != nil {
 		return err
 	}
@@ -153,9 +189,26 @@ func runBuildCmd(args []string) error {
 	}
 
 	totalStart := time.Now()
-	idx, err := fairindex.Build(ds, fairindex.WithConfig(cfg))
-	if err != nil {
-		return err
+	var idx *fairindex.Index
+	if streaming {
+		src, err := fairindex.OpenCSVSource(*in, *in, grid, box)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		idx, err = fairindex.BuildStream(src, fairindex.WithConfig(cfg),
+			fairindex.WithStreaming(*chunk))
+		if err != nil {
+			return err
+		}
+	} else {
+		ds, err := loadDataset(*in, grid, box)
+		if err != nil {
+			return err
+		}
+		if idx, err = fairindex.Build(ds, fairindex.WithConfig(cfg)); err != nil {
+			return err
+		}
 	}
 	total := time.Since(totalStart)
 	blob, err := idx.MarshalBinary()
@@ -170,9 +223,75 @@ func runBuildCmd(args []string) error {
 		return err
 	}
 	fmt.Printf("built %s over %q: %d neighborhoods (height %d), ENCE %.5f\n",
-		idx.Method(), ds.Name, idx.NumRegions(), idx.Height(), rep.ENCE)
+		idx.Method(), idx.DatasetName(), idx.NumRegions(), idx.Height(), rep.ENCE)
 	fmt.Print(buildTimings(idx, total))
 	fmt.Printf("wrote %d bytes to %s\n", len(blob), *out)
+	return nil
+}
+
+// runAppendCmd folds new records from a CSV into a saved index's live
+// per-region statistics and reports the calibration drift they
+// caused. With -out the updated artifact (folded statistics included)
+// is written back, so the drift measurement survives the next load.
+func runAppendCmd(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	in := fs.String("in", "", "CSV of records to append (required; canonical layout)")
+	indexPath := fs.String("index", "", "serialized index file (or pass it positionally)")
+	out := fs.String("out", "", "write the updated artifact here (optional; may equal -index)")
+	threshold := fs.Float64("threshold", -1, "drift threshold to arm before folding (-1 = leave unarmed; the threshold is runtime policy, not stored in the artifact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *indexPath
+	switch {
+	case path == "" && fs.NArg() == 1:
+		path = fs.Arg(0)
+	case path != "" && fs.NArg() == 0:
+	default:
+		return fmt.Errorf("append: exactly one index file is required (-index or positional)")
+	}
+	if *in == "" {
+		return fmt.Errorf("append: -in is required")
+	}
+	idx, err := fairindex.LoadIndex(path)
+	if err != nil {
+		return err
+	}
+	if *threshold >= 0 {
+		if err := idx.SetDriftThreshold(*threshold); err != nil {
+			return err
+		}
+	}
+	// The appended CSV is decoded against the index's own geometry, so
+	// the records land in the partitioning they will be folded into.
+	ds, err := loadDataset(*in, idx.Grid(), idx.Box())
+	if err != nil {
+		return err
+	}
+	res, err := idx.AppendBatch(ds.Records)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("appended %d records to %s (%d since load)\n", res.Appended, path, res.Total)
+	for _, td := range res.Tasks {
+		fmt.Printf("task %d: live ENCE %.5f, drift %.5f\n", td.Task, td.ENCE, td.Drift)
+	}
+	if thr := idx.DriftThreshold(); thr > 0 {
+		fmt.Printf("max drift %.5f vs threshold %.5f — rebuild recommended: %v\n",
+			res.Drift, thr, res.RebuildRecommended)
+	} else {
+		fmt.Printf("max drift %.5f (no threshold armed)\n", res.Drift)
+	}
+	if *out != "" {
+		blob, err := idx.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes to %s\n", len(blob), *out)
+	}
 	return nil
 }
 
@@ -362,6 +481,7 @@ func runServeCmd(args []string) error {
 	dir := fs.String("dir", "", "serve every *.fidx artifact in this directory (rescanned on reload)")
 	maxIndexes := fs.Int("max-indexes", 0, "bound on concurrently resident indexes, LRU-evicted (0 = unlimited)")
 	defName := fs.String("default", "", "catalog entry the unprefixed /v1 routes resolve to (default: the sole entry)")
+	driftThr := fs.Float64("drift-threshold", 0, "ENCE drift at which an appended-to index advertises rebuild_recommended (0 = monitor without recommending)")
 	csvPoints := fs.String("csv", "", "legacy one-shot mode: resolve this points CSV (id, lat, lon) and exit")
 	points := fs.String("points", "", "alias for -csv (deprecated)")
 	out := fs.String("out", "", "CSV mode: output path (default stdout)")
@@ -387,7 +507,7 @@ func runServeCmd(args []string) error {
 		return fmt.Errorf("serve: at least one index file (-index, positional) or -dir is required")
 	}
 
-	srv, err := newServeServer(entries, *dir, *maxIndexes, *defName)
+	srv, err := newServeServer(entries, *dir, *maxIndexes, *defName, *driftThr)
 	if err != nil {
 		return err
 	}
@@ -399,7 +519,7 @@ func runServeCmd(args []string) error {
 // newServeServer assembles the index catalog from explicit entries
 // and/or a scanned artifact directory. Explicit files must exist
 // (fail fast at boot); directory entries load lazily on first use.
-func newServeServer(entries []indexSpec, dir string, maxIndexes int, defName string) (*server.Server, error) {
+func newServeServer(entries []indexSpec, dir string, maxIndexes int, defName string, driftThr float64) (*server.Server, error) {
 	var regOpts []registry.Option
 	if dir != "" {
 		regOpts = append(regOpts, registry.WithDir(dir))
@@ -409,6 +529,9 @@ func newServeServer(entries []indexSpec, dir string, maxIndexes int, defName str
 	}
 	if defName != "" {
 		regOpts = append(regOpts, registry.WithDefault(defName))
+	}
+	if driftThr > 0 {
+		regOpts = append(regOpts, registry.WithDriftThreshold(driftThr))
 	}
 	reg := registry.New(regOpts...)
 	for _, e := range entries {

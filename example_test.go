@@ -83,6 +83,51 @@ func ExampleIndex_RangeQuery() {
 	//   region 2: 6 cells, 100% inside
 }
 
+// BuildStream builds the same artifact as Build — bit for bit — but
+// pulls records through a chunked Source instead of requiring the
+// whole dataset in memory. OpenCSVSource streams a file from disk;
+// here a DatasetSource wraps the generated city so the example is
+// self-contained.
+func ExampleBuildStream() {
+	ds := exampleCity()
+	idx, err := fairindex.BuildStream(fairindex.NewDatasetSource(ds),
+		fairindex.WithMethod(fairindex.MethodFairKD),
+		fairindex.WithHeight(5),
+		fairindex.WithStreaming(64), // ≤64 records resident per batch
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s index over %q: %d neighborhoods\n",
+		idx.Method(), idx.DatasetName(), idx.NumRegions())
+	// Output:
+	// Fair KD-tree index over "Los Angeles": 32 neighborhoods
+}
+
+// AppendBatch folds freshly arrived records into the live per-region
+// statistics without retraining: GroupStats and Report see the grown
+// population immediately, and the returned drift (live ENCE vs the
+// build-time baseline) reports when a full rebuild is worth it.
+func ExampleIndex_AppendBatch() {
+	ds := exampleCity()
+	head := *ds // the 360 records indexed at build time...
+	head.Records = ds.Records[:360]
+	idx, err := fairindex.Build(&head, fairindex.WithHeight(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx.SetDriftThreshold(0.5) // arm "rebuild recommended" at ENCE drift ≥ 0.5
+
+	res, err := idx.AppendBatch(ds.Records[360:]) // ...and the 40 that arrived since
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appended %d records (%d total), drift %.4f, rebuild recommended: %v\n",
+		res.Appended, res.Total, res.Drift, res.RebuildRecommended)
+	// Output:
+	// appended 40 records (40 total), drift 0.0066, rebuild recommended: false
+}
+
 // Score runs one individual through the task's final calibrated
 // model: locate, encode the neighborhood attribute, forward pass.
 func ExampleIndex_Score() {

@@ -25,10 +25,14 @@ import (
 // calibrators), the region centroids and the build-time metric
 // reports.
 //
-// An Index is immutable after Build or UnmarshalBinary and safe for
-// concurrent use by multiple goroutines without locking: Locate,
-// LocateBatch, Score and Report only read. Point lookup is O(1) — a
-// precomputed cell→region table, no tree walk on the hot path.
+// An Index is safe for concurrent use by multiple goroutines without
+// locking: Locate, LocateBatch, Score and Report only read, and the
+// one mutable corner — the live per-region statistics AppendBatch
+// folds new records into (maintain.go) — publishes immutable
+// snapshots behind an atomic pointer, so queries never block behind
+// appends. The partition, models and calibrators never change after
+// Build or UnmarshalBinary. Point lookup is O(1) — a precomputed
+// cell→region table, no tree walk on the hot path.
 //
 // Build an Index offline, persist it with MarshalBinary, ship the
 // bytes to a server and load them with UnmarshalBinary; the restored
@@ -58,6 +62,13 @@ type Index struct {
 	knnOrder    []int
 
 	tasks []indexTask
+
+	// maint is the one mutable corner of the Index: the live
+	// per-region statistics AppendBatch folds new records into, plus
+	// the drift threshold. It is a pointer (not an embedded struct)
+	// so Index values remain copyable; queries read it lock-free via
+	// atomic snapshots. See maintain.go.
+	maint *maintState
 
 	// codecVersion is the serialization version the Index came from:
 	// the version tag of the artifact UnmarshalBinary decoded, or
@@ -146,6 +157,7 @@ func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
 			stats:  append([]calib.GroupStats(nil), tt.RegionStats...),
 		})
 	}
+	ix.initMaint(art.Config.DriftThreshold)
 	return ix, nil
 }
 
@@ -342,12 +354,22 @@ func (ix *Index) LocateCell(c Cell) (int, error) {
 
 // taskByID returns the serving bundle for a task id.
 func (ix *Index) taskByID(task int) (*indexTask, error) {
+	slot, err := ix.taskSlot(task)
+	if err != nil {
+		return nil, err
+	}
+	return &ix.tasks[slot], nil
+}
+
+// taskSlot maps a task id to its position in ix.tasks (and in the
+// maintenance snapshots, which are indexed by slot).
+func (ix *Index) taskSlot(task int) (int, error) {
 	for i := range ix.tasks {
 		if ix.tasks[i].task == task {
-			return &ix.tasks[i], nil
+			return i, nil
 		}
 	}
-	return nil, fmt.Errorf("%w: task %d (have %v)", ErrNoTask, task, ix.Tasks())
+	return -1, fmt.Errorf("%w: task %d (have %v)", ErrNoTask, task, ix.Tasks())
 }
 
 // Score runs one individual through the task's final model: the
@@ -367,7 +389,14 @@ func (ix *Index) Score(rec Record, task int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	row, err := dataset.EncodeRow(rec.X, region, ix.numRegions, ix.centroids, ix.encoding)
+	return ix.scoreInRegion(it, rec.X, region)
+}
+
+// scoreInRegion runs one feature vector through a task's final model
+// and the region's post-processing calibrator — the serving tail
+// shared by Score and AppendBatch.
+func (ix *Index) scoreInRegion(it *indexTask, x []float64, region int) (float64, error) {
+	row, err := dataset.EncodeRow(x, region, ix.numRegions, ix.centroids, ix.encoding)
 	if err != nil {
 		return 0, err
 	}
@@ -385,13 +414,20 @@ func (ix *Index) Score(rec Record, task int) (float64, error) {
 	return scores[0], nil
 }
 
-// Report returns the stored build-time metric report for a task.
+// Report returns the build-time metric report for a task, with one
+// live exception: the ENCE field tracks the current per-region
+// statistics, so it stays exact as AppendBatch folds new records in.
+// Without appends the live value is bit-identical to the stored one
+// (both fold the same per-region statistics in the same order); every
+// other metric is the build-time evaluation.
 func (ix *Index) Report(task int) (TaskResult, error) {
-	it, err := ix.taskByID(task)
+	slot, err := ix.taskSlot(task)
 	if err != nil {
 		return TaskResult{}, err
 	}
-	return it.report, nil
+	tr := ix.tasks[slot].report
+	tr.ENCE = ix.liveENCE(slot)
+	return tr, nil
 }
 
 // Method returns the partitioning strategy the index was built with.
@@ -603,9 +639,13 @@ func (ix *Index) MarshalBinary() ([]byte, error) {
 		b = appendTaskResult(b, &it.report)
 		// Per-region calibration stats (v2): additive sufficient
 		// statistics backing GroupStats; 0 marks an index restored
-		// from a v1 artifact that never carried them.
-		b = binenc.AppendUvarint(b, uint64(len(it.stats)))
-		for _, st := range it.stats {
+		// from a v1 artifact that never carried them. The live
+		// snapshot is serialized, so statistics folded in by
+		// AppendBatch — and therefore the measured drift — survive a
+		// save/reload cycle without a codec change.
+		stats := ix.statsFor(i)
+		b = binenc.AppendUvarint(b, uint64(len(stats)))
+		for _, st := range stats {
 			b = binenc.AppendVarint(b, int64(st.Count))
 			b = binenc.AppendFloat64(b, st.SumScore)
 			b = binenc.AppendFloat64(b, st.SumLabel)
@@ -770,6 +810,7 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 	if r.Len() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after payload", ErrIndexFormat, r.Len())
 	}
+	out.initMaint(0)
 	*ix = out
 	return nil
 }

@@ -2,8 +2,10 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -13,6 +15,42 @@ import (
 // csvMetaCols is the number of leading non-feature columns in the
 // canonical CSV layout: id, lat, lon.
 const csvMetaCols = 3
+
+// RowError reports a decode or validation failure for one input row,
+// carrying the 1-based line number (as reported by the CSV layer, so
+// quoted newlines and blank lines do not shift it) and the offending
+// column name when one can be identified. ReadCSV, the chunked
+// streaming reader (internal/stream) and streaming ingestion all
+// return the same type, so callers handle malformed input uniformly:
+//
+//	var re *dataset.RowError
+//	if errors.As(err, &re) {
+//		log.Printf("skipping line %d (%s)", re.Line, re.Field)
+//	}
+type RowError struct {
+	Line  int    // 1-based line in the input
+	Field string // offending column name; "" when the whole row is at fault
+	Err   error
+}
+
+func (e *RowError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("dataset: line %d, field %q: %v", e.Line, e.Field, e.Err)
+	}
+	return fmt.Sprintf("dataset: line %d: %v", e.Line, e.Err)
+}
+
+func (e *RowError) Unwrap() error { return e.Err }
+
+// csvErrLine extracts the input line from a csv.Reader parse error
+// (0 when the error carries no position).
+func csvErrLine(err error) int {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) {
+		return pe.Line
+	}
+	return 0
+}
 
 // WriteCSV serializes the dataset in a canonical layout:
 //
@@ -51,9 +89,110 @@ func WriteCSV(ds *Dataset, w io.Writer) error {
 	return cw.Error()
 }
 
+// ParseCSVHeader validates a canonical header row (id, lat, lon,
+// <feature...>, label:<task...>) and splits it into feature and task
+// names. line is the 1-based input line of the header, used for error
+// attribution.
+func ParseCSVHeader(header []string, line int) (featureNames, taskNames []string, err error) {
+	if len(header) < csvMetaCols+1 {
+		return nil, nil, &RowError{Line: line,
+			Err: fmt.Errorf("header has %d columns, need at least %d", len(header), csvMetaCols+1)}
+	}
+	if header[0] != "id" || header[1] != "lat" || header[2] != "lon" {
+		return nil, nil, &RowError{Line: line,
+			Err: fmt.Errorf("header must start with id,lat,lon; got %v", header[:csvMetaCols])}
+	}
+	inLabels := false
+	for _, h := range header[csvMetaCols:] {
+		if task, ok := strings.CutPrefix(h, "label:"); ok {
+			inLabels = true
+			taskNames = append(taskNames, task)
+			continue
+		}
+		if inLabels {
+			return nil, nil, &RowError{Line: line, Field: h,
+				Err: errors.New("feature column after label columns")}
+		}
+		featureNames = append(featureNames, h)
+	}
+	if len(taskNames) == 0 {
+		return nil, nil, &RowError{Line: line, Err: errors.New("no label columns")}
+	}
+	return featureNames, taskNames, nil
+}
+
+// RowDecoder decodes canonical CSV data rows. One decoder is built
+// per input (header plus geography) and reused across rows; ReadCSV
+// and the chunked streaming reader share it, so both paths parse
+// bit-identical values and report identical RowError diagnostics.
+type RowDecoder struct {
+	mapper       geo.Mapper
+	featureNames []string
+	taskNames    []string
+}
+
+// NewRowDecoder returns a decoder for rows following the given header
+// names, assigning grid cells through mapper.
+func NewRowDecoder(mapper geo.Mapper, featureNames, taskNames []string) *RowDecoder {
+	return &RowDecoder{mapper: mapper, featureNames: featureNames, taskNames: taskNames}
+}
+
+// NumFields returns the expected number of fields per data row.
+func (d *RowDecoder) NumFields() int {
+	return csvMetaCols + len(d.featureNames) + len(d.taskNames)
+}
+
+// Decode parses one data row into rec, assigning the enclosing grid
+// cell from the coordinates. rec.X and rec.Labels must be pre-sized
+// to the decoder's feature and task counts — Decode fills them in
+// place, so chunked readers can alias batch-owned backing arrays and
+// decode without per-row allocation. line attributes errors.
+func (d *RowDecoder) Decode(line int, row []string, rec *Record) error {
+	if len(row) != d.NumFields() {
+		return &RowError{Line: line,
+			Err: fmt.Errorf("%d fields, want %d", len(row), d.NumFields())}
+	}
+	lat, err := strconv.ParseFloat(row[1], 64)
+	if err != nil {
+		return &RowError{Line: line, Field: "lat", Err: err}
+	}
+	lon, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return &RowError{Line: line, Field: "lon", Err: err}
+	}
+	rec.ID = row[0]
+	rec.Lat, rec.Lon = lat, lon
+	rec.Cell = d.mapper.CellOf(lat, lon)
+	for j := range d.featureNames {
+		rec.X[j], err = strconv.ParseFloat(row[csvMetaCols+j], 64)
+		if err != nil {
+			return &RowError{Line: line, Field: d.featureNames[j], Err: err}
+		}
+		// Check value invariants here rather than leaving them to
+		// Dataset.Validate, so the failure carries the input line.
+		if math.IsNaN(rec.X[j]) || math.IsInf(rec.X[j], 0) {
+			return &RowError{Line: line, Field: d.featureNames[j],
+				Err: fmt.Errorf("%w: %v", ErrBadValue, rec.X[j])}
+		}
+	}
+	off := csvMetaCols + len(d.featureNames)
+	for j := range d.taskNames {
+		rec.Labels[j], err = strconv.Atoi(row[off+j])
+		if err != nil {
+			return &RowError{Line: line, Field: "label:" + d.taskNames[j], Err: err}
+		}
+		if y := rec.Labels[j]; y != 0 && y != 1 {
+			return &RowError{Line: line, Field: "label:" + d.taskNames[j],
+				Err: fmt.Errorf("%w: %d", ErrBadLabel, y)}
+		}
+	}
+	return nil
+}
+
 // ReadCSV parses the canonical layout produced by WriteCSV. The grid
 // and box determine cell assignment. The dataset is validated before
-// being returned.
+// being returned. Malformed rows surface as *RowError with the
+// 1-based input line and the offending column name.
 func ReadCSV(r io.Reader, name string, grid geo.Grid, box geo.BBox) (*Dataset, error) {
 	mapper, err := geo.NewMapper(grid, box)
 	if err != nil {
@@ -65,27 +204,10 @@ func ReadCSV(r io.Reader, name string, grid geo.Grid, box geo.BBox) (*Dataset, e
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read csv header: %w", err)
 	}
-	if len(header) < csvMetaCols+1 {
-		return nil, fmt.Errorf("dataset: csv header has %d columns, need at least %d", len(header), csvMetaCols+1)
-	}
-	if header[0] != "id" || header[1] != "lat" || header[2] != "lon" {
-		return nil, fmt.Errorf("dataset: csv header must start with id,lat,lon; got %v", header[:csvMetaCols])
-	}
-	var featureNames, taskNames []string
-	inLabels := false
-	for _, h := range header[csvMetaCols:] {
-		if task, ok := strings.CutPrefix(h, "label:"); ok {
-			inLabels = true
-			taskNames = append(taskNames, task)
-			continue
-		}
-		if inLabels {
-			return nil, fmt.Errorf("dataset: feature column %q after label columns", h)
-		}
-		featureNames = append(featureNames, h)
-	}
-	if len(taskNames) == 0 {
-		return nil, fmt.Errorf("dataset: csv has no label columns")
+	hline, _ := cr.FieldPos(0)
+	featureNames, taskNames, err := ParseCSVHeader(header, hline)
+	if err != nil {
+		return nil, err
 	}
 
 	ds := &Dataset{
@@ -95,45 +217,22 @@ func ReadCSV(r io.Reader, name string, grid geo.Grid, box geo.BBox) (*Dataset, e
 		FeatureNames: featureNames,
 		TaskNames:    taskNames,
 	}
-	wantCols := csvMetaCols + len(featureNames) + len(taskNames)
-	for line := 2; ; line++ {
+	dec := NewRowDecoder(mapper, featureNames, taskNames)
+	for {
 		row, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+			return nil, &RowError{Line: csvErrLine(err), Err: err}
 		}
-		if len(row) != wantCols {
-			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", line, len(row), wantCols)
-		}
-		lat, err := strconv.ParseFloat(row[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: csv line %d lat: %w", line, err)
-		}
-		lon, err := strconv.ParseFloat(row[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: csv line %d lon: %w", line, err)
-		}
+		line, _ := cr.FieldPos(0)
 		rec := Record{
-			ID:     row[0],
-			Lat:    lat,
-			Lon:    lon,
-			Cell:   mapper.CellOf(lat, lon),
 			X:      make([]float64, len(featureNames)),
 			Labels: make([]int, len(taskNames)),
 		}
-		for j := range featureNames {
-			rec.X[j], err = strconv.ParseFloat(row[csvMetaCols+j], 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: csv line %d feature %q: %w", line, featureNames[j], err)
-			}
-		}
-		for j := range taskNames {
-			rec.Labels[j], err = strconv.Atoi(row[csvMetaCols+len(featureNames)+j])
-			if err != nil {
-				return nil, fmt.Errorf("dataset: csv line %d label %q: %w", line, taskNames[j], err)
-			}
+		if err := dec.Decode(line, row, &rec); err != nil {
+			return nil, err
 		}
 		ds.Records = append(ds.Records, rec)
 	}

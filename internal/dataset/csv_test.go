@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -95,5 +97,52 @@ func TestReadCSVMinimal(t *testing.T) {
 	}
 	if ds.Records[0].Cell != (geo.Cell{Row: 0, Col: 0}) || ds.Records[1].Cell != (geo.Cell{Row: 3, Col: 3}) {
 		t.Errorf("cells = %v, %v", ds.Records[0].Cell, ds.Records[1].Cell)
+	}
+}
+
+// TestReadCSVRowErrorAttribution pins the RowError contract: every
+// malformed body row is reported with its accurate 1-based input line
+// and the offending column, and reader-level parse failures carry the
+// line the csv package attributes.
+func TestReadCSVRowErrorAttribution(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	box := geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 4, MaxLon: 4}
+	tests := []struct {
+		name  string
+		csv   string
+		line  int
+		field string
+	}{
+		{"bad lat", "id,lat,lon,f1,label:t\na,1,1,2,1\nb,x,1,2,1\n", 3, "lat"},
+		{"bad lon", "id,lat,lon,f1,label:t\na,1,x,2,1\n", 2, "lon"},
+		{"bad feature", "id,lat,lon,f1,label:t\na,1,1,2,1\nb,1,1,2,1\nc,1,1,x,1\n", 4, "f1"},
+		{"bad label", "id,lat,lon,f1,label:t\na,1,1,2,7\n", 2, "label:t"},
+		{"short row", "id,lat,lon,f1,label:t\na,1,1\n", 2, ""},
+		{"quoted newline shifts lines", "id,lat,lon,f1,label:t\n\"a\nb\",1,1,2,1\nc,1,1,bad,1\n", 4, "f1"},
+		{"crlf", "id,lat,lon,f1,label:t\r\na,1,1,2,1\r\nb,1,1,NaN,1\r\n", 3, "f1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tt.csv), "bad", grid, box)
+			var re *RowError
+			if !errors.As(err, &re) {
+				t.Fatalf("error %v (%T), want *RowError", err, err)
+			}
+			if re.Line != tt.line {
+				t.Errorf("line = %d, want %d", re.Line, tt.line)
+			}
+			if re.Field != tt.field {
+				t.Errorf("field = %q, want %q", re.Field, tt.field)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("line %d", tt.line)) {
+				t.Errorf("message %q does not name the line", err)
+			}
+		})
+	}
+	// Header errors carry line 1.
+	_, err := ReadCSV(strings.NewReader("id,lat\n"), "bad", grid, box)
+	var re *RowError
+	if !errors.As(err, &re) || re.Line != 1 {
+		t.Errorf("header error = %v, want RowError at line 1", err)
 	}
 }

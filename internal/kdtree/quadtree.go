@@ -96,12 +96,24 @@ func quadrants(rect geo.CellRect, kr, kc int) [4]geo.CellRect {
 // axis always has a real split because the caller guarantees the rect
 // spans more than one cell.
 func bestQuadSplit(sums *CellSums, rect geo.CellRect) (kr, kc int) {
-	rowCands := candidateOffsets(rect.Rows())
-	colCands := candidateOffsets(rect.Cols())
+	// Candidate offsets along an axis of length n are the interior
+	// cuts 1..n-1, or just 0 (no cut) when the axis cannot be divided.
+	// Iterating the ranges in place keeps the split scan — the hot
+	// inner loop of every quadtree build — free of per-node candidate
+	// slices; the pooled CellSums workspace is then the only
+	// build-scoped allocation on this path.
+	rLo, rHi := 1, rect.Rows()-1
+	if rect.Rows() <= 1 {
+		rLo, rHi = 0, 0
+	}
+	cLo, cHi := 1, rect.Cols()-1
+	if rect.Cols() <= 1 {
+		cLo, cHi = 0, 0
+	}
 	bestScore := math.Inf(1)
 	bestDist := math.Inf(1)
-	for _, r := range rowCands {
-		for _, c := range colCands {
+	for r := rLo; r <= rHi; r++ {
+		for c := cLo; c <= cHi; c++ {
 			if r == 0 && c == 0 {
 				continue // no split at all
 			}
@@ -128,20 +140,6 @@ func bestQuadSplit(sums *CellSums, rect geo.CellRect) (kr, kc int) {
 		}
 	}
 	return kr, kc
-}
-
-// candidateOffsets returns the valid split offsets along an axis of
-// length n: interior offsets 1..n-1, or just 0 (no split) when the
-// axis cannot be divided.
-func candidateOffsets(n int) []int {
-	if n <= 1 {
-		return []int{0}
-	}
-	out := make([]int, 0, n-1)
-	for k := 1; k < n; k++ {
-		out = append(out, k)
-	}
-	return out
 }
 
 // Leaves returns leaf nodes in deterministic depth-first order.

@@ -1,6 +1,7 @@
 package kdtree
 
 import (
+	"math"
 	"testing"
 
 	"fairindex/internal/geo"
@@ -116,4 +117,92 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// referenceBestQuadSplit is the pre-inlining split scan, kept here
+// verbatim (candidate slices and all) to pin the allocation-free scan
+// in bestQuadSplit to the exact same choices, epsilon tie-breaks
+// included.
+func referenceBestQuadSplit(sums *CellSums, rect geo.CellRect) (kr, kc int) {
+	candidateOffsets := func(n int) []int {
+		if n <= 1 {
+			return []int{0}
+		}
+		out := make([]int, 0, n-1)
+		for k := 1; k < n; k++ {
+			out = append(out, k)
+		}
+		return out
+	}
+	rowCands := candidateOffsets(rect.Rows())
+	colCands := candidateOffsets(rect.Cols())
+	bestScore := math.Inf(1)
+	bestDist := math.Inf(1)
+	for _, r := range rowCands {
+		for _, c := range colCands {
+			if r == 0 && c == 0 {
+				continue
+			}
+			var lo, hi = math.Inf(1), math.Inf(-1)
+			for _, q := range quadrants(rect, r, c) {
+				if q.Empty() {
+					continue
+				}
+				d := math.Abs(sums.ValueRect(q))
+				if d < lo {
+					lo = d
+				}
+				if d > hi {
+					hi = d
+				}
+			}
+			score := hi - lo
+			dist := math.Abs(float64(r)-float64(rect.Rows())/2) +
+				math.Abs(float64(c)-float64(rect.Cols())/2)
+			if score < bestScore-1e-15 || (score <= bestScore+1e-15 && dist < bestDist-1e-12) {
+				bestScore, bestDist = score, dist
+				kr, kc = r, c
+			}
+		}
+	}
+	return kr, kc
+}
+
+func TestBestQuadSplitMatchesReference(t *testing.T) {
+	grid := geo.MustGrid(12, 12)
+	cells, dev := clusteredFixture(grid, 500, 7)
+	sums, err := newCellSumsPooled(grid, cells, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sums.release()
+	// Every sub-rectangle of the grid, degenerate axes included.
+	for r0 := 0; r0 < grid.U; r0++ {
+		for r1 := r0 + 1; r1 <= grid.U; r1++ {
+			for c0 := 0; c0 < grid.V; c0++ {
+				for c1 := c0 + 1; c1 <= grid.V; c1++ {
+					rect := geo.CellRect{Row0: r0, Col0: c0, Row1: r1, Col1: c1}
+					gr, gc := bestQuadSplit(sums, rect)
+					wr, wc := referenceBestQuadSplit(sums, rect)
+					if gr != wr || gc != wc {
+						t.Fatalf("rect %+v: split (%d,%d), reference picks (%d,%d)", rect, gr, gc, wr, wc)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBestQuadSplitAllocationFree(t *testing.T) {
+	grid := geo.MustGrid(16, 16)
+	cells, dev := clusteredFixture(grid, 400, 11)
+	sums, err := newCellSumsPooled(grid, cells, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sums.release()
+	rect := grid.Bounds()
+	if allocs := testing.AllocsPerRun(50, func() { bestQuadSplit(sums, rect) }); allocs != 0 {
+		t.Errorf("bestQuadSplit allocates %.1f objects per call, want 0", allocs)
+	}
 }

@@ -8,6 +8,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"fairindex/internal/kdtree"
 	"fairindex/internal/ml"
 	"fairindex/internal/partition"
+	"fairindex/internal/stream"
 )
 
 // Method enumerates the partitioning / mitigation strategies compared
@@ -116,6 +118,16 @@ type Config struct {
 	// reorders a floating-point reduction (pinned by BuildReference
 	// parity tests). Not serialized into index artifacts.
 	TrainWorkers int
+	// StreamChunk is the batch size BuildSource's two-pass ingest
+	// decodes at a time (0 = stream.DefaultChunk). Like TrainWorkers
+	// it is a pure resource knob: it never changes the produced
+	// artifact and is not serialized into it.
+	StreamChunk int
+	// DriftThreshold seeds the built Index's maintenance drift
+	// threshold: the ENCE divergence (|live − build-time|) at which
+	// appended batches flip the rebuild-recommended flag. 0 monitors
+	// drift without recommending. Runtime-only, not serialized.
+	DriftThreshold float64
 }
 
 // withDefaults fills unset optional fields.
@@ -148,6 +160,12 @@ func (c Config) validate(ds *dataset.Dataset) error {
 	}
 	if c.TrainWorkers < 0 {
 		return fmt.Errorf("%w: train workers %d", ErrConfig, c.TrainWorkers)
+	}
+	if c.StreamChunk < 0 {
+		return fmt.Errorf("%w: stream chunk %d", ErrConfig, c.StreamChunk)
+	}
+	if c.DriftThreshold < 0 || math.IsNaN(c.DriftThreshold) || math.IsInf(c.DriftThreshold, 0) {
+		return fmt.Errorf("%w: drift threshold %v", ErrConfig, c.DriftThreshold)
 	}
 	if c.Method == MethodMultiObjectiveFairKD && c.Alphas != nil && len(c.Alphas) != ds.NumTasks() {
 		return fmt.Errorf("%w: %d alphas for %d tasks", ErrConfig, len(c.Alphas), ds.NumTasks())
@@ -258,6 +276,33 @@ func forEachTask(n, maxWorkers int, fn func(i int) error) (workers int, err erro
 // both produce bit-identical artifacts (see DESIGN.md §10).
 func Build(ds *dataset.Dataset, cfg Config) (*Artifacts, error) {
 	return build(ds, cfg, false)
+}
+
+// BuildSource runs the full pipeline over a record stream: a
+// bounded-residency two-pass ingest (stream.Ingest, chunked by
+// Config.StreamChunk) followed by the standard build over the
+// materialized result. The stream changes how the dataset reaches
+// memory — O(chunk) transient allocations instead of per-record ones
+// — not what is built from it, so the artifacts are bit-identical to
+// Build over an equal in-memory dataset (pinned by parity tests).
+// The ingested dataset is returned alongside the artifacts so
+// callers can assemble serving indexes without a second pass.
+func BuildSource(src stream.Source, cfg Config) (*Artifacts, *dataset.Dataset, error) {
+	if src == nil {
+		return nil, nil, fmt.Errorf("%w: nil source", ErrConfig)
+	}
+	if cfg.StreamChunk < 0 {
+		return nil, nil, fmt.Errorf("%w: stream chunk %d", ErrConfig, cfg.StreamChunk)
+	}
+	ds, err := stream.Ingest(src, cfg.StreamChunk)
+	if err != nil {
+		return nil, nil, err
+	}
+	art, err := Build(ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return art, ds, nil
 }
 
 // resolveWorkers maps the configured budget to an effective pool

@@ -82,6 +82,13 @@ type Registry struct {
 	dir       string
 	maxLoaded int // 0 = unlimited
 	logger    *log.Logger
+
+	// driftThreshold (0 = off) is armed on every index the registry
+	// loads, so appended batches can flip its rebuild-recommended
+	// flag; onDrift, when set, fires the first time an entry crosses
+	// it (see Append).
+	driftThreshold float64
+	onDrift        func(name string, drift float64)
 }
 
 // Entry is one named index slot: a backing file plus the atomically
@@ -106,6 +113,11 @@ type Entry struct {
 	// good generation of an entry with a corrupt backing file is
 	// never discarded.
 	loadMu sync.Mutex
+
+	// driftNotified latches the one-shot drift hook: it arms again
+	// when a fresh artifact generation is installed (load, reload,
+	// swap), so a rebuilt index can re-notify.
+	driftNotified atomic.Bool
 }
 
 // Option configures a Registry.
@@ -132,6 +144,28 @@ func WithMaxLoaded(n int) Option {
 // to. Without it, a sole entry is the implicit default.
 func WithDefault(name string) Option {
 	return func(r *Registry) { r.defName.Store(&name) }
+}
+
+// WithDriftThreshold arms drift monitoring on every index the
+// registry serves: each loaded artifact gets the threshold, so
+// Append can flip its rebuild-recommended flag (surfaced by Info and
+// the serving layer). t <= 0 leaves monitoring off.
+func WithDriftThreshold(t float64) Option {
+	return func(r *Registry) {
+		if t > 0 {
+			r.driftThreshold = t
+		}
+	}
+}
+
+// WithOnDrift installs the rebuild control-plane hook: fn runs the
+// first time an entry's appended batches push its drift across the
+// armed threshold (once per loaded artifact generation — a reload or
+// swap re-arms it). Typical callers rebuild the artifact and Reload
+// the entry. fn is called synchronously from Append without registry
+// locks held, so it may call back into the registry.
+func WithOnDrift(fn func(name string, drift float64)) Option {
+	return func(r *Registry) { r.onDrift = fn }
 }
 
 // WithLogger routes load/evict/rescan diagnostics to l.
@@ -203,6 +237,7 @@ func (r *Registry) AddIndex(name string, idx *fairindex.Index) error {
 		return fmt.Errorf("registry: %q: nil index", name)
 	}
 	e := &Entry{name: name}
+	r.installed(e, idx)
 	e.idx.Store(idx)
 	return r.insert(e)
 }
@@ -283,6 +318,7 @@ func (r *Registry) loadEntry(e *Entry) (*fairindex.Index, error) {
 		e.loadMu.Unlock()
 		return nil, fmt.Errorf("registry: loading %q: %w", e.name, err)
 	}
+	r.installed(e, idx)
 	e.idx.Store(idx)
 	e.lastErr.Store(nil)
 	e.loadMu.Unlock()
@@ -293,6 +329,45 @@ func (r *Registry) loadEntry(e *Entry) (*fairindex.Index, error) {
 func (e *Entry) setErr(err error) {
 	msg := err.Error()
 	e.lastErr.Store(&msg)
+}
+
+// installed prepares a fresh artifact generation for serving: it arms
+// the registry-wide drift threshold on the index and re-arms the
+// one-shot drift hook.
+func (r *Registry) installed(e *Entry, idx *fairindex.Index) {
+	if r.driftThreshold > 0 {
+		// The threshold was validated positive and finite; the index
+		// accepts any such value.
+		_ = idx.SetDriftThreshold(r.driftThreshold)
+	}
+	e.driftNotified.Store(false)
+}
+
+// Append folds a batch of new records into a served index's live
+// per-region statistics (see fairindex.Index.AppendBatch — exact
+// aggregates, no retraining) and drives the drift control plane: when
+// the fold pushes the index's drift across the armed threshold for
+// the first time in this artifact generation, the WithOnDrift hook
+// fires so a controller can rebuild and Reload the entry.
+func (r *Registry) Append(name string, recs []fairindex.Record) (fairindex.AppendResult, error) {
+	idx, err := r.Lookup(name)
+	if err != nil {
+		return fairindex.AppendResult{}, err
+	}
+	res, err := idx.AppendBatch(recs)
+	if err != nil {
+		return fairindex.AppendResult{}, fmt.Errorf("registry: append %q: %w", name, err)
+	}
+	if res.RebuildRecommended {
+		if e, ok := r.snapshot()[name]; ok && e.driftNotified.CompareAndSwap(false, true) {
+			r.logger.Printf("registry: %q drift %.4g crossed threshold %.4g — rebuild recommended",
+				name, res.Drift, r.driftThreshold)
+			if r.onDrift != nil {
+				r.onDrift(name, res.Drift)
+			}
+		}
+	}
+	return res, nil
 }
 
 // evictOver unloads least-recently-used file-backed entries until the
@@ -353,6 +428,7 @@ func (r *Registry) Reload(name string) error {
 		e.setErr(err)
 		return fmt.Errorf("registry: reloading %q: %w", name, err)
 	}
+	r.installed(e, idx)
 	e.idx.Store(idx)
 	e.lastErr.Store(nil)
 	e.reloads.Add(1)
@@ -386,6 +462,9 @@ func (r *Registry) Swap(name string, idx *fairindex.Index) (*fairindex.Index, er
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	e.loadMu.Lock()
+	if idx != nil {
+		r.installed(e, idx)
+	}
 	old := e.idx.Swap(idx)
 	e.lastErr.Store(nil)
 	e.reloads.Add(1)
@@ -402,6 +481,9 @@ func (r *Registry) SetIndex(name string, idx *fairindex.Index) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	e.loadMu.Lock()
+	if idx != nil {
+		r.installed(e, idx)
+	}
 	e.idx.Store(idx)
 	e.lastErr.Store(nil)
 	e.loadMu.Unlock()
@@ -529,6 +611,13 @@ type Info struct {
 	Dataset      string
 	Method       string
 	Tasks        []int
+	// Maintenance fields, populated only while loaded: records folded
+	// in by Append since this generation was installed, the maximum
+	// per-task calibration drift, and whether it crossed the armed
+	// threshold.
+	Appended           int
+	Drift              float64
+	RebuildRecommended bool
 }
 
 // info snapshots one entry's state.
@@ -549,6 +638,9 @@ func (e *Entry) info() Info {
 		out.Dataset = idx.DatasetName()
 		out.Method = idx.Method().String()
 		out.Tasks = idx.Tasks()
+		out.Appended = idx.Appended()
+		out.Drift = idx.MaxDrift()
+		out.RebuildRecommended = idx.RebuildRecommended()
 	} else if out.LastErr != "" {
 		out.State = StateFailed
 	} else {

@@ -647,3 +647,115 @@ func TestRegistryInfoFields(t *testing.T) {
 		t.Errorf("Len = %d", r.Len())
 	}
 }
+
+// appendCity builds a 300-record index plus 40 append records that
+// share its schema and geography.
+func appendCity(t *testing.T) (*fairindex.Index, []fairindex.Record) {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = 340
+	all, err := dataset.Generate(spec, geo.MustGrid(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := &dataset.Dataset{
+		Name: all.Name, Grid: all.Grid, Box: all.Box,
+		FeatureNames: all.FeatureNames, TaskNames: all.TaskNames,
+		Records: all.Records[:300],
+	}
+	idx, err := fairindex.Build(build, fairindex.WithHeight(3), fairindex.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, all.Records[300:]
+}
+
+// TestRegistryAppendAndDriftHook covers the maintenance control
+// plane: Append folds through the registry, the armed threshold flips
+// the rebuild flag, the WithOnDrift hook fires exactly once per
+// loaded artifact generation, and Info surfaces the live counters.
+func TestRegistryAppendAndDriftHook(t *testing.T) {
+	idx, extra := appendCity(t)
+	dir := t.TempDir()
+	path := writeIndex(t, idx, dir, "la.fidx")
+
+	var fired atomic.Int32
+	r := New(WithLogger(quietLogger()),
+		WithDriftThreshold(1e-12),
+		WithOnDrift(func(name string, drift float64) {
+			if name != "la" || drift <= 0 {
+				t.Errorf("hook fired with name=%q drift=%v", name, drift)
+			}
+			fired.Add(1)
+		}))
+	if err := r.Add("la", path); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.Append("la", extra[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 20 || res.Drift <= 0 {
+		t.Fatalf("append result %+v", res)
+	}
+	if !res.RebuildRecommended {
+		t.Fatal("drift above the armed threshold did not recommend a rebuild")
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("hook fired %d times after first crossing, want 1", fired.Load())
+	}
+	// Further crossings in the same artifact generation stay quiet.
+	if _, err := r.Append("la", extra[20:]); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("hook fired %d times after second append, want still 1", fired.Load())
+	}
+
+	info, ok := r.Info("la")
+	if !ok {
+		t.Fatal("Info missing")
+	}
+	if info.Appended != 40 || info.Drift <= 0 || !info.RebuildRecommended {
+		t.Errorf("Info = appended %d drift %v rebuild %v", info.Appended, info.Drift, info.RebuildRecommended)
+	}
+
+	// A reload starts a new generation from the artifact (no folds):
+	// counters reset and the hook may fire again.
+	if err := r.Reload("la"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = r.Info("la")
+	if info.Appended != 0 || info.RebuildRecommended {
+		t.Errorf("after reload: appended %d rebuild %v, want 0/false", info.Appended, info.RebuildRecommended)
+	}
+	if _, err := r.Append("la", extra); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 2 {
+		t.Errorf("hook fired %d times after post-reload crossing, want 2", fired.Load())
+	}
+
+	if _, err := r.Append("nope", extra); !errors.Is(err, ErrNotFound) {
+		t.Errorf("append to unknown entry = %v, want ErrNotFound", err)
+	}
+}
+
+// TestRegistryAppendThresholdArmsOnEveryInstall pins that the
+// registry-level threshold is applied at each install point, AddIndex
+// included.
+func TestRegistryAppendThresholdArmsOnEveryInstall(t *testing.T) {
+	idx, _ := appendCity(t)
+	r := New(WithLogger(quietLogger()), WithDriftThreshold(0.125))
+	if err := r.AddIndex("mem", idx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DriftThreshold() != 0.125 {
+		t.Errorf("DriftThreshold = %v, want 0.125", got.DriftThreshold())
+	}
+}

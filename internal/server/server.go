@@ -8,9 +8,11 @@
 // One process serves many indexes: requests address a specific
 // artifact through the /v1/i/{index}/... routes (e.g. a fair and a
 // zipcode partitioning of the same city side by side), /v1/indexes
-// lists the catalog, and /v1/compare runs one locate or window-stats
-// request against several named indexes and reports their fairness
-// deltas. The unprefixed single-index routes of earlier versions
+// lists the catalog (including each entry's live calibration drift),
+// and /v1/compare runs one locate or window-stats request against
+// several named indexes and reports their fairness deltas. POST
+// .../append folds new records into a resident index's per-region
+// statistics and reports the drift they caused. The unprefixed single-index routes of earlier versions
 // (/v1/locate, ...) stay wired to the catalog's default entry.
 //
 // Concurrency model: an Index is immutable and lock-free for readers,
@@ -135,6 +137,7 @@ func newServer(opts ...Option) *Server {
 		s.mux.HandleFunc("GET "+p+"/knn", s.handleKNN)
 		s.mux.HandleFunc("POST "+p+"/knn", s.handleKNN)
 		s.mux.HandleFunc("POST "+p+"/stats", s.handleStats)
+		s.mux.HandleFunc("POST "+p+"/append", s.handleAppend)
 	}
 	return s
 }
@@ -430,6 +433,38 @@ type statsResponse struct {
 	Regions  []regionStatJSON `json:"regions"`
 }
 
+// appendRequest carries a batch of new records for POST .../append.
+// Each record needs coordinates, the index's full feature vector and
+// one 0/1 label per index task — the same shape the build ingested.
+type appendRequest struct {
+	Records []appendRecordJSON `json:"records"`
+}
+
+type appendRecordJSON struct {
+	ID       string    `json:"id,omitempty"`
+	Lat      float64   `json:"lat"`
+	Lon      float64   `json:"lon"`
+	Features []float64 `json:"features"`
+	Labels   []int     `json:"labels"`
+}
+
+type taskDriftJSON struct {
+	Task  int       `json:"task"`
+	ENCE  jsonFloat `json:"ence"`
+	Drift jsonFloat `json:"drift"`
+}
+
+type appendResponse struct {
+	Index    string          `json:"index"`
+	Appended int             `json:"appended"`
+	Total    int             `json:"total"`
+	Tasks    []taskDriftJSON `json:"tasks"`
+	Drift    jsonFloat       `json:"drift"`
+	// RebuildRecommended reports whether the fold pushed drift past
+	// the armed threshold; false whenever no threshold is armed.
+	RebuildRecommended bool `json:"rebuild_recommended"`
+}
+
 type healthzResponse struct {
 	Status    string `json:"status"`
 	Dataset   string `json:"dataset,omitempty"`
@@ -470,7 +505,13 @@ type indexInfoJSON struct {
 	Method       string `json:"method,omitempty"`
 	Tasks        []int  `json:"tasks,omitempty"`
 	Reloads      int64  `json:"reloads,omitempty"`
-	Error        string `json:"error,omitempty"`
+	// Maintenance surface: records folded in by append since this
+	// generation loaded, the max per-task calibration drift those
+	// folds produced, and whether it crossed the armed threshold.
+	Appended           int     `json:"appended,omitempty"`
+	Drift              float64 `json:"drift,omitempty"`
+	RebuildRecommended bool    `json:"rebuild_recommended,omitempty"`
+	Error              string  `json:"error,omitempty"`
 }
 
 type indexesResponse struct {
@@ -681,6 +722,9 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 			Reloads:      info.Reloads,
 			Error:        info.LastErr,
 		}
+		resp.Indexes[i].Appended = info.Appended
+		resp.Indexes[i].Drift = info.Drift
+		resp.Indexes[i].RebuildRecommended = info.RebuildRecommended
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -850,6 +894,61 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	}
 	s.writeError(w, status, err)
+}
+
+// handleAppend folds a batch of records into the resolved index's
+// live per-region statistics (Index.AppendBatch through the registry,
+// so the drift hook can fire) and reports the resulting calibration
+// drift. Appends address an index generation by name; the unprefixed
+// route targets the catalog default.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req appendRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Records) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Records) > s.maxBatch {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d records exceeds limit %d", len(req.Records), s.maxBatch))
+		return
+	}
+	name := r.PathValue("index")
+	if name == "" {
+		if name = s.reg.DefaultName(); name == "" {
+			s.writeRegistryError(w, registry.ErrNoDefault)
+			return
+		}
+	}
+	recs := make([]fairindex.Record, len(req.Records))
+	for i, rr := range req.Records {
+		recs[i] = fairindex.Record{ID: rr.ID, Lat: rr.Lat, Lon: rr.Lon, X: rr.Features, Labels: rr.Labels}
+	}
+	res, err := s.reg.Append(name, recs)
+	if err != nil {
+		if errors.Is(err, registry.ErrNotFound) || errors.Is(err, registry.ErrNoDefault) {
+			s.writeRegistryError(w, err)
+			return
+		}
+		s.writeQueryError(w, err)
+		return
+	}
+	resp := appendResponse{
+		Index:              name,
+		Appended:           res.Appended,
+		Total:              res.Total,
+		Drift:              jsonFloat(res.Drift),
+		RebuildRecommended: res.RebuildRecommended,
+	}
+	for _, td := range res.Tasks {
+		resp.Tasks = append(resp.Tasks, taskDriftJSON{
+			Task: td.Task, ENCE: jsonFloat(td.ENCE), Drift: jsonFloat(td.Drift),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {

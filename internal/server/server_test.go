@@ -671,3 +671,143 @@ func TestServerQueryBadRequests(t *testing.T) {
 		t.Errorf("empty window should have null cal_ratio, got %s", blob)
 	}
 }
+
+// TestServerAppendEndpoint drives the ingestion maintenance surface
+// over real HTTP: append folds records into the default (and named)
+// entry, the response reports drift, and /v1/indexes surfaces the
+// live counters.
+func TestServerAppendEndpoint(t *testing.T) {
+	spec := dataset.LA()
+	spec.NumRecords = 440
+	all, err := dataset.Generate(spec, geo.MustGrid(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := &dataset.Dataset{
+		Name: all.Name, Grid: all.Grid, Box: all.Box,
+		FeatureNames: all.FeatureNames, TaskNames: all.TaskNames,
+		Records: all.Records[:400],
+	}
+	idx, err := fairindex.Build(build, fairindex.WithHeight(4), fairindex.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetDriftThreshold(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	appendBody := func(recs []dataset.Record) string {
+		type rec struct {
+			ID       string    `json:"id"`
+			Lat      float64   `json:"lat"`
+			Lon      float64   `json:"lon"`
+			Features []float64 `json:"features"`
+			Labels   []int     `json:"labels"`
+		}
+		rows := make([]rec, len(recs))
+		for i, r := range recs {
+			rows[i] = rec{ID: r.ID, Lat: r.Lat, Lon: r.Lon, Features: r.X, Labels: r.Labels}
+		}
+		blob, err := json.Marshal(map[string]any{"records": rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+
+	var resp struct {
+		Index              string  `json:"index"`
+		Appended           int     `json:"appended"`
+		Total              int     `json:"total"`
+		Drift              float64 `json:"drift"`
+		RebuildRecommended bool    `json:"rebuild_recommended"`
+		Tasks              []struct {
+			Task  int     `json:"task"`
+			ENCE  float64 `json:"ence"`
+			Drift float64 `json:"drift"`
+		} `json:"tasks"`
+	}
+	if code := postJSON(t, client, ts.URL+"/v1/append", appendBody(all.Records[400:420]), &resp); code != http.StatusOK {
+		t.Fatalf("append status %d", code)
+	}
+	if resp.Index != DefaultIndexName || resp.Appended != 20 || resp.Total != 20 {
+		t.Fatalf("append response %+v", resp)
+	}
+	if resp.Drift <= 0 || !resp.RebuildRecommended || len(resp.Tasks) == 0 {
+		t.Fatalf("append drift fields %+v", resp)
+	}
+	// The named route hits the same entry.
+	if code := postJSON(t, client, ts.URL+"/v1/i/"+DefaultIndexName+"/append", appendBody(all.Records[420:]), &resp); code != http.StatusOK {
+		t.Fatalf("named append status %d", code)
+	}
+	if resp.Total != 40 {
+		t.Fatalf("named append total %d, want 40", resp.Total)
+	}
+	// In-process view agrees with the HTTP response.
+	if idx.Appended() != 40 {
+		t.Errorf("Appended() = %d, want 40", idx.Appended())
+	}
+
+	// The catalog listing surfaces the live counters.
+	var listing struct {
+		Indexes []struct {
+			Name               string  `json:"name"`
+			Appended           int     `json:"appended"`
+			Drift              float64 `json:"drift"`
+			RebuildRecommended bool    `json:"rebuild_recommended"`
+		} `json:"indexes"`
+	}
+	if code := getJSON(t, client, ts.URL+"/v1/indexes", &listing); code != http.StatusOK {
+		t.Fatalf("indexes status %d", code)
+	}
+	if len(listing.Indexes) != 1 {
+		t.Fatalf("%d catalog entries", len(listing.Indexes))
+	}
+	e := listing.Indexes[0]
+	if e.Appended != 40 || e.Drift <= 0 || !e.RebuildRecommended {
+		t.Errorf("listing entry %+v", e)
+	}
+}
+
+func TestServerAppendBadRequests(t *testing.T) {
+	idx, ds := buildIndex(t)
+	srv := New(idx, WithMaxBatch(2))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	rec := func(r dataset.Record) string {
+		blob, _ := json.Marshal(map[string]any{
+			"id": r.ID, "lat": r.Lat, "lon": r.Lon, "features": r.X, "labels": r.Labels,
+		})
+		return string(blob)
+	}
+	r0 := rec(ds.Records[0])
+
+	cases := []struct {
+		name string
+		url  string
+		body string
+		code int
+	}{
+		{"empty batch", "/v1/append", `{"records":[]}`, http.StatusBadRequest},
+		{"malformed json", "/v1/append", `{"records":`, http.StatusBadRequest},
+		{"over max batch", "/v1/append", `{"records":[` + r0 + `,` + r0 + `,` + r0 + `]}`, http.StatusRequestEntityTooLarge},
+		{"unknown index", "/v1/i/nope/append", `{"records":[` + r0 + `]}`, http.StatusNotFound},
+		{"wrong arity", "/v1/append", `{"records":[{"lat":34,"lon":-118,"features":[],"labels":[1]}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := postJSON(t, client, ts.URL+tc.url, tc.body, nil); code != tc.code {
+				t.Errorf("status %d, want %d", code, tc.code)
+			}
+		})
+	}
+	if idx.Appended() != 0 {
+		t.Errorf("bad requests folded %d records", idx.Appended())
+	}
+}

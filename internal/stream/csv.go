@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// CSVSource is a chunked reader over the canonical CSV layout
+// (dataset.WriteCSV): it decodes records batch by batch through the
+// same RowDecoder dataset.ReadCSV uses, so the parsed values are
+// bit-identical to a materialized load and malformed rows surface as
+// the same *dataset.RowError with the accurate 1-based input line —
+// quoted newlines, CRLF endings and blank lines do not shift it.
+type CSVSource struct {
+	name   string
+	rs     io.ReadSeeker
+	closer io.Closer
+	mapper geo.Mapper
+	schema Schema
+	dec    *dataset.RowDecoder
+	cr     *csv.Reader
+}
+
+// NewCSV returns a chunked source over canonical CSV held by rs. The
+// header is read eagerly, so a malformed header fails here and
+// Schema is complete on return. Reset seeks back to the start, which
+// is why a plain io.Reader is not enough: Ingest needs two passes.
+func NewCSV(rs io.ReadSeeker, name string, grid geo.Grid, box geo.BBox) (*CSVSource, error) {
+	mapper, err := geo.NewMapper(grid, box)
+	if err != nil {
+		return nil, fmt.Errorf("stream: csv source: %w", err)
+	}
+	s := &CSVSource{
+		name:   name,
+		rs:     rs,
+		mapper: mapper,
+		schema: Schema{Name: name, Grid: grid, Box: box},
+	}
+	if err := s.start(true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenCSV opens a canonical CSV file as a chunked source. The caller
+// owns the descriptor: Close it after the build.
+func OpenCSV(path, name string, grid geo.Grid, box geo.BBox) (*CSVSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	s, err := NewCSV(f, name, grid, box)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// Close releases the backing file of an OpenCSV source; it is a no-op
+// for sources over caller-owned readers.
+func (s *CSVSource) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer.Close()
+}
+
+// start seeks to the beginning and consumes the header row. The first
+// call (init) records the schema; later calls (Reset) verify the
+// header still matches, so a file mutated between Ingest's two passes
+// is caught instead of silently producing a mixed dataset.
+func (s *CSVSource) start(init bool) error {
+	if _, err := s.rs.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("stream: rewinding csv: %w", err)
+	}
+	cr := csv.NewReader(s.rs)
+	cr.FieldsPerRecord = -1 // validated manually, matching ReadCSV
+	cr.ReuseRecord = true   // rows are decoded before the next Read
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("stream: read csv header: %w", err)
+	}
+	hline, _ := cr.FieldPos(0)
+	featureNames, taskNames, err := dataset.ParseCSVHeader(header, hline)
+	if err != nil {
+		return err
+	}
+	if init {
+		s.schema.FeatureNames = featureNames
+		s.schema.TaskNames = taskNames
+	} else if !slices.Equal(featureNames, s.schema.FeatureNames) ||
+		!slices.Equal(taskNames, s.schema.TaskNames) {
+		return fmt.Errorf("stream: csv header changed between passes over %q", s.name)
+	}
+	s.dec = dataset.NewRowDecoder(s.mapper, s.schema.FeatureNames, s.schema.TaskNames)
+	s.cr = cr
+	return nil
+}
+
+// Schema implements Source.
+func (s *CSVSource) Schema() Schema { return s.schema }
+
+// Next implements Source, decoding up to max rows into b.
+func (s *CSVSource) Next(b *Batch, max int) (int, error) {
+	if max <= 0 {
+		return 0, fmt.Errorf("stream: batch size %d", max)
+	}
+	d, t := s.schema.NumFeatures(), s.schema.NumTasks()
+	b.Reserve(max, d, t)
+	n := 0
+	for n < max {
+		row, err := s.cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, &dataset.RowError{Line: csvErrLine(err), Err: err}
+		}
+		line, _ := s.cr.FieldPos(0)
+		rec := dataset.Record{X: b.XRow(n), Labels: b.YRow(n)}
+		if err := s.dec.Decode(line, row, &rec); err != nil {
+			return 0, err
+		}
+		b.ID[n], b.Lat[n], b.Lon[n] = rec.ID, rec.Lat, rec.Lon
+		b.Cell[n], b.Line[n] = rec.Cell, line
+		n++
+	}
+	b.Truncate(n)
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Reset implements Source.
+func (s *CSVSource) Reset() error { return s.start(false) }
+
+// csvErrLine extracts the input line from a csv.Reader parse error.
+func csvErrLine(err error) int {
+	if pe, ok := err.(*csv.ParseError); ok {
+		return pe.Line
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// FuzzStreamCSV is a differential fuzz target: arbitrary text must be
+// treated identically by the chunked streaming reader and the
+// materialized dataset.ReadCSV — both reject, or both accept with
+// value-identical datasets. A small chunk size forces every batch
+// boundary through the fuzzer's inputs. Never panic. Seeds live in
+// testdata/fuzz/FuzzStreamCSV and are extended inline below.
+func FuzzStreamCSV(f *testing.F) {
+	seeds := []string{
+		"id,lat,lon,income,label:approved\nr0,34.1,-118.3,1.5,1\nr1,33.9,-118.1,0.5,0\n",
+		"id,lat,lon,label:hot\nr0,34.0,-118.2,1\n",
+		"id,lat,lon,a,b,label:x,label:y\nr0,34,-118,1,2,0,1\nr1,34.5,-117.5,3,4,1,0\n",
+		"id,lat,lon,income,label:approved\n",                         // header only
+		"id,lat,lon,income,label:approved\nr0,34,-118,1\n",           // wrong arity
+		"id,lat,lon,income,label:approved\nr0,34,-118,NaN,1\n",       // non-finite feature
+		"id,lat,lon,income,label:approved\nr0,34,-118,1,2\n",         // non-binary label
+		"id,lat,lon,income,label:approved\n\"r\n0\",34,-118,1,1\n",   // quoted newline in id
+		"id,lat,lon,income,label:approved\r\nr0,34,-118,1,1\r\n",     // CRLF
+		"id,lat,lon,income,label:approved\nr0,34,-118,1,1\nbroken\n", // trailing garbage row
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	grid := geo.MustGrid(8, 8)
+	box := geo.BBox{MinLat: 33.5, MinLon: -119, MaxLat: 34.5, MaxLon: -117}
+	f.Fuzz(func(t *testing.T, data string) {
+		want, werr := dataset.ReadCSV(strings.NewReader(data), "fuzz", grid, box)
+
+		var got *dataset.Dataset
+		src, gerr := NewCSV(strings.NewReader(data), "fuzz", grid, box)
+		if gerr == nil {
+			got, gerr = Ingest(src, 3)
+		}
+		if (gerr != nil) != (werr != nil) {
+			t.Fatalf("streaming error %v, materialized error %v", gerr, werr)
+		}
+		if gerr != nil {
+			return
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("streaming decoded %d records, materialized %d", len(got.Records), len(want.Records))
+		}
+		for i := range got.Records {
+			g, w := got.Records[i], want.Records[i]
+			if g.ID != w.ID || g.Lat != w.Lat || g.Lon != w.Lon || g.Cell != w.Cell ||
+				!reflect.DeepEqual(g.X, w.X) || !reflect.DeepEqual(g.Labels, w.Labels) {
+				t.Fatalf("record %d diverges: streaming %+v, materialized %+v", i, g, w)
+			}
+		}
+	})
+}

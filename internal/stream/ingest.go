@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// Ingest drains src twice and materializes a validated Dataset with
+// bounded transient residency. Pass 1 counts the records and
+// validates every row (finite features, 0/1 labels, on-grid cells)
+// with line-accurate *dataset.RowError diagnostics; pass 2 rewinds
+// the source and fills exact-size flat backing arrays — one
+// contiguous feature block and one label block shared by all
+// records. Besides the final arrays, whose size the data dictates,
+// the ingest allocates O(chunk): one reusable batch plus a constant
+// number of bookkeeping slices, independent of the record count. A
+// chunk of 0 or less selects DefaultChunk.
+//
+// The produced dataset is value-identical to dataset.ReadCSV over the
+// same input (ingestion shares its row decoder), so builds fed by
+// Ingest are bit-identical to materialized builds.
+func Ingest(src Source, chunk int) (*dataset.Dataset, error) {
+	if src == nil {
+		return nil, fmt.Errorf("stream: nil source")
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	sc := src.Schema()
+	if !sc.Grid.Valid() {
+		return nil, fmt.Errorf("stream: %q: %w", sc.Name, geo.ErrBadGrid)
+	}
+	d, t := sc.NumFeatures(), sc.NumTasks()
+	if t == 0 {
+		return nil, fmt.Errorf("stream: %q: schema has no tasks", sc.Name)
+	}
+
+	// Pass 1: count and validate.
+	b := &Batch{}
+	n := 0
+	for {
+		m, err := src.Next(b, chunk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m; i++ {
+			if err := validateRow(&sc, b, i, n+i); err != nil {
+				return nil, err
+			}
+		}
+		n += m
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("stream: %q: %w", sc.Name, dataset.ErrNoRecords)
+	}
+
+	// Pass 2: rewind and fill exact-size backing arrays.
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("stream: rewinding for fill pass: %w", err)
+	}
+	ds := &dataset.Dataset{
+		Name:         sc.Name,
+		Grid:         sc.Grid,
+		Box:          sc.Box,
+		FeatureNames: append([]string(nil), sc.FeatureNames...),
+		TaskNames:    append([]string(nil), sc.TaskNames...),
+		Records:      make([]dataset.Record, n),
+	}
+	xb := make([]float64, n*d)
+	yb := make([]int, n*t)
+	pos := 0
+	for pos < n {
+		m, err := src.Next(b, min(chunk, n-pos))
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m; i++ {
+			r := &ds.Records[pos+i]
+			r.ID = b.ID[i]
+			r.Lat, r.Lon, r.Cell = b.Lat[i], b.Lon[i], b.Cell[i]
+			r.X = xb[(pos+i)*d : (pos+i+1)*d : (pos+i+1)*d]
+			copy(r.X, b.XRow(i))
+			r.Labels = yb[(pos+i)*t : (pos+i+1)*t : (pos+i+1)*t]
+			copy(r.Labels, b.YRow(i))
+		}
+		pos += m
+	}
+	// A source that replays differently would silently corrupt the
+	// build; both divergence directions are detected.
+	if pos != n {
+		return nil, fmt.Errorf("stream: %q yielded %d records on the fill pass, %d on the first", sc.Name, pos, n)
+	}
+	if m, err := src.Next(b, 1); err != io.EOF {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("stream: %q yielded %d extra record(s) on the fill pass", sc.Name, m)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// validateRow applies the Dataset.Validate invariants to one batch
+// row, attributing failures to the source line (or the 1-based record
+// ordinal for sources without line structure).
+func validateRow(sc *Schema, b *Batch, i, ord int) error {
+	line := b.Line[i]
+	if line == 0 {
+		line = ord + 1
+	}
+	if !sc.Grid.InBounds(b.Cell[i]) {
+		return &dataset.RowError{Line: line,
+			Err: fmt.Errorf("%w: %v", dataset.ErrCellOutOfRange, b.Cell[i])}
+	}
+	for j, x := range b.XRow(i) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return &dataset.RowError{Line: line, Field: sc.FeatureNames[j],
+				Err: fmt.Errorf("%w: %v", dataset.ErrBadValue, x)}
+		}
+	}
+	for j, y := range b.YRow(i) {
+		if y != 0 && y != 1 {
+			return &dataset.RowError{Line: line, Field: "label:" + sc.TaskNames[j],
+				Err: fmt.Errorf("%w: %d", dataset.ErrBadLabel, y)}
+		}
+	}
+	return nil
+}

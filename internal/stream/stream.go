@@ -1,0 +1,251 @@
+// Package stream provides record-stream ingestion for fair spatial
+// index builds: a chunked Source abstraction over CSV files,
+// in-memory datasets and generator functions, plus a two-pass Ingest
+// that materializes a validated Dataset with O(chunk) transient
+// allocations. It is the bounded-residency substrate behind
+// fairindex.BuildStream — the stream changes how records reach
+// memory, not what is built from them, so streaming builds stay
+// bit-identical to materialized ones.
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// DefaultChunk is the batch size Ingest decodes at a time when the
+// caller does not choose one.
+const DefaultChunk = 4096
+
+// Schema describes the records a Source yields. It is constant across
+// the stream: every batch carries len(FeatureNames) features and
+// len(TaskNames) labels per row, and cells lie on Grid.
+type Schema struct {
+	Name         string
+	Grid         geo.Grid
+	Box          geo.BBox
+	FeatureNames []string
+	TaskNames    []string
+}
+
+// NumFeatures returns the number of features per record.
+func (s Schema) NumFeatures() int { return len(s.FeatureNames) }
+
+// NumTasks returns the number of label columns per record.
+func (s Schema) NumTasks() int { return len(s.TaskNames) }
+
+// Batch is a reusable chunk of decoded records in columnar layout.
+// Feature and label values are packed row-major into flat backing
+// arrays, so refilling a batch costs no per-row allocations once its
+// capacity has grown to the chunk size.
+type Batch struct {
+	ID   []string
+	Lat  []float64
+	Lon  []float64
+	Cell []geo.Cell
+	X    []float64 // row-major, len = Len()×features
+	Y    []int     // row-major, len = Len()×tasks
+	// Line holds the 1-based source line of each row for error
+	// attribution; sources without line structure leave it 0 and
+	// Ingest falls back to the record ordinal.
+	Line []int
+
+	rows, feats, tasks int
+}
+
+// Reserve sizes the batch for n rows of d features and t labels each,
+// reusing existing capacity. Row contents are left stale; callers
+// overwrite every row they report.
+func (b *Batch) Reserve(n, d, t int) {
+	b.rows, b.feats, b.tasks = n, d, t
+	b.ID = growTo(b.ID, n)
+	b.Lat = growTo(b.Lat, n)
+	b.Lon = growTo(b.Lon, n)
+	b.Cell = growTo(b.Cell, n)
+	b.X = growTo(b.X, n*d)
+	b.Y = growTo(b.Y, n*t)
+	b.Line = growTo(b.Line, n)
+}
+
+// Truncate shrinks the batch to its first n rows after a short fill.
+func (b *Batch) Truncate(n int) {
+	if n > b.rows {
+		panic(fmt.Sprintf("stream: truncate %d rows to %d", b.rows, n))
+	}
+	b.rows = n
+	d, t := b.feats, b.tasks
+	b.ID, b.Lat, b.Lon = b.ID[:n], b.Lat[:n], b.Lon[:n]
+	b.Cell, b.Line = b.Cell[:n], b.Line[:n]
+	b.X, b.Y = b.X[:n*d], b.Y[:n*t]
+}
+
+// Len returns the number of rows currently in the batch.
+func (b *Batch) Len() int { return b.rows }
+
+// XRow returns row i's feature values, aliasing the backing array.
+func (b *Batch) XRow(i int) []float64 { return b.X[i*b.feats : (i+1)*b.feats : (i+1)*b.feats] }
+
+// YRow returns row i's labels, aliasing the backing array.
+func (b *Batch) YRow(i int) []int { return b.Y[i*b.tasks : (i+1)*b.tasks : (i+1)*b.tasks] }
+
+// growTo reslices s to length n, reallocating only when the capacity
+// is insufficient.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Source yields records in chunks. Implementations must be
+// deterministic and rewindable: Ingest drains a source twice (count
+// and validate, then fill), and both passes must see the same
+// records in the same order.
+type Source interface {
+	// Schema describes the yielded records; constant across the
+	// stream's lifetime.
+	Schema() Schema
+	// Next decodes up to max records into b and returns how many it
+	// produced. A short batch with a nil error is allowed; (0, io.EOF)
+	// marks exhaustion. On any other error the batch contents are
+	// undefined.
+	Next(b *Batch, max int) (int, error)
+	// Reset rewinds the stream to its first record.
+	Reset() error
+}
+
+// DatasetSource streams an in-memory Dataset. Batches copy into the
+// caller's backing arrays without allocating, so it doubles as the
+// allocation floor for ingest benchmarks and as the bridge that lets
+// generated datasets feed streaming builds.
+type DatasetSource struct {
+	ds  *dataset.Dataset
+	pos int
+}
+
+// FromDataset returns a Source over ds's records in order.
+func FromDataset(ds *dataset.Dataset) *DatasetSource {
+	return &DatasetSource{ds: ds}
+}
+
+// Schema implements Source.
+func (s *DatasetSource) Schema() Schema {
+	return Schema{
+		Name:         s.ds.Name,
+		Grid:         s.ds.Grid,
+		Box:          s.ds.Box,
+		FeatureNames: s.ds.FeatureNames,
+		TaskNames:    s.ds.TaskNames,
+	}
+}
+
+// Next implements Source.
+func (s *DatasetSource) Next(b *Batch, max int) (int, error) {
+	if max <= 0 {
+		return 0, fmt.Errorf("stream: batch size %d", max)
+	}
+	rest := len(s.ds.Records) - s.pos
+	if rest == 0 {
+		return 0, io.EOF
+	}
+	n := min(max, rest)
+	d, t := s.ds.NumFeatures(), s.ds.NumTasks()
+	b.Reserve(n, d, t)
+	for i := 0; i < n; i++ {
+		rec := &s.ds.Records[s.pos+i]
+		b.ID[i], b.Lat[i], b.Lon[i] = rec.ID, rec.Lat, rec.Lon
+		b.Cell[i], b.Line[i] = rec.Cell, 0
+		copy(b.XRow(i), rec.X)
+		copy(b.YRow(i), rec.Labels)
+	}
+	s.pos += n
+	return n, nil
+}
+
+// Reset implements Source.
+func (s *DatasetSource) Reset() error {
+	s.pos = 0
+	return nil
+}
+
+// FuncSource adapts a deterministic generator function to a Source:
+// records exist only while their batch does, so arbitrarily large
+// synthetic workloads stream without ever materializing. The function
+// must be a pure function of the record index — Ingest replays the
+// stream and both passes must agree.
+type FuncSource struct {
+	schema Schema
+	mapper geo.Mapper
+	n      int
+	pos    int
+	fn     func(i int, rec *dataset.Record) error
+}
+
+// FromFunc returns a Source yielding n records produced by fn. For
+// each index i, fn fills rec — ID, coordinates, features and labels;
+// rec.X and rec.Labels arrive pre-sized to the schema and alias batch
+// memory. The enclosing grid cell is assigned from the coordinates by
+// the source, mirroring CSV ingestion.
+func FromFunc(schema Schema, n int, fn func(i int, rec *dataset.Record) error) (*FuncSource, error) {
+	mapper, err := geo.NewMapper(schema.Grid, schema.Box)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("stream: negative record count %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("stream: nil record function")
+	}
+	return &FuncSource{schema: schema, mapper: mapper, n: n, fn: fn}, nil
+}
+
+// Schema implements Source.
+func (s *FuncSource) Schema() Schema { return s.schema }
+
+// Next implements Source.
+func (s *FuncSource) Next(b *Batch, max int) (int, error) {
+	if max <= 0 {
+		return 0, fmt.Errorf("stream: batch size %d", max)
+	}
+	rest := s.n - s.pos
+	if rest == 0 {
+		return 0, io.EOF
+	}
+	n := min(max, rest)
+	d, t := s.schema.NumFeatures(), s.schema.NumTasks()
+	b.Reserve(n, d, t)
+	var rec dataset.Record
+	for i := 0; i < n; i++ {
+		rec = dataset.Record{X: b.XRow(i), Labels: b.YRow(i)}
+		if err := s.fn(s.pos+i, &rec); err != nil {
+			return 0, fmt.Errorf("stream: record %d: %w", s.pos+i, err)
+		}
+		if len(rec.X) != d || len(rec.Labels) != t {
+			return 0, fmt.Errorf("stream: record %d: generator produced %d features and %d labels, schema has %d and %d",
+				s.pos+i, len(rec.X), len(rec.Labels), d, t)
+		}
+		// Generators that swap in their own slices still stream
+		// correctly — copy back into the batch's backing arrays.
+		if d > 0 && &rec.X[0] != &b.X[i*d] {
+			copy(b.XRow(i), rec.X)
+		}
+		if t > 0 && &rec.Labels[0] != &b.Y[i*t] {
+			copy(b.YRow(i), rec.Labels)
+		}
+		b.ID[i], b.Lat[i], b.Lon[i] = rec.ID, rec.Lat, rec.Lon
+		b.Cell[i] = s.mapper.CellOf(rec.Lat, rec.Lon)
+		b.Line[i] = 0
+	}
+	s.pos += n
+	return n, nil
+}
+
+// Reset implements Source.
+func (s *FuncSource) Reset() error {
+	s.pos = 0
+	return nil
+}

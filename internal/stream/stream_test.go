@@ -1,0 +1,364 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// testCity generates a small city dataset shared by the stream tests.
+func testCity(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = 300
+	ds, err := dataset.Generate(spec, geo.MustGrid(20, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// csvOf renders a dataset to its canonical CSV bytes.
+func csvOf(t *testing.T, ds *dataset.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(ds, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// equalDatasets compares two datasets record by record; the flat
+// backing layout differs between loaders, so only values matter.
+func equalDatasets(t *testing.T, got, want *dataset.Dataset) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Errorf("name %q, want %q", got.Name, want.Name)
+	}
+	if !reflect.DeepEqual(got.FeatureNames, want.FeatureNames) ||
+		!reflect.DeepEqual(got.TaskNames, want.TaskNames) {
+		t.Fatalf("schema mismatch: %v/%v vs %v/%v",
+			got.FeatureNames, got.TaskNames, want.FeatureNames, want.TaskNames)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("%d records, want %d", len(got.Records), len(want.Records))
+	}
+	for i := range got.Records {
+		g, w := got.Records[i], want.Records[i]
+		if g.ID != w.ID || g.Lat != w.Lat || g.Lon != w.Lon || g.Cell != w.Cell ||
+			!reflect.DeepEqual(g.X, w.X) || !reflect.DeepEqual(g.Labels, w.Labels) {
+			t.Fatalf("record %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestCSVSourceMatchesReadCSV(t *testing.T) {
+	ds := testCity(t)
+	blob := csvOf(t, ds)
+	want, err := dataset.ReadCSV(bytes.NewReader(blob), ds.Name, ds.Grid, ds.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, len(want.Records), 10 * len(want.Records)} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			src, err := NewCSV(bytes.NewReader(blob), ds.Name, ds.Grid, ds.Box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Ingest(src, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalDatasets(t, got, want)
+		})
+	}
+}
+
+func TestIngestMatchesAcrossSources(t *testing.T) {
+	ds := testCity(t)
+	blob := csvOf(t, ds)
+	schema := Schema{Name: ds.Name, Grid: ds.Grid, Box: ds.Box,
+		FeatureNames: ds.FeatureNames, TaskNames: ds.TaskNames}
+
+	csvSrc, err := NewCSV(bytes.NewReader(blob), ds.Name, ds.Grid, ds.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcSrc, err := FromFunc(schema, len(ds.Records), func(i int, rec *dataset.Record) error {
+		r := &ds.Records[i]
+		rec.ID, rec.Lat, rec.Lon = r.ID, r.Lat, r.Lon
+		copy(rec.X, r.X)
+		copy(rec.Labels, r.Labels)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]Source{
+		"csv":     csvSrc,
+		"dataset": FromDataset(ds),
+		"func":    funcSrc,
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, err := Ingest(src, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalDatasets(t, got, ds)
+		})
+	}
+}
+
+// TestCSVSourceLineAccurateErrors pins error attribution to physical
+// input lines: CRLF endings and quoted newlines shift the byte layout
+// but not the reported line.
+func TestCSVSourceLineAccurateErrors(t *testing.T) {
+	grid := geo.MustGrid(4, 4)
+	box := geo.BBox{MinLat: 0, MinLon: 0, MaxLat: 1, MaxLon: 1}
+	header := "id,lat,lon,income,label:approve"
+	cases := []struct {
+		name  string
+		rows  []string
+		line  int
+		field string
+	}{
+		{"bad-feature", []string{`a,0.5,0.5,1.0,1`, `b,0.5,0.5,oops,0`}, 3, "income"},
+		{"bad-label", []string{`a,0.5,0.5,1.0,1`, `b,0.5,0.5,2.0,7`}, 3, "label:approve"},
+		{"bad-lat", []string{`a,nope,0.5,1.0,1`}, 2, "lat"},
+		{"after-quoted-newline", []string{"\"a\nb\",0.5,0.5,1.0,1", `c,0.5,0.5,bad,0`}, 4, "income"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, eol := range []string{"\n", "\r\n"} {
+				blob := header + eol + strings.Join(tc.rows, eol) + eol
+				src, err := NewCSV(strings.NewReader(blob), "t", grid, box)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = Ingest(src, 8)
+				var re *dataset.RowError
+				if !errors.As(err, &re) {
+					t.Fatalf("eol %q: error %v, want *dataset.RowError", eol, err)
+				}
+				if re.Line != tc.line || re.Field != tc.field {
+					t.Errorf("eol %q: line %d field %q, want line %d field %q",
+						eol, re.Line, re.Field, tc.line, tc.field)
+				}
+			}
+		})
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	ds := testCity(t)
+	schema := Schema{Name: ds.Name, Grid: ds.Grid, Box: ds.Box,
+		FeatureNames: ds.FeatureNames, TaskNames: ds.TaskNames}
+
+	t.Run("nan-feature", func(t *testing.T) {
+		src, _ := FromFunc(schema, 5, func(i int, rec *dataset.Record) error {
+			r := &ds.Records[i]
+			rec.ID, rec.Lat, rec.Lon = r.ID, r.Lat, r.Lon
+			copy(rec.X, r.X)
+			copy(rec.Labels, r.Labels)
+			if i == 3 {
+				rec.X[0] = math.NaN()
+			}
+			return nil
+		})
+		_, err := Ingest(src, 2)
+		var re *dataset.RowError
+		if !errors.As(err, &re) || !errors.Is(err, dataset.ErrBadValue) {
+			t.Fatalf("error %v, want RowError wrapping ErrBadValue", err)
+		}
+		if re.Line != 4 { // ordinal fallback: record 3 → line 4
+			t.Errorf("line %d, want 4", re.Line)
+		}
+	})
+	t.Run("bad-label", func(t *testing.T) {
+		src, _ := FromFunc(schema, 5, func(i int, rec *dataset.Record) error {
+			r := &ds.Records[i]
+			rec.ID, rec.Lat, rec.Lon = r.ID, r.Lat, r.Lon
+			copy(rec.X, r.X)
+			copy(rec.Labels, r.Labels)
+			if i == 1 {
+				rec.Labels[0] = 2
+			}
+			return nil
+		})
+		_, err := Ingest(src, 2)
+		if !errors.Is(err, dataset.ErrBadLabel) {
+			t.Fatalf("error %v, want ErrBadLabel", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		src, _ := FromFunc(schema, 0, func(i int, rec *dataset.Record) error { return nil })
+		_, err := Ingest(src, 2)
+		if !errors.Is(err, dataset.ErrNoRecords) {
+			t.Fatalf("error %v, want ErrNoRecords", err)
+		}
+	})
+	t.Run("nil-source", func(t *testing.T) {
+		if _, err := Ingest(nil, 2); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+}
+
+// unstableSource replays a different record count on its second pass.
+type unstableSource struct {
+	*DatasetSource
+	resets int
+	delta  int // records to drop (+) or duplicate source growth (−)
+}
+
+func (u *unstableSource) Reset() error {
+	u.resets++
+	if u.resets == 1 {
+		// Shrink or grow the dataset between passes.
+		if u.delta > 0 {
+			u.ds.Records = u.ds.Records[:len(u.ds.Records)-u.delta]
+		} else {
+			u.ds.Records = append(u.ds.Records, u.ds.Records[:(-u.delta)]...)
+		}
+	}
+	return u.DatasetSource.Reset()
+}
+
+func TestIngestDetectsReplayDivergence(t *testing.T) {
+	for name, delta := range map[string]int{"shrinks": 3, "grows": -3} {
+		t.Run(name, func(t *testing.T) {
+			ds := testCity(t)
+			src := &unstableSource{DatasetSource: FromDataset(ds), delta: delta}
+			_, err := Ingest(src, 32)
+			if err == nil {
+				t.Fatal("expected divergence error")
+			}
+			if !strings.Contains(err.Error(), "pass") {
+				t.Errorf("error %v does not mention the replay divergence", err)
+			}
+		})
+	}
+}
+
+func TestCSVSourceHeaderChangeBetweenPasses(t *testing.T) {
+	ds := testCity(t)
+	blob := csvOf(t, ds)
+	// A reader whose content is swapped after the first pass.
+	r := &swappableReader{Reader: *bytes.NewReader(blob)}
+	src, err := NewCSV(r, ds.Name, ds.Grid, ds.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := *ds
+	other.FeatureNames = append([]string{"extra"}, ds.FeatureNames...)
+	// Rebuild records with one more feature so WriteCSV stays valid.
+	other.Records = make([]dataset.Record, len(ds.Records))
+	for i, rec := range ds.Records {
+		rec.X = append([]float64{1}, rec.X...)
+		other.Records[i] = rec
+	}
+	r.next = csvOf(t, &other)
+	if _, err := Ingest(src, 32); err == nil ||
+		!strings.Contains(err.Error(), "header changed") {
+		t.Fatalf("error %v, want header-changed", err)
+	}
+}
+
+// swappableReader swaps in new content on the first rewind.
+type swappableReader struct {
+	bytes.Reader
+	next []byte
+}
+
+func (r *swappableReader) Seek(off int64, whence int) (int64, error) {
+	if r.next != nil && off == 0 && whence == io.SeekStart {
+		r.Reader.Reset(r.next)
+		r.next = nil
+	}
+	return r.Reader.Seek(off, whence)
+}
+
+func TestFuncSourceContract(t *testing.T) {
+	ds := testCity(t)
+	schema := Schema{Name: ds.Name, Grid: ds.Grid, Box: ds.Box,
+		FeatureNames: ds.FeatureNames, TaskNames: ds.TaskNames}
+
+	t.Run("generator-error", func(t *testing.T) {
+		src, _ := FromFunc(schema, 10, func(i int, rec *dataset.Record) error {
+			if i == 4 {
+				return errors.New("boom")
+			}
+			r := &ds.Records[i]
+			rec.ID, rec.Lat, rec.Lon = r.ID, r.Lat, r.Lon
+			copy(rec.X, r.X)
+			copy(rec.Labels, r.Labels)
+			return nil
+		})
+		if _, err := Ingest(src, 3); err == nil || !strings.Contains(err.Error(), "record 4") {
+			t.Fatalf("error %v, want record-4 attribution", err)
+		}
+	})
+	t.Run("swapped-slices", func(t *testing.T) {
+		// Generators may replace rec.X/rec.Labels with their own
+		// slices; the source copies them back into batch memory.
+		src, err := FromFunc(schema, len(ds.Records), func(i int, rec *dataset.Record) error {
+			r := &ds.Records[i]
+			rec.ID, rec.Lat, rec.Lon = r.ID, r.Lat, r.Lon
+			rec.X = r.X
+			rec.Labels = r.Labels
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Ingest(src, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalDatasets(t, got, ds)
+	})
+	t.Run("wrong-length", func(t *testing.T) {
+		src, _ := FromFunc(schema, 3, func(i int, rec *dataset.Record) error {
+			rec.X = rec.X[:1]
+			return nil
+		})
+		if _, err := Ingest(src, 2); err == nil {
+			t.Fatal("expected wrong-length error")
+		}
+	})
+	t.Run("bad-args", func(t *testing.T) {
+		if _, err := FromFunc(schema, -1, func(int, *dataset.Record) error { return nil }); err == nil {
+			t.Error("expected negative-count error")
+		}
+		if _, err := FromFunc(schema, 1, nil); err == nil {
+			t.Error("expected nil-fn error")
+		}
+	})
+}
+
+func TestBatchReserveTruncate(t *testing.T) {
+	var b Batch
+	b.Reserve(8, 3, 2)
+	if b.Len() != 8 || len(b.X) != 24 || len(b.Y) != 16 {
+		t.Fatalf("after Reserve: len=%d X=%d Y=%d", b.Len(), len(b.X), len(b.Y))
+	}
+	b.XRow(7)[2] = 42
+	b.Truncate(5)
+	if b.Len() != 5 || len(b.X) != 15 || len(b.ID) != 5 {
+		t.Fatalf("after Truncate: len=%d X=%d ID=%d", b.Len(), len(b.X), len(b.ID))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("growing Truncate did not panic")
+		}
+	}()
+	b.Truncate(6)
+}

@@ -1,0 +1,296 @@
+package fairindex
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"fairindex/internal/calib"
+	"fairindex/internal/dataset"
+)
+
+// maintState carries the mutable maintenance side of an Index: the
+// live per-region sufficient statistics (with appended records folded
+// in) and the drift threshold. It hangs off the Index behind a
+// pointer so Index values stay copyable, and publishes every fold as
+// a fresh immutable snapshot behind an atomic pointer — queries read
+// lock-free while AppendBatch serializes writers on mu.
+type maintState struct {
+	mu        sync.Mutex
+	cur       atomic.Pointer[liveStats]
+	threshold atomic.Uint64 // math.Float64bits of the drift threshold
+}
+
+// liveStats is one immutable maintenance snapshot. AppendBatch never
+// mutates a published snapshot; it copies, folds and swaps.
+type liveStats struct {
+	// stats holds the live per-region sufficient statistics per task
+	// slot; a nil slot marks an artifact that predates region stats
+	// (v1) and cannot accept appends.
+	stats [][]calib.GroupStats
+	// ence is each task slot's ENCE over its live stats. At build
+	// time it is bit-identical to the stored report value (both are
+	// population-weighted folds of the same per-region statistics in
+	// the same order), which is what makes |live − stored| a sound
+	// drift measure across save/reload cycles.
+	ence []float64
+	// appended counts records folded since the Index was built or
+	// loaded. It is runtime observability, not serialized: the folded
+	// statistics themselves persist through MarshalBinary.
+	appended int
+}
+
+// initMaint publishes the initial maintenance snapshot over the
+// build- or load-time per-region statistics.
+func (ix *Index) initMaint(threshold float64) {
+	ls := &liveStats{
+		stats: make([][]calib.GroupStats, len(ix.tasks)),
+		ence:  make([]float64, len(ix.tasks)),
+	}
+	for i := range ix.tasks {
+		it := &ix.tasks[i]
+		if it.stats == nil {
+			ls.ence[i] = it.report.ENCE
+			continue
+		}
+		// Share the baseline slice; folds are copy-on-write.
+		ls.stats[i] = it.stats
+		ls.ence[i] = calib.ENCEFromStats(it.stats)
+	}
+	m := &maintState{}
+	m.cur.Store(ls)
+	m.threshold.Store(math.Float64bits(threshold))
+	ix.maint = m
+}
+
+// live returns the current maintenance snapshot (nil only for Index
+// values that never went through Build/UnmarshalBinary).
+func (ix *Index) live() *liveStats {
+	if ix.maint == nil {
+		return nil
+	}
+	return ix.maint.cur.Load()
+}
+
+// statsFor returns the live per-region statistics for a task slot,
+// falling back to the build-time snapshot when no maintenance state
+// exists.
+func (ix *Index) statsFor(slot int) []calib.GroupStats {
+	if ls := ix.live(); ls != nil {
+		return ls.stats[slot]
+	}
+	return ix.tasks[slot].stats
+}
+
+// liveENCE returns a task slot's ENCE over its live statistics.
+func (ix *Index) liveENCE(slot int) float64 {
+	if ls := ix.live(); ls != nil {
+		return ls.ence[slot]
+	}
+	return ix.tasks[slot].report.ENCE
+}
+
+// driftThreshold reads the armed threshold (0 = monitoring only).
+func (ix *Index) driftThreshold() float64 {
+	if ix.maint == nil {
+		return 0
+	}
+	return math.Float64frombits(ix.maint.threshold.Load())
+}
+
+// TaskDrift is one task's live calibration state after a fold.
+type TaskDrift struct {
+	Task  int
+	ENCE  float64 // live ENCE over build-time + appended records
+	Drift float64 // |ENCE − build-time ENCE|
+}
+
+// AppendResult summarizes one AppendBatch fold.
+type AppendResult struct {
+	Appended int         // records folded by this call
+	Total    int         // records folded since the Index was built or loaded
+	Tasks    []TaskDrift // live state per task, in Tasks() order
+	Drift    float64     // maximum task drift
+	// RebuildRecommended reports whether Drift crossed the armed
+	// threshold (always false while the threshold is 0).
+	RebuildRecommended bool
+}
+
+// AppendBatch folds a batch of new records into the index's live
+// per-region statistics: each record is located, scored through the
+// task models (and any post-processing calibrators — the same serving
+// path Score uses) and added to its region's additive sufficient
+// statistics. GroupStats, Report's ENCE and MarshalBinary all observe
+// the fold immediately and exactly — the statistics are additive, so
+// a fold equals a from-scratch recompute over the grown dataset with
+// the same frozen models (see docs/STREAMING.md for the exactness
+// boundary). The partition and the models themselves never change;
+// the returned drift tells the caller when retraining is worth it.
+//
+// Records must carry a full feature vector and one 0/1 label per
+// index task. On any invalid record the whole batch is rejected and
+// the index is unchanged. AppendBatch is safe for concurrent use with
+// all queries and with itself; concurrent appenders serialize.
+// Indexes restored from pre-v2 artifacts have no statistics to fold
+// into and return ErrNoRegionStats.
+func (ix *Index) AppendBatch(recs []Record) (AppendResult, error) {
+	if len(recs) == 0 {
+		return AppendResult{}, fmt.Errorf("fairindex: append: empty batch")
+	}
+	if ix.maint == nil {
+		return AppendResult{}, fmt.Errorf("fairindex: append: %w", ErrNoRegionStats)
+	}
+	for i := range ix.tasks {
+		if ix.tasks[i].stats == nil {
+			return AppendResult{}, fmt.Errorf("fairindex: append: %w", ErrNoRegionStats)
+		}
+	}
+
+	// Validate, locate and score outside the lock: the models,
+	// calibrators and partition are immutable, so the critical
+	// section below is only the fold itself.
+	n := len(recs)
+	regions := make([]int, n)
+	scores := make([][]float64, len(ix.tasks))
+	for k := range scores {
+		scores[k] = make([]float64, n)
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if len(rec.X) != len(ix.featureNames) {
+			return AppendResult{}, fmt.Errorf("fairindex: append record %d: %d features, index was built on %d",
+				i, len(rec.X), len(ix.featureNames))
+		}
+		if len(rec.Labels) != len(ix.taskNames) {
+			return AppendResult{}, fmt.Errorf("fairindex: append record %d: %d labels, index was built on %d tasks",
+				i, len(rec.Labels), len(ix.taskNames))
+		}
+		for j, x := range rec.X {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return AppendResult{}, fmt.Errorf("fairindex: append record %d feature %d: %w: %v",
+					i, j, dataset.ErrBadValue, x)
+			}
+		}
+		for j, y := range rec.Labels {
+			if y != 0 && y != 1 {
+				return AppendResult{}, fmt.Errorf("fairindex: append record %d task %d: %w: %d",
+					i, j, dataset.ErrBadLabel, y)
+			}
+		}
+		region, err := ix.Locate(rec.Lat, rec.Lon)
+		if err != nil {
+			return AppendResult{}, fmt.Errorf("fairindex: append record %d: %w", i, err)
+		}
+		regions[i] = region
+		for k := range ix.tasks {
+			s, err := ix.scoreInRegion(&ix.tasks[k], rec.X, region)
+			if err != nil {
+				return AppendResult{}, fmt.Errorf("fairindex: append record %d: %w", i, err)
+			}
+			scores[k][i] = s
+		}
+	}
+
+	m := ix.maint
+	m.mu.Lock()
+	old := m.cur.Load()
+	next := &liveStats{
+		stats:    make([][]calib.GroupStats, len(old.stats)),
+		ence:     make([]float64, len(old.ence)),
+		appended: old.appended + n,
+	}
+	for k := range old.stats {
+		// Copy-on-write: in-flight readers keep their snapshot. The
+		// fold accumulates in record order, matching calib.GroupBy
+		// over the grown dataset bit for bit.
+		st := append([]calib.GroupStats(nil), old.stats[k]...)
+		col := ix.tasks[k].task
+		for i := range recs {
+			g := &st[regions[i]]
+			g.Count++
+			g.SumScore += scores[k][i]
+			if recs[i].Labels[col] != 0 {
+				g.SumLabel++
+			}
+		}
+		next.stats[k] = st
+		next.ence[k] = calib.ENCEFromStats(st)
+	}
+	m.cur.Store(next)
+	m.mu.Unlock()
+	return ix.appendResult(n, next), nil
+}
+
+// appendResult assembles the drift report for one published snapshot.
+func (ix *Index) appendResult(n int, ls *liveStats) AppendResult {
+	res := AppendResult{Appended: n, Total: ls.appended}
+	for k := range ix.tasks {
+		d := math.Abs(ls.ence[k] - ix.tasks[k].report.ENCE)
+		res.Tasks = append(res.Tasks, TaskDrift{Task: ix.tasks[k].task, ENCE: ls.ence[k], Drift: d})
+		if d > res.Drift {
+			res.Drift = d
+		}
+	}
+	thr := ix.driftThreshold()
+	res.RebuildRecommended = thr > 0 && res.Drift >= thr
+	return res
+}
+
+// Appended returns how many records AppendBatch has folded into this
+// Index since it was built or loaded. It resets to 0 on reload; the
+// folded statistics themselves persist through MarshalBinary.
+func (ix *Index) Appended() int {
+	if ls := ix.live(); ls != nil {
+		return ls.appended
+	}
+	return 0
+}
+
+// Drift returns one task's calibration drift: the absolute distance
+// between its live ENCE (build-time statistics plus every appended
+// record) and the build-time ENCE stored in the artifact. 0 until
+// appends arrive.
+func (ix *Index) Drift(task int) (float64, error) {
+	slot, err := ix.taskSlot(task)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(ix.liveENCE(slot) - ix.tasks[slot].report.ENCE), nil
+}
+
+// MaxDrift returns the largest per-task drift (0 for an index without
+// appends).
+func (ix *Index) MaxDrift() float64 {
+	var out float64
+	for slot := range ix.tasks {
+		if d := math.Abs(ix.liveENCE(slot) - ix.tasks[slot].report.ENCE); d > out {
+			out = d
+		}
+	}
+	return out
+}
+
+// DriftThreshold returns the armed drift threshold (0 = monitoring
+// without a rebuild recommendation).
+func (ix *Index) DriftThreshold() float64 { return ix.driftThreshold() }
+
+// SetDriftThreshold arms (or, with 0, disarms) the rebuild
+// recommendation. Safe for concurrent use with appends and queries.
+func (ix *Index) SetDriftThreshold(t float64) error {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("%w: drift threshold %v", ErrConfig, t)
+	}
+	if ix.maint != nil {
+		ix.maint.threshold.Store(math.Float64bits(t))
+	}
+	return nil
+}
+
+// RebuildRecommended reports whether the live drift has crossed the
+// armed threshold — the signal that enough appended records diverge
+// from the build-time calibration to make retraining worthwhile.
+func (ix *Index) RebuildRecommended() bool {
+	thr := ix.driftThreshold()
+	return thr > 0 && ix.MaxDrift() >= thr
+}

@@ -1,0 +1,365 @@
+package fairindex
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"fairindex/internal/calib"
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// splitCity generates one city and splits it into a build set and an
+// append set that share schema and geography.
+func splitCity(t *testing.T, total, appendN int) (*Dataset, []Record) {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = total
+	all, err := dataset.Generate(spec, geo.MustGrid(20, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := &dataset.Dataset{
+		Name: all.Name, Grid: all.Grid, Box: all.Box,
+		FeatureNames: all.FeatureNames, TaskNames: all.TaskNames,
+		Records: all.Records[:total-appendN],
+	}
+	return build, all.Records[total-appendN:]
+}
+
+// foldExpected recomputes the post-append per-region statistics from
+// first principles through the public serving surface: locate and
+// score each appended record, then add it to the captured baseline.
+// AppendBatch must match this bit for bit — the fold is additive and
+// accumulates in the same record order calib.GroupBy uses.
+func foldExpected(t *testing.T, idx *Index, baseline []calib.GroupStats, slot int, recs []Record) []calib.GroupStats {
+	t.Helper()
+	task := idx.tasks[slot].task
+	st := append([]calib.GroupStats(nil), baseline...)
+	for i := range recs {
+		region, err := idx.Locate(recs[i].Lat, recs[i].Lon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, err := idx.Score(recs[i], task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &st[region]
+		g.Count++
+		g.SumScore += score
+		if recs[i].Labels[task] != 0 {
+			g.SumLabel++
+		}
+	}
+	return st
+}
+
+// TestAppendBatchExactness is the maintenance acceptance gate:
+// AppendBatch-then-GroupStats must equal the from-scratch recompute
+// over the grown population under the frozen models — exactly, not
+// approximately.
+func TestAppendBatchExactness(t *testing.T) {
+	build, extra := splitCity(t, 500, 80)
+	idx, err := Build(build, WithConfig(Config{Method: MethodFairKD, Height: 4, Seed: 11}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselines := make([][]calib.GroupStats, len(idx.tasks))
+	expected := make([][]calib.GroupStats, len(idx.tasks))
+	for slot := range idx.tasks {
+		baselines[slot] = append([]calib.GroupStats(nil), idx.statsFor(slot)...)
+		expected[slot] = foldExpected(t, idx, baselines[slot], slot, extra)
+	}
+
+	// Fold in two batches to exercise snapshot chaining.
+	if _, err := idx.AppendBatch(extra[:30]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.AppendBatch(extra[30:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 50 || res.Total != 80 || idx.Appended() != 80 {
+		t.Errorf("counts: appended=%d total=%d Appended()=%d", res.Appended, res.Total, idx.Appended())
+	}
+
+	for slot := range idx.tasks {
+		live := idx.statsFor(slot)
+		want := expected[slot]
+		for r := range want {
+			if live[r] != want[r] {
+				t.Fatalf("task slot %d region %d: live %+v, recompute %+v", slot, r, live[r], want[r])
+			}
+		}
+		// Live ENCE is the fold of exactly these statistics; Report
+		// and Drift observe it.
+		wantENCE := calib.ENCEFromStats(want)
+		rep, err := idx.Report(idx.tasks[slot].task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ENCE != wantENCE {
+			t.Errorf("task slot %d: Report ENCE %v, want %v", slot, rep.ENCE, wantENCE)
+		}
+		d, err := idx.Drift(idx.tasks[slot].task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Abs(wantENCE - idx.tasks[slot].report.ENCE); d != want {
+			t.Errorf("task slot %d: Drift %v, want %v", slot, d, want)
+		}
+	}
+
+	// GroupStats over all regions reflects the grown population.
+	regions := make([]int, idx.NumRegions())
+	for i := range regions {
+		regions[i] = i
+	}
+	ws, err := idx.GroupStats(idx.Tasks()[0], regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Count != len(build.Records)+len(extra) {
+		t.Errorf("window population %d, want %d", ws.Count, len(build.Records)+len(extra))
+	}
+}
+
+// TestAppendSurvivesSerialization pins that folded statistics ride
+// the existing v2 stats section: save → load preserves the live
+// per-region statistics and therefore the drift measurement, without
+// a codec bump.
+func TestAppendSurvivesSerialization(t *testing.T) {
+	build, extra := splitCity(t, 460, 60)
+	idx, err := Build(build, WithConfig(Config{Method: MethodFairQuadtree, Height: 3, Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.AppendBatch(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drift == 0 {
+		t.Fatal("test needs a drift-producing append; got exactly 0")
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Index
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for slot := range idx.tasks {
+		live, reloaded := idx.statsFor(slot), back.statsFor(slot)
+		for r := range live {
+			if live[r] != reloaded[r] {
+				t.Fatalf("slot %d region %d: reloaded stats %+v, want %+v", slot, r, reloaded[r], live[r])
+			}
+		}
+	}
+	// The stored report keeps the build-time ENCE baseline, so drift
+	// is still measurable after the reload; the append counter is
+	// runtime observability and resets.
+	if back.MaxDrift() != idx.MaxDrift() {
+		t.Errorf("reloaded MaxDrift %v, want %v", back.MaxDrift(), idx.MaxDrift())
+	}
+	if back.Appended() != 0 {
+		t.Errorf("reloaded Appended %d, want 0", back.Appended())
+	}
+}
+
+func TestAppendDriftThreshold(t *testing.T) {
+	build, extra := splitCity(t, 460, 60)
+	idx, err := Build(build, WithConfig(Config{Method: MethodFairKD, Height: 4, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unarmed: monitoring only.
+	res, err := idx.AppendBatch(extra[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebuildRecommended || idx.RebuildRecommended() {
+		t.Fatal("rebuild recommended with no armed threshold")
+	}
+	if res.Drift == 0 {
+		t.Fatal("test needs a drift-producing append; got exactly 0")
+	}
+	// Arm below the current drift: the very next fold (and the live
+	// accessor immediately) flips the flag.
+	if err := idx.SetDriftThreshold(res.Drift / 2); err != nil {
+		t.Fatal(err)
+	}
+	if !idx.RebuildRecommended() {
+		t.Error("threshold below live drift, flag not raised")
+	}
+	res, err = idx.AppendBatch(extra[30:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RebuildRecommended {
+		t.Error("fold past the threshold did not recommend a rebuild")
+	}
+	// Disarm.
+	if err := idx.SetDriftThreshold(0); err != nil {
+		t.Fatal(err)
+	}
+	if idx.RebuildRecommended() {
+		t.Error("disarmed index still recommends a rebuild")
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := idx.SetDriftThreshold(bad); !errors.Is(err, ErrConfig) {
+			t.Errorf("SetDriftThreshold(%v) = %v, want ErrConfig", bad, err)
+		}
+	}
+}
+
+// TestAppendBatchAtomicity: a batch with any invalid record leaves
+// the index untouched.
+func TestAppendBatchAtomicity(t *testing.T) {
+	build, extra := splitCity(t, 440, 40)
+	idx, err := Build(build, WithConfig(Config{Method: MethodFairKD, Height: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]calib.GroupStats(nil), idx.statsFor(0)...)
+
+	bad := func(mut func(r *Record)) []Record {
+		recs := make([]Record, len(extra))
+		for i, r := range extra {
+			r.X = append([]float64(nil), r.X...)
+			r.Labels = append([]int(nil), r.Labels...)
+			recs[i] = r
+		}
+		mut(&recs[len(recs)/2])
+		return recs
+	}
+	cases := map[string][]Record{
+		"empty":          nil,
+		"nan-feature":    bad(func(r *Record) { r.X[0] = math.NaN() }),
+		"bad-label":      bad(func(r *Record) { r.Labels[0] = 3 }),
+		"short-features": bad(func(r *Record) { r.X = r.X[:1] }),
+		"short-labels":   bad(func(r *Record) { r.Labels = nil }),
+	}
+	for name, recs := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := idx.AppendBatch(recs); err == nil {
+				t.Fatal("invalid batch accepted")
+			}
+			after := idx.statsFor(0)
+			for r := range before {
+				if after[r] != before[r] {
+					t.Fatalf("region %d stats changed after rejected batch", r)
+				}
+			}
+			if idx.Appended() != 0 {
+				t.Fatalf("Appended() = %d after rejected batches", idx.Appended())
+			}
+		})
+	}
+}
+
+// TestAppendV1Artifact: indexes restored from pre-v2 artifacts carry
+// no per-region statistics and reject appends with the same sentinel
+// GroupStats uses.
+func TestAppendV1Artifact(t *testing.T) {
+	idx := buildV1TestIndex(t)
+	blob, err := marshalBinaryV1(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Index
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	_, appendErr := back.AppendBatch([]Record{{}})
+	if !errors.Is(appendErr, ErrNoRegionStats) {
+		t.Errorf("AppendBatch on v1 artifact = %v, want ErrNoRegionStats", appendErr)
+	}
+}
+
+// TestConcurrentAppendAndQuery drives appends and the full query
+// surface concurrently; run under -race it proves the copy-on-write
+// snapshot protocol. Each query must observe an internally consistent
+// snapshot: the window population is a multiple of nothing in
+// particular, but it must never be torn between two folds' counts for
+// the same snapshot read.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	build, extra := splitCity(t, 600, 200)
+	idx, err := Build(build, WithConfig(Config{Method: MethodFairKD, Height: 4, Seed: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetDriftThreshold(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	task := idx.Tasks()[0]
+	regions := make([]int, idx.NumRegions())
+	for i := range regions {
+		regions[i] = i
+	}
+	base := len(build.Records)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	// Two appenders share the extra records in interleaved batches.
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := a * 100; i < (a+1)*100; i += 10 {
+				if _, err := idx.AppendBatch(extra[i : i+10]); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(a)
+	}
+	// Readers hammer the live surface while folds land.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ws, err := idx.GroupStats(task, regions)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if ws.Count < base || ws.Count > base+len(extra) {
+					errc <- errors.New("window population outside [base, base+appended]")
+					return
+				}
+				if _, err := idx.Report(task); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := idx.Score(extra[i%len(extra)], task); err != nil {
+					errc <- err
+					return
+				}
+				idx.RebuildRecommended()
+				idx.MaxDrift()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if idx.Appended() != len(extra) {
+		t.Errorf("Appended() = %d, want %d", idx.Appended(), len(extra))
+	}
+	// After the dust settles the fold must equal the serial recompute.
+	ws, err := idx.GroupStats(task, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Count != base+len(extra) {
+		t.Errorf("final population %d, want %d", ws.Count, base+len(extra))
+	}
+}

@@ -2,6 +2,7 @@ package fairindex
 
 import (
 	"fmt"
+	"math"
 
 	"fairindex/internal/pipeline"
 )
@@ -177,6 +178,39 @@ func WithTrainWorkers(n int) Option {
 			return fmt.Errorf("%w: train workers %d", ErrConfig, n)
 		}
 		c.TrainWorkers = n
+		return nil
+	}
+}
+
+// WithStreaming sets the record-batch size of a streaming build's
+// two-pass ingest (0 — the default — resolves to DefaultStreamChunk).
+// Like WithTrainWorkers it is purely a resource knob: the produced
+// Index is bit-identical for any chunk size; only the transient
+// ingest residency changes. It has no effect on Build over an
+// in-memory dataset.
+func WithStreaming(chunk int) Option {
+	return func(c *Config) error {
+		if chunk < 0 {
+			return fmt.Errorf("%w: stream chunk %d", ErrConfig, chunk)
+		}
+		c.StreamChunk = chunk
+		return nil
+	}
+}
+
+// WithDriftThreshold arms the built Index's incremental-maintenance
+// drift monitor: once batches folded in by AppendBatch move any
+// task's live ENCE at least t away from its build-time value, the
+// index advertises that a rebuild is recommended (RebuildRecommended,
+// the registry drift hook and the server's index listing). 0 — the
+// default — monitors drift without ever recommending. The threshold
+// can be changed later with Index.SetDriftThreshold.
+func WithDriftThreshold(t float64) Option {
+	return func(c *Config) error {
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("%w: drift threshold %v", ErrConfig, t)
+		}
+		c.DriftThreshold = t
 		return nil
 	}
 }

@@ -358,11 +358,16 @@ func (ix *Index) buildAccel() {
 // Indexes serialized before the v2 format carry no per-region stats;
 // GroupStats then fails with ErrNoRegionStats.
 func (ix *Index) GroupStats(task int, regions []int) (WindowStats, error) {
-	it, err := ix.taskByID(task)
+	slot, err := ix.taskSlot(task)
 	if err != nil {
 		return WindowStats{}, err
 	}
-	if it.stats == nil {
+	// Read the live statistics snapshot: AppendBatch folds are
+	// observed immediately and exactly, and the atomic snapshot makes
+	// the whole window internally consistent even against concurrent
+	// appends.
+	stats := ix.statsFor(slot)
+	if stats == nil {
 		return WindowStats{}, ErrNoRegionStats
 	}
 	// Region ids are dense, so a bitmap both rejects duplicates and —
@@ -388,7 +393,7 @@ func (ix *Index) GroupStats(task int, regions []int) (WindowStats, error) {
 		if !in {
 			continue
 		}
-		st := it.stats[region]
+		st := stats[region]
 		out.Count += st.Count
 		sumScore += st.SumScore
 		sumLabel += st.SumLabel
@@ -407,7 +412,7 @@ func (ix *Index) GroupStats(task int, regions []int) (WindowStats, error) {
 			if !in {
 				continue
 			}
-			if st := it.stats[region]; st.Count > 0 {
+			if st := stats[region]; st.Count > 0 {
 				out.ENCE += (float64(st.Count) / float64(out.Count)) * st.MiscalAbs()
 			}
 		}
