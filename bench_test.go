@@ -489,6 +489,36 @@ func BenchmarkIndexGroupStats(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexGroupStatsMetrics is BenchmarkIndexGroupStats with
+// every registered fairness metric evaluated over the same window —
+// the cost of the pluggable-metric layer on top of the legacy
+// aggregation.
+func BenchmarkIndexGroupStatsMetrics(b *testing.B) {
+	idx, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	box := idx.Box()
+	overlaps, err := idx.RangeQuery(fairindex.BBox{
+		MinLat: box.MinLat, MinLon: box.MinLon,
+		MaxLat: (box.MinLat + box.MaxLat) / 2, MaxLon: (box.MinLon + box.MaxLon) / 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := make([]int, len(overlaps))
+	for i, ov := range overlaps {
+		regions[i] = ov.Region
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.GroupStatsMetrics(0, regions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkIndexMarshal(b *testing.B) {
 	idx, err := fullIndex()
 	if err != nil {

@@ -15,14 +15,16 @@
 //		(two passes over the file, O(chunk) transient memory instead
 //		of a materialized copy) and save a bit-identical artifact.
 //
-//	fairindexctl append -in new.csv [-out city.fidx] [-threshold 0.02] city.fidx
+//	fairindexctl append -in new.csv [-out city.fidx] [-threshold 0.02] \
+//	             [-drift-metric stat_parity=0.05 ...] city.fidx
 //		fold new records into a saved index's live per-region
 //		statistics (partition and models unchanged) and report the
-//		calibration drift they caused; with -out the folded
+//		drift they caused as a per-metric table; with -out the folded
 //		statistics are persisted so drift survives the next load.
-//		-threshold arms the rebuild recommendation for this
-//		invocation (the threshold is runtime policy, not part of the
-//		artifact — arm it wherever the index is loaded).
+//		-threshold arms the rebuild recommendation on ENCE drift and
+//		-drift-metric (repeatable) on any registered fairness metric,
+//		for this invocation (thresholds are runtime policy, not part
+//		of the artifact — arm them wherever the index is loaded).
 //
 //	fairindexctl serve [-http :8080] city.fidx [more.fidx ...]
 //	fairindexctl serve -dir artifacts/ [-max-indexes 8] [-default la-fair-h8]
@@ -43,7 +45,10 @@
 //		recommendation: once appends (POST /v1/append or
 //		/v1/i/{name}/append) drift a task's live ENCE that far from
 //		its build-time baseline, the entry advertises
-//		rebuild_recommended in /v1/indexes.
+//		rebuild_recommended in /v1/indexes. -drift-metric
+//		metric=threshold (repeatable) arms the same recommendation on
+//		any registered fairness metric (see docs/METRICS.md); the
+//		per-metric live drifts appear as "drifts" in /v1/indexes.
 //
 //	fairindexctl serve -csv points.csv [-out regions.csv] city.fidx
 //		legacy one-shot mode: answer point→neighborhood lookups for
@@ -52,14 +57,16 @@
 //
 //	fairindexctl query range -minlat .. -maxlat .. -minlon .. -maxlon .. city.fidx
 //	fairindexctl query knn -lat .. -lon .. [-k 5] city.fidx
-//	fairindexctl query stats -task 0 {-regions 1,2,3 | -minlat .. -maxlat .. -minlon .. -maxlon ..} city.fidx
+//	fairindexctl query stats -task 0 {-regions 1,2,3 | -minlat .. -maxlat .. -minlon .. -maxlon ..} \
+//	             [-metrics ence,stat_parity|all] city.fidx
 //		run region queries against a saved Index without a server:
 //		range lists the neighborhoods intersecting a window (cells +
 //		covered fraction), knn the k nearest neighborhoods by
 //		centroid distance, stats the aggregated calibration/fairness
-//		report over a window given as region ids or as a rectangle.
-//		The index may also be passed with -index instead of
-//		positionally.
+//		report over a window given as region ids or as a rectangle;
+//		-metrics additionally evaluates the named registered fairness
+//		metrics (or all of them) over the window. The index may also
+//		be passed with -index instead of positionally.
 //
 // Invoked without a subcommand it runs the legacy one-shot report:
 //
@@ -85,6 +92,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -238,7 +246,10 @@ func runAppendCmd(args []string) error {
 	in := fs.String("in", "", "CSV of records to append (required; canonical layout)")
 	indexPath := fs.String("index", "", "serialized index file (or pass it positionally)")
 	out := fs.String("out", "", "write the updated artifact here (optional; may equal -index)")
-	threshold := fs.Float64("threshold", -1, "drift threshold to arm before folding (-1 = leave unarmed; the threshold is runtime policy, not stored in the artifact)")
+	threshold := fs.Float64("threshold", -1, "ENCE drift threshold to arm before folding (-1 = leave unarmed; the threshold is runtime policy, not stored in the artifact)")
+	driftMetrics := map[string]float64{}
+	fs.Func("drift-metric", "metric=threshold to arm before folding, e.g. stat_parity=0.05 (repeatable)",
+		func(v string) error { return parseDriftMetric(v, driftMetrics) })
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -262,6 +273,11 @@ func runAppendCmd(args []string) error {
 			return err
 		}
 	}
+	for name, t := range driftMetrics {
+		if err := idx.SetMetricDriftThreshold(name, t); err != nil {
+			return err
+		}
+	}
 	// The appended CSV is decoded against the index's own geometry, so
 	// the records land in the partitioning they will be folded into.
 	ds, err := loadDataset(*in, idx.Grid(), idx.Box())
@@ -273,15 +289,7 @@ func runAppendCmd(args []string) error {
 		return err
 	}
 	fmt.Printf("appended %d records to %s (%d since load)\n", res.Appended, path, res.Total)
-	for _, td := range res.Tasks {
-		fmt.Printf("task %d: live ENCE %.5f, drift %.5f\n", td.Task, td.ENCE, td.Drift)
-	}
-	if thr := idx.DriftThreshold(); thr > 0 {
-		fmt.Printf("max drift %.5f vs threshold %.5f — rebuild recommended: %v\n",
-			res.Drift, thr, res.RebuildRecommended)
-	} else {
-		fmt.Printf("max drift %.5f (no threshold armed)\n", res.Drift)
-	}
+	fmt.Print(driftTable(res, idx.DriftThresholds()))
 	if *out != "" {
 		blob, err := idx.MarshalBinary()
 		if err != nil {
@@ -293,6 +301,65 @@ func runAppendCmd(args []string) error {
 		fmt.Printf("wrote %d bytes to %s\n", len(blob), *out)
 	}
 	return nil
+}
+
+// parseDriftMetric parses one -drift-metric metric=threshold value
+// into dst.
+func parseDriftMetric(v string, dst map[string]float64) error {
+	name, raw, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want metric=threshold, got %q", v)
+	}
+	t, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return fmt.Errorf("threshold in %q: %v", v, err)
+	}
+	dst[name] = t
+	return nil
+}
+
+// driftTable renders an append's drift report as a per-metric table —
+// the same monitored-metric view the serve catalog exposes on
+// /v1/indexes (drift, drifts, rebuild_recommended): one row per task
+// and monitored metric with the live value, the drift from the
+// build-time value and, when armed, the threshold. NaN values render
+// as "n/a" — the same "undefined" sentinel the HTTP API encodes as
+// null.
+func driftTable(res fairindex.AppendResult, thresholds map[string]float64) string {
+	var b strings.Builder
+	num := func(v float64) string {
+		if math.IsNaN(v) {
+			return "     n/a"
+		}
+		return fmt.Sprintf("%8.5f", v)
+	}
+	for _, td := range res.Tasks {
+		names := make([]string, 0, len(td.Drifts))
+		for name := range td.Drifts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "task %d  %-16s live %s  drift %s", td.Task, name,
+				num(td.Metrics[name]), num(td.Drifts[name]))
+			if thr := thresholds[name]; thr > 0 {
+				fmt.Fprintf(&b, "  threshold %.5f", thr)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	armed := false
+	for _, thr := range thresholds {
+		if thr > 0 {
+			armed = true
+		}
+	}
+	if armed {
+		fmt.Fprintf(&b, "max ENCE drift %.5f — rebuild recommended: %v\n", res.Drift, res.RebuildRecommended)
+	} else {
+		fmt.Fprintf(&b, "max ENCE drift %.5f (no threshold armed)\n", res.Drift)
+	}
+	return b.String()
 }
 
 // buildTimings renders the build/train wall-time line, with the
@@ -336,6 +403,7 @@ func runQueryCmd(args []string, w io.Writer) error {
 	k := fs.Int("k", 5, "number of nearest neighborhoods (knn)")
 	task := fs.Int("task", 0, "label task (stats)")
 	regionsFlag := fs.String("regions", "", "comma-separated region ids (stats; alternative to a window)")
+	metricsFlag := fs.String("metrics", "", "comma-separated fairness metrics to evaluate over the window, or \"all\" (stats)")
 	indexPath := fs.String("index", "", "serialized index file (or pass it positionally)")
 	switch op {
 	case "range", "knn", "stats":
@@ -431,13 +499,40 @@ func runQueryCmd(args []string, w io.Writer) error {
 				regions = append(regions, ov.Region)
 			}
 		}
-		ws, err := idx.GroupStats(*task, regions)
+		var ws fairindex.WindowStats
+		if *metricsFlag != "" {
+			var names []string // empty = every registered metric
+			if !strings.EqualFold(*metricsFlag, "all") {
+				for _, part := range strings.Split(*metricsFlag, ",") {
+					if part = strings.TrimSpace(part); part != "" {
+						names = append(names, part)
+					}
+				}
+			}
+			ws, err = idx.GroupStatsMetrics(*task, regions, names...)
+		} else {
+			ws, err = idx.GroupStats(*task, regions)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "window of %d neighborhoods, population %d (task %d)\n", len(ws.Regions), ws.Count, ws.Task)
 		fmt.Fprintf(w, "  ENCE %.5f  miscalibration %.4f  calibration ratio %.4f\n", ws.ENCE, ws.Miscal, ws.CalRatio)
 		fmt.Fprintf(w, "  mean confidence %.4f  positive rate %.4f\n", ws.MeanConf, ws.PosRate)
+		if ws.Metrics != nil {
+			names := make([]string, 0, len(ws.Metrics))
+			for name := range ws.Metrics {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if v := ws.Metrics[name]; math.IsNaN(v) {
+					fmt.Fprintf(w, "  metric %-16s n/a\n", name)
+				} else {
+					fmt.Fprintf(w, "  metric %-16s %.5f\n", name, v)
+				}
+			}
+		}
 		for _, rs := range ws.Regions {
 			fmt.Fprintf(w, "  region %-4d pop %-5d calibration %.3f  miscal %.4f\n", rs.Region, rs.Count, rs.CalRatio, rs.Miscal)
 		}
@@ -482,6 +577,9 @@ func runServeCmd(args []string) error {
 	maxIndexes := fs.Int("max-indexes", 0, "bound on concurrently resident indexes, LRU-evicted (0 = unlimited)")
 	defName := fs.String("default", "", "catalog entry the unprefixed /v1 routes resolve to (default: the sole entry)")
 	driftThr := fs.Float64("drift-threshold", 0, "ENCE drift at which an appended-to index advertises rebuild_recommended (0 = monitor without recommending)")
+	driftMetrics := map[string]float64{}
+	fs.Func("drift-metric", "metric=threshold to arm on every served index, e.g. stat_parity=0.05 (repeatable; layers on -drift-threshold)",
+		func(v string) error { return parseDriftMetric(v, driftMetrics) })
 	csvPoints := fs.String("csv", "", "legacy one-shot mode: resolve this points CSV (id, lat, lon) and exit")
 	points := fs.String("points", "", "alias for -csv (deprecated)")
 	out := fs.String("out", "", "CSV mode: output path (default stdout)")
@@ -507,7 +605,7 @@ func runServeCmd(args []string) error {
 		return fmt.Errorf("serve: at least one index file (-index, positional) or -dir is required")
 	}
 
-	srv, err := newServeServer(entries, *dir, *maxIndexes, *defName, *driftThr)
+	srv, err := newServeServer(entries, *dir, *maxIndexes, *defName, *driftThr, driftMetrics)
 	if err != nil {
 		return err
 	}
@@ -519,7 +617,7 @@ func runServeCmd(args []string) error {
 // newServeServer assembles the index catalog from explicit entries
 // and/or a scanned artifact directory. Explicit files must exist
 // (fail fast at boot); directory entries load lazily on first use.
-func newServeServer(entries []indexSpec, dir string, maxIndexes int, defName string, driftThr float64) (*server.Server, error) {
+func newServeServer(entries []indexSpec, dir string, maxIndexes int, defName string, driftThr float64, driftMetrics map[string]float64) (*server.Server, error) {
 	var regOpts []registry.Option
 	if dir != "" {
 		regOpts = append(regOpts, registry.WithDir(dir))
@@ -532,6 +630,15 @@ func newServeServer(entries []indexSpec, dir string, maxIndexes int, defName str
 	}
 	if driftThr > 0 {
 		regOpts = append(regOpts, registry.WithDriftThreshold(driftThr))
+	}
+	if len(driftMetrics) > 0 {
+		for name := range driftMetrics {
+			if _, ok := fairindex.MetricByName(name); !ok {
+				return nil, fmt.Errorf("serve: unknown drift metric %q (registered: %s)",
+					name, strings.Join(fairindex.Metrics(), ", "))
+			}
+		}
+		regOpts = append(regOpts, registry.WithDriftThresholds(driftMetrics))
 	}
 	reg := registry.New(regOpts...)
 	for _, e := range entries {

@@ -259,7 +259,7 @@ func writeCityAndIndex(t *testing.T, dir string) (csvPath, idxPath string, ds *d
 func TestServeHTTPSmoke(t *testing.T) {
 	_, idxPath, ds := writeCityAndIndex(t, t.TempDir())
 
-	srv, err := newServeServer([]indexSpec{{name: "city", path: idxPath}}, "", 0, "", 0)
+	srv, err := newServeServer([]indexSpec{{name: "city", path: idxPath}}, "", 0, "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestServeArgValidation(t *testing.T) {
 	if _, err := parseIndexSpec("la="); err == nil {
 		t.Error("expected error for an empty path spec")
 	}
-	if _, err := newServeServer([]indexSpec{}, t.TempDir(), 0, "", 0); err == nil {
+	if _, err := newServeServer([]indexSpec{}, t.TempDir(), 0, "", 0, nil); err == nil {
 		t.Error("expected error for an empty artifact directory")
 	}
 }
@@ -408,7 +408,7 @@ func TestServeMultiIndex(t *testing.T) {
 	srv, err := newServeServer([]indexSpec{
 		{name: "fair", path: idxPath},
 		{name: "zip", path: zipPath},
-	}, "", 0, "fair", 0)
+	}, "", 0, "fair", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

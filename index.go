@@ -92,7 +92,7 @@ type indexTask struct {
 	// stats holds the final model's per-region calibration sufficient
 	// statistics (indexed by region id), backing GroupStats. Nil on an
 	// index restored from a pre-v2 artifact.
-	stats []calib.GroupStats
+	stats []calib.SuffStats
 }
 
 // Index errors.
@@ -154,10 +154,17 @@ func newIndex(ds *Dataset, art *pipeline.Artifacts) (*Index, error) {
 			model:  tt.Model,
 			post:   tt.Post,
 			report: tt.Report,
-			stats:  append([]calib.GroupStats(nil), tt.RegionStats...),
+			stats:  append([]calib.SuffStats(nil), tt.RegionStats...),
 		})
 	}
 	ix.initMaint(art.Config.DriftThreshold)
+	// Per-metric thresholds layer on top of the legacy ENCE one; the
+	// names and values were validated by the pipeline config.
+	for name, t := range art.Config.DriftThresholds {
+		if err := ix.setThreshold(name, t); err != nil {
+			return nil, err
+		}
+	}
 	return ix, nil
 }
 
@@ -789,9 +796,9 @@ func (ix *Index) UnmarshalBinary(data []byte) error {
 				if numStats != out.numRegions {
 					return fmt.Errorf("%w: task %d: %d region stats for %d regions", ErrIndexFormat, t, numStats, out.numRegions)
 				}
-				it.stats = make([]calib.GroupStats, numStats)
+				it.stats = make([]calib.SuffStats, numStats)
 				for s := range it.stats {
-					it.stats[s] = calib.GroupStats{
+					it.stats[s] = calib.SuffStats{
 						Count:    r.Int(),
 						SumScore: r.Float64(),
 						SumLabel: r.Float64(),

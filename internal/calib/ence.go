@@ -7,16 +7,25 @@ import (
 	"sync"
 )
 
-// GroupStats accumulates the per-group quantities needed by ENCE and
-// per-neighborhood reports: instance count, Σ scores and Σ labels.
-type GroupStats struct {
+// SuffStats holds one group's additive sufficient statistics:
+// instance count, Σ scores and Σ labels. Every fairness metric in this
+// package (see Metric) is a closed-form function of these three
+// quantities per group, which is what makes window aggregates exact —
+// summing two groups' SuffStats yields the statistics of their union.
+type SuffStats struct {
 	Count    int
 	SumScore float64
 	SumLabel float64
 }
 
+// GroupStats is the former name of SuffStats.
+//
+// Deprecated: use SuffStats. The old name collided with the
+// Index.GroupStats window-aggregation method.
+type GroupStats = SuffStats
+
 // MeanScore returns e(N) for the group, or 0 if empty.
-func (g GroupStats) MeanScore() float64 {
+func (g SuffStats) MeanScore() float64 {
 	if g.Count == 0 {
 		return 0
 	}
@@ -24,7 +33,7 @@ func (g GroupStats) MeanScore() float64 {
 }
 
 // PosRate returns o(N) for the group, or 0 if empty.
-func (g GroupStats) PosRate() float64 {
+func (g SuffStats) PosRate() float64 {
 	if g.Count == 0 {
 		return 0
 	}
@@ -32,25 +41,25 @@ func (g GroupStats) PosRate() float64 {
 }
 
 // MiscalAbs returns |e(N) − o(N)| for the group, 0 if empty.
-func (g GroupStats) MiscalAbs() float64 {
+func (g SuffStats) MiscalAbs() float64 {
 	return math.Abs(g.MeanScore() - g.PosRate())
 }
 
 // SignedDeviation returns Σ (s − y) for the group.
-func (g GroupStats) SignedDeviation() float64 { return g.SumScore - g.SumLabel }
+func (g SuffStats) SignedDeviation() float64 { return g.SumScore - g.SumLabel }
 
-// GroupBy accumulates GroupStats for each group id in [0, numGroups).
+// GroupBy accumulates SuffStats for each group id in [0, numGroups).
 // groups[i] is the group of instance i; out-of-range ids are an error.
-func GroupBy(scores []float64, labels []int, groups []int, numGroups int) ([]GroupStats, error) {
+func GroupBy(scores []float64, labels []int, groups []int, numGroups int) ([]SuffStats, error) {
 	if numGroups < 0 {
 		return nil, fmt.Errorf("calib: negative group count %d", numGroups)
 	}
-	return groupByInto(make([]GroupStats, numGroups), scores, labels, groups, numGroups)
+	return groupByInto(make([]SuffStats, numGroups), scores, labels, groups, numGroups)
 }
 
 // groupByInto is GroupBy accumulating into a caller-provided slice
 // (already sized and zeroed to numGroups entries).
-func groupByInto(out []GroupStats, scores []float64, labels []int, groups []int, numGroups int) ([]GroupStats, error) {
+func groupByInto(out []SuffStats, scores []float64, labels []int, groups []int, numGroups int) ([]SuffStats, error) {
 	if err := checkPair(scores, labels); err != nil {
 		return nil, err
 	}
@@ -74,19 +83,19 @@ func groupByInto(out []GroupStats, scores []float64, labels []int, groups []int,
 // statsPool recycles the per-group accumulators behind ENCE, which
 // the pipeline evaluates several times per task (full/train/test
 // splits) on every build; the stats never escape the call.
-var statsPool = sync.Pool{New: func() any { return new([]GroupStats) }}
+var statsPool = sync.Pool{New: func() any { return new([]SuffStats) }}
 
 // pooledStats returns a zeroed numGroups-long accumulator from the
 // pool.
-func pooledStats(numGroups int) *[]GroupStats {
-	p := statsPool.Get().(*[]GroupStats)
+func pooledStats(numGroups int) *[]SuffStats {
+	p := statsPool.Get().(*[]SuffStats)
 	s := *p
 	if cap(s) < numGroups {
-		s = make([]GroupStats, numGroups)
+		s = make([]SuffStats, numGroups)
 	} else {
 		s = s[:numGroups]
 		for i := range s {
-			s[i] = GroupStats{}
+			s[i] = SuffStats{}
 		}
 	}
 	*p = s
@@ -99,7 +108,7 @@ func pooledStats(numGroups int) *[]GroupStats {
 //
 // Empty groups contribute nothing. Returns 0 when the total population
 // is zero.
-func ENCEFromStats(stats []GroupStats) float64 {
+func ENCEFromStats(stats []SuffStats) float64 {
 	total := 0
 	for _, g := range stats {
 		total += g.Count

@@ -78,7 +78,7 @@ func TestENCEEmpty(t *testing.T) {
 	if e != 0 {
 		t.Errorf("ENCE of empty = %v, want 0", e)
 	}
-	if got := ENCEFromStats([]GroupStats{{}, {}}); got != 0 {
+	if got := ENCEFromStats([]SuffStats{{}, {}}); got != 0 {
 		t.Errorf("ENCE of empty stats = %v, want 0", got)
 	}
 }

@@ -1,0 +1,345 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Metric is the pluggable fairness-metric contract: a named,
+// deterministic, total function of per-group sufficient statistics.
+//
+// Compute receives one SuffStats entry per group of the evaluation
+// window (empty groups may be present and must contribute no weight)
+// and returns the metric value. Implementations must
+//
+//   - be pure functions of the slice contents (no randomness, no
+//     clock, no mutation of the input), and
+//   - be total: any input — an empty slice, all-empty groups, groups
+//     with no positive labels — must return a float64 without
+//     panicking. "Undefined" is expressed as NaN, the package-wide
+//     sentinel that the serving layer encodes as JSON null (see
+//     docs/METRICS.md).
+//
+// Because SuffStats are additive, a metric defined this way is exact
+// over any region window: aggregating stored per-region statistics
+// gives the same value as recomputing from the raw records.
+type Metric interface {
+	// Name returns the registry key, e.g. "ence". Lower-case
+	// snake_case by convention.
+	Name() string
+	// Compute evaluates the metric over one window of per-group
+	// sufficient statistics.
+	Compute(stats []SuffStats) float64
+}
+
+// metricRegistry is the process-wide metric catalog. Built-ins are
+// registered at init; RegisterMetric adds custom metrics.
+var (
+	metricMu  sync.RWMutex
+	metricsBy = make(map[string]Metric)
+)
+
+// RegisterMetric adds a metric to the process-wide catalog, making it
+// selectable by name everywhere a metric name is accepted (window
+// aggregation, the HTTP stats/compare endpoints, drift thresholds,
+// the partitioner objective). It panics on a nil metric, an empty
+// name, or a name already registered — registration happens at init
+// time, where a collision is a programming error.
+func RegisterMetric(m Metric) {
+	if m == nil {
+		panic("calib: RegisterMetric(nil)")
+	}
+	name := m.Name()
+	if name == "" {
+		panic("calib: RegisterMetric with empty name")
+	}
+	metricMu.Lock()
+	defer metricMu.Unlock()
+	if _, dup := metricsBy[name]; dup {
+		panic(fmt.Sprintf("calib: RegisterMetric called twice for %q", name))
+	}
+	metricsBy[name] = m
+}
+
+// MetricByName looks a metric up in the catalog.
+func MetricByName(name string) (Metric, bool) {
+	metricMu.RLock()
+	defer metricMu.RUnlock()
+	m, ok := metricsBy[name]
+	return m, ok
+}
+
+// MetricNames returns every registered metric name, sorted.
+func MetricNames() []string {
+	metricMu.RLock()
+	defer metricMu.RUnlock()
+	out := make([]string, 0, len(metricsBy))
+	for name := range metricsBy {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveMetrics maps names onto registered metrics, rejecting unknown
+// names with one descriptive error. An empty name list resolves to
+// nil.
+func ResolveMetrics(names []string) ([]Metric, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]Metric, len(names))
+	for i, name := range names {
+		m, ok := MetricByName(name)
+		if !ok {
+			return nil, fmt.Errorf("calib: unknown metric %q (registered: %v)", name, MetricNames())
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// metricFunc adapts a plain function into a Metric.
+type metricFunc struct {
+	name string
+	fn   func(stats []SuffStats) float64
+}
+
+func (m metricFunc) Name() string                      { return m.name }
+func (m metricFunc) Compute(stats []SuffStats) float64 { return m.fn(stats) }
+
+// MetricFunc wraps a named function as a Metric — the lightweight way
+// to register a custom metric:
+//
+//	calib.RegisterMetric(calib.MetricFunc("my_gap", myGap))
+func MetricFunc(name string, fn func(stats []SuffStats) float64) Metric {
+	return metricFunc{name: name, fn: fn}
+}
+
+// Built-in metric names.
+const (
+	// MetricENCE is Definition 3: the population-weighted mean of
+	// per-group |e−o|.
+	MetricENCE = "ence"
+	// MetricCalRatio is the window calibration ratio e/o of Eq. 2;
+	// NaN when the window has no positives.
+	MetricCalRatio = "cal_ratio"
+	// MetricMiscalAbs is the window-level absolute miscalibration
+	// |e−o| (§2.2), treating the window as one pooled group.
+	MetricMiscalAbs = "miscal_abs"
+	// MetricStatParity is the spread (max−min) of per-group mean
+	// predicted scores — the expectation form of demographic parity
+	// over neighborhoods. 0 with fewer than two non-empty groups.
+	MetricStatParity = "stat_parity"
+	// MetricAccuracyParity is the spread (max−min) of per-group
+	// expected accuracy e·o + (1−e)(1−o). 0 with fewer than two
+	// non-empty groups.
+	MetricAccuracyParity = "accuracy_parity"
+	// MetricAtkinson is the population-weighted Atkinson inequality
+	// index over per-group miscalibration |e−o|, at the default
+	// aversion ε = 0.5. 0 = miscalibration is spread evenly across
+	// groups, →1 = concentrated in few. Other ε via AtkinsonMetric.
+	MetricAtkinson = "atkinson"
+)
+
+// DefaultAtkinsonEpsilon is the inequality-aversion parameter of the
+// built-in "atkinson" metric.
+const DefaultAtkinsonEpsilon = 0.5
+
+func init() {
+	RegisterMetric(MetricFunc(MetricENCE, ENCEFromStats))
+	RegisterMetric(MetricFunc(MetricCalRatio, CalRatioFromStats))
+	RegisterMetric(MetricFunc(MetricMiscalAbs, MiscalAbsFromStats))
+	RegisterMetric(MetricFunc(MetricStatParity, StatParityFromStats))
+	RegisterMetric(MetricFunc(MetricAccuracyParity, AccuracyParityFromStats))
+	RegisterMetric(AtkinsonMetric(DefaultAtkinsonEpsilon))
+}
+
+// pool sums a window's statistics into one group.
+func pool(stats []SuffStats) SuffStats {
+	var out SuffStats
+	for _, g := range stats {
+		out.Count += g.Count
+		out.SumScore += g.SumScore
+		out.SumLabel += g.SumLabel
+	}
+	return out
+}
+
+// CalRatioFromStats computes the window calibration ratio e/o of
+// Eq. 2 by pooling the groups. NaN when the window has no positives —
+// the ratio form's standard undefined case.
+func CalRatioFromStats(stats []SuffStats) float64 {
+	w := pool(stats)
+	if w.SumLabel <= 0 {
+		return math.NaN()
+	}
+	return w.SumScore / w.SumLabel
+}
+
+// MiscalAbsFromStats computes the pooled absolute miscalibration
+// |e−o| of the window (§2.2). 0 for an empty window.
+func MiscalAbsFromStats(stats []SuffStats) float64 {
+	return pool(stats).MiscalAbs()
+}
+
+// StatParityFromStats computes the max−min spread of per-group mean
+// predicted scores over non-empty groups: the expectation form of the
+// demographic-parity gap, computable from sufficient statistics alone
+// (the thresholded decision-rate form, StatisticalParityGap, needs
+// the raw scores). 0 with fewer than two non-empty groups.
+func StatParityFromStats(stats []SuffStats) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	seen := 0
+	for _, g := range stats {
+		if g.Count == 0 {
+			continue
+		}
+		seen++
+		e := g.MeanScore()
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	if seen < 2 {
+		return 0
+	}
+	return hi - lo
+}
+
+// AccuracyParityFromStats computes the max−min spread of per-group
+// expected accuracy under score-sampling: with mean score e and
+// positive rate o, a classifier predicting positive with probability
+// e is correct with probability e·o + (1−e)(1−o). The spread of that
+// quantity across groups is the accuracy-parity gap; 0 with fewer
+// than two non-empty groups.
+func AccuracyParityFromStats(stats []SuffStats) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	seen := 0
+	for _, g := range stats {
+		if g.Count == 0 {
+			continue
+		}
+		seen++
+		e, o := g.MeanScore(), g.PosRate()
+		acc := e*o + (1-e)*(1-o)
+		lo = math.Min(lo, acc)
+		hi = math.Max(hi, acc)
+	}
+	if seen < 2 {
+		return 0
+	}
+	return hi - lo
+}
+
+// atkinson is the Atkinson inequality metric over per-group
+// miscalibration, with configurable aversion ε.
+type atkinson struct {
+	name string
+	eps  float64
+}
+
+// AtkinsonMetric returns the Atkinson inequality index A_ε over the
+// per-group miscalibration profile x_g = |e(g) − o(g)|, weighted by
+// group population share. ε ≥ 0 is the inequality-aversion parameter:
+// ε = 0 is indifferent (always 0), larger ε weights the worst-off
+// (here: best-calibrated) groups more; ε = 1 is the geometric-mean
+// form. The built-in "atkinson" uses DefaultAtkinsonEpsilon; register
+// other aversions under their own name:
+//
+//	calib.RegisterMetric(calib.AtkinsonMetric(2)) // "atkinson_2"
+//
+// A window with zero mean miscalibration — including the empty window
+// — scores 0 (perfect equality at zero). With ε ≥ 1 any group at
+// exactly zero miscalibration drives the index to its maximum 1.
+func AtkinsonMetric(eps float64) Metric {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		panic(fmt.Sprintf("calib: invalid Atkinson epsilon %v", eps))
+	}
+	name := MetricAtkinson
+	if eps != DefaultAtkinsonEpsilon {
+		name = fmt.Sprintf("atkinson_%g", eps)
+	}
+	return atkinson{name: name, eps: eps}
+}
+
+func (a atkinson) Name() string { return a.name }
+
+func (a atkinson) Compute(stats []SuffStats) float64 {
+	total := 0
+	for _, g := range stats {
+		total += g.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	// Population-weighted mean miscalibration μ.
+	var mean float64
+	for _, g := range stats {
+		if g.Count == 0 {
+			continue
+		}
+		mean += (float64(g.Count) / float64(total)) * g.MiscalAbs()
+	}
+	if mean <= 0 || a.eps == 0 {
+		return 0
+	}
+	if a.eps == 1 {
+		// Geometric-mean form: A_1 = 1 − exp(Σ w·ln x) / μ.
+		var logSum float64
+		for _, g := range stats {
+			if g.Count == 0 {
+				continue
+			}
+			x := g.MiscalAbs()
+			if x == 0 {
+				return 1
+			}
+			logSum += (float64(g.Count) / float64(total)) * math.Log(x)
+		}
+		return clamp01(1 - math.Exp(logSum)/mean)
+	}
+	// General form: A_ε = 1 − [Σ w·x^(1−ε)]^(1/(1−ε)) / μ.
+	p := 1 - a.eps
+	var powSum float64
+	for _, g := range stats {
+		if g.Count == 0 {
+			continue
+		}
+		x := g.MiscalAbs()
+		if x == 0 {
+			if a.eps > 1 {
+				// x^(negative) → +Inf: the index saturates at 1.
+				return 1
+			}
+			continue
+		}
+		powSum += (float64(g.Count) / float64(total)) * math.Pow(x, p)
+	}
+	return clamp01(1 - math.Pow(powSum, 1/p)/mean)
+}
+
+// clamp01 guards the Atkinson index against floating-point overshoot.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SplitScorerOf adapts a metric into a two-way split objective for
+// the fair KD builders: a candidate split is scored by the metric
+// over the two halves' pooled sufficient statistics, and the builder
+// picks the split minimizing it. NaN scores (e.g. cal_ratio over a
+// half with no positives) are treated by the builders as +Inf — never
+// preferred.
+func SplitScorerOf(m Metric) func(left, right SuffStats) float64 {
+	return func(left, right SuffStats) float64 {
+		halves := [2]SuffStats{left, right}
+		return m.Compute(halves[:])
+	}
+}

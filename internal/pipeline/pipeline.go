@@ -92,6 +92,16 @@ type Config struct {
 	// Objective and Lambda configure the fair split scoring.
 	Objective kdtree.Objective
 	Lambda    float64
+	// ObjectiveMetric, when non-empty, replaces the Objective/Lambda
+	// split scoring with a registered fairness metric (calib.Metric):
+	// each candidate split is scored by the metric over the two
+	// halves' pooled sufficient statistics and the split minimizing it
+	// wins. Valid for MethodFairKD and MethodMultiObjectiveFairKD
+	// only; the empty default keeps the paper's objective, bit-
+	// identical to earlier releases. Like TrainWorkers it is not
+	// serialized into index artifacts — a round-tripped Config loses
+	// it (the partition it shaped, of course, persists).
+	ObjectiveMetric string
 	// TestFrac is the held-out fraction (default 0.2).
 	TestFrac float64
 	// Seed drives the split and the zip-code layout.
@@ -128,6 +138,10 @@ type Config struct {
 	// appended batches flip the rebuild-recommended flag. 0 monitors
 	// drift without recommending. Runtime-only, not serialized.
 	DriftThreshold float64
+	// DriftThresholds seeds per-metric drift thresholds (registered
+	// metric name → threshold), layered on top of DriftThreshold's
+	// legacy ENCE entry. Runtime-only, not serialized.
+	DriftThresholds map[string]float64
 }
 
 // withDefaults fills unset optional fields.
@@ -173,6 +187,24 @@ func (c Config) validate(ds *dataset.Dataset) error {
 	if c.Method != MethodMultiObjectiveFairKD && c.Alphas != nil {
 		return fmt.Errorf("%w: alphas are only meaningful for %v, got them with %v",
 			ErrConfig, MethodMultiObjectiveFairKD, c.Method)
+	}
+	for name, t := range c.DriftThresholds {
+		if _, ok := calib.MetricByName(name); !ok {
+			return fmt.Errorf("%w: unknown drift metric %q (registered: %v)", ErrConfig, name, calib.MetricNames())
+		}
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("%w: drift threshold %v for metric %q", ErrConfig, t, name)
+		}
+	}
+	if c.ObjectiveMetric != "" {
+		if _, ok := calib.MetricByName(c.ObjectiveMetric); !ok {
+			return fmt.Errorf("%w: unknown objective metric %q (registered: %v)",
+				ErrConfig, c.ObjectiveMetric, calib.MetricNames())
+		}
+		if c.Method != MethodFairKD && c.Method != MethodMultiObjectiveFairKD {
+			return fmt.Errorf("%w: objective metric %q is only supported by %v and %v, got %v",
+				ErrConfig, c.ObjectiveMetric, MethodFairKD, MethodMultiObjectiveFairKD, c.Method)
+		}
 	}
 	return nil
 }
@@ -468,6 +500,26 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int, workers int
 		return tree.Partition()
 
 	case MethodFairKD:
+		if cfg.ObjectiveMetric != "" {
+			// Metric-driven objective: the scorer needs the raw scores
+			// and labels, not just their difference.
+			_, scores, taskLabels, err := initialRun(ds, cfg, trainIdx, cfg.Task, workers, ref)
+			if err != nil {
+				return nil, err
+			}
+			labels := make([]float64, len(taskLabels))
+			for i, y := range taskLabels {
+				if y != 0 {
+					labels[i] = 1
+				}
+			}
+			tree, err := kdtree.BuildFairScored(grid, trainCells, scores, labels,
+				objectiveScorer(cfg), treeConfig(cfg, workers))
+			if err != nil {
+				return nil, err
+			}
+			return tree.Partition()
+		}
 		dev, err := initialDeviations(ds, cfg, trainIdx, cfg.Task, workers, ref)
 		if err != nil {
 			return nil, err
@@ -512,7 +564,16 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int, workers int
 		}); err != nil {
 			return nil, err
 		}
-		tree, err := kdtree.BuildMultiObjective(grid, trainCells, scoreSets, labelSets, alphas, treeConfig(cfg, workers))
+		var (
+			tree *kdtree.Tree
+			err  error
+		)
+		if cfg.ObjectiveMetric != "" {
+			tree, err = kdtree.BuildMultiObjectiveScored(grid, trainCells, scoreSets, labelSets, alphas,
+				objectiveScorer(cfg), treeConfig(cfg, workers))
+		} else {
+			tree, err = kdtree.BuildMultiObjective(grid, trainCells, scoreSets, labelSets, alphas, treeConfig(cfg, workers))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -543,6 +604,16 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int, workers int
 // treeConfig maps the pipeline config onto the kdtree config.
 func treeConfig(cfg Config, workers int) kdtree.Config {
 	return kdtree.Config{Height: cfg.Height, Objective: cfg.Objective, Lambda: cfg.Lambda, Workers: workers}
+}
+
+// objectiveScorer resolves Config.ObjectiveMetric into a split
+// scorer. validate has already checked the name resolves.
+func objectiveScorer(cfg Config) kdtree.SplitScorer {
+	m, ok := calib.MetricByName(cfg.ObjectiveMetric)
+	if !ok {
+		panic("pipeline: objective metric vanished after validation: " + cfg.ObjectiveMetric)
+	}
+	return kdtree.SplitScorer(calib.SplitScorerOf(m))
 }
 
 // uniformAlphas returns equal task weights summing to 1.

@@ -86,7 +86,7 @@ type TrainedTask struct {
 	// (capped at 10) it covers every region, and the sums are
 	// additive, so an Index can aggregate them exactly over any
 	// query window (GroupStats).
-	RegionStats []calib.GroupStats
+	RegionStats []calib.SuffStats
 	// TrainTime is this task's own training + evaluation duration;
 	// with Build's worker pool the per-task times overlap, so they sum
 	// to more than Artifacts.TrainTime when tasks ran in parallel.

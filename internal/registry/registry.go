@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -85,10 +86,13 @@ type Registry struct {
 
 	// driftThreshold (0 = off) is armed on every index the registry
 	// loads, so appended batches can flip its rebuild-recommended
-	// flag; onDrift, when set, fires the first time an entry crosses
-	// it (see Append).
-	driftThreshold float64
-	onDrift        func(name string, drift float64)
+	// flag; driftThresholds additionally arms per-metric thresholds
+	// (registered metric name → threshold); onDrift, when set, fires
+	// the first time an entry crosses any armed threshold (see
+	// Append).
+	driftThreshold  float64
+	driftThresholds map[string]float64
+	onDrift         func(name string, drift float64)
 }
 
 // Entry is one named index slot: a backing file plus the atomically
@@ -154,6 +158,26 @@ func WithDriftThreshold(t float64) Option {
 	return func(r *Registry) {
 		if t > 0 {
 			r.driftThreshold = t
+		}
+	}
+}
+
+// WithDriftThresholds arms per-metric drift monitoring on every index
+// the registry serves: each entry maps a registered fairness-metric
+// name (e.g. "stat_parity") to the drift at which Append flips the
+// entry's rebuild-recommended flag. Entries layer on top of (and, for
+// "ence", override) WithDriftThreshold. Unknown metric names are
+// rejected at install time by the index and logged; non-positive
+// values are dropped.
+func WithDriftThresholds(thresholds map[string]float64) Option {
+	return func(r *Registry) {
+		for name, t := range thresholds {
+			if t > 0 {
+				if r.driftThresholds == nil {
+					r.driftThresholds = make(map[string]float64, len(thresholds))
+				}
+				r.driftThresholds[name] = t
+			}
 		}
 	}
 }
@@ -332,13 +356,22 @@ func (e *Entry) setErr(err error) {
 }
 
 // installed prepares a fresh artifact generation for serving: it arms
-// the registry-wide drift threshold on the index and re-arms the
+// the registry-wide drift thresholds on the index and re-arms the
 // one-shot drift hook.
 func (r *Registry) installed(e *Entry, idx *fairindex.Index) {
 	if r.driftThreshold > 0 {
 		// The threshold was validated positive and finite; the index
 		// accepts any such value.
 		_ = idx.SetDriftThreshold(r.driftThreshold)
+	}
+	for name, t := range r.driftThresholds {
+		// Values were validated positive at option time; an unknown
+		// metric name (not registered in this process) is the only
+		// remaining failure, worth a log line rather than a panic.
+		if err := idx.SetMetricDriftThreshold(name, t); err != nil {
+			r.logger.Printf("registry: %q: cannot arm drift threshold for metric %q: %v",
+				e.name, name, err)
+		}
 	}
 	e.driftNotified.Store(false)
 }
@@ -360,14 +393,41 @@ func (r *Registry) Append(name string, recs []fairindex.Record) (fairindex.Appen
 	}
 	if res.RebuildRecommended {
 		if e, ok := r.snapshot()[name]; ok && e.driftNotified.CompareAndSwap(false, true) {
-			r.logger.Printf("registry: %q drift %.4g crossed threshold %.4g — rebuild recommended",
-				name, res.Drift, r.driftThreshold)
+			r.logger.Printf("registry: %q drift crossed an armed threshold (%s) — rebuild recommended",
+				name, driftSummary(res, idx.DriftThresholds()))
 			if r.onDrift != nil {
 				r.onDrift(name, res.Drift)
 			}
 		}
 	}
 	return res, nil
+}
+
+// driftSummary renders the per-metric drifts that crossed their armed
+// thresholds, for the Append log line.
+func driftSummary(res fairindex.AppendResult, thresholds map[string]float64) string {
+	names := make([]string, 0, len(res.Drifts))
+	for name := range res.Drifts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		thr, armed := thresholds[name]
+		if !armed || thr <= 0 || res.Drifts[name] < thr {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %.4g ≥ %.4g", name, res.Drifts[name], thr)
+	}
+	if b.Len() == 0 {
+		// Crossing detected by the index but not reconstructible from
+		// the result (e.g. thresholds swapped concurrently).
+		fmt.Fprintf(&b, "max ENCE drift %.4g", res.Drift)
+	}
+	return b.String()
 }
 
 // evictOver unloads least-recently-used file-backed entries until the
@@ -618,6 +678,9 @@ type Info struct {
 	Appended           int
 	Drift              float64
 	RebuildRecommended bool
+	// Drifts holds the live drift of each metric with an armed
+	// threshold (nil when only the legacy ENCE monitor is running).
+	Drifts map[string]float64
 }
 
 // info snapshots one entry's state.
@@ -641,6 +704,14 @@ func (e *Entry) info() Info {
 		out.Appended = idx.Appended()
 		out.Drift = idx.MaxDrift()
 		out.RebuildRecommended = idx.RebuildRecommended()
+		if armed := idx.DriftThresholds(); len(armed) > 0 {
+			out.Drifts = make(map[string]float64, len(armed))
+			for name := range armed {
+				if d, err := idx.MaxMetricDrift(name); err == nil && !math.IsNaN(d) {
+					out.Drifts[name] = d
+				}
+			}
+		}
 	} else if out.LastErr != "" {
 		out.State = StateFailed
 	} else {

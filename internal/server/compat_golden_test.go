@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairindex/internal/registry"
+)
+
+// Pre-redesign wire goldens: raw /v1/stats and /v1/compare response
+// bytes recorded before the pluggable-metric layer landed. The builds
+// behind them are deterministic (fixed dataset spec, seed and height),
+// so any byte of drift means the legacy wire contract changed — new
+// metric-selection features must be strictly additive and opt-in.
+//
+// Regenerate (only after an intentional wire change) with:
+//
+//	FAIRINDEX_REGEN=1 go test ./internal/server -run TestWireGolden
+const (
+	goldenStatsFile   = "golden_stats_v0.json"
+	goldenCompareFile = "golden_compare_v0.json"
+
+	// The fixed window: the same southwest-quadrant rectangle the
+	// root-package golden tests pin, resolved through each index's own
+	// RangeQuery.
+	goldenStatsBody = `{"task":0,"rect":{"min_lat":33.60,"min_lon":-118.70,"max_lat":34.00,"max_lon":-118.25}}`
+
+	goldenCompareBody = `{"indexes":["la-fair","la-zip"],"task":0,"rect":{"min_lat":33.60,"min_lon":-118.70,"max_lat":34.00,"max_lon":-118.25}}`
+)
+
+// goldenServer serves the two deterministic partitionings pinned,
+// in-memory, so responses depend only on the build pipeline.
+func goldenServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	fairIdx, zipIdx := buildTwoPartitionings(t)
+	reg := registry.New(registry.WithDefault("la-fair"))
+	if err := reg.AddIndex("la-fair", fairIdx); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddIndex("la-zip", zipIdx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewMulti(reg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// rawPost returns the exact response bytes of one POST.
+func rawPost(t *testing.T, client *http.Client, url, body string) []byte {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, blob)
+	}
+	return blob
+}
+
+// checkWireGolden compares one response against its committed fixture,
+// or rewrites the fixture under FAIRINDEX_REGEN=1.
+func checkWireGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("FAIRINDEX_REGEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing wire golden (run with FAIRINDEX_REGEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: response bytes differ from pre-redesign golden\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// TestWireGoldenStats pins the legacy /v1/stats response byte for
+// byte: requests that do not opt into metric selection must keep the
+// exact pre-redesign shape and float formatting.
+func TestWireGoldenStats(t *testing.T) {
+	ts := goldenServer(t)
+	got := rawPost(t, ts.Client(), ts.URL+"/v1/stats", goldenStatsBody)
+	checkWireGolden(t, goldenStatsFile, got)
+}
+
+// TestWireGoldenCompare pins the legacy /v1/compare stats-mode
+// response — including the per-index fairness deltas — byte for byte.
+func TestWireGoldenCompare(t *testing.T) {
+	ts := goldenServer(t)
+	got := rawPost(t, ts.Client(), ts.URL+"/v1/compare", goldenCompareBody)
+	checkWireGolden(t, goldenCompareFile, got)
+}

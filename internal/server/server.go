@@ -39,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -136,6 +137,7 @@ func newServer(opts ...Option) *Server {
 		s.mux.HandleFunc("POST "+p+"/range", s.handleRange)
 		s.mux.HandleFunc("GET "+p+"/knn", s.handleKNN)
 		s.mux.HandleFunc("POST "+p+"/knn", s.handleKNN)
+		s.mux.HandleFunc("GET "+p+"/stats", s.handleStats)
 		s.mux.HandleFunc("POST "+p+"/stats", s.handleStats)
 		s.mux.HandleFunc("POST "+p+"/append", s.handleAppend)
 	}
@@ -406,11 +408,15 @@ type knnResponse struct {
 
 // statsRequest selects the window either as an explicit region list
 // (e.g. piped from /v1/range or /v1/knn output) or as a rectangle
-// resolved through RangeQuery — exactly one of the two.
+// resolved through RangeQuery — exactly one of the two. Metrics
+// optionally names registered fairness metrics to evaluate over the
+// window: absent keeps the legacy response shape, an empty list
+// requests every registered metric, and unknown names are a 400.
 type statsRequest struct {
 	Task    int       `json:"task"`
 	Regions []int     `json:"regions,omitempty"`
 	Rect    *rectJSON `json:"rect,omitempty"`
+	Metrics []string  `json:"metrics,omitempty"`
 }
 
 type regionStatJSON struct {
@@ -423,14 +429,18 @@ type regionStatJSON struct {
 }
 
 type statsResponse struct {
-	Task     int              `json:"task"`
-	Count    int              `json:"count"`
-	MeanConf jsonFloat        `json:"mean_conf"`
-	PosRate  jsonFloat        `json:"pos_rate"`
-	Miscal   jsonFloat        `json:"miscal"`
-	CalRatio jsonFloat        `json:"cal_ratio"`
-	ENCE     jsonFloat        `json:"ence"`
-	Regions  []regionStatJSON `json:"regions"`
+	Task     int       `json:"task"`
+	Count    int       `json:"count"`
+	MeanConf jsonFloat `json:"mean_conf"`
+	PosRate  jsonFloat `json:"pos_rate"`
+	Miscal   jsonFloat `json:"miscal"`
+	CalRatio jsonFloat `json:"cal_ratio"`
+	ENCE     jsonFloat `json:"ence"`
+	// Metrics holds the requested fairness metrics over the window
+	// (metric name → value); present only when the request named them,
+	// so legacy response bytes are unchanged.
+	Metrics map[string]jsonFloat `json:"metrics,omitempty"`
+	Regions []regionStatJSON     `json:"regions"`
 }
 
 // appendRequest carries a batch of new records for POST .../append.
@@ -452,6 +462,11 @@ type taskDriftJSON struct {
 	Task  int       `json:"task"`
 	ENCE  jsonFloat `json:"ence"`
 	Drift jsonFloat `json:"drift"`
+	// Live value and drift of every monitored fairness metric (ENCE
+	// plus each metric with an armed threshold); present only when a
+	// metric beyond ENCE is monitored.
+	Metrics map[string]jsonFloat `json:"metrics,omitempty"`
+	Drifts  map[string]jsonFloat `json:"drifts,omitempty"`
 }
 
 type appendResponse struct {
@@ -460,8 +475,12 @@ type appendResponse struct {
 	Total    int             `json:"total"`
 	Tasks    []taskDriftJSON `json:"tasks"`
 	Drift    jsonFloat       `json:"drift"`
-	// RebuildRecommended reports whether the fold pushed drift past
-	// the armed threshold; false whenever no threshold is armed.
+	// Drifts is the max per-task drift of every monitored metric;
+	// present only when a metric beyond ENCE is monitored.
+	Drifts map[string]jsonFloat `json:"drifts,omitempty"`
+	// RebuildRecommended reports whether the fold pushed any armed
+	// metric's drift past its threshold; false whenever no threshold
+	// is armed.
 	RebuildRecommended bool `json:"rebuild_recommended"`
 }
 
@@ -511,7 +530,10 @@ type indexInfoJSON struct {
 	Appended           int     `json:"appended,omitempty"`
 	Drift              float64 `json:"drift,omitempty"`
 	RebuildRecommended bool    `json:"rebuild_recommended,omitempty"`
-	Error              string  `json:"error,omitempty"`
+	// Drifts is the live drift of every metric with an armed
+	// threshold; absent when only the legacy ENCE monitor runs.
+	Drifts map[string]jsonFloat `json:"drifts,omitempty"`
+	Error  string               `json:"error,omitempty"`
 }
 
 type indexesResponse struct {
@@ -537,6 +559,11 @@ type compareRequest struct {
 	Task    *int      `json:"task,omitempty"`
 	Regions []int     `json:"regions,omitempty"`
 	Rect    *rectJSON `json:"rect,omitempty"`
+	// Metrics optionally names fairness metrics to evaluate in every
+	// index and difference against the baseline (stats mode only).
+	// Same semantics as statsRequest.Metrics: absent keeps the legacy
+	// shape, an empty list means all registered metrics.
+	Metrics []string `json:"metrics,omitempty"`
 }
 
 // fairnessDeltaJSON is one index's window-stats delta against the
@@ -548,6 +575,10 @@ type fairnessDeltaJSON struct {
 	CalRatio jsonFloat `json:"cal_ratio"`
 	MeanConf jsonFloat `json:"mean_conf"`
 	PosRate  jsonFloat `json:"pos_rate"`
+	// Metrics holds per-metric deltas (index minus baseline) for each
+	// requested fairness metric; present only when the request named
+	// them.
+	Metrics map[string]jsonFloat `json:"metrics,omitempty"`
 }
 
 type compareEntryJSON struct {
@@ -567,9 +598,19 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// jsonFloat marshals non-finite values as null — several report
-// fields use NaN as an "undefined" sentinel (e.g. a calibration ratio
-// with no positives), which encoding/json would otherwise reject.
+// jsonFloat is THE wire encoder for every metric value the server
+// emits — stats, compare deltas, drift reports, per-region detail and
+// the /v1/indexes maintenance fields all route float values through
+// it. The fairness-metric contract (fairindex.Metric, docs/METRICS.md)
+// reserves NaN as the single "undefined" sentinel — a calibration
+// ratio with no positives, an Atkinson index over an empty window, a
+// drift against a metric the build never measured — and encoding/json
+// rejects non-finite values, so jsonFloat marshals NaN (and the
+// infinities, which some metrics use for "unboundedly bad") as null.
+// Clients therefore read null as "undefined here", never 0. Any new
+// endpoint field carrying a metric value must use this type rather
+// than float64 so the sentinel convention stays uniform across the
+// API.
 type jsonFloat float64
 
 // MarshalJSON implements json.Marshaler.
@@ -725,6 +766,7 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 		resp.Indexes[i].Appended = info.Appended
 		resp.Indexes[i].Drift = info.Drift
 		resp.Indexes[i].RebuildRecommended = info.RebuildRecommended
+		resp.Indexes[i].Drifts = metricMapJSON(info.Drifts)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -941,14 +983,34 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Appended:           res.Appended,
 		Total:              res.Total,
 		Drift:              jsonFloat(res.Drift),
+		Drifts:             metricMapJSON(res.Drifts),
 		RebuildRecommended: res.RebuildRecommended,
 	}
 	for _, td := range res.Tasks {
 		resp.Tasks = append(resp.Tasks, taskDriftJSON{
 			Task: td.Task, ENCE: jsonFloat(td.ENCE), Drift: jsonFloat(td.Drift),
+			Metrics: metricMapJSON(td.Metrics), Drifts: metricMapJSON(td.Drifts),
 		})
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// metricMapJSON converts a per-metric map to the wire form, dropping
+// the map entirely when it carries nothing beyond the ENCE view the
+// legacy fields already report — so responses from indexes with no
+// per-metric monitoring are byte-identical to earlier releases.
+func metricMapJSON(m map[string]float64) map[string]jsonFloat {
+	if len(m) == 0 {
+		return nil
+	}
+	if _, ok := m["ence"]; ok && len(m) == 1 {
+		return nil
+	}
+	out := make(map[string]jsonFloat, len(m))
+	for name, v := range m {
+		out[name] = jsonFloat(v)
+	}
+	return out
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -1025,8 +1087,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 // windowStats aggregates one window (explicit region list, or a rect
 // resolved through the index's own RangeQuery) against one index. It
 // is shared by /v1/stats and /v1/compare, so both endpoints enforce
-// the same window cap and produce the same wire shape.
-func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, rect *rectJSON) (*statsResponse, int, error) {
+// the same window cap and produce the same wire shape. metrics
+// selects additional fairness metrics per statsRequest.Metrics
+// semantics: nil for the legacy shape, empty for all registered.
+func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, rect *rectJSON, metrics []string) (*statsResponse, int, error) {
 	regions := regionList
 	if rect != nil {
 		overlaps, err := idx.RangeQuery(fairindex.BBox{
@@ -1047,7 +1111,15 @@ func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, r
 		return nil, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("window of %d regions exceeds limit %d", len(regions), s.maxBatch)
 	}
-	ws, err := idx.GroupStats(task, regions)
+	var (
+		ws  fairindex.WindowStats
+		err error
+	)
+	if metrics != nil {
+		ws, err = idx.GroupStatsMetrics(task, regions, metrics...)
+	} else {
+		ws, err = idx.GroupStats(task, regions)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -1060,6 +1132,12 @@ func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, r
 		CalRatio: jsonFloat(ws.CalRatio),
 		ENCE:     jsonFloat(ws.ENCE),
 		Regions:  make([]regionStatJSON, len(ws.Regions)),
+	}
+	if ws.Metrics != nil {
+		resp.Metrics = make(map[string]jsonFloat, len(ws.Metrics))
+		for name, v := range ws.Metrics {
+			resp.Metrics[name] = jsonFloat(v)
+		}
 	}
 	for i, rs := range ws.Regions {
 		resp.Regions[i] = regionStatJSON{
@@ -1086,7 +1164,11 @@ func (s *Server) writeStatsError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var req statsRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if r.Method == http.MethodGet {
+		if !s.statsRequestFromQuery(w, r, &req) {
+			return
+		}
+	} else if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -1101,12 +1183,68 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, status, err := s.windowStats(idx, req.Task, req.Regions, req.Rect)
+	resp, status, err := s.windowStats(idx, req.Task, req.Regions, req.Rect, req.Metrics)
 	if err != nil {
 		s.writeStatsError(w, status, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, *resp)
+}
+
+// statsRequestFromQuery parses the GET form of /v1/stats: ?task=N,
+// the window as either regions=1,2,3 or rect=minLat,minLon,maxLat,
+// maxLon, and optionally metrics=ence,stat_parity (metrics= alone,
+// i.e. present but empty, selects every registered metric). Reports
+// whether parsing succeeded; on failure the 400 has been written.
+func (s *Server) statsRequestFromQuery(w http.ResponseWriter, r *http.Request, req *statsRequest) bool {
+	q := r.URL.Query()
+	if raw := q.Get("task"); raw != "" {
+		task, err := strconv.Atoi(raw)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"task\": %v", err))
+			return false
+		}
+		req.Task = task
+	}
+	if raw := q.Get("regions"); raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"regions\": %v", err))
+				return false
+			}
+			req.Regions = append(req.Regions, v)
+		}
+	}
+	if raw := q.Get("rect"); raw != "" {
+		fields := strings.Split(raw, ",")
+		if len(fields) != 4 {
+			s.writeError(w, http.StatusBadRequest,
+				errors.New("query parameter \"rect\": want minLat,minLon,maxLat,maxLon"))
+			return false
+		}
+		var vals [4]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"rect\": %v", err))
+				return false
+			}
+			vals[i] = v
+		}
+		req.Rect = &rectJSON{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}
+	}
+	if raw, ok := q["metrics"]; ok {
+		req.Metrics = []string{} // present: empty selects all registered
+		for _, part := range raw {
+			for _, f := range strings.Split(part, ",") {
+				if f = strings.TrimSpace(f); f != "" {
+					req.Metrics = append(req.Metrics, f)
+				}
+			}
+		}
+	}
+	return true
 }
 
 // handleCompare fans one request out to N named indexes — the
@@ -1133,6 +1271,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if locateMode == statsMode {
 		s.writeError(w, http.StatusBadRequest, errors.New(
 			"exactly one compare mode: locate (\"lat\"+\"lon\") or stats (\"task\" plus one of \"regions\"/\"rect\")"))
+		return
+	}
+	if locateMode && req.Metrics != nil {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("\"metrics\" applies to stats mode only"))
 		return
 	}
 
@@ -1175,7 +1318,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	resp.Baseline = req.Indexes[0]
 	var base *statsResponse
 	for i, idx := range idxs {
-		stats, status, err := s.windowStats(idx, *req.Task, req.Regions, req.Rect)
+		stats, status, err := s.windowStats(idx, *req.Task, req.Regions, req.Rect, req.Metrics)
 		if err != nil {
 			s.writeStatsError(w, status, fmt.Errorf("index %q: %w", req.Indexes[i], err))
 			return
@@ -1184,13 +1327,20 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		if i == 0 {
 			base = stats
 		} else {
-			entry.Delta = &fairnessDeltaJSON{
+			delta := &fairnessDeltaJSON{
 				ENCE:     stats.ENCE - base.ENCE,
 				Miscal:   stats.Miscal - base.Miscal,
 				CalRatio: stats.CalRatio - base.CalRatio,
 				MeanConf: stats.MeanConf - base.MeanConf,
 				PosRate:  stats.PosRate - base.PosRate,
 			}
+			if stats.Metrics != nil {
+				delta.Metrics = make(map[string]jsonFloat, len(stats.Metrics))
+				for name, v := range stats.Metrics {
+					delta.Metrics[name] = v - base.Metrics[name]
+				}
+			}
+			entry.Delta = delta
 		}
 		resp.Indexes[i] = entry
 	}

@@ -3,6 +3,7 @@ package fairindex
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -17,9 +18,14 @@ import (
 // a fresh immutable snapshot behind an atomic pointer — queries read
 // lock-free while AppendBatch serializes writers on mu.
 type maintState struct {
-	mu        sync.Mutex
-	cur       atomic.Pointer[liveStats]
-	threshold atomic.Uint64 // math.Float64bits of the drift threshold
+	mu  sync.Mutex
+	cur atomic.Pointer[liveStats]
+	// thresholds holds the armed per-metric drift thresholds as an
+	// immutable map behind an atomic pointer (writers replace the
+	// whole map). The legacy single-threshold surface
+	// (SetDriftThreshold / DriftThreshold) reads and writes the
+	// calib.MetricENCE key.
+	thresholds atomic.Pointer[map[string]float64]
 }
 
 // liveStats is one immutable maintenance snapshot. AppendBatch never
@@ -28,7 +34,7 @@ type liveStats struct {
 	// stats holds the live per-region sufficient statistics per task
 	// slot; a nil slot marks an artifact that predates region stats
 	// (v1) and cannot accept appends.
-	stats [][]calib.GroupStats
+	stats [][]calib.SuffStats
 	// ence is each task slot's ENCE over its live stats. At build
 	// time it is bit-identical to the stored report value (both are
 	// population-weighted folds of the same per-region statistics in
@@ -45,7 +51,7 @@ type liveStats struct {
 // build- or load-time per-region statistics.
 func (ix *Index) initMaint(threshold float64) {
 	ls := &liveStats{
-		stats: make([][]calib.GroupStats, len(ix.tasks)),
+		stats: make([][]calib.SuffStats, len(ix.tasks)),
 		ence:  make([]float64, len(ix.tasks)),
 	}
 	for i := range ix.tasks {
@@ -60,7 +66,11 @@ func (ix *Index) initMaint(threshold float64) {
 	}
 	m := &maintState{}
 	m.cur.Store(ls)
-	m.threshold.Store(math.Float64bits(threshold))
+	thr := map[string]float64{}
+	if threshold > 0 {
+		thr[calib.MetricENCE] = threshold
+	}
+	m.thresholds.Store(&thr)
 	ix.maint = m
 }
 
@@ -76,7 +86,7 @@ func (ix *Index) live() *liveStats {
 // statsFor returns the live per-region statistics for a task slot,
 // falling back to the build-time snapshot when no maintenance state
 // exists.
-func (ix *Index) statsFor(slot int) []calib.GroupStats {
+func (ix *Index) statsFor(slot int) []calib.SuffStats {
 	if ls := ix.live(); ls != nil {
 		return ls.stats[slot]
 	}
@@ -91,19 +101,39 @@ func (ix *Index) liveENCE(slot int) float64 {
 	return ix.tasks[slot].report.ENCE
 }
 
-// driftThreshold reads the armed threshold (0 = monitoring only).
-func (ix *Index) driftThreshold() float64 {
+// driftThresholds reads the armed per-metric threshold map (shared,
+// treat as immutable; empty for an index with nothing armed).
+func (ix *Index) driftThresholds() map[string]float64 {
 	if ix.maint == nil {
-		return 0
+		return nil
 	}
-	return math.Float64frombits(ix.maint.threshold.Load())
+	if p := ix.maint.thresholds.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
-// TaskDrift is one task's live calibration state after a fold.
+// driftThreshold reads the armed legacy (ENCE) threshold (0 =
+// monitoring only).
+func (ix *Index) driftThreshold() float64 {
+	return ix.driftThresholds()[calib.MetricENCE]
+}
+
+// TaskDrift is one task's live calibration state after a fold. The
+// legacy ENCE/Drift fields always carry the ENCE view; Metrics and
+// Drifts additionally report every monitored metric (ENCE plus any
+// metric armed via SetDriftThresholds) by name.
 type TaskDrift struct {
 	Task  int
 	ENCE  float64 // live ENCE over build-time + appended records
 	Drift float64 // |ENCE − build-time ENCE|
+	// Metrics holds the live value of each monitored metric over the
+	// task's full region set.
+	Metrics map[string]float64
+	// Drifts holds |live − build-time| per monitored metric. A NaN
+	// drift (a metric undefined on either side, e.g. cal_ratio with
+	// no positives) never triggers a rebuild recommendation.
+	Drifts map[string]float64
 }
 
 // AppendResult summarizes one AppendBatch fold.
@@ -111,9 +141,12 @@ type AppendResult struct {
 	Appended int         // records folded by this call
 	Total    int         // records folded since the Index was built or loaded
 	Tasks    []TaskDrift // live state per task, in Tasks() order
-	Drift    float64     // maximum task drift
-	// RebuildRecommended reports whether Drift crossed the armed
-	// threshold (always false while the threshold is 0).
+	Drift    float64     // maximum task ENCE drift
+	// Drifts holds the maximum per-task drift of each monitored
+	// metric (always including "ence", which mirrors Drift).
+	Drifts map[string]float64
+	// RebuildRecommended reports whether any armed metric's drift
+	// crossed its threshold (always false while nothing is armed).
 	RebuildRecommended bool
 }
 
@@ -196,7 +229,7 @@ func (ix *Index) AppendBatch(recs []Record) (AppendResult, error) {
 	m.mu.Lock()
 	old := m.cur.Load()
 	next := &liveStats{
-		stats:    make([][]calib.GroupStats, len(old.stats)),
+		stats:    make([][]calib.SuffStats, len(old.stats)),
 		ence:     make([]float64, len(old.ence)),
 		appended: old.appended + n,
 	}
@@ -204,7 +237,7 @@ func (ix *Index) AppendBatch(recs []Record) (AppendResult, error) {
 		// Copy-on-write: in-flight readers keep their snapshot. The
 		// fold accumulates in record order, matching calib.GroupBy
 		// over the grown dataset bit for bit.
-		st := append([]calib.GroupStats(nil), old.stats[k]...)
+		st := append([]calib.SuffStats(nil), old.stats[k]...)
 		col := ix.tasks[k].task
 		for i := range recs {
 			g := &st[regions[i]]
@@ -222,18 +255,86 @@ func (ix *Index) AppendBatch(recs []Record) (AppendResult, error) {
 	return ix.appendResult(n, next), nil
 }
 
-// appendResult assembles the drift report for one published snapshot.
-func (ix *Index) appendResult(n int, ls *liveStats) AppendResult {
-	res := AppendResult{Appended: n, Total: ls.appended}
-	for k := range ix.tasks {
-		d := math.Abs(ls.ence[k] - ix.tasks[k].report.ENCE)
-		res.Tasks = append(res.Tasks, TaskDrift{Task: ix.tasks[k].task, ENCE: ls.ence[k], Drift: d})
-		if d > res.Drift {
-			res.Drift = d
+// monitoredMetrics returns the metric names a drift report covers:
+// ENCE (always) plus every armed threshold metric, sorted for
+// deterministic report order.
+func (ix *Index) monitoredMetrics() []string {
+	thr := ix.driftThresholds()
+	names := make([]string, 0, len(thr)+1)
+	names = append(names, calib.MetricENCE)
+	for name := range thr {
+		if name != calib.MetricENCE {
+			names = append(names, name)
 		}
 	}
-	thr := ix.driftThreshold()
-	res.RebuildRecommended = thr > 0 && res.Drift >= thr
+	sort.Strings(names)
+	return names
+}
+
+// metricValues computes one metric's (live, baseline) pair for a task
+// slot against one live snapshot. The ENCE pair reuses the
+// incrementally maintained values, keeping legacy drift bit-exact;
+// other metrics evaluate over the live and build-time statistics.
+func (ix *Index) metricValues(name string, slot int, ls *liveStats) (live, base float64) {
+	if name == calib.MetricENCE {
+		if ls != nil {
+			return ls.ence[slot], ix.tasks[slot].report.ENCE
+		}
+		return ix.liveENCE(slot), ix.tasks[slot].report.ENCE
+	}
+	m, ok := calib.MetricByName(name)
+	if !ok {
+		return math.NaN(), math.NaN()
+	}
+	stats := ix.tasks[slot].stats
+	if stats == nil {
+		return math.NaN(), math.NaN()
+	}
+	liveStats := stats
+	if ls != nil {
+		liveStats = ls.stats[slot]
+	} else if cur := ix.statsFor(slot); cur != nil {
+		liveStats = cur
+	}
+	return m.Compute(liveStats), m.Compute(stats)
+}
+
+// appendResult assembles the drift report for one published snapshot.
+func (ix *Index) appendResult(n int, ls *liveStats) AppendResult {
+	monitored := ix.monitoredMetrics()
+	res := AppendResult{Appended: n, Total: ls.appended, Drifts: make(map[string]float64, len(monitored))}
+	for k := range ix.tasks {
+		td := TaskDrift{
+			Task:    ix.tasks[k].task,
+			ENCE:    ls.ence[k],
+			Drift:   math.Abs(ls.ence[k] - ix.tasks[k].report.ENCE),
+			Metrics: make(map[string]float64, len(monitored)),
+			Drifts:  make(map[string]float64, len(monitored)),
+		}
+		for _, name := range monitored {
+			live, base := ix.metricValues(name, k, ls)
+			td.Metrics[name] = live
+			td.Drifts[name] = math.Abs(live - base)
+			// NaN (a metric undefined on either side) never displaces
+			// the running max; any defined drift — including 0 — makes
+			// the monitored metric show up in the report.
+			if d := td.Drifts[name]; !math.IsNaN(d) {
+				if cur, ok := res.Drifts[name]; !ok || d > cur {
+					res.Drifts[name] = d
+				}
+			}
+		}
+		res.Tasks = append(res.Tasks, td)
+		if td.Drift > res.Drift {
+			res.Drift = td.Drift
+		}
+	}
+	thr := ix.driftThresholds()
+	for name, t := range thr {
+		if t > 0 && res.Drifts[name] >= t {
+			res.RebuildRecommended = true
+		}
+	}
 	return res
 }
 
@@ -271,26 +372,147 @@ func (ix *Index) MaxDrift() float64 {
 	return out
 }
 
-// DriftThreshold returns the armed drift threshold (0 = monitoring
-// without a rebuild recommendation).
+// MetricDrift returns one task's drift under a named registered
+// metric: |metric over live statistics − metric over build-time
+// statistics|. For "ence" it equals Drift bit for bit. A NaN result
+// means the metric is undefined on at least one side (e.g. cal_ratio
+// with no positives); NaN drift never triggers a rebuild
+// recommendation. Indexes restored from pre-v2 artifacts carry no
+// statistics for non-ENCE metrics and fail with ErrNoRegionStats.
+func (ix *Index) MetricDrift(task int, metric string) (float64, error) {
+	slot, err := ix.taskSlot(task)
+	if err != nil {
+		return 0, err
+	}
+	if metric == calib.MetricENCE {
+		return math.Abs(ix.liveENCE(slot) - ix.tasks[slot].report.ENCE), nil
+	}
+	if _, ok := calib.MetricByName(metric); !ok {
+		return 0, fmt.Errorf("%w: unknown metric %q (registered: %v)", ErrQuery, metric, calib.MetricNames())
+	}
+	if ix.tasks[slot].stats == nil {
+		return 0, ErrNoRegionStats
+	}
+	live, base := ix.metricValues(metric, slot, nil)
+	return math.Abs(live - base), nil
+}
+
+// MaxMetricDrift returns the largest per-task drift under a named
+// metric (NaN per-task drifts are skipped).
+func (ix *Index) MaxMetricDrift(metric string) (float64, error) {
+	var out float64
+	for slot := range ix.tasks {
+		d, err := ix.MetricDrift(ix.tasks[slot].task, metric)
+		if err != nil {
+			return 0, err
+		}
+		if !math.IsNaN(d) && d > out {
+			out = d
+		}
+	}
+	return out, nil
+}
+
+// DriftThreshold returns the armed ENCE drift threshold (0 =
+// monitoring without a rebuild recommendation). Per-metric thresholds
+// are read with DriftThresholds.
 func (ix *Index) DriftThreshold() float64 { return ix.driftThreshold() }
 
+// DriftThresholds returns a copy of the armed per-metric thresholds
+// (empty when nothing is armed).
+func (ix *Index) DriftThresholds() map[string]float64 {
+	cur := ix.driftThresholds()
+	out := make(map[string]float64, len(cur))
+	for name, t := range cur {
+		out[name] = t
+	}
+	return out
+}
+
 // SetDriftThreshold arms (or, with 0, disarms) the rebuild
-// recommendation. Safe for concurrent use with appends and queries.
+// recommendation on ENCE drift, preserving any other armed metric
+// thresholds. Safe for concurrent use with appends and queries.
 func (ix *Index) SetDriftThreshold(t float64) error {
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 		return fmt.Errorf("%w: drift threshold %v", ErrConfig, t)
 	}
+	return ix.setThreshold(calib.MetricENCE, t)
+}
+
+// SetMetricDriftThreshold arms (or, with 0, disarms) the rebuild
+// recommendation on one metric's drift, preserving the rest of the
+// armed set. The metric name must be registered; the value must be
+// finite and non-negative. Safe for concurrent use with appends and
+// queries.
+func (ix *Index) SetMetricDriftThreshold(metric string, t float64) error {
+	if _, ok := calib.MetricByName(metric); !ok {
+		return fmt.Errorf("%w: unknown drift metric %q (registered: %v)", ErrConfig, metric, calib.MetricNames())
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("%w: drift threshold %v for metric %q", ErrConfig, t, metric)
+	}
+	return ix.setThreshold(metric, t)
+}
+
+// SetDriftThresholds replaces the whole armed threshold set: each
+// entry arms the rebuild recommendation on that metric's drift
+// crossing the threshold. Metric names must be registered; values
+// must be finite and non-negative, with 0 disarming the metric. An
+// empty (or nil) map disarms everything. Safe for concurrent use with
+// appends and queries.
+func (ix *Index) SetDriftThresholds(thresholds map[string]float64) error {
+	next := make(map[string]float64, len(thresholds))
+	for name, t := range thresholds {
+		if _, ok := calib.MetricByName(name); !ok {
+			return fmt.Errorf("%w: unknown drift metric %q (registered: %v)", ErrConfig, name, calib.MetricNames())
+		}
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("%w: drift threshold %v for metric %q", ErrConfig, t, name)
+		}
+		if t > 0 {
+			next[name] = t
+		}
+	}
 	if ix.maint != nil {
-		ix.maint.threshold.Store(math.Float64bits(t))
+		ix.maint.thresholds.Store(&next)
 	}
 	return nil
 }
 
-// RebuildRecommended reports whether the live drift has crossed the
-// armed threshold — the signal that enough appended records diverge
-// from the build-time calibration to make retraining worthwhile.
+// setThreshold swaps one entry of the immutable threshold map.
+func (ix *Index) setThreshold(metric string, t float64) error {
+	if ix.maint == nil {
+		return nil
+	}
+	ix.maint.mu.Lock()
+	defer ix.maint.mu.Unlock()
+	cur := ix.driftThresholds()
+	next := make(map[string]float64, len(cur)+1)
+	for name, v := range cur {
+		next[name] = v
+	}
+	if t > 0 {
+		next[metric] = t
+	} else {
+		delete(next, metric)
+	}
+	ix.maint.thresholds.Store(&next)
+	return nil
+}
+
+// RebuildRecommended reports whether any armed metric's live drift
+// has crossed its threshold — the signal that enough appended records
+// diverge from the build-time calibration to make retraining
+// worthwhile.
 func (ix *Index) RebuildRecommended() bool {
-	thr := ix.driftThreshold()
-	return thr > 0 && ix.MaxDrift() >= thr
+	for name, thr := range ix.driftThresholds() {
+		if thr <= 0 {
+			continue
+		}
+		d, err := ix.MaxMetricDrift(name)
+		if err == nil && d >= thr {
+			return true
+		}
+	}
+	return false
 }

@@ -34,10 +34,10 @@ func splitCity(t *testing.T, total, appendN int) (*Dataset, []Record) {
 // score each appended record, then add it to the captured baseline.
 // AppendBatch must match this bit for bit — the fold is additive and
 // accumulates in the same record order calib.GroupBy uses.
-func foldExpected(t *testing.T, idx *Index, baseline []calib.GroupStats, slot int, recs []Record) []calib.GroupStats {
+func foldExpected(t *testing.T, idx *Index, baseline []calib.SuffStats, slot int, recs []Record) []calib.SuffStats {
 	t.Helper()
 	task := idx.tasks[slot].task
-	st := append([]calib.GroupStats(nil), baseline...)
+	st := append([]calib.SuffStats(nil), baseline...)
 	for i := range recs {
 		region, err := idx.Locate(recs[i].Lat, recs[i].Lon)
 		if err != nil {
@@ -67,10 +67,10 @@ func TestAppendBatchExactness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baselines := make([][]calib.GroupStats, len(idx.tasks))
-	expected := make([][]calib.GroupStats, len(idx.tasks))
+	baselines := make([][]calib.SuffStats, len(idx.tasks))
+	expected := make([][]calib.SuffStats, len(idx.tasks))
 	for slot := range idx.tasks {
-		baselines[slot] = append([]calib.GroupStats(nil), idx.statsFor(slot)...)
+		baselines[slot] = append([]calib.SuffStats(nil), idx.statsFor(slot)...)
 		expected[slot] = foldExpected(t, idx, baselines[slot], slot, extra)
 	}
 
@@ -225,7 +225,7 @@ func TestAppendBatchAtomicity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := append([]calib.GroupStats(nil), idx.statsFor(0)...)
+	before := append([]calib.SuffStats(nil), idx.statsFor(0)...)
 
 	bad := func(mut func(r *Record)) []Record {
 		recs := make([]Record, len(extra))

@@ -1,0 +1,78 @@
+package fairindex
+
+import (
+	"fairindex/internal/calib"
+)
+
+// Pluggable fairness-metric layer. A Metric is a named, deterministic,
+// total function of per-region sufficient statistics; registered
+// metrics are selectable by name everywhere the library evaluates
+// fairness: Index.GroupStatsMetrics, the HTTP /v1/stats and
+// /v1/compare endpoints, per-metric drift thresholds
+// (SetDriftThresholds) and the partitioner objective
+// (WithObjectiveMetric). See docs/METRICS.md for the contract and a
+// registration walkthrough.
+
+type (
+	// Metric is the pluggable fairness-metric contract: Name() and
+	// Compute over a window of per-region sufficient statistics.
+	Metric = calib.Metric
+	// SuffStats is one region's additive sufficient statistics
+	// (population, Σ score, Σ label) — the only inputs a Metric sees,
+	// which is what keeps window aggregates exact.
+	SuffStats = calib.SuffStats
+)
+
+// Built-in metric names, registered at init.
+const (
+	// MetricENCE is the paper's Expected Neighborhood Calibration
+	// Error (Definition 3).
+	MetricENCE = calib.MetricENCE
+	// MetricCalRatio is the window calibration ratio e/o (Eq. 2);
+	// NaN when the window has no positives.
+	MetricCalRatio = calib.MetricCalRatio
+	// MetricMiscalAbs is the pooled absolute miscalibration |e−o|.
+	MetricMiscalAbs = calib.MetricMiscalAbs
+	// MetricStatParity is the max−min spread of per-region mean
+	// predicted scores (expectation-form demographic parity).
+	MetricStatParity = calib.MetricStatParity
+	// MetricAccuracyParity is the max−min spread of per-region
+	// expected accuracy.
+	MetricAccuracyParity = calib.MetricAccuracyParity
+	// MetricAtkinson is the Atkinson inequality index over per-region
+	// miscalibration at ε = 0.5.
+	MetricAtkinson = calib.MetricAtkinson
+)
+
+// RegisterMetric adds a custom metric to the process-wide catalog. It
+// panics on a nil metric, an empty name or a duplicate registration —
+// call it from init or program startup:
+//
+//	fairindex.RegisterMetric(fairindex.MetricFunc("worst_region",
+//		func(stats []fairindex.SuffStats) float64 {
+//			var worst float64
+//			for _, g := range stats {
+//				if g.Count > 0 && g.MiscalAbs() > worst {
+//					worst = g.MiscalAbs()
+//				}
+//			}
+//			return worst
+//		}))
+func RegisterMetric(m Metric) { calib.RegisterMetric(m) }
+
+// Metrics returns every registered metric name, sorted.
+func Metrics() []string { return calib.MetricNames() }
+
+// MetricByName looks a registered metric up by name.
+func MetricByName(name string) (Metric, bool) { return calib.MetricByName(name) }
+
+// MetricFunc wraps a named function as a Metric.
+func MetricFunc(name string, fn func(stats []SuffStats) float64) Metric {
+	return calib.MetricFunc(name, fn)
+}
+
+// AtkinsonMetric returns the Atkinson inequality metric over
+// per-region miscalibration with inequality aversion eps (named
+// "atkinson_<eps>"; eps = 0.5 yields the built-in "atkinson").
+// Register non-default aversions to make them name-selectable.
+func AtkinsonMetric(eps float64) Metric { return calib.AtkinsonMetric(eps) }

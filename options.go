@@ -97,6 +97,23 @@ func WithLambda(lambda float64) Option {
 	}
 }
 
+// WithObjectiveMetric replaces the fair split objective with a
+// registered fairness metric: each candidate split is scored by the
+// metric over the two halves' pooled sufficient statistics and the
+// split minimizing it wins — e.g. WithObjectiveMetric("atkinson")
+// builds a balance-constrained partitioning that equalizes
+// miscalibration across the halves of every split. Supported by
+// MethodFairKD and MethodMultiObjectiveFairKD; the empty default
+// keeps the paper's Eq. 9 objective bit-identical to earlier
+// releases. The metric name must be registered (RegisterMetric) in
+// the building process; it is not serialized into the artifact.
+func WithObjectiveMetric(name string) Option {
+	return func(c *Config) error {
+		c.ObjectiveMetric = name
+		return nil
+	}
+}
+
 // WithTestFrac sets the held-out fraction (default 0.2). Zero is
 // rejected rather than silently restoring the default: the pipeline
 // always evaluates on a held-out split.
@@ -215,15 +232,47 @@ func WithDriftThreshold(t float64) Option {
 	}
 }
 
+// WithDriftThresholds arms per-metric drift monitoring on the built
+// Index: each entry maps a registered metric name to the drift
+// (|live − build-time|) at which appended batches flip the
+// rebuild-recommended flag, e.g. arming on statistical-parity decay:
+//
+//	fairindex.WithDriftThresholds(map[string]float64{
+//		"ence":        0.02,
+//		"stat_parity": 0.05,
+//	})
+//
+// Entries layer on top of (and, for "ence", override) the legacy
+// WithDriftThreshold. Thresholds can be changed later with
+// Index.SetDriftThresholds.
+func WithDriftThresholds(thresholds map[string]float64) Option {
+	return func(c *Config) error {
+		c.DriftThresholds = make(map[string]float64, len(thresholds))
+		for name, t := range thresholds {
+			if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+				return fmt.Errorf("%w: drift threshold %v for metric %q", ErrConfig, t, name)
+			}
+			c.DriftThresholds[name] = t
+		}
+		return nil
+	}
+}
+
 // WithConfig replaces the whole configuration with cfg — the bridge
 // from the legacy Config-struct surface into the options world. Apply
 // it first; later options override individual fields.
 func WithConfig(cfg Config) Option {
 	return func(c *Config) error {
 		*c = cfg
-		// Copy the one reference field so later caller mutations cannot
+		// Copy the reference fields so later caller mutations cannot
 		// reach into the built Index.
 		c.Alphas = append([]float64(nil), cfg.Alphas...)
+		if cfg.DriftThresholds != nil {
+			c.DriftThresholds = make(map[string]float64, len(cfg.DriftThresholds))
+			for name, t := range cfg.DriftThresholds {
+				c.DriftThresholds[name] = t
+			}
+		}
 		return nil
 	}
 }

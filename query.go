@@ -85,6 +85,12 @@ type WindowStats struct {
 	CalRatio float64      // e/o over the window; NaN when no positives
 	ENCE     float64      // Definition 3 restricted to the window's regions
 	Regions  []RegionStat // per-region detail, ascending region id
+	// Metrics holds the selected fairness metrics over the window,
+	// keyed by registered metric name. GroupStatsMetrics populates it;
+	// the legacy GroupStats leaves it nil. The legacy ENCE and
+	// CalRatio fields above are always populated either way and keep
+	// their historical bit-exact computation.
+	Metrics map[string]float64
 }
 
 // RegionRect returns the bounding rectangle of a region's cells.
@@ -370,6 +376,55 @@ func (ix *Index) GroupStats(task int, regions []int) (WindowStats, error) {
 	if stats == nil {
 		return WindowStats{}, ErrNoRegionStats
 	}
+	return ix.windowOver(task, stats, regions)
+}
+
+// GroupStatsMetrics is GroupStats with explicit fairness-metric
+// selection: alongside the legacy aggregate fields it evaluates each
+// named registered metric (see RegisterMetric and docs/METRICS.md)
+// over the window's per-region sufficient statistics and returns the
+// values in WindowStats.Metrics. With no names it evaluates every
+// registered metric. All metrics and the legacy fields are computed
+// from one atomic statistics snapshot, so the whole result is
+// internally consistent under concurrent appends. Unknown metric
+// names are an error wrapping ErrQuery.
+func (ix *Index) GroupStatsMetrics(task int, regions []int, names ...string) (WindowStats, error) {
+	if len(names) == 0 {
+		names = Metrics()
+	}
+	mets, err := calib.ResolveMetrics(names)
+	if err != nil {
+		return WindowStats{}, fmt.Errorf("%w: %v", ErrQuery, err)
+	}
+	slot, err := ix.taskSlot(task)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	stats := ix.statsFor(slot)
+	if stats == nil {
+		return WindowStats{}, ErrNoRegionStats
+	}
+	out, err := ix.windowOver(task, stats, regions)
+	if err != nil {
+		return out, err
+	}
+	// The metric contract takes one SuffStats entry per window region
+	// (ascending id, matching out.Regions).
+	window := make([]calib.SuffStats, len(out.Regions))
+	for i, rs := range out.Regions {
+		window[i] = stats[rs.Region]
+	}
+	out.Metrics = make(map[string]float64, len(mets))
+	for _, m := range mets {
+		out.Metrics[m.Name()] = m.Compute(window)
+	}
+	return out, nil
+}
+
+// windowOver aggregates one window against one statistics snapshot —
+// the shared core of GroupStats and GroupStatsMetrics. The legacy
+// aggregate arithmetic here is pinned bit-exactly by golden tests.
+func (ix *Index) windowOver(task int, stats []calib.SuffStats, regions []int) (WindowStats, error) {
 	// Region ids are dense, so a bitmap both rejects duplicates and —
 	// scanned in order — yields the ascending-id aggregation without a
 	// sort.
@@ -422,7 +477,7 @@ func (ix *Index) GroupStats(task int, regions []int) (WindowStats, error) {
 
 // regionStatOf converts stored sufficient statistics into the public
 // per-region summary.
-func regionStatOf(region int, st calib.GroupStats) RegionStat {
+func regionStatOf(region int, st calib.SuffStats) RegionStat {
 	ratio := math.NaN()
 	if st.PosRate() > 0 {
 		ratio = st.MeanScore() / st.PosRate()
