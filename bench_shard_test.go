@@ -1,0 +1,133 @@
+// Distributed-serving benchmarks: the shard-merge kernels and the
+// router's scatter-gather hot path over the paper-sized LA index.
+// Baselines live in BENCH_index.json next to the serving entries.
+package fairindex_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	fairindex "fairindex"
+	"fairindex/internal/router"
+	"fairindex/internal/server"
+	"fairindex/internal/shard"
+)
+
+const benchShardCount = 4
+
+// shardFixture splits the shared paper-sized index and precomputes
+// the gathered per-region rows a router would hold after a stats
+// fan-out (global ids, ascending, raw sums populated).
+func shardFixture(b *testing.B) (*fairindex.Index, *shard.Manifest, []*fairindex.Index, []fairindex.RegionStat) {
+	b.Helper()
+	whole, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, shards, err := shard.Split(whole, benchShardCount)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := whole.Tasks()[0]
+	var gathered []fairindex.RegionStat
+	for i, sx := range shards {
+		// Owned regions only: the trailing foreign-sentinel region (when
+		// present) has no global id and never reaches the merge.
+		local := make([]int, m.Shards[i].Hi-m.Shards[i].Lo)
+		for j := range local {
+			local[j] = j
+		}
+		ws, err := sx.GroupStats(task, local)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rs := range ws.Regions {
+			global, ok := m.ToGlobal(i, rs.Region)
+			if !ok {
+				b.Fatalf("shard %d: region %d has no global id", i, rs.Region)
+			}
+			rs.Region = global
+			gathered = append(gathered, rs)
+		}
+	}
+	return whole, m, shards, gathered
+}
+
+// BenchmarkShardMergeGroupStats is the router's stats merge kernel:
+// refolding the gathered per-region sufficient statistics into one
+// window. Allocation here is a fixed handful (the result's region
+// slice), never per-region — the alloc gate in CI enforces that.
+func BenchmarkShardMergeGroupStats(b *testing.B) {
+	whole, _, _, gathered := shardFixture(b)
+	task := whole.Tasks()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws, err := fairindex.MergeWindowStats(task, gathered)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ws.Count == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// BenchmarkRouterLocateBatch is the end-to-end scatter-gather path: a
+// 1000-point batch through the HTTP router, split across real shard
+// servers and reassembled in manifest order. Compare with
+// BenchmarkIndexLocateBatch for the wire + fan-out overhead over the
+// in-process kernel.
+func BenchmarkRouterLocateBatch(b *testing.B) {
+	_, m, shards, _ := shardFixture(b)
+	backends := make([]router.Backend, len(shards))
+	for i, sx := range shards {
+		ts := httptest.NewServer(server.New(sx))
+		defer ts.Close()
+		backends[i] = router.Backend{Name: m.Shards[i].Name, URL: ts.URL}
+	}
+	rt, err := router.New(m, backends)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 1000
+	var lats, lons strings.Builder
+	for i := 0; i < batch; i++ {
+		if i > 0 {
+			lats.WriteByte(',')
+			lons.WriteByte(',')
+		}
+		rec := &ds.Records[i%ds.Len()]
+		fmt.Fprintf(&lats, "%v", rec.Lat)
+		fmt.Fprintf(&lons, "%v", rec.Lon)
+	}
+	body := fmt.Sprintf(`{"lats":[%s],"lons":[%s]}`, lats.String(), lons.String())
+	client := rts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(rts.URL+"/v1/locate_batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

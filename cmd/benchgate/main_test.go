@@ -32,7 +32,9 @@ const baseline = `{
     "BenchmarkIndexGroupStatsMetrics": {"ns_per_op": 9500, "allocs_per_op": 7},
     "BenchmarkRegistryLookup": {"ns_per_op": 18},
     "BenchmarkIndexBuild": {"ns_per_op": 36000000, "allocs_per_op": 3000},
-    "BenchmarkIndexBuild10k": {"ns_per_op": 150000000, "allocs_per_op": 12000}
+    "BenchmarkIndexBuild10k": {"ns_per_op": 150000000, "allocs_per_op": 12000},
+    "BenchmarkShardMergeGroupStats": {"ns_per_op": 12500, "allocs_per_op": 3},
+    "BenchmarkRouterLocateBatch": {"ns_per_op": 2300000, "allocs_per_op": 900}
   }
 }`
 
@@ -46,6 +48,8 @@ BenchmarkIndexGroupStatsMetrics-4  	  100	      9600 ns/op	   10688 B/op	       
 BenchmarkRegistryLookup-4  	 1000	        19 ns/op
 BenchmarkIndexBuild-4  	   10	  37000000 ns/op	 2110672 B/op	    2980 allocs/op
 BenchmarkIndexBuild10k-4  	    5	 155000000 ns/op	 5941552 B/op	   11900 allocs/op
+BenchmarkShardMergeGroupStats-4  	  100	     12800 ns/op	   16432 B/op	       3 allocs/op
+BenchmarkRouterLocateBatch-4  	   50	   2350000 ns/op	  401822 B/op	     895 allocs/op
 `
 
 // gate runs the comparator against the given bench output.

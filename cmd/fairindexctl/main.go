@@ -55,6 +55,24 @@
 //		a CSV of points (id, lat, lon; header optional) and exit.
 //		-points is accepted as an alias for -csv.
 //
+//	fairindexctl shard -n 4 [-out artifacts/] [-prefix la] city.fidx
+//		split a saved Index into n per-shard .fidx artifacts (each a
+//		standalone index over a contiguous neighborhood range, loadable
+//		by ordinary serve processes) plus a <prefix>.manifest shard
+//		plan binding them to the source artifact's generation.
+//
+//	fairindexctl route -manifest la.manifest \
+//	             -shard s0=http://host:8081 -shard s1=http://host:8082 \
+//	             [-http :8080] [-timeout 5s]
+//		serve the exact scatter-gather router over running shard
+//		backends (one -shard name=url per manifest entry; each backend
+//		is a plain `fairindexctl serve` holding that shard's
+//		artifact). Locate/range/knn/stats answers are bit-identical to
+//		a server holding the unsharded artifact; score and report are
+//		refused (whole-index operations). SIGHUP or POST /v1/reload
+//		re-reads the manifest file for generation handoffs, and
+//		GET /v1/shards reports per-backend health and generation.
+//
 //	fairindexctl query range -minlat .. -maxlat .. -minlon .. -maxlon .. city.fidx
 //	fairindexctl query knn -lat .. -lon .. [-k 5] city.fidx
 //	fairindexctl query stats -task 0 {-regions 1,2,3 | -minlat .. -maxlat .. -minlon .. -maxlon ..} \
@@ -136,6 +154,16 @@ func main() {
 			return
 		case "query":
 			if err := runQueryCmd(os.Args[2:], os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		case "shard":
+			if err := runShardCmd(os.Args[2:], os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		case "route":
+			if err := runRouteCmd(os.Args[2:]); err != nil {
 				log.Fatal(err)
 			}
 			return

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	fairindex "fairindex"
+	"fairindex/internal/router"
+	"fairindex/internal/shard"
+)
+
+// runShardCmd splits a saved artifact into per-shard .fidx files plus
+// the manifest binding them.
+func runShardCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	n := fs.Int("n", 2, "number of shards to split into")
+	outDir := fs.String("out", ".", "output directory for shard artifacts and manifest")
+	prefix := fs.String("prefix", "", "artifact name prefix (default: input base name)")
+	path := fs.String("index", "", "input .fidx artifact (may be positional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *path == "" && fs.NArg() == 1:
+		*path = fs.Arg(0)
+	case *path != "" && fs.NArg() == 0:
+	default:
+		return fmt.Errorf("shard: exactly one index artifact required (-index or positional)")
+	}
+	idx, err := fairindex.LoadIndex(*path)
+	if err != nil {
+		return err
+	}
+	m, shards, err := shard.Split(idx, *n)
+	if err != nil {
+		return err
+	}
+	if *prefix == "" {
+		*prefix = strings.TrimSuffix(filepath.Base(*path), ".fidx")
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	manifestPath := filepath.Join(*outDir, *prefix+".manifest")
+	if err := os.WriteFile(manifestPath, m.Encode(), 0o644); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	fmt.Fprintf(out, "%s: %d regions over %d shards, generation %d\n",
+		manifestPath, m.NumRegions, len(m.Shards), m.Generation)
+	for i, sx := range shards {
+		blob, err := sx.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", m.Shards[i].Name, err)
+		}
+		shardPath := filepath.Join(*outDir, fmt.Sprintf("%s-%s.fidx", *prefix, m.Shards[i].Name))
+		if err := os.WriteFile(shardPath, blob, 0o644); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		fmt.Fprintf(out, "  %s: regions [%d,%d), fingerprint %d, %d bytes\n",
+			shardPath, m.Shards[i].Lo, m.Shards[i].Hi, m.Shards[i].Fingerprint, len(blob))
+	}
+	return nil
+}
+
+// backendFlags collects repeated -shard name=url flags.
+type backendFlags []router.Backend
+
+func (b *backendFlags) String() string {
+	parts := make([]string, len(*b))
+	for i, be := range *b {
+		parts[i] = be.Name + "=" + be.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *backendFlags) Set(s string) error {
+	name, url, ok := strings.Cut(s, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", s)
+	}
+	*b = append(*b, router.Backend{Name: name, URL: url})
+	return nil
+}
+
+// runRouteCmd serves the scatter-gather router over running shard
+// backends, re-reading the manifest file on SIGHUP or /v1/reload.
+func runRouteCmd(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	httpAddr := fs.String("http", ":8080", "listen address")
+	manifestPath := fs.String("manifest", "", "shard plan manifest file (required)")
+	timeout := fs.Duration("timeout", router.DefaultTimeout, "per-shard request timeout")
+	var backends backendFlags
+	fs.Var(&backends, "shard", "shard backend as name=url (repeat per manifest entry)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *manifestPath == "" {
+		return fmt.Errorf("route: -manifest is required")
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("route: at least one -shard name=url is required")
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("route: unexpected arguments %v", fs.Args())
+	}
+	source := func() (*shard.Manifest, error) {
+		blob, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			return nil, err
+		}
+		return shard.Decode(blob)
+	}
+	m, err := source()
+	if err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
+	rt, err := router.New(m, backends,
+		router.WithTimeout(*timeout), router.WithManifestSource(source))
+	if err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return routeHTTP(ctx, rt, *httpAddr, nil)
+}
+
+// routeHTTP runs the router until ctx is done, hot-reloading the
+// manifest on SIGHUP. onReady, when non-nil, observes the bound
+// address (tests bind :0).
+func routeHTTP(ctx context.Context, rt *router.Router, addr string, onReady func(net.Addr)) error {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if err := rt.Reload(); err != nil {
+					log.Printf("route: reload: %v", err)
+				} else {
+					log.Printf("route: reloaded manifest, generation %d", rt.Manifest().Generation)
+				}
+			}
+		}
+	}()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	m := rt.Manifest()
+	fmt.Printf("routing %d regions over %d shards on %s (generation %d)\n",
+		m.NumRegions, len(m.Shards), ln.Addr(), m.Generation)
+	for _, s := range m.Shards {
+		fmt.Printf("  %s: regions [%d,%d)\n", s.Name, s.Lo, s.Hi)
+	}
+	fmt.Printf("hot reload: kill -HUP %d or POST /v1/reload\n", os.Getpid())
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+	hs := &http.Server{Handler: rt}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
+	}
+}

@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	fairindex "fairindex"
+	"fairindex/internal/shard"
+)
+
+// TestMain doubles as the subprocess entry point for the shard-route
+// e2e: with FAIRINDEXCTL_SUBPROCESS set, the test binary behaves as
+// the real fairindexctl, so shard backends and the router run as
+// genuine separate processes without a prior `go build`.
+func TestMain(m *testing.M) {
+	if os.Getenv("FAIRINDEXCTL_SUBPROCESS") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestShardCmd pins the artifact-splitting command: the manifest and
+// every shard file land on disk, decode, and agree with the source
+// index's generation and region ranges.
+func TestShardCmd(t *testing.T) {
+	dir := t.TempDir()
+	_, idxPath, _ := writeCityAndIndex(t, dir)
+	outDir := filepath.Join(dir, "shards")
+
+	var sb strings.Builder
+	if err := runShardCmd([]string{"-n", "3", "-out", outDir, idxPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := fairindex.LoadIndex(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := whole.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(outDir, "city.manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != gen {
+		t.Errorf("manifest generation %d, whole fingerprint %d", m.Generation, gen)
+	}
+	if len(m.Shards) != 3 || m.NumRegions != whole.NumRegions() {
+		t.Fatalf("manifest shape: %d shards over %d regions", len(m.Shards), m.NumRegions)
+	}
+	for i, s := range m.Shards {
+		sx, err := fairindex.LoadIndex(filepath.Join(outDir, fmt.Sprintf("city-%s.fidx", s.Name)))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if got, want := sx.NumRegions(), m.LocalRegions(i); got != want {
+			t.Errorf("shard %s: %d regions, manifest says %d", s.Name, got, want)
+		}
+		fp, err := sx.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != s.Fingerprint {
+			t.Errorf("shard %s: fingerprint %d, manifest records %d", s.Name, fp, s.Fingerprint)
+		}
+	}
+	if !strings.Contains(sb.String(), "city.manifest") {
+		t.Errorf("summary output missing manifest line:\n%s", sb.String())
+	}
+
+	// Argument validation.
+	if err := runShardCmd([]string{"-n", "3"}, io.Discard); err == nil {
+		t.Error("expected error without an input artifact")
+	}
+	if err := runShardCmd([]string{"-n", "0", idxPath}, io.Discard); err == nil {
+		t.Error("expected error for zero shards")
+	}
+}
+
+func TestRouteArgValidation(t *testing.T) {
+	if err := runRouteCmd([]string{"-shard", "s0=http://x"}); err == nil {
+		t.Error("expected error without -manifest")
+	}
+	if err := runRouteCmd([]string{"-manifest", "/nonexistent.manifest"}); err == nil {
+		t.Error("expected error without -shard backends")
+	}
+	if err := runRouteCmd([]string{"-manifest", "/nonexistent.manifest", "-shard", "s0=http://x"}); err == nil {
+		t.Error("expected error for missing manifest file")
+	}
+	var b backendFlags
+	if err := b.Set("nourl"); err == nil {
+		t.Error("expected error for malformed -shard value")
+	}
+	if err := b.Set("s0=http://x"); err != nil || len(b) != 1 {
+		t.Errorf("Set: %v (%d backends)", err, len(b))
+	}
+}
+
+// spawn re-execs the test binary as fairindexctl and waits for the
+// listen line, returning the bound address.
+func spawn(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FAIRINDEXCTL_SUBPROCESS=1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+
+	addrRe := regexp.MustCompile(` on (127\.0\.0\.1:\d+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				// Keep draining so the child never blocks on a full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr
+	case <-time.After(15 * time.Second):
+		t.Fatalf("subprocess %v never reported a listen address", args)
+		return ""
+	}
+}
+
+// TestShardRouteSubprocessE2E is the full deployment shape with real
+// process isolation: shard the artifact, serve each shard from its own
+// subprocess, front them with a route subprocess, and check the
+// router's answers (and generation header) against the in-process
+// whole index.
+func TestShardRouteSubprocessE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	dir := t.TempDir()
+	_, idxPath, ds := writeCityAndIndex(t, dir)
+	outDir := filepath.Join(dir, "shards")
+	if err := runShardCmd([]string{"-n", "3", "-out", outDir, idxPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := fairindex.LoadIndex(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(outDir, "city.manifest")
+	blob, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	routeArgs := []string{"route", "-http", "127.0.0.1:0", "-manifest", manifestPath}
+	for _, s := range m.Shards {
+		addr := spawn(t, "serve", "-http", "127.0.0.1:0",
+			filepath.Join(outDir, fmt.Sprintf("city-%s.fidx", s.Name)))
+		routeArgs = append(routeArgs, "-shard", s.Name+"=http://"+addr)
+	}
+	base := "http://" + spawn(t, routeArgs...)
+
+	gen, err := whole.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGen := strconv.FormatUint(gen, 10)
+
+	// Point lookups across the dataset match the whole index, and
+	// every response carries the whole artifact's generation.
+	for i := 0; i < 10; i++ {
+		r := ds.Records[i*17%len(ds.Records)]
+		resp, err := http.Get(fmt.Sprintf("%s/v1/locate?lat=%v&lon=%v", base, r.Lat, r.Lon))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Region int `json:"region"`
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("locate: status %d: %s", resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("Fairindex-Generation"); got != wantGen {
+			t.Fatalf("generation %q, want %s", got, wantGen)
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		want, err := whole.Locate(r.Lat, r.Lon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Region != want {
+			t.Errorf("locate(%v,%v) = %d, want %d", r.Lat, r.Lon, out.Region, want)
+		}
+	}
+
+	// Window stats over every region match the whole index exactly.
+	task := whole.Tasks()[0]
+	all := make([]string, whole.NumRegions())
+	for i := range all {
+		all[i] = strconv.Itoa(i)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/stats?task=%d&regions=%s", base, task, strings.Join(all, ",")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", resp.StatusCode, body)
+	}
+	var stats struct {
+		Count   int      `json:"count"`
+		ENCE    *float64 `json:"ence"`
+		Partial bool     `json:"partial"`
+		Regions []struct {
+			Region int `json:"region"`
+			Count  int `json:"count"`
+		} `json:"regions"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	allIDs := make([]int, whole.NumRegions())
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+	want, err := whole.GroupStats(task, allIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Partial {
+		t.Error("healthy cluster answered partial stats")
+	}
+	if stats.Count != want.Count || len(stats.Regions) != len(want.Regions) {
+		t.Fatalf("stats shape: count %d regions %d, want %d/%d",
+			stats.Count, len(stats.Regions), want.Count, len(want.Regions))
+	}
+	gotENCE := math.NaN()
+	if stats.ENCE != nil {
+		gotENCE = *stats.ENCE
+	}
+	if math.Float64bits(gotENCE) != math.Float64bits(want.ENCE) && !(math.IsNaN(gotENCE) && math.IsNaN(want.ENCE)) {
+		t.Errorf("ence %v, want %v", gotENCE, want.ENCE)
+	}
+
+	// The health surface sees every subprocess backend in sync.
+	resp, err = http.Get(base + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var shardsOut struct {
+		Generation string `json:"generation"`
+		Shards     []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Match  bool   `json:"match"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &shardsOut); err != nil {
+		t.Fatal(err)
+	}
+	if shardsOut.Generation != wantGen || len(shardsOut.Shards) != len(m.Shards) {
+		t.Fatalf("shards surface: generation %q, %d shards", shardsOut.Generation, len(shardsOut.Shards))
+	}
+	for _, s := range shardsOut.Shards {
+		if s.Status != "ok" || !s.Match {
+			t.Errorf("shard %s: status %q match %v", s.Name, s.Status, s.Match)
+		}
+	}
+
+	// Manifest hot-reload over HTTP answers with the same generation.
+	resp, err = http.Post(base+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), wantGen) {
+		t.Errorf("reload: status %d body %s", resp.StatusCode, body)
+	}
+}

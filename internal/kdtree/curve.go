@@ -3,6 +3,7 @@ package kdtree
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fairindex/internal/geo"
 	"fairindex/internal/partition"
@@ -68,11 +69,31 @@ func hilbertD2XY(side, d int) (x, y int) {
 // offset that splits its signed deviation mass in half (the 1-D form
 // of Eq. 9). cells/deviations follow the BuildFair convention.
 func BuildFairCurve(grid geo.Grid, cells []geo.Cell, deviations []float64, height int) (*partition.Partition, error) {
+	return BuildFairCurveWorkers(grid, cells, deviations, height, 1)
+}
+
+// curveSeg is one node of the cut tree over [Lo, Hi) curve intervals;
+// leaves (nil children) become regions.
+type curveSeg struct {
+	lo, hi      int
+	left, right *curveSeg
+}
+
+// BuildFairCurveWorkers is BuildFairCurve with the recursive cut scan
+// running on a bounded worker pool (<= 1 disables parallelism). The
+// build is two-phase so region ids stay identical to a sequential
+// build for any worker count: the cut tree — whose shape depends only
+// on the prefix sums, never on scheduling — is grown in parallel,
+// then ids are assigned by a sequential depth-first walk.
+func BuildFairCurveWorkers(grid geo.Grid, cells []geo.Cell, deviations []float64, height, workers int) (*partition.Partition, error) {
 	if err := validateBuild(grid, cells, height); err != nil {
 		return nil, err
 	}
 	if len(deviations) != len(cells) {
 		return nil, fmt.Errorf("%w: %d deviations for %d records", ErrBadInput, len(deviations), len(cells))
+	}
+	if workers < 0 {
+		return nil, fmt.Errorf("%w: negative workers %d", ErrBadInput, workers)
 	}
 	order, err := HilbertOrder(grid)
 	if err != nil {
@@ -88,18 +109,17 @@ func BuildFairCurve(grid geo.Grid, cells []geo.Cell, deviations []float64, heigh
 		prefix[i+1] = prefix[i] + cellDev[grid.Index(c)]
 	}
 
-	// Recursive deviation-median cuts over [lo, hi) curve intervals.
-	segmentOf := make([]int, grid.NumCells())
-	nextID := 0
-	var cut func(lo, hi, depth int)
-	cut = func(lo, hi, depth int) {
+	// Phase 1: recursive deviation-median cuts over [lo, hi) curve
+	// intervals, sibling subtrees on the pool (prefix is read-only).
+	var sem chan struct{}
+	if workers > 1 {
+		sem = make(chan struct{}, workers-1)
+	}
+	var cut func(lo, hi, depth int) *curveSeg
+	cut = func(lo, hi, depth int) *curveSeg {
+		seg := &curveSeg{lo: lo, hi: hi}
 		if depth >= height || hi-lo <= 1 {
-			id := nextID
-			nextID++
-			for i := lo; i < hi; i++ {
-				segmentOf[grid.Index(order[i])] = id
-			}
-			return
+			return seg
 		}
 		bestK := -1
 		bestScore := math.Inf(1)
@@ -113,10 +133,45 @@ func BuildFairCurve(grid geo.Grid, cells []geo.Cell, deviations []float64, heigh
 				bestK, bestScore, bestDist = k, score, dist
 			}
 		}
-		cut(lo, bestK, depth+1)
-		cut(bestK, hi, depth+1)
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					seg.left = cut(lo, bestK, depth+1)
+					<-sem
+				}()
+				seg.right = cut(bestK, hi, depth+1)
+				wg.Wait()
+				return seg
+			default:
+			}
+		}
+		seg.left = cut(lo, bestK, depth+1)
+		seg.right = cut(bestK, hi, depth+1)
+		return seg
 	}
-	cut(0, len(order), 0)
+	root := cut(0, len(order), 0)
+
+	// Phase 2: sequential depth-first id assignment over the leaves.
+	segmentOf := make([]int, grid.NumCells())
+	nextID := 0
+	var assign func(seg *curveSeg)
+	assign = func(seg *curveSeg) {
+		if seg.left == nil {
+			id := nextID
+			nextID++
+			for i := seg.lo; i < seg.hi; i++ {
+				segmentOf[grid.Index(order[i])] = id
+			}
+			return
+		}
+		assign(seg.left)
+		assign(seg.right)
+	}
+	assign(root)
 
 	return partition.New(grid, nextID, segmentOf)
 }

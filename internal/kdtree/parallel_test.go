@@ -134,3 +134,99 @@ func TestConfigRejectsNegativeWorkers(t *testing.T) {
 		t.Fatal("expected error for negative workers")
 	}
 }
+
+// sameQuadTree fails unless a and b have identical structure, rects
+// and joint split choices.
+func sameQuadTree(t *testing.T, a, b *QuadNode, path string) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: nil mismatch", path)
+	}
+	if a == nil {
+		return
+	}
+	if a.Rect != b.Rect || a.Depth != b.Depth || a.SplitRow != b.SplitRow || a.SplitCol != b.SplitCol {
+		t.Fatalf("%s: node mismatch: %+v vs %+v", path, a, b)
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("%s: %d children vs %d", path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		sameQuadTree(t, a.Children[i], b.Children[i], path+string(rune('0'+i)))
+	}
+}
+
+// The parallel quadtree build must produce the exact tree — and hence
+// the exact depth-first leaf ids — the sequential build does, for any
+// worker count.
+func TestBuildFairQuadtreeParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	grid := geo.MustGrid(41, 35)
+	cells, dev := randomWorkload(rng, grid, 4000)
+	seq, err := BuildFairQuadtree(grid, cells, dev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		par, err := BuildFairQuadtreeWorkers(grid, cells, dev, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameQuadTree(t, seq.Root, par.Root, "quad:")
+		seqLeaves, parLeaves := seq.Leaves(), par.Leaves()
+		if len(seqLeaves) != len(parLeaves) {
+			t.Fatalf("workers=%d: %d leaves vs %d", workers, len(parLeaves), len(seqLeaves))
+		}
+	}
+	if _, err := BuildFairQuadtreeWorkers(grid, cells, dev, 4, -1); err == nil {
+		t.Error("negative workers accepted")
+	}
+}
+
+// samePartition fails unless a and b assign every cell to the same
+// region id — the property that keeps a parallel curve build's
+// region numbering bit-identical to the sequential one.
+func samePartition(t *testing.T, grid geo.Grid, a, b *partition.Partition) {
+	t.Helper()
+	if a.NumRegions() != b.NumRegions() {
+		t.Fatalf("%d regions vs %d", b.NumRegions(), a.NumRegions())
+	}
+	for row := 0; row < grid.U; row++ {
+		for col := 0; col < grid.V; col++ {
+			c := geo.Cell{Row: row, Col: col}
+			ra, err := a.RegionOfCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := b.RegionOfCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ra != rb {
+				t.Fatalf("cell %v: region %d vs %d", c, rb, ra)
+			}
+		}
+	}
+}
+
+// The two-phase parallel Hilbert-curve build (parallel cut tree,
+// sequential id walk) must reproduce the sequential partition exactly.
+func TestBuildFairCurveParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	grid := geo.MustGrid(37, 52)
+	cells, dev := randomWorkload(rng, grid, 4000)
+	seq, err := BuildFairCurve(grid, cells, dev, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		par, err := BuildFairCurveWorkers(grid, cells, dev, 6, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePartition(t, grid, seq, par)
+	}
+	if _, err := BuildFairCurveWorkers(grid, cells, dev, 6, -1); err == nil {
+		t.Error("negative workers accepted")
+	}
+}

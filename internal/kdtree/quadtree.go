@@ -3,6 +3,7 @@ package kdtree
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fairindex/internal/geo"
 	"fairindex/internal/partition"
@@ -38,35 +39,85 @@ type QuadTree struct {
 // (up to 4^height leaves). deviations follow the BuildFair
 // convention.
 func BuildFairQuadtree(grid geo.Grid, cells []geo.Cell, deviations []float64, height int) (*QuadTree, error) {
+	return BuildFairQuadtreeWorkers(grid, cells, deviations, height, 1)
+}
+
+// BuildFairQuadtreeWorkers is BuildFairQuadtree evaluating independent
+// sibling quadrants on a bounded worker pool, following the KD
+// grower's discipline: each child lands in its fixed quadrant slot and
+// the parent waits for all four, so the tree shape, the depth-first
+// leaf order and therefore the region ids are identical to a
+// sequential build for any worker count (<= 1 disables parallelism).
+func BuildFairQuadtreeWorkers(grid geo.Grid, cells []geo.Cell, deviations []float64, height, workers int) (*QuadTree, error) {
 	if err := validateBuild(grid, cells, height); err != nil {
 		return nil, err
 	}
 	if len(deviations) != len(cells) {
 		return nil, fmt.Errorf("%w: %d deviations for %d records", ErrBadInput, len(deviations), len(cells))
 	}
+	if workers < 0 {
+		return nil, fmt.Errorf("%w: negative workers %d", ErrBadInput, workers)
+	}
 	sums, err := newCellSumsPooled(grid, cells, deviations)
 	if err != nil {
 		return nil, err
 	}
 	defer sums.release()
+	g := &quadGrower{sums: sums, height: height}
+	if workers > 1 {
+		g.sem = make(chan struct{}, workers-1)
+	}
 	t := &QuadTree{Grid: grid, Height: height}
-	t.Root = growQuad(sums, grid.Bounds(), 0, height)
+	t.Root = g.grow(grid.Bounds(), 0)
 	return t, nil
 }
 
-// growQuad recursively splits rect at the fairest (row, col) point.
-func growQuad(sums *CellSums, rect geo.CellRect, depth, height int) *QuadNode {
+// quadGrower carries the shared build state; the prefix-sum workspace
+// is read-only during growth, so quadrants may be evaluated
+// concurrently.
+type quadGrower struct {
+	sums   *CellSums
+	height int
+	sem    chan struct{} // parallelism budget; nil = sequential
+}
+
+// grow recursively splits rect at the fairest (row, col) point.
+func (g *quadGrower) grow(rect geo.CellRect, depth int) *QuadNode {
 	n := &QuadNode{Rect: rect, Depth: depth}
-	if depth >= height || (rect.Rows() <= 1 && rect.Cols() <= 1) {
+	if depth >= g.height || (rect.Rows() <= 1 && rect.Cols() <= 1) {
 		return n
 	}
-	kr, kc := bestQuadSplit(sums, rect)
+	kr, kc := bestQuadSplit(g.sums, rect)
 	n.SplitRow, n.SplitCol = kr, kc
-	for _, q := range quadrants(rect, kr, kc) {
+	// Children build into fixed quadrant slots (possibly on pooled
+	// goroutines) and are compacted in quadrant order afterwards, so
+	// the child order never depends on scheduling.
+	var kids [4]*QuadNode
+	var wg sync.WaitGroup
+	for i, q := range quadrants(rect, kr, kc) {
 		if q.Empty() {
 			continue
 		}
-		n.Children = append(n.Children, growQuad(sums, q, depth+1, height))
+		if g.sem != nil {
+			select {
+			case g.sem <- struct{}{}:
+				wg.Add(1)
+				go func(slot int, q geo.CellRect) {
+					defer wg.Done()
+					kids[slot] = g.grow(q, depth+1)
+					<-g.sem
+				}(i, q)
+				continue
+			default:
+			}
+		}
+		kids[i] = g.grow(q, depth+1)
+	}
+	wg.Wait()
+	for _, k := range kids {
+		if k != nil {
+			n.Children = append(n.Children, k)
+		}
 	}
 	if len(n.Children) == 1 {
 		// Degenerate split (single surviving quadrant equals rect):

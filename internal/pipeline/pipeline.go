@@ -590,7 +590,7 @@ func buildPartition(ds *dataset.Dataset, cfg Config, trainIdx []int, workers int
 		if err != nil {
 			return nil, err
 		}
-		qt, err := kdtree.BuildFairQuadtree(grid, trainCells, dev, (cfg.Height+1)/2)
+		qt, err := kdtree.BuildFairQuadtreeWorkers(grid, trainCells, dev, (cfg.Height+1)/2, workers)
 		if err != nil {
 			return nil, err
 		}

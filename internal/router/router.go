@@ -1,0 +1,1296 @@
+// Package router is the scatter-gather front end of sharded serving:
+// one HTTP process that presents the whole-index /v1 query API while
+// the index itself lives split across N shard backends (each an
+// ordinary internal/server process serving one shard artifact from
+// fairindex.ExtractShard). Requests fan out to the shards named by a
+// shard.Manifest and the per-shard answers are reassembled with the
+// exact merge kernels (fairindex.MergeNearest, MergeWindowStats,
+// shard.MergeOverlaps) — responses are bit-identical to a single
+// server holding the whole index, a property pinned by the
+// sharded-vs-whole HTTP parity suite.
+//
+// Consistency model: every fan-out binds to one manifest snapshot and
+// verifies each backend reply's Fairindex-Generation header against
+// the snapshot's expected shard fingerprint. A mismatch — a backend
+// serving a different artifact generation than the manifest describes,
+// as happens mid hot-reload — rejects the whole fan-out; the router
+// reloads its manifest (when a source is configured) and retries the
+// request once against the new snapshot, then answers 409. Responses
+// are therefore never assembled from mixed generations.
+//
+// Fault model: Locate, LocateBatch, RangeQuery and kNN are exact-or-
+// fail — an unreachable or timed-out shard is a 502, because a missing
+// shard's regions would silently corrupt the answer. Window stats
+// degrade instead: live shards' statistics are merged exactly and the
+// response carries "partial": true naming no invented numbers — the
+// aggregates are the true aggregates of the regions that answered.
+// Score and Report are whole-index operations (scoring needs the true
+// region centroid assignment) and answer 501.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fairindex "fairindex"
+	"fairindex/internal/geo"
+	"fairindex/internal/server"
+	"fairindex/internal/shard"
+)
+
+// DefaultTimeout bounds each per-shard backend call unless overridden
+// with WithTimeout.
+const DefaultTimeout = 5 * time.Second
+
+// DefaultMaxBatch mirrors the backend server's default request-size
+// bound (points per batch, regions per stats window).
+const DefaultMaxBatch = 1 << 20
+
+// maxReplyBytes caps how much of one backend response body the router
+// reads.
+const maxReplyBytes = 64 << 20
+
+// maxBodyBytes caps client request bodies, matching internal/server.
+const maxBodyBytes = 64 << 20
+
+// Backend names one shard backend: the manifest shard it serves and
+// the base URL (scheme://host:port) its server answers on.
+type Backend struct {
+	Name string
+	URL  string
+}
+
+// ManifestSource re-reads the shard manifest, e.g. from its file; the
+// router calls it to refresh its plan when backend generations stop
+// matching (a hot reload in progress).
+type ManifestSource func() (*shard.Manifest, error)
+
+// Router is the scatter-gather handler. Create one with New, then use
+// it as an http.Handler. All methods are safe for concurrent use.
+type Router struct {
+	client   *http.Client
+	timeout  time.Duration
+	maxBatch int
+	logger   *log.Logger
+	mux      *http.ServeMux
+	source   ManifestSource
+	backends map[string]string
+
+	// state is the current consistent snapshot: manifest plus resolved
+	// per-shard URLs. Handlers load it once per request; reload swaps
+	// it atomically.
+	state    atomic.Pointer[routerState]
+	reloadMu sync.Mutex
+	reloads  atomic.Int64
+}
+
+// routerState binds one manifest generation to the backend URLs
+// serving it, with the coordinate mapper derived once.
+type routerState struct {
+	manifest *shard.Manifest
+	mapper   geo.Mapper
+	urls     []string // manifest shard order
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithTimeout sets the per-shard backend call timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(rt *Router) {
+		if d > 0 {
+			rt.timeout = d
+		}
+	}
+}
+
+// WithClient sets the HTTP client used for backend calls.
+func WithClient(c *http.Client) Option {
+	return func(rt *Router) {
+		if c != nil {
+			rt.client = c
+		}
+	}
+}
+
+// WithMaxBatch caps request sizes (default DefaultMaxBatch).
+func WithMaxBatch(n int) Option {
+	return func(rt *Router) {
+		if n > 0 {
+			rt.maxBatch = n
+		}
+	}
+}
+
+// WithLogger routes router warnings to l.
+func WithLogger(l *log.Logger) Option {
+	return func(rt *Router) {
+		if l != nil {
+			rt.logger = l
+		}
+	}
+}
+
+// WithManifestSource enables manifest refresh on generation mismatch
+// and POST /v1/reload.
+func WithManifestSource(src ManifestSource) Option {
+	return func(rt *Router) { rt.source = src }
+}
+
+// New wires a Router over a manifest and the backends serving its
+// shards. Every manifest shard needs exactly one backend of the same
+// name; unknown or duplicate backend names are an error.
+func New(m *shard.Manifest, backends []Backend, opts ...Option) (*Router, error) {
+	rt := &Router{
+		client:   &http.Client{},
+		timeout:  DefaultTimeout,
+		maxBatch: DefaultMaxBatch,
+		logger:   log.Default(),
+		backends: make(map[string]string, len(backends)),
+	}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	for _, b := range backends {
+		if _, dup := rt.backends[b.Name]; dup {
+			return nil, fmt.Errorf("router: duplicate backend %q", b.Name)
+		}
+		rt.backends[b.Name] = strings.TrimRight(b.URL, "/")
+	}
+	st, err := newRouterState(m, rt.backends)
+	if err != nil {
+		return nil, err
+	}
+	rt.state.Store(st)
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	rt.mux.HandleFunc("POST /v1/reload", rt.handleReload)
+	rt.mux.HandleFunc("GET /v1/locate", rt.handleLocate)
+	rt.mux.HandleFunc("POST /v1/locate", rt.handleLocate)
+	rt.mux.HandleFunc("POST /v1/locate_batch", rt.handleLocateBatch)
+	rt.mux.HandleFunc("POST /v1/range", rt.handleRange)
+	rt.mux.HandleFunc("GET /v1/knn", rt.handleKNN)
+	rt.mux.HandleFunc("POST /v1/knn", rt.handleKNN)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("POST /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("POST /v1/score", rt.handleUnsupported)
+	rt.mux.HandleFunc("GET /v1/report/{task}", rt.handleUnsupported)
+	return rt, nil
+}
+
+// newRouterState resolves a manifest against the configured backends.
+func newRouterState(m *shard.Manifest, backends map[string]string) (*routerState, error) {
+	mapper, err := geo.NewMapper(m.Grid, m.Box)
+	if err != nil {
+		return nil, fmt.Errorf("router: manifest geometry: %w", err)
+	}
+	st := &routerState{manifest: m, mapper: mapper, urls: make([]string, len(m.Shards))}
+	named := make(map[string]bool, len(m.Shards))
+	for i, s := range m.Shards {
+		url, ok := backends[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("router: no backend for shard %q", s.Name)
+		}
+		st.urls[i] = url
+		named[s.Name] = true
+	}
+	for name := range backends {
+		if !named[name] {
+			return nil, fmt.Errorf("router: backend %q matches no manifest shard", name)
+		}
+	}
+	return st, nil
+}
+
+// Manifest returns the router's current manifest snapshot.
+func (rt *Router) Manifest() *shard.Manifest { return rt.state.Load().manifest }
+
+// Reloads returns how many times the router refreshed its manifest.
+func (rt *Router) Reloads() int64 { return rt.reloads.Load() }
+
+// Reload refreshes the manifest from the configured source — the same
+// path POST /v1/reload takes. It errors when no source is configured
+// or the new manifest does not resolve against the known backends.
+func (rt *Router) Reload() error {
+	if rt.source == nil {
+		return errors.New("router: no manifest source configured for reload")
+	}
+	_, err := rt.reloadState()
+	return err
+}
+
+// reloadState refreshes the manifest from the configured source and
+// swaps the state; concurrent reloads are serialized and the state is
+// only replaced after the new manifest resolves against the backends.
+func (rt *Router) reloadState() (*routerState, error) {
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	m, err := rt.source()
+	if err != nil {
+		return nil, fmt.Errorf("router: reloading manifest: %w", err)
+	}
+	st, err := newRouterState(m, rt.backends)
+	if err != nil {
+		return nil, err
+	}
+	rt.state.Store(st)
+	rt.reloads.Add(1)
+	return st, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Wire types mirror internal/server's field order exactly so merged
+// responses are byte-compatible with a whole-index server's.
+
+type locateRequest struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+type locateResponse struct {
+	Region int `json:"region"`
+}
+
+type locateBatchRequest struct {
+	Lats []float64 `json:"lats"`
+	Lons []float64 `json:"lons"`
+}
+
+type locateBatchResponse struct {
+	Regions []int  `json:"regions"`
+	Invalid int    `json:"invalid,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+type rectJSON struct {
+	MinLat float64 `json:"min_lat"`
+	MinLon float64 `json:"min_lon"`
+	MaxLat float64 `json:"max_lat"`
+	MaxLon float64 `json:"max_lon"`
+}
+
+type regionOverlapJSON struct {
+	Region   int     `json:"region"`
+	Cells    int     `json:"cells"`
+	Fraction float64 `json:"fraction"`
+}
+
+type rangeResponse struct {
+	Regions []regionOverlapJSON `json:"regions"`
+	Count   int                 `json:"count"`
+}
+
+type knnRequest struct {
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+	K       int     `json:"k"`
+	Squared bool    `json:"squared,omitempty"`
+}
+
+type neighborDistJSON struct {
+	Region   int     `json:"region"`
+	Distance float64 `json:"distance"`
+}
+
+type knnResponse struct {
+	Neighbors []neighborDistJSON `json:"neighbors"`
+	Squared   bool               `json:"squared,omitempty"`
+}
+
+type statsRequest struct {
+	Task    int       `json:"task"`
+	Regions []int     `json:"regions,omitempty"`
+	Rect    *rectJSON `json:"rect,omitempty"`
+	Metrics []string  `json:"metrics,omitempty"`
+	Sums    bool      `json:"sums,omitempty"`
+}
+
+type regionStatJSON struct {
+	Region   int       `json:"region"`
+	Count    int       `json:"count"`
+	MeanConf jsonFloat `json:"mean_conf"`
+	PosRate  jsonFloat `json:"pos_rate"`
+	Miscal   jsonFloat `json:"miscal"`
+	CalRatio jsonFloat `json:"cal_ratio"`
+	SumScore *float64  `json:"sum_score,omitempty"`
+	SumLabel *float64  `json:"sum_label,omitempty"`
+}
+
+type statsResponse struct {
+	Task     int                  `json:"task"`
+	Count    int                  `json:"count"`
+	MeanConf jsonFloat            `json:"mean_conf"`
+	PosRate  jsonFloat            `json:"pos_rate"`
+	Miscal   jsonFloat            `json:"miscal"`
+	CalRatio jsonFloat            `json:"cal_ratio"`
+	ENCE     jsonFloat            `json:"ence"`
+	Metrics  map[string]jsonFloat `json:"metrics,omitempty"`
+	Regions  []regionStatJSON     `json:"regions"`
+	// Partial marks a degraded window-stats response: some shards were
+	// unreachable and the aggregates cover only the regions that
+	// answered (exactly). Absent on complete responses, so a healthy
+	// deployment's bytes match a whole-index server's.
+	Partial bool `json:"partial,omitempty"`
+	// FailedShards names the shards a partial response is missing.
+	FailedShards []string `json:"failed_shards,omitempty"`
+}
+
+type healthzResponse struct {
+	Status     string `json:"status"`
+	Shards     int    `json:"shards"`
+	Regions    int    `json:"regions"`
+	Generation string `json:"generation"`
+	Reloads    int64  `json:"reloads"`
+}
+
+type shardInfoJSON struct {
+	Name        string `json:"name"`
+	URL         string `json:"url"`
+	Lo          int    `json:"lo"`
+	Hi          int    `json:"hi"`
+	Fingerprint string `json:"fingerprint"`
+	Status      string `json:"status"`
+	Generation  string `json:"generation,omitempty"`
+	Match       bool   `json:"match"`
+}
+
+type shardsResponse struct {
+	Generation string          `json:"generation"`
+	Regions    int             `json:"regions"`
+	Shards     []shardInfoJSON `json:"shards"`
+}
+
+type reloadResponse struct {
+	Generation string `json:"generation"`
+	Reloads    int64  `json:"reloads"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// jsonFloat mirrors internal/server's NaN/Inf→null float encoding so
+// merged stats bytes match a whole-index server's.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// writeJSON writes v with the given status.
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		rt.logger.Printf("router: writing response: %v", err)
+	}
+}
+
+// writeError writes a JSON error body.
+func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
+	rt.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// setGeneration stamps the manifest generation — the whole source
+// index's fingerprint, so it matches what a whole-index server would
+// send — on a data response.
+func setGeneration(w http.ResponseWriter, st *routerState) {
+	w.Header().Set(server.GenerationHeader, strconv.FormatUint(st.manifest.Generation, 10))
+}
+
+// decodeJSON strictly decodes a single JSON object request body,
+// matching internal/server's request discipline.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid JSON body: trailing data")
+	}
+	return nil
+}
+
+// queryFloat parses a required float query parameter.
+func queryFloat(r *http.Request, key string) (float64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %v", key, err)
+	}
+	return f, nil
+}
+
+// Scatter machinery.
+
+// shardCall is one backend request of a fan-out.
+type shardCall struct {
+	method string
+	path   string
+	body   []byte // nil for GET
+}
+
+// shardReply is one backend's answer: transport error, or status plus
+// body plus the generation header.
+type shardReply struct {
+	status int
+	body   []byte
+	gen    string
+	err    error
+}
+
+// httpError is a terminal handler outcome: status plus message,
+// written by the handler that receives it.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// scatter fans calls out to their shards concurrently and collects
+// every reply; each call gets its own timeout.
+func (rt *Router) scatter(ctx context.Context, st *routerState, calls map[int]shardCall) map[int]shardReply {
+	replies := make(map[int]shardReply, len(calls))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for i, call := range calls {
+		wg.Add(1)
+		go func(i int, call shardCall) {
+			defer wg.Done()
+			rep := rt.callShard(ctx, st.urls[i], call)
+			mu.Lock()
+			replies[i] = rep
+			mu.Unlock()
+		}(i, call)
+	}
+	wg.Wait()
+	return replies
+}
+
+// callShard performs one backend request.
+func (rt *Router) callShard(ctx context.Context, url string, call shardCall) shardReply {
+	cctx, cancel := context.WithTimeout(ctx, rt.timeout)
+	defer cancel()
+	var body io.Reader
+	if call.body != nil {
+		body = bytes.NewReader(call.body)
+	}
+	req, err := http.NewRequestWithContext(cctx, call.method, url+call.path, body)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	if call.body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxReplyBytes))
+	if err != nil {
+		return shardReply{err: err}
+	}
+	return shardReply{status: resp.StatusCode, body: data, gen: resp.Header.Get(server.GenerationHeader)}
+}
+
+// mismatched returns the shards whose reply's generation header does
+// not name the fingerprint the manifest snapshot expects. Transport
+// failures are not mismatches (the fault path owns them), and an
+// error reply without the header is a registry-level failure, not a
+// generation signal.
+func mismatched(st *routerState, replies map[int]shardReply) []int {
+	var bad []int
+	for i, rep := range replies {
+		if rep.err != nil {
+			continue
+		}
+		if rep.gen == "" && rep.status != http.StatusOK {
+			continue
+		}
+		if rep.gen != strconv.FormatUint(st.manifest.Shards[i].Fingerprint, 10) {
+			bad = append(bad, i)
+		}
+	}
+	sort.Ints(bad)
+	return bad
+}
+
+// scatterConsistent runs one generation-consistent fan-out: build
+// derives the calls from a manifest snapshot, the replies are checked
+// against that snapshot's fingerprints, and on any mismatch the
+// manifest is reloaded (when a source is configured) and the whole
+// fan-out rebuilt and retried exactly once. A mismatch surviving the
+// retry is a 409: the deployment is mid-transition and no consistent
+// answer exists.
+func (rt *Router) scatterConsistent(ctx context.Context, build func(*routerState) (map[int]shardCall, *httpError)) (*routerState, map[int]shardReply, *httpError) {
+	st := rt.state.Load()
+	for attempt := 0; ; attempt++ {
+		calls, herr := build(st)
+		if herr != nil {
+			return nil, nil, herr
+		}
+		replies := rt.scatter(ctx, st, calls)
+		bad := mismatched(st, replies)
+		if len(bad) == 0 {
+			return st, replies, nil
+		}
+		if attempt == 0 && rt.source != nil {
+			next, err := rt.reloadState()
+			if err == nil {
+				st = next
+				continue
+			}
+			rt.logger.Printf("router: manifest reload after generation mismatch failed: %v", err)
+		}
+		names := make([]string, len(bad))
+		for j, i := range bad {
+			names[j] = st.manifest.Shards[i].Name
+		}
+		return nil, nil, &httpError{http.StatusConflict, fmt.Sprintf(
+			"router: generation mismatch on shard(s) %s: backends serve a different artifact generation than the manifest",
+			strings.Join(names, ", "))}
+	}
+}
+
+// relay forwards one backend reply verbatim — used for client errors
+// (4xx), which are input-determined and identical across shards.
+func (rt *Router) relay(w http.ResponseWriter, st *routerState, rep shardReply) {
+	setGeneration(w, st)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rep.status)
+	w.Write(rep.body)
+}
+
+// firstClientError scans replies in shard order for a 4xx to relay.
+func firstClientError(st *routerState, replies map[int]shardReply) (shardReply, bool) {
+	for i := range st.manifest.Shards {
+		rep, ok := replies[i]
+		if !ok || rep.err != nil {
+			continue
+		}
+		if rep.status >= 400 && rep.status < 500 {
+			return rep, true
+		}
+	}
+	return shardReply{}, false
+}
+
+// failedShards lists the shards (manifest order) whose reply failed at
+// the transport layer or with a backend-side 5xx.
+func failedShards(st *routerState, replies map[int]shardReply) []int {
+	var down []int
+	for i := range st.manifest.Shards {
+		rep, ok := replies[i]
+		if !ok {
+			continue // shard not part of this fan-out
+		}
+		if rep.err != nil || rep.status >= 500 {
+			down = append(down, i)
+		}
+	}
+	return down
+}
+
+// unreachableError describes dead shards for a hard-failure response.
+func (rt *Router) unreachableError(st *routerState, replies map[int]shardReply, down []int) error {
+	parts := make([]string, len(down))
+	for j, i := range down {
+		rep := replies[i]
+		if rep.err != nil {
+			parts[j] = fmt.Sprintf("%s: %v", st.manifest.Shards[i].Name, rep.err)
+		} else {
+			parts[j] = fmt.Sprintf("%s: backend status %d", st.manifest.Shards[i].Name, rep.status)
+		}
+	}
+	return fmt.Errorf("router: shard backend(s) unavailable: %s", strings.Join(parts, "; "))
+}
+
+func (rt *Router) handleUnsupported(w http.ResponseWriter, r *http.Request) {
+	rt.writeError(w, http.StatusNotImplemented, errors.New(
+		"router: score and report are whole-index operations; query a server holding the unsharded artifact"))
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := rt.state.Load()
+	rt.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:     "ok",
+		Shards:     len(st.manifest.Shards),
+		Regions:    st.manifest.NumRegions,
+		Generation: strconv.FormatUint(st.manifest.Generation, 10),
+		Reloads:    rt.reloads.Load(),
+	})
+}
+
+// handleShards probes every backend's healthz and reports the plan
+// side by side with what each backend actually serves.
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	st := rt.state.Load()
+	calls := make(map[int]shardCall, len(st.manifest.Shards))
+	for i := range st.manifest.Shards {
+		calls[i] = shardCall{method: http.MethodGet, path: "/healthz"}
+	}
+	replies := rt.scatter(r.Context(), st, calls)
+	resp := shardsResponse{
+		Generation: strconv.FormatUint(st.manifest.Generation, 10),
+		Regions:    st.manifest.NumRegions,
+		Shards:     make([]shardInfoJSON, len(st.manifest.Shards)),
+	}
+	for i, s := range st.manifest.Shards {
+		info := shardInfoJSON{
+			Name:        s.Name,
+			URL:         st.urls[i],
+			Lo:          s.Lo,
+			Hi:          s.Hi,
+			Fingerprint: strconv.FormatUint(s.Fingerprint, 10),
+		}
+		rep := replies[i]
+		switch {
+		case rep.err != nil:
+			info.Status = fmt.Sprintf("unreachable: %v", rep.err)
+		case rep.status != http.StatusOK:
+			info.Status = fmt.Sprintf("unhealthy: status %d", rep.status)
+		default:
+			info.Status = "ok"
+		}
+		if rep.err == nil {
+			info.Generation = rep.gen
+			info.Match = rep.gen == info.Fingerprint
+		}
+		resp.Shards[i] = info
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	if rt.source == nil {
+		rt.writeError(w, http.StatusConflict, errors.New("router: no manifest source configured for reload"))
+		return
+	}
+	st, err := rt.reloadState()
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, reloadResponse{
+		Generation: strconv.FormatUint(st.manifest.Generation, 10),
+		Reloads:    rt.reloads.Load(),
+	})
+}
+
+// handleLocate routes a point query by cell: the manifest's cell→
+// region table names the owning region and hence the one shard to ask;
+// the backend's answer (in its local id space) is translated back and
+// cross-checked against the manifest.
+func (rt *Router) handleLocate(w http.ResponseWriter, r *http.Request) {
+	// Stamp the current generation up front so even locally-rejected
+	// requests carry it, matching the server's resolve-then-validate
+	// order; fan-out paths re-stamp with the snapshot that answered.
+	setGeneration(w, rt.state.Load())
+	var req locateRequest
+	if r.Method == http.MethodGet {
+		var err error
+		if req.Lat, err = queryFloat(r, "lat"); err != nil {
+			rt.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Lon, err = queryFloat(r, "lon"); err != nil {
+			rt.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else if err := decodeJSON(r, &req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if math.IsNaN(req.Lat) || math.IsInf(req.Lat, 0) || math.IsNaN(req.Lon) || math.IsInf(req.Lon, 0) {
+		// fairindex.Index.Locate's exact refusal, replicated here so the
+		// router's 400 matches a whole-index server's byte for byte.
+		rt.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("fairindex: non-finite coordinate (%v, %v)", req.Lat, req.Lon))
+		return
+	}
+	var owner, want int
+	body, _ := json.Marshal(locateRequest{Lat: req.Lat, Lon: req.Lon})
+	st, replies, herr := rt.scatterConsistent(r.Context(), func(st *routerState) (map[int]shardCall, *httpError) {
+		cell := st.mapper.CellOf(req.Lat, req.Lon)
+		want = st.manifest.RegionOfCell(st.manifest.Grid.Index(cell))
+		owner = st.manifest.ShardOfRegion(want)
+		return map[int]shardCall{owner: {method: http.MethodPost, path: "/v1/locate", body: body}}, nil
+	})
+	if herr != nil {
+		rt.writeError(w, herr.status, herr)
+		return
+	}
+	rep := replies[owner]
+	if down := failedShards(st, replies); len(down) > 0 {
+		rt.writeError(w, http.StatusBadGateway, rt.unreachableError(st, replies, down))
+		return
+	}
+	if rep.status != http.StatusOK {
+		rt.relay(w, st, rep)
+		return
+	}
+	var resp locateResponse
+	if err := json.Unmarshal(rep.body, &resp); err != nil {
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("router: shard %q: malformed locate response: %v", st.manifest.Shards[owner].Name, err))
+		return
+	}
+	global, ok := st.manifest.ToGlobal(owner, resp.Region)
+	if !ok || global != want {
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf(
+			"router: shard %q located region %d, manifest expects %d", st.manifest.Shards[owner].Name, resp.Region, want))
+		return
+	}
+	setGeneration(w, st)
+	rt.writeJSON(w, http.StatusOK, locateResponse{Region: global})
+}
+
+// handleLocateBatch splits a batch by owning shard, fans the per-shard
+// sub-batches out, and scatters the translated answers back into
+// request order. Invalid (non-finite) points never reach a backend:
+// they are resolved locally with the whole index's exact sentinel and
+// error text, original point indices preserved.
+func (rt *Router) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
+	setGeneration(w, rt.state.Load())
+	var req locateBatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Lats) != len(req.Lons) {
+		rt.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d lats vs %d lons", len(req.Lats), len(req.Lons)))
+		return
+	}
+	if len(req.Lats) == 0 {
+		rt.writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Lats) > rt.maxBatch {
+		rt.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d points exceeds limit %d", len(req.Lats), rt.maxBatch))
+		return
+	}
+
+	n := len(req.Lats)
+	regions := make([]int, n)
+	var (
+		errs    []string
+		invalid int
+		subLats [][]float64
+		subLons [][]float64
+		subPos  [][]int
+	)
+	st, replies, herr := rt.scatterConsistent(r.Context(), func(st *routerState) (map[int]shardCall, *httpError) {
+		numShards := len(st.manifest.Shards)
+		subLats = make([][]float64, numShards)
+		subLons = make([][]float64, numShards)
+		subPos = make([][]int, numShards)
+		errs = errs[:0]
+		invalid = 0
+		for i := 0; i < n; i++ {
+			lat, lon := req.Lats[i], req.Lons[i]
+			// x−x is 0 exactly when x is finite — the same predicate
+			// fairindex.locateRange uses, so error text and order match.
+			if lat-lat != 0 || lon-lon != 0 {
+				regions[i] = fairindex.RegionInvalid
+				invalid++
+				if len(errs) < 8 {
+					errs = append(errs, fmt.Sprintf("fairindex: point %d: non-finite coordinate (%v, %v)", i, lat, lon))
+				}
+				continue
+			}
+			cell := st.mapper.CellOf(lat, lon)
+			region := st.manifest.RegionOfCell(st.manifest.Grid.Index(cell))
+			regions[i] = region
+			s := st.manifest.ShardOfRegion(region)
+			subLats[s] = append(subLats[s], lat)
+			subLons[s] = append(subLons[s], lon)
+			subPos[s] = append(subPos[s], i)
+		}
+		if invalid > len(errs) {
+			errs = append(errs, fmt.Sprintf("fairindex: %d further invalid points", invalid-len(errs)))
+		}
+		calls := make(map[int]shardCall, numShards)
+		for s := range subLats {
+			if len(subLats[s]) == 0 {
+				continue
+			}
+			body, err := json.Marshal(locateBatchRequest{Lats: subLats[s], Lons: subLons[s]})
+			if err != nil {
+				return nil, &httpError{http.StatusInternalServerError, err.Error()}
+			}
+			calls[s] = shardCall{method: http.MethodPost, path: "/v1/locate_batch", body: body}
+		}
+		return calls, nil
+	})
+	if herr != nil {
+		rt.writeError(w, herr.status, herr)
+		return
+	}
+	if down := failedShards(st, replies); len(down) > 0 {
+		rt.writeError(w, http.StatusBadGateway, rt.unreachableError(st, replies, down))
+		return
+	}
+	if rep, ok := firstClientError(st, replies); ok {
+		rt.relay(w, st, rep)
+		return
+	}
+	for s, rep := range replies {
+		var sub locateBatchResponse
+		if err := json.Unmarshal(rep.body, &sub); err != nil || len(sub.Regions) != len(subPos[s]) {
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf(
+				"router: shard %q: malformed batch response", st.manifest.Shards[s].Name))
+			return
+		}
+		for j, local := range sub.Regions {
+			global, ok := st.manifest.ToGlobal(s, local)
+			if !ok || global != regions[subPos[s][j]] {
+				rt.writeError(w, http.StatusBadGateway, fmt.Errorf(
+					"router: shard %q located region %d for point %d, manifest expects %d",
+					st.manifest.Shards[s].Name, local, subPos[s][j], regions[subPos[s][j]]))
+				return
+			}
+		}
+	}
+	resp := locateBatchResponse{Regions: regions, Invalid: invalid, Error: strings.Join(errs, "\n")}
+	setGeneration(w, st)
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRange fans the rectangle to every shard and concatenates the
+// translated per-shard overlap lists — shard ranges ascend, so the
+// concatenation is the whole index's ascending-id result.
+func (rt *Router) handleRange(w http.ResponseWriter, r *http.Request) {
+	setGeneration(w, rt.state.Load())
+	var req rectJSON
+	if err := decodeJSON(r, &req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, _ := json.Marshal(req)
+	st, replies, herr := rt.scatterConsistent(r.Context(), func(st *routerState) (map[int]shardCall, *httpError) {
+		calls := make(map[int]shardCall, len(st.manifest.Shards))
+		for i := range st.manifest.Shards {
+			calls[i] = shardCall{method: http.MethodPost, path: "/v1/range", body: body}
+		}
+		return calls, nil
+	})
+	if herr != nil {
+		rt.writeError(w, herr.status, herr)
+		return
+	}
+	if down := failedShards(st, replies); len(down) > 0 {
+		rt.writeError(w, http.StatusBadGateway, rt.unreachableError(st, replies, down))
+		return
+	}
+	if rep, ok := firstClientError(st, replies); ok {
+		rt.relay(w, st, rep)
+		return
+	}
+	lists := make([][]fairindex.RegionOverlap, len(st.manifest.Shards))
+	for i := range st.manifest.Shards {
+		var sub rangeResponse
+		if err := json.Unmarshal(replies[i].body, &sub); err != nil {
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf(
+				"router: shard %q: malformed range response: %v", st.manifest.Shards[i].Name, err))
+			return
+		}
+		ovs := make([]fairindex.RegionOverlap, len(sub.Regions))
+		for j, ov := range sub.Regions {
+			ovs[j] = fairindex.RegionOverlap{Region: ov.Region, Cells: ov.Cells, Fraction: ov.Fraction}
+		}
+		lists[i] = st.manifest.TranslateOverlaps(i, ovs)
+	}
+	merged := shard.MergeOverlaps(lists...)
+	resp := rangeResponse{Regions: make([]regionOverlapJSON, len(merged)), Count: len(merged)}
+	for i, ov := range merged {
+		resp.Regions[i] = regionOverlapJSON{Region: ov.Region, Cells: ov.Cells, Fraction: ov.Fraction}
+	}
+	setGeneration(w, st)
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleKNN fans the query to every shard in squared-distance space
+// (k+1 candidates each, so dropping one sentinel per shard cannot
+// starve the merge), merges on the exact (squared distance, id)
+// selection key, and takes square roots last.
+func (rt *Router) handleKNN(w http.ResponseWriter, r *http.Request) {
+	setGeneration(w, rt.state.Load())
+	var req knnRequest
+	if r.Method == http.MethodGet {
+		var err error
+		if req.Lat, err = queryFloat(r, "lat"); err != nil {
+			rt.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Lon, err = queryFloat(r, "lon"); err != nil {
+			rt.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		raw := r.URL.Query().Get("k")
+		if raw == "" {
+			rt.writeError(w, http.StatusBadRequest, errors.New("missing query parameter \"k\""))
+			return
+		}
+		if req.K, err = strconv.Atoi(raw); err != nil {
+			rt.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"k\": %v", err))
+			return
+		}
+		if raw := r.URL.Query().Get("squared"); raw != "" {
+			if req.Squared, err = strconv.ParseBool(raw); err != nil {
+				rt.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"squared\": %v", err))
+				return
+			}
+		}
+	} else if err := decodeJSON(r, &req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K > rt.maxBatch {
+		rt.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("k of %d exceeds limit %d", req.K, rt.maxBatch))
+		return
+	}
+	// Replicate NearestRegions' exact refusals before asking any shard
+	// for k+1 candidates (which would mask k < 1).
+	if math.IsNaN(req.Lat) || math.IsInf(req.Lat, 0) || math.IsNaN(req.Lon) || math.IsInf(req.Lon, 0) {
+		rt.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: non-finite coordinate (%v, %v)", fairindex.ErrQuery, req.Lat, req.Lon))
+		return
+	}
+	if req.K < 1 {
+		rt.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: k must be at least 1, got %d", fairindex.ErrQuery, req.K))
+		return
+	}
+	body, _ := json.Marshal(knnRequest{Lat: req.Lat, Lon: req.Lon, K: req.K + 1, Squared: true})
+	st, replies, herr := rt.scatterConsistent(r.Context(), func(st *routerState) (map[int]shardCall, *httpError) {
+		calls := make(map[int]shardCall, len(st.manifest.Shards))
+		for i := range st.manifest.Shards {
+			calls[i] = shardCall{method: http.MethodPost, path: "/v1/knn", body: body}
+		}
+		return calls, nil
+	})
+	if herr != nil {
+		rt.writeError(w, herr.status, herr)
+		return
+	}
+	if down := failedShards(st, replies); len(down) > 0 {
+		rt.writeError(w, http.StatusBadGateway, rt.unreachableError(st, replies, down))
+		return
+	}
+	if rep, ok := firstClientError(st, replies); ok {
+		rt.relay(w, st, rep)
+		return
+	}
+	lists := make([][]fairindex.RegionDistance, len(st.manifest.Shards))
+	for i := range st.manifest.Shards {
+		var sub knnResponse
+		if err := json.Unmarshal(replies[i].body, &sub); err != nil {
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf(
+				"router: shard %q: malformed knn response: %v", st.manifest.Shards[i].Name, err))
+			return
+		}
+		nds := make([]fairindex.RegionDistance, len(sub.Neighbors))
+		for j, nd := range sub.Neighbors {
+			nds[j] = fairindex.RegionDistance{Region: nd.Region, Distance: nd.Distance}
+		}
+		lists[i] = st.manifest.TranslateNearest(i, nds)
+	}
+	merged := fairindex.MergeNearest(req.K, lists...)
+	if !req.Squared {
+		for i := range merged {
+			merged[i].Distance = math.Sqrt(merged[i].Distance)
+		}
+	}
+	resp := knnResponse{Neighbors: make([]neighborDistJSON, len(merged)), Squared: req.Squared}
+	for i, nd := range merged {
+		resp.Neighbors[i] = neighborDistJSON{Region: nd.Region, Distance: nd.Distance}
+	}
+	setGeneration(w, st)
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats fans one window out to the shards owning it, gathers
+// raw per-region sufficient statistics (the backends' "sums" surface)
+// and refolds them with fairindex.MergeWindowStats — the same fold the
+// whole index runs, so complete responses are bit-identical. Unlike
+// the point queries, stats degrade under shard failure: live shards'
+// regions are aggregated exactly and the response is marked partial.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	setGeneration(w, rt.state.Load())
+	var req statsRequest
+	if r.Method == http.MethodGet {
+		if !rt.statsRequestFromQuery(w, r, &req) {
+			return
+		}
+	} else if err := decodeJSON(r, &req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Regions == nil) == (req.Rect == nil) {
+		rt.writeError(w, http.StatusBadRequest,
+			errors.New("exactly one of \"regions\" and \"rect\" must be given"))
+		return
+	}
+	if len(req.Regions) > rt.maxBatch {
+		rt.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("window of %d regions exceeds limit %d", len(req.Regions), rt.maxBatch))
+		return
+	}
+
+	var rectBody []byte
+	if req.Rect != nil {
+		rectBody, _ = json.Marshal(statsRequest{Task: req.Task, Rect: req.Rect, Sums: true})
+	}
+	st, replies, herr := rt.scatterConsistent(r.Context(), func(st *routerState) (map[int]shardCall, *httpError) {
+		calls := make(map[int]shardCall, len(st.manifest.Shards))
+		if req.Rect != nil {
+			// Rect windows resolve per shard: each backend runs its own
+			// RangeQuery over the same geometry, so the union of owned
+			// results is exactly the whole index's window.
+			for i := range st.manifest.Shards {
+				calls[i] = shardCall{method: http.MethodPost, path: "/v1/stats", body: rectBody}
+			}
+			return calls, nil
+		}
+		// Explicit region lists are validated here in the global id
+		// space (the backends only see local ids), replicating the
+		// whole index's exact refusals.
+		local := make([][]int, len(st.manifest.Shards))
+		seen := make(map[int]bool, len(req.Regions))
+		for _, region := range req.Regions {
+			if region < 0 || region >= st.manifest.NumRegions {
+				return nil, &httpError{http.StatusBadRequest, fmt.Sprintf(
+					"%v: region %d out of range [0,%d)", fairindex.ErrQuery, region, st.manifest.NumRegions)}
+			}
+			if seen[region] {
+				return nil, &httpError{http.StatusBadRequest, fmt.Sprintf(
+					"%v: duplicate region %d", fairindex.ErrQuery, region)}
+			}
+			seen[region] = true
+			s, l := st.manifest.ToLocal(region)
+			local[s] = append(local[s], l)
+		}
+		for s, ids := range local {
+			if len(ids) == 0 {
+				continue
+			}
+			body, err := json.Marshal(statsRequest{Task: req.Task, Regions: ids, Sums: true})
+			if err != nil {
+				return nil, &httpError{http.StatusInternalServerError, err.Error()}
+			}
+			calls[s] = shardCall{method: http.MethodPost, path: "/v1/stats", body: body}
+		}
+		if len(calls) == 0 {
+			// Empty window: probe the first shard so task validation
+			// (404 on an unknown task) still happens somewhere. Written
+			// by hand because omitempty would drop the empty list and
+			// turn the request into the regions-vs-rect 400.
+			calls[0] = shardCall{method: http.MethodPost, path: "/v1/stats",
+				body: []byte(fmt.Sprintf(`{"task":%d,"regions":[],"sums":true}`, req.Task))}
+		}
+		return calls, nil
+	})
+	if herr != nil {
+		rt.writeError(w, herr.status, herr)
+		return
+	}
+	if rep, ok := firstClientError(st, replies); ok {
+		rt.relay(w, st, rep)
+		return
+	}
+	down := failedShards(st, replies)
+	if len(down) == len(replies) {
+		rt.writeError(w, http.StatusBadGateway, rt.unreachableError(st, replies, down))
+		return
+	}
+	downSet := make(map[int]bool, len(down))
+	var failedNames []string
+	for _, i := range down {
+		downSet[i] = true
+		failedNames = append(failedNames, st.manifest.Shards[i].Name)
+	}
+
+	var gathered []fairindex.RegionStat
+	for i := range st.manifest.Shards {
+		rep, ok := replies[i]
+		if !ok || downSet[i] {
+			continue
+		}
+		var sub statsResponse
+		if err := json.Unmarshal(rep.body, &sub); err != nil {
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf(
+				"router: shard %q: malformed stats response: %v", st.manifest.Shards[i].Name, err))
+			return
+		}
+		for _, rs := range sub.Regions {
+			global, ok := st.manifest.ToGlobal(i, rs.Region)
+			if !ok {
+				continue // foreign sentinel
+			}
+			if rs.SumScore == nil || rs.SumLabel == nil {
+				rt.writeError(w, http.StatusBadGateway, fmt.Errorf(
+					"router: shard %q: backend response lacks raw sums (pre-sharding server version?)", st.manifest.Shards[i].Name))
+				return
+			}
+			gathered = append(gathered, fairindex.RegionStat{
+				Region: global, Count: rs.Count,
+				SumScore: *rs.SumScore, SumLabel: *rs.SumLabel,
+			})
+		}
+	}
+	// The rect path resolves the window server-side, so the whole
+	// server's post-resolution cap applies to the merged window here.
+	if len(gathered) > rt.maxBatch {
+		rt.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("window of %d regions exceeds limit %d", len(gathered), rt.maxBatch))
+		return
+	}
+	var (
+		ws  fairindex.WindowStats
+		err error
+	)
+	if req.Metrics != nil {
+		ws, err = fairindex.MergeWindowStatsMetrics(req.Task, gathered, req.Metrics...)
+	} else {
+		ws, err = fairindex.MergeWindowStats(req.Task, gathered)
+	}
+	if err != nil {
+		// Merge errors wrap fairindex.ErrQuery (unknown metric names);
+		// task and artifact-capability errors were already relayed from
+		// the backends above.
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := statsResponse{
+		Task:     ws.Task,
+		Count:    ws.Count,
+		MeanConf: jsonFloat(ws.MeanConf),
+		PosRate:  jsonFloat(ws.PosRate),
+		Miscal:   jsonFloat(ws.Miscal),
+		CalRatio: jsonFloat(ws.CalRatio),
+		ENCE:     jsonFloat(ws.ENCE),
+		Regions:  make([]regionStatJSON, len(ws.Regions)),
+		Partial:  len(down) > 0,
+	}
+	resp.FailedShards = failedNames
+	if ws.Metrics != nil {
+		resp.Metrics = make(map[string]jsonFloat, len(ws.Metrics))
+		for name, v := range ws.Metrics {
+			resp.Metrics[name] = jsonFloat(v)
+		}
+	}
+	for i, rs := range ws.Regions {
+		resp.Regions[i] = regionStatJSON{
+			Region:   rs.Region,
+			Count:    rs.Count,
+			MeanConf: jsonFloat(rs.MeanConf),
+			PosRate:  jsonFloat(rs.PosRate),
+			Miscal:   jsonFloat(rs.Miscal),
+			CalRatio: jsonFloat(rs.CalRatio),
+		}
+		if req.Sums {
+			sc, sl := rs.SumScore, rs.SumLabel
+			resp.Regions[i].SumScore = &sc
+			resp.Regions[i].SumLabel = &sl
+		}
+	}
+	setGeneration(w, st)
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// statsRequestFromQuery parses the GET form of /v1/stats, mirroring
+// internal/server's parameter grammar (task, regions|rect, metrics,
+// sums).
+func (rt *Router) statsRequestFromQuery(w http.ResponseWriter, r *http.Request, req *statsRequest) bool {
+	q := r.URL.Query()
+	if raw := q.Get("task"); raw != "" {
+		task, err := strconv.Atoi(raw)
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"task\": %v", err))
+			return false
+		}
+		req.Task = task
+	}
+	if raw := q.Get("regions"); raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				rt.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"regions\": %v", err))
+				return false
+			}
+			req.Regions = append(req.Regions, v)
+		}
+	}
+	if raw := q.Get("rect"); raw != "" {
+		fields := strings.Split(raw, ",")
+		if len(fields) != 4 {
+			rt.writeError(w, http.StatusBadRequest,
+				errors.New("query parameter \"rect\": want minLat,minLon,maxLat,maxLon"))
+			return false
+		}
+		var vals [4]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				rt.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"rect\": %v", err))
+				return false
+			}
+			vals[i] = v
+		}
+		req.Rect = &rectJSON{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}
+	}
+	if raw, ok := q["metrics"]; ok {
+		req.Metrics = []string{}
+		for _, part := range raw {
+			for _, f := range strings.Split(part, ",") {
+				if f = strings.TrimSpace(f); f != "" {
+					req.Metrics = append(req.Metrics, f)
+				}
+			}
+		}
+	}
+	if raw := q.Get("sums"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"sums\": %v", err))
+			return false
+		}
+		req.Sums = v
+	}
+	return true
+}

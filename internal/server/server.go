@@ -295,7 +295,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // resolveIndex binds a request to one index generation: the {index}
 // path segment when present (named route), the catalog default
-// otherwise. A non-nil error has already been written to w.
+// otherwise. A non-nil error has already been written to w. On
+// success the response carries the bound generation's fingerprint in
+// the GenerationHeader, so a scatter-gather router can verify every
+// fanned-out answer came from the artifact its manifest expects.
 func (s *Server) resolveIndex(w http.ResponseWriter, r *http.Request) (*fairindex.Index, bool) {
 	name := r.PathValue("index")
 	var (
@@ -311,7 +314,28 @@ func (s *Server) resolveIndex(w http.ResponseWriter, r *http.Request) (*fairinde
 		s.writeRegistryError(w, err)
 		return nil, false
 	}
+	s.setGeneration(w, idx)
 	return idx, true
+}
+
+// GenerationHeader is the response header naming the served artifact's
+// generation: the decimal fairindex.Fingerprint of the index a data
+// request bound to. The shard router (internal/router) compares it
+// against the manifest's expected fingerprint on every per-shard
+// response; headers, unlike bodies, survive identically across every
+// endpoint shape, which is why the token rides here.
+const GenerationHeader = "Fairindex-Generation"
+
+// setGeneration stamps the bound index's fingerprint on the response.
+// Fingerprint errors leave the header absent — a router treats a
+// missing token the same as a mismatched one.
+func (s *Server) setGeneration(w http.ResponseWriter, idx *fairindex.Index) {
+	fp, err := idx.Fingerprint()
+	if err != nil {
+		s.logger.Printf("server: fingerprinting served index: %v", err)
+		return
+	}
+	w.Header().Set(GenerationHeader, strconv.FormatUint(fp, 10))
 }
 
 // writeRegistryError maps catalog resolution errors onto HTTP
@@ -395,6 +419,12 @@ type knnRequest struct {
 	Lat float64 `json:"lat"`
 	Lon float64 `json:"lon"`
 	K   int     `json:"k"`
+	// Squared requests squared centroid distances instead of the
+	// default Euclidean ones. Per-shard candidate lists merge exactly
+	// in squared space (sqrt can collapse distinct squared distances
+	// onto equal floats, reordering the id tie-break), so the shard
+	// router always queries backends with squared set.
+	Squared bool `json:"squared,omitempty"`
 }
 
 type neighborDistJSON struct {
@@ -404,6 +434,10 @@ type neighborDistJSON struct {
 
 type knnResponse struct {
 	Neighbors []neighborDistJSON `json:"neighbors"`
+	// Squared echoes the request flag so a reader of the stored
+	// response knows which space Distance lives in; omitted (legacy
+	// bytes) for default Euclidean responses.
+	Squared bool `json:"squared,omitempty"`
 }
 
 // statsRequest selects the window either as an explicit region list
@@ -417,6 +451,11 @@ type statsRequest struct {
 	Regions []int     `json:"regions,omitempty"`
 	Rect    *rectJSON `json:"rect,omitempty"`
 	Metrics []string  `json:"metrics,omitempty"`
+	// Sums requests each region's raw additive sufficient statistics
+	// (sum_score, sum_label) alongside the derived ratios — what a
+	// scatter-gather merger needs to reassemble exact window aggregates
+	// across shards. Absent keeps the legacy response bytes unchanged.
+	Sums bool `json:"sums,omitempty"`
 }
 
 type regionStatJSON struct {
@@ -426,6 +465,12 @@ type regionStatJSON struct {
 	PosRate  jsonFloat `json:"pos_rate"`
 	Miscal   jsonFloat `json:"miscal"`
 	CalRatio jsonFloat `json:"cal_ratio"`
+	// SumScore and SumLabel are the region's raw additive sufficient
+	// statistics, present only when the request set "sums". Always
+	// finite, and encoding/json's shortest-round-trip float encoding
+	// preserves their exact bits across the wire.
+	SumScore *float64 `json:"sum_score,omitempty"`
+	SumLabel *float64 `json:"sum_label,omitempty"`
 }
 
 type statsResponse struct {
@@ -735,6 +780,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Method = idx.Method().String()
 		resp.Regions = idx.NumRegions()
 		resp.Tasks = idx.Tasks()
+		s.setGeneration(w, idx)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -1059,6 +1105,12 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"k\": %v", err))
 			return
 		}
+		if raw := r.URL.Query().Get("squared"); raw != "" {
+			if req.Squared, err = strconv.ParseBool(raw); err != nil {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"squared\": %v", err))
+				return
+			}
+		}
 	} else if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -1072,12 +1124,20 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	neighbors, err := idx.NearestRegions(req.Lat, req.Lon, req.K)
+	var (
+		neighbors []fairindex.RegionDistance
+		err       error
+	)
+	if req.Squared {
+		neighbors, err = idx.NearestRegionsSquared(req.Lat, req.Lon, req.K)
+	} else {
+		neighbors, err = idx.NearestRegions(req.Lat, req.Lon, req.K)
+	}
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
-	resp := knnResponse{Neighbors: make([]neighborDistJSON, len(neighbors))}
+	resp := knnResponse{Neighbors: make([]neighborDistJSON, len(neighbors)), Squared: req.Squared}
 	for i, nd := range neighbors {
 		resp.Neighbors[i] = neighborDistJSON{Region: nd.Region, Distance: nd.Distance}
 	}
@@ -1089,8 +1149,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 // is shared by /v1/stats and /v1/compare, so both endpoints enforce
 // the same window cap and produce the same wire shape. metrics
 // selects additional fairness metrics per statsRequest.Metrics
-// semantics: nil for the legacy shape, empty for all registered.
-func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, rect *rectJSON, metrics []string) (*statsResponse, int, error) {
+// semantics: nil for the legacy shape, empty for all registered;
+// sums adds each region's raw sufficient statistics per
+// statsRequest.Sums.
+func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, rect *rectJSON, metrics []string, sums bool) (*statsResponse, int, error) {
 	regions := regionList
 	if rect != nil {
 		overlaps, err := idx.RangeQuery(fairindex.BBox{
@@ -1148,6 +1210,11 @@ func (s *Server) windowStats(idx *fairindex.Index, task int, regionList []int, r
 			Miscal:   jsonFloat(rs.Miscal),
 			CalRatio: jsonFloat(rs.CalRatio),
 		}
+		if sums {
+			sc, sl := rs.SumScore, rs.SumLabel
+			resp.Regions[i].SumScore = &sc
+			resp.Regions[i].SumLabel = &sl
+		}
 	}
 	return resp, 0, nil
 }
@@ -1183,7 +1250,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, status, err := s.windowStats(idx, req.Task, req.Regions, req.Rect, req.Metrics)
+	resp, status, err := s.windowStats(idx, req.Task, req.Regions, req.Rect, req.Metrics, req.Sums)
 	if err != nil {
 		s.writeStatsError(w, status, err)
 		return
@@ -1193,8 +1260,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // statsRequestFromQuery parses the GET form of /v1/stats: ?task=N,
 // the window as either regions=1,2,3 or rect=minLat,minLon,maxLat,
-// maxLon, and optionally metrics=ence,stat_parity (metrics= alone,
-// i.e. present but empty, selects every registered metric). Reports
+// maxLon, optionally metrics=ence,stat_parity (metrics= alone, i.e.
+// present but empty, selects every registered metric), and optionally
+// sums=true for raw per-region sufficient statistics. Reports
 // whether parsing succeeded; on failure the 400 has been written.
 func (s *Server) statsRequestFromQuery(w http.ResponseWriter, r *http.Request, req *statsRequest) bool {
 	q := r.URL.Query()
@@ -1243,6 +1311,14 @@ func (s *Server) statsRequestFromQuery(w http.ResponseWriter, r *http.Request, r
 				}
 			}
 		}
+	}
+	if raw := q.Get("sums"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter \"sums\": %v", err))
+			return false
+		}
+		req.Sums = v
 	}
 	return true
 }
@@ -1318,7 +1394,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	resp.Baseline = req.Indexes[0]
 	var base *statsResponse
 	for i, idx := range idxs {
-		stats, status, err := s.windowStats(idx, *req.Task, req.Regions, req.Rect, req.Metrics)
+		stats, status, err := s.windowStats(idx, *req.Task, req.Regions, req.Rect, req.Metrics, false)
 		if err != nil {
 			s.writeStatsError(w, status, fmt.Errorf("index %q: %w", req.Indexes[i], err))
 			return

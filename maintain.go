@@ -26,6 +26,11 @@ type maintState struct {
 	// (SetDriftThreshold / DriftThreshold) reads and writes the
 	// calib.MetricENCE key.
 	thresholds atomic.Pointer[map[string]float64]
+	// Fingerprint cache (shard.go): the artifact's content hash,
+	// computed lazily once per built/loaded Index.
+	fpOnce sync.Once
+	fp     uint64
+	fpErr  error
 }
 
 // liveStats is one immutable maintenance snapshot. AppendBatch never

@@ -69,6 +69,13 @@ type RegionStat struct {
 	PosRate  float64 // o(N): empirical positive rate
 	Miscal   float64 // |e − o|
 	CalRatio float64 // e/o (Eq. 2); NaN when the region has no positives
+	// SumScore and SumLabel are the region's raw additive sufficient
+	// statistics (Σ score, Σ label). Together with Count they fully
+	// determine every derived field above, which is what lets
+	// MergeWindowStats rebuild an exact window aggregate from
+	// per-region stats collected across index shards.
+	SumScore float64
+	SumLabel float64
 }
 
 // WindowStats aggregates the stored per-region calibration report
@@ -199,6 +206,25 @@ func (ix *Index) RangeQuery(q BBox) ([]RegionOverlap, error) {
 // Build/UnmarshalBinary time; results are identical to a full sorted
 // centroid scan (pinned by a property test).
 func (ix *Index) NearestRegions(lat, lon float64, k int) ([]RegionDistance, error) {
+	res, err := ix.NearestRegionsSquared(lat, lon, k)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res {
+		res[i].Distance = math.Sqrt(res[i].Distance)
+	}
+	return res, nil
+}
+
+// NearestRegionsSquared is NearestRegions without the final square
+// root: distances are squared planar Euclidean degrees, in the same
+// (squared distance, region id) order the search itself selects by.
+// This is the merge hook for sharded serving — squared distances are
+// the canonical selection key, so per-shard candidate lists merged on
+// (squared distance, id) reproduce the whole index's top-k exactly
+// even when two distinct squared distances would collide after the
+// square root. See MergeNearest.
+func (ix *Index) NearestRegionsSquared(lat, lon float64, k int) ([]RegionDistance, error) {
 	if math.IsNaN(lat) || math.IsInf(lat, 0) || math.IsNaN(lon) || math.IsInf(lon, 0) {
 		return nil, fmt.Errorf("%w: non-finite coordinate (%v, %v)", ErrQuery, lat, lon)
 	}
@@ -210,10 +236,57 @@ func (ix *Index) NearestRegions(lat, lon float64, k int) ([]RegionDistance, erro
 	}
 	res := make([]RegionDistance, 0, k)
 	ix.knnVisit(&res, k, lat, lon, 0, len(ix.knnOrder), 0)
-	for i := range res {
-		res[i].Distance = math.Sqrt(res[i].Distance)
-	}
 	return res, nil
+}
+
+// MergeNearest merges candidate lists that are each sorted by
+// (Distance, Region) ascending — the order NearestRegionsSquared
+// returns — into the global top k under the same order. It is the
+// exact kNN merge kernel for sharded serving: feed it per-shard
+// squared-distance candidates (k+1 per shard, so dropping one
+// foreign-region entry per shard cannot starve the merge) with region
+// ids already translated to the global id space, then take the square
+// root of the merged distances. The merge itself performs no
+// per-region allocation.
+func MergeNearest(k int, lists ...[]RegionDistance) []RegionDistance {
+	if k < 1 {
+		return nil
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if k > total {
+		k = total
+	}
+	if k == 0 {
+		return nil
+	}
+	out := make([]RegionDistance, 0, k)
+	pos := make([]int, len(lists))
+	for len(out) < k {
+		best := -1
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a, b := l[pos[i]], lists[best][pos[best]]
+			if a.Distance < b.Distance ||
+				(a.Distance == b.Distance && a.Region < b.Region) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
+	}
+	return out
 }
 
 // centroidDegrees converts a region's stored normalized centroid to
@@ -404,16 +477,13 @@ func (ix *Index) GroupStatsMetrics(task int, regions []int, names ...string) (Wi
 	if stats == nil {
 		return WindowStats{}, ErrNoRegionStats
 	}
-	out, err := ix.windowOver(task, stats, regions)
+	ids, window, err := ix.windowSlices(stats, regions)
 	if err != nil {
-		return out, err
+		return WindowStats{}, err
 	}
+	out := foldWindow(task, ids, window)
 	// The metric contract takes one SuffStats entry per window region
 	// (ascending id, matching out.Regions).
-	window := make([]calib.SuffStats, len(out.Regions))
-	for i, rs := range out.Regions {
-		window[i] = stats[rs.Region]
-	}
 	out.Metrics = make(map[string]float64, len(mets))
 	for _, m := range mets {
 		out.Metrics[m.Name()] = m.Compute(window)
@@ -425,30 +495,61 @@ func (ix *Index) GroupStatsMetrics(task int, regions []int, names ...string) (Wi
 // the shared core of GroupStats and GroupStatsMetrics. The legacy
 // aggregate arithmetic here is pinned bit-exactly by golden tests.
 func (ix *Index) windowOver(task int, stats []calib.SuffStats, regions []int) (WindowStats, error) {
+	ids, window, err := ix.windowSlices(stats, regions)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	return foldWindow(task, ids, window), nil
+}
+
+// windowSlices validates a query's region list and resolves it against
+// a statistics snapshot into parallel ascending-id slices, the input
+// shape foldWindow and the metric layer share.
+func (ix *Index) windowSlices(stats []calib.SuffStats, regions []int) ([]int, []calib.SuffStats, error) {
 	// Region ids are dense, so a bitmap both rejects duplicates and —
 	// scanned in order — yields the ascending-id aggregation without a
 	// sort.
 	seen := make([]bool, ix.numRegions)
 	for _, region := range regions {
 		if region < 0 || region >= ix.numRegions {
-			return WindowStats{}, fmt.Errorf("%w: region %d out of range [0,%d)", ErrQuery, region, ix.numRegions)
+			return nil, nil, fmt.Errorf("%w: region %d out of range [0,%d)", ErrQuery, region, ix.numRegions)
 		}
 		if seen[region] {
-			return WindowStats{}, fmt.Errorf("%w: duplicate region %d", ErrQuery, region)
+			return nil, nil, fmt.Errorf("%w: duplicate region %d", ErrQuery, region)
 		}
 		seen[region] = true
 	}
-
-	out := WindowStats{Task: task, CalRatio: math.NaN()}
-	if len(regions) > 0 {
-		out.Regions = make([]RegionStat, 0, len(regions))
+	if len(regions) == 0 {
+		return nil, nil, nil
 	}
-	var sumScore, sumLabel float64
+	ids := make([]int, 0, len(regions))
+	window := make([]calib.SuffStats, 0, len(regions))
 	for region, in := range seen {
 		if !in {
 			continue
 		}
-		st := stats[region]
+		ids = append(ids, region)
+		window = append(window, stats[region])
+	}
+	return ids, window, nil
+}
+
+// foldWindow runs the legacy window aggregation over parallel
+// ascending-id slices of region ids and their sufficient statistics.
+// Every caller — local queries via windowOver, cross-shard merges via
+// MergeWindowStats — funnels through this one fold, so the
+// floating-point operation order (and hence the exact bit pattern of
+// every aggregate) is identical no matter how the statistics were
+// collected. It performs no per-region allocation beyond the result's
+// Regions slice.
+func foldWindow(task int, ids []int, window []calib.SuffStats) WindowStats {
+	out := WindowStats{Task: task, CalRatio: math.NaN()}
+	if len(ids) > 0 {
+		out.Regions = make([]RegionStat, 0, len(ids))
+	}
+	var sumScore, sumLabel float64
+	for i, region := range ids {
+		st := window[i]
 		out.Count += st.Count
 		sumScore += st.SumScore
 		sumLabel += st.SumLabel
@@ -463,16 +564,86 @@ func (ix *Index) windowOver(task int, stats []calib.SuffStats, regions []int) (W
 		}
 		// Definition 3 restricted to the window: population-weighted
 		// mean of per-region |e − o| over the window's total.
-		for region, in := range seen {
-			if !in {
-				continue
-			}
-			if st := stats[region]; st.Count > 0 {
+		for _, st := range window {
+			if st.Count > 0 {
 				out.ENCE += (float64(st.Count) / float64(out.Count)) * st.MiscalAbs()
 			}
 		}
 	}
+	return out
+}
+
+// MergeWindowStats rebuilds an exact window aggregate from per-region
+// summaries gathered across shards of a partitioned index. Each
+// RegionStat must carry the raw sufficient statistics (Count,
+// SumScore, SumLabel) of a distinct region, with ids in the global id
+// space; the slice need not be sorted. Because the statistics are
+// additive and the fold is shared with GroupStats, the result is
+// bit-identical to querying the whole index — including ENCE, whose
+// population weights come from the merged total.
+func MergeWindowStats(task int, regions []RegionStat) (WindowStats, error) {
+	ids, window, err := mergeWindowSlices(regions)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	return foldWindow(task, ids, window), nil
+}
+
+// MergeWindowStatsMetrics is MergeWindowStats with fairness-metric
+// selection, mirroring GroupStatsMetrics: each named registered metric
+// is evaluated over the merged per-region sufficient statistics; with
+// no names every registered metric is evaluated. Metric values are
+// bit-identical to GroupStatsMetrics on the whole index because the
+// metric layer consumes the same ascending-id SuffStats window.
+func MergeWindowStatsMetrics(task int, regions []RegionStat, names ...string) (WindowStats, error) {
+	if len(names) == 0 {
+		names = Metrics()
+	}
+	mets, err := calib.ResolveMetrics(names)
+	if err != nil {
+		return WindowStats{}, fmt.Errorf("%w: %v", ErrQuery, err)
+	}
+	ids, window, err := mergeWindowSlices(regions)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	out := foldWindow(task, ids, window)
+	out.Metrics = make(map[string]float64, len(mets))
+	for _, m := range mets {
+		out.Metrics[m.Name()] = m.Compute(window)
+	}
 	return out, nil
+}
+
+// mergeWindowSlices validates and sorts merged per-region summaries
+// into the parallel ascending-id slices foldWindow consumes.
+func mergeWindowSlices(regions []RegionStat) ([]int, []calib.SuffStats, error) {
+	if len(regions) == 0 {
+		return nil, nil, nil
+	}
+	ordered := regions
+	if !sort.SliceIsSorted(ordered, func(a, b int) bool { return ordered[a].Region < ordered[b].Region }) {
+		ordered = append([]RegionStat(nil), regions...)
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a].Region < ordered[b].Region })
+	}
+	ids := make([]int, 0, len(ordered))
+	window := make([]calib.SuffStats, 0, len(ordered))
+	prev := -1
+	for _, rs := range ordered {
+		if rs.Region < 0 {
+			return nil, nil, fmt.Errorf("%w: region %d out of range", ErrQuery, rs.Region)
+		}
+		if rs.Region == prev {
+			return nil, nil, fmt.Errorf("%w: duplicate region %d", ErrQuery, rs.Region)
+		}
+		if rs.Count < 0 {
+			return nil, nil, fmt.Errorf("%w: region %d has negative count %d", ErrQuery, rs.Region, rs.Count)
+		}
+		prev = rs.Region
+		ids = append(ids, rs.Region)
+		window = append(window, calib.SuffStats{Count: rs.Count, SumScore: rs.SumScore, SumLabel: rs.SumLabel})
+	}
+	return ids, window, nil
 }
 
 // regionStatOf converts stored sufficient statistics into the public
@@ -489,5 +660,7 @@ func regionStatOf(region int, st calib.SuffStats) RegionStat {
 		PosRate:  st.PosRate(),
 		Miscal:   st.MiscalAbs(),
 		CalRatio: ratio,
+		SumScore: st.SumScore,
+		SumLabel: st.SumLabel,
 	}
 }
