@@ -1,0 +1,56 @@
+// Rebuild control-plane benchmark: the promotion gate's
+// candidate-vs-serving evaluation cost over the paper-sized LA index.
+// Baseline lives in BENCH_index.json next to the serving entries.
+package fairindex_test
+
+import (
+	"sync"
+	"testing"
+
+	fairindex "fairindex"
+	"fairindex/internal/rebuild"
+)
+
+// candidateIndex lazily builds the gate's "candidate" side: the same
+// paper-sized LA workload as fullIndex under a different seed, so the
+// evaluation compares two genuinely distinct partitions the way a
+// real rebuild does.
+var candidateIndex = sync.OnceValues(func() (*fairindex.Index, error) {
+	ds, err := fullLA()
+	if err != nil {
+		return nil, err
+	}
+	return fairindex.Build(ds,
+		fairindex.WithMethod(fairindex.MethodFairKD),
+		fairindex.WithHeight(8),
+		fairindex.WithSeed(17))
+})
+
+// BenchmarkRebuildGate measures one full promotion-gate evaluation —
+// both default budget metrics (ence, cal_ratio) over the whole-box
+// probe window, each side resolved through its own RangeQuery — the
+// per-candidate cost the rebuild controller pays between build and
+// swap. Gated in CI so the gate stays negligible next to the build it
+// judges.
+func BenchmarkRebuildGate(b *testing.B) {
+	serving, err := fullIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	candidate, err := candidateIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	budgets := rebuild.DefaultBudgets()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := rebuild.Evaluate(serving, candidate, budgets, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dec.Deltas) == 0 {
+			b.Fatal("empty evaluation grid")
+		}
+	}
+}

@@ -50,6 +50,24 @@
 //		any registered fairness metric (see docs/METRICS.md); the
 //		per-metric live drifts appear as "drifts" in /v1/indexes.
 //
+//		-rebuild-source data.csv (a CSV file, or a directory holding
+//		one <name>.csv per entry) runs the drift-rebuild controller
+//		in-process: every drift crossing — and every POST
+//		/v1/i/{name}/rebuild — rebuilds a candidate from the source
+//		with the serving artifact's own recipe, gates it on fairness
+//		regression budgets (-rebuild-budget metric=delta, repeatable;
+//		default ence=0.01 cal_ratio=0.05) and promotes it atomically
+//		only if no budget is exceeded; rebuild state appears per
+//		entry in /v1/indexes. See docs/REBUILD.md.
+//
+//	fairindexctl rebuild -source new.csv [-budget ence=0.01 ...] [-dry-run] city.fidx
+//		one-shot rebuild cycle over a saved artifact: rebuild a
+//		candidate from -source with the artifact's own build recipe,
+//		evaluate the fairness gate, print the per-metric delta table
+//		and atomically replace the file only on a promote verdict
+//		(-dry-run never touches it). Exit code 0 = promoted (or dry
+//		run passed), 3 = refused, 4 = candidate build failed.
+//
 //	fairindexctl serve -csv points.csv [-out regions.csv] city.fidx
 //		legacy one-shot mode: answer point→neighborhood lookups for
 //		a CSV of points (id, lat, lon; header optional) and exit.
@@ -121,6 +139,7 @@ import (
 	"fairindex/internal/geo"
 	"fairindex/internal/ml"
 	"fairindex/internal/pipeline"
+	"fairindex/internal/rebuild"
 	"fairindex/internal/registry"
 	"fairindex/internal/render"
 	"fairindex/internal/server"
@@ -152,6 +171,12 @@ func main() {
 				log.Fatal(err)
 			}
 			return
+		case "rebuild":
+			code, err := runRebuildCmd(os.Args[2:], os.Stdout)
+			if err != nil {
+				log.Print(err)
+			}
+			os.Exit(code)
 		case "query":
 			if err := runQueryCmd(os.Args[2:], os.Stdout); err != nil {
 				log.Fatal(err)
@@ -608,6 +633,10 @@ func runServeCmd(args []string) error {
 	driftMetrics := map[string]float64{}
 	fs.Func("drift-metric", "metric=threshold to arm on every served index, e.g. stat_parity=0.05 (repeatable; layers on -drift-threshold)",
 		func(v string) error { return parseDriftMetric(v, driftMetrics) })
+	rebuildSrc := fs.String("rebuild-source", "", "run the drift-rebuild controller in-process, rebuilding candidates from this CSV (or <dir>/<name>.csv per entry)")
+	rebuildBudgets := map[string]float64{}
+	fs.Func("rebuild-budget", "metric=delta promotion budget for the rebuild gate, e.g. ence=0.01 (repeatable; default ence=0.01 cal_ratio=0.05)",
+		func(v string) error { return parseDriftMetric(v, rebuildBudgets) })
 	csvPoints := fs.String("csv", "", "legacy one-shot mode: resolve this points CSV (id, lat, lon) and exit")
 	points := fs.String("points", "", "alias for -csv (deprecated)")
 	out := fs.String("out", "", "CSV mode: output path (default stdout)")
@@ -636,6 +665,24 @@ func runServeCmd(args []string) error {
 	srv, err := newServeServer(entries, *dir, *maxIndexes, *defName, *driftThr, driftMetrics)
 	if err != nil {
 		return err
+	}
+	if len(rebuildBudgets) > 0 && *rebuildSrc == "" {
+		return fmt.Errorf("serve: -rebuild-budget needs -rebuild-source")
+	}
+	if *rebuildSrc != "" {
+		reg := srv.Registry()
+		var ctrlOpts []rebuild.Option
+		if len(rebuildBudgets) > 0 {
+			ctrlOpts = append(ctrlOpts, rebuild.WithBudgets(rebuildBudgets))
+		}
+		ctrl, err := rebuild.New(reg, rebuildSourceFn(reg, *rebuildSrc), ctrlOpts...)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		ctrl.Bind()
+		defer ctrl.Close()
+		srv.SetRebuilder(ctrl)
+		fmt.Printf("rebuild controller armed: source %s, budgets %s\n", *rebuildSrc, budgetLine(rebuildBudgets))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

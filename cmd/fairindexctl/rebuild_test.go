@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	fairindex "fairindex"
+	"fairindex/internal/dataset"
+	"fairindex/internal/geo"
+)
+
+// writeRebuildFixture lays out the one-shot rebuild workload: a
+// serving artifact trained on the first 300 of 340 LA records, a
+// fresh-feed CSV holding all 340, and a label-flipped CSV whose
+// candidate regresses the calibration metrics (the same deterministic
+// split internal/rebuild pins its gate verdicts on).
+func writeRebuildFixture(t *testing.T, dir string) (idxPath, freshCSV, badCSV string, all *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.LA()
+	spec.NumRecords = 340
+	all, err := dataset.Generate(spec, geo.MustGrid(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := &dataset.Dataset{
+		Name: all.Name, Grid: all.Grid, Box: all.Box,
+		FeatureNames: all.FeatureNames, TaskNames: all.TaskNames,
+		Records: all.Records[:300],
+	}
+	idx, err := fairindex.Build(build, fairindex.WithHeight(3), fairindex.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxPath = filepath.Join(dir, "city.fidx")
+	if err := os.WriteFile(idxPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	writeCSV := func(name string, ds *dataset.Dataset) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dataset.WriteCSV(ds, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	freshCSV = writeCSV("fresh.csv", all)
+
+	flipped := &dataset.Dataset{
+		Name: all.Name, Grid: all.Grid, Box: all.Box,
+		FeatureNames: all.FeatureNames, TaskNames: all.TaskNames,
+		Records: make([]dataset.Record, len(all.Records)),
+	}
+	copy(flipped.Records, all.Records)
+	for i := range flipped.Records {
+		labels := make([]int, len(flipped.Records[i].Labels))
+		for j, l := range flipped.Records[i].Labels {
+			labels[j] = 1 - l
+		}
+		flipped.Records[i].Labels = labels
+	}
+	badCSV = writeCSV("flipped.csv", flipped)
+	return idxPath, freshCSV, badCSV, all
+}
+
+// TestRebuildCmdPromoted: a coherent fresh feed passes the default
+// gate, exits 0 and atomically replaces the artifact.
+func TestRebuildCmdPromoted(t *testing.T) {
+	idxPath, freshCSV, _, _ := writeRebuildFixture(t, t.TempDir())
+	before, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := runRebuildCmd([]string{"-source", freshCSV, idxPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("promoted run: code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "promoted:") {
+		t.Errorf("output missing promotion line:\n%s", out.String())
+	}
+	after, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(after, before) {
+		t.Error("artifact bytes unchanged after promotion")
+	}
+	if _, err := fairindex.LoadIndex(idxPath); err != nil {
+		t.Fatalf("promoted artifact does not load: %v", err)
+	}
+}
+
+// TestRebuildCmdDryRun: -dry-run reports the verdict and never
+// touches the artifact.
+func TestRebuildCmdDryRun(t *testing.T) {
+	idxPath, freshCSV, _, _ := writeRebuildFixture(t, t.TempDir())
+	before, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := runRebuildCmd([]string{"-source", freshCSV, "-dry-run", idxPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("dry run: code %d err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "dry run:") {
+		t.Errorf("output missing dry-run line:\n%s", out.String())
+	}
+	after, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, before) {
+		t.Error("dry run modified the artifact")
+	}
+}
+
+// TestRebuildCmdRefused: the label-flipped feed regresses ENCE beyond
+// a tight budget — exit code 3, gate table names the exceeded cell,
+// artifact byte-identical.
+func TestRebuildCmdRefused(t *testing.T) {
+	idxPath, _, badCSV, _ := writeRebuildFixture(t, t.TempDir())
+	before, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := runRebuildCmd([]string{"-source", badCSV, "-budget", "ence=0.001", idxPath}, &out)
+	if err != nil || code != exitRefused {
+		t.Fatalf("refused run: code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "EXCEEDED") || !strings.Contains(out.String(), "refused: candidate regresses ence") {
+		t.Errorf("refusal output:\n%s", out.String())
+	}
+	after, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, before) {
+		t.Error("refused rebuild modified the artifact")
+	}
+}
+
+// TestRebuildCmdBuildFailed: a missing or schema-incompatible source
+// is the build-failure class with its own exit code.
+func TestRebuildCmdBuildFailed(t *testing.T) {
+	dir := t.TempDir()
+	idxPath, _, _, _ := writeRebuildFixture(t, dir)
+
+	code, err := runRebuildCmd([]string{"-source", filepath.Join(dir, "nope.csv"), idxPath}, io.Discard)
+	if err == nil || code != exitBuildFailed {
+		t.Errorf("missing source: code %d err %v, want %d", code, err, exitBuildFailed)
+	}
+
+	// A feed whose columns drifted fails the schema pre-flight: rename
+	// the first feature column (header is id,lat,lon,<features>,...).
+	renamed := filepath.Join(dir, "renamed.csv")
+	blob, err := os.ReadFile(filepath.Join(dir, "fresh.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(blob), "\n", 2)
+	cols := strings.Split(lines[0], ",")
+	cols[3] = cols[3] + "_renamed"
+	lines[0] = strings.Join(cols, ",")
+	if err := os.WriteFile(renamed, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _ = runRebuildCmd([]string{"-source", renamed, idxPath}, io.Discard)
+	if code != exitBuildFailed {
+		t.Errorf("renamed columns: code %d, want %d", code, exitBuildFailed)
+	}
+}
+
+// TestRebuildCmdArgValidation: flag/semantic errors stay on the
+// generic error exit code, distinct from refusals and build failures.
+func TestRebuildCmdArgValidation(t *testing.T) {
+	dir := t.TempDir()
+	idxPath, freshCSV, _, _ := writeRebuildFixture(t, dir)
+	if code, err := runRebuildCmd([]string{idxPath}, io.Discard); err == nil || code != 1 {
+		t.Errorf("missing -source: code %d err %v", code, err)
+	}
+	if code, err := runRebuildCmd([]string{"-source", freshCSV}, io.Discard); err == nil || code != 1 {
+		t.Errorf("missing index: code %d err %v", code, err)
+	}
+	if code, err := runRebuildCmd([]string{"-source", freshCSV, "-index", idxPath, idxPath}, io.Discard); err == nil || code != 1 {
+		t.Errorf("index twice: code %d err %v", code, err)
+	}
+	if code, err := runRebuildCmd([]string{"-source", freshCSV, "-budget", "bogus=0.1", idxPath}, io.Discard); err == nil || code != 1 {
+		t.Errorf("unknown budget metric: code %d err %v", code, err)
+	}
+}
+
+// TestRebuildSubprocessE2E is the continuous loop over a real
+// process: `fairindexctl serve -rebuild-source` armed with a tiny
+// drift threshold, drifted over HTTP append until the in-process
+// controller rebuilds, gates and atomically promotes the artifact on
+// disk — observable both in /v1/indexes and in the file's bytes.
+func TestRebuildSubprocessE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	dir := t.TempDir()
+	idxPath, freshCSV, _, all := writeRebuildFixture(t, dir)
+	before, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr := spawn(t, "serve", "-http", "127.0.0.1:0",
+		"-drift-threshold", "1e-12",
+		"-rebuild-source", freshCSV,
+		"-rebuild-budget", "ence=0.01", "-rebuild-budget", "cal_ratio=0.05",
+		idxPath)
+	base := "http://" + addr
+
+	// Drift the serving entry past its threshold over the wire.
+	type rec struct {
+		ID       string    `json:"id"`
+		Lat      float64   `json:"lat"`
+		Lon      float64   `json:"lon"`
+		Features []float64 `json:"features"`
+		Labels   []int     `json:"labels"`
+	}
+	rows := make([]rec, 20)
+	for i, r := range all.Records[300:320] {
+		rows[i] = rec{ID: r.ID, Lat: r.Lat, Lon: r.Lon, Features: r.X, Labels: r.Labels}
+	}
+	body, err := json.Marshal(map[string]any{"records": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d", resp.StatusCode)
+	}
+
+	// The drift hook kicks the controller; poll the catalog until the
+	// promotion lands, then verify the artifact bytes moved and the
+	// server still answers.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/indexes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var listing struct {
+			Indexes []struct {
+				Name    string `json:"name"`
+				Rebuild *struct {
+					State string `json:"state"`
+					Error string `json:"error"`
+				} `json:"rebuild"`
+			} `json:"indexes"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&listing)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(listing.Indexes) == 1 && listing.Indexes[0].Rebuild != nil &&
+			listing.Indexes[0].Rebuild.State == "promoted" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion observed; last listing %+v", listing.Indexes)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	after, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(after, before) {
+		t.Error("artifact bytes unchanged after subprocess promotion")
+	}
+	if _, err := fairindex.LoadIndex(idxPath); err != nil {
+		t.Fatalf("promoted artifact does not load: %v", err)
+	}
+	r := all.Records[0]
+	locate, err := http.Get(fmt.Sprintf("%s/v1/locate?lat=%v&lon=%v", base, r.Lat, r.Lon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, locate.Body)
+	locate.Body.Close()
+	if locate.StatusCode != http.StatusOK {
+		t.Errorf("locate after promotion: status %d", locate.StatusCode)
+	}
+}

@@ -1,0 +1,148 @@
+package rebuild
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+
+	"fairindex"
+)
+
+// Evaluate runs the fairness gate: candidate-vs-serving deltas of
+// every budgeted metric, over every probe window, for every task. Each
+// probe rectangle is resolved to a region window through each index's
+// OWN RangeQuery — the two partitions need not agree, the same
+// discipline /v1/compare uses — and the metrics are computed by
+// GroupStatsMetrics over each side's live sufficient statistics, so a
+// serving index that drifted is judged by what it serves today, not by
+// its build-time snapshot.
+//
+// The verdict is Promote unless some metric's badness delta
+// (distance-from-ideal of the candidate minus the serving index, see
+// Badness) exceeds its budget on the shared inclusive boundary
+// predicate fairindex.DriftExceeds. A NaN on either side yields a NaN
+// delta, which never refuses: a window where a metric is undefined
+// (e.g. cal_ratio with no positives) holds no evidence of regression.
+//
+// A nil budgets map means DefaultBudgets; an empty probe set means one
+// probe covering the serving index's whole box. Evaluate reads both
+// indexes and writes nothing — a refusal leaves no artifact behind.
+func Evaluate(serving, candidate *fairindex.Index, budgets map[string]float64, probes []fairindex.BBox) (Decision, error) {
+	if budgets == nil {
+		budgets = DefaultBudgets()
+	}
+	if err := validateBudgets(budgets); err != nil {
+		return Decision{}, err
+	}
+	tasks := serving.Tasks()
+	if !slices.Equal(tasks, candidate.Tasks()) {
+		return Decision{}, fmt.Errorf("rebuild: candidate serves tasks %v, serving index %v", candidate.Tasks(), tasks)
+	}
+	if len(probes) == 0 {
+		probes = []fairindex.BBox{serving.Box()}
+	}
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	dec := Decision{Promote: true}
+	for pi, probe := range probes {
+		sregs, err := windowRegions(serving, probe)
+		if err != nil {
+			return Decision{}, fmt.Errorf("rebuild: probe %d on serving index: %w", pi, err)
+		}
+		cregs, err := windowRegions(candidate, probe)
+		if err != nil {
+			return Decision{}, fmt.Errorf("rebuild: probe %d on candidate: %w", pi, err)
+		}
+		for _, task := range tasks {
+			sw, err := serving.GroupStatsMetrics(task, sregs, names...)
+			if err != nil {
+				return Decision{}, fmt.Errorf("rebuild: probe %d task %d on serving index: %w", pi, task, err)
+			}
+			cw, err := candidate.GroupStatsMetrics(task, cregs, names...)
+			if err != nil {
+				return Decision{}, fmt.Errorf("rebuild: probe %d task %d on candidate: %w", pi, task, err)
+			}
+			for _, name := range names {
+				d := MetricDelta{
+					Metric:    name,
+					Task:      task,
+					Probe:     pi,
+					Serving:   sw.Metrics[name],
+					Candidate: cw.Metrics[name],
+					Budget:    budgets[name],
+				}
+				d.Delta = Badness(name, d.Candidate) - Badness(name, d.Serving)
+				d.Exceeded = fairindex.DriftExceeds(d.Delta, d.Budget)
+				if d.Exceeded {
+					dec.Promote = false
+					if dec.Refusals == nil {
+						dec.Refusals = make(map[string]float64)
+					}
+					if worst, ok := dec.Refusals[name]; !ok || d.Delta > worst {
+						dec.Refusals[name] = d.Delta
+					}
+				}
+				dec.Deltas = append(dec.Deltas, d)
+			}
+		}
+	}
+	return dec, nil
+}
+
+// windowRegions resolves a probe rectangle to the region ids the
+// index intersects with it.
+func windowRegions(ix *fairindex.Index, probe fairindex.BBox) ([]int, error) {
+	overlaps, err := ix.RangeQuery(probe)
+	if err != nil {
+		return nil, err
+	}
+	regs := make([]int, len(overlaps))
+	for i, ov := range overlaps {
+		regs[i] = ov.Region
+	}
+	return regs, nil
+}
+
+// PromoteFile atomically replaces the artifact at path with the
+// candidate's serialized bytes: the bytes are written to a temp file
+// in the same directory (same filesystem, so the final step is a true
+// rename) and renamed over the old artifact. A crash at any point
+// leaves either the complete old bytes or the complete new bytes —
+// never a torn file — so a restart that lazily reloads from disk
+// serves a coherent generation. The temp name carries no .fidx
+// suffix, so a concurrent Rescan never catalogs a half-written
+// candidate.
+func PromoteFile(path string, candidate *fairindex.Index) error {
+	data, err := candidate.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("rebuild: marshal candidate: %w", err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("rebuild: promote: %w", err)
+	}
+	tmp := f.Name()
+	if _, err = f.Write(data); err == nil {
+		// CreateTemp opens 0600; artifacts are world-readable like
+		// any build output.
+		err = f.Chmod(0o644)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rebuild: promote: %w", err)
+	}
+	return nil
+}

@@ -89,10 +89,12 @@ type Registry struct {
 	// flag; driftThresholds additionally arms per-metric thresholds
 	// (registered metric name → threshold); onDrift, when set, fires
 	// the first time an entry crosses any armed threshold (see
-	// Append).
+	// Append). It is atomic so a rebuild controller can bind itself
+	// (SetOnDrift) after the registry is constructed, concurrently
+	// with appends.
 	driftThreshold  float64
 	driftThresholds map[string]float64
-	onDrift         func(name string, drift float64)
+	onDrift         atomic.Pointer[func(name string, drift float64)]
 }
 
 // Entry is one named index slot: a backing file plus the atomically
@@ -189,7 +191,19 @@ func WithDriftThresholds(thresholds map[string]float64) Option {
 // the entry. fn is called synchronously from Append without registry
 // locks held, so it may call back into the registry.
 func WithOnDrift(fn func(name string, drift float64)) Option {
-	return func(r *Registry) { r.onDrift = fn }
+	return func(r *Registry) { r.onDrift.Store(&fn) }
+}
+
+// SetOnDrift installs (or, with nil, removes) the drift hook after
+// construction — the binding point for a rebuild controller that is
+// created around an already-running registry. Safe for concurrent use
+// with Append; an append in flight may still fire the previous hook.
+func (r *Registry) SetOnDrift(fn func(name string, drift float64)) {
+	if fn == nil {
+		r.onDrift.Store(nil)
+		return
+	}
+	r.onDrift.Store(&fn)
 }
 
 // WithLogger routes load/evict/rescan diagnostics to l.
@@ -308,15 +322,26 @@ func (r *Registry) DefaultName() string {
 // entry is resident it takes one atomic snapshot load, one map read
 // and one atomic entry load — no locks.
 func (r *Registry) Lookup(name string) (*fairindex.Index, error) {
+	_, idx, err := r.lookupEntry(name)
+	return idx, err
+}
+
+// lookupEntry is Lookup keeping the resolved *Entry: callers that
+// need both the Index and its catalog slot (Append's drift-hook
+// latch) must resolve the entry exactly once — re-reading the
+// snapshot later races with Rescan/eviction, which can hand back a
+// different Entry (or none) for the same name.
+func (r *Registry) lookupEntry(name string) (*Entry, *fairindex.Index, error) {
 	e, ok := r.snapshot()[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	e.lastUsed.Store(r.clock.Add(1))
 	if idx := e.idx.Load(); idx != nil {
-		return idx, nil
+		return e, idx, nil
 	}
-	return r.loadEntry(e)
+	idx, err := r.loadEntry(e)
+	return e, idx, err
 }
 
 // Default resolves the default entry (see DefaultName).
@@ -383,7 +408,11 @@ func (r *Registry) installed(e *Entry, idx *fairindex.Index) {
 // the first time in this artifact generation, the WithOnDrift hook
 // fires so a controller can rebuild and Reload the entry.
 func (r *Registry) Append(name string, recs []fairindex.Record) (fairindex.AppendResult, error) {
-	idx, err := r.Lookup(name)
+	// Resolve the entry exactly once and thread it through to the
+	// notification latch: re-resolving the name after the fold would
+	// race with Rescan/eviction, and a notification dropped there
+	// means the rebuild never triggers for this generation.
+	e, idx, err := r.lookupEntry(name)
 	if err != nil {
 		return fairindex.AppendResult{}, err
 	}
@@ -391,13 +420,11 @@ func (r *Registry) Append(name string, recs []fairindex.Record) (fairindex.Appen
 	if err != nil {
 		return fairindex.AppendResult{}, fmt.Errorf("registry: append %q: %w", name, err)
 	}
-	if res.RebuildRecommended {
-		if e, ok := r.snapshot()[name]; ok && e.driftNotified.CompareAndSwap(false, true) {
-			r.logger.Printf("registry: %q drift crossed an armed threshold (%s) — rebuild recommended",
-				name, driftSummary(res, idx.DriftThresholds()))
-			if r.onDrift != nil {
-				r.onDrift(name, res.Drift)
-			}
+	if res.RebuildRecommended && e.driftNotified.CompareAndSwap(false, true) {
+		r.logger.Printf("registry: %q drift crossed an armed threshold (%s) — rebuild recommended",
+			name, driftSummary(res, idx.DriftThresholds()))
+		if fn := r.onDrift.Load(); fn != nil {
+			(*fn)(name, res.Drift)
 		}
 	}
 	return res, nil
@@ -413,14 +440,15 @@ func driftSummary(res fairindex.AppendResult, thresholds map[string]float64) str
 	sort.Strings(names)
 	var b strings.Builder
 	for _, name := range names {
-		thr, armed := thresholds[name]
-		if !armed || thr <= 0 || res.Drifts[name] < thr {
+		// Same inclusive boundary as the recommendation itself: a
+		// drift landing exactly on its threshold appears in the log.
+		if !fairindex.DriftExceeds(res.Drifts[name], thresholds[name]) {
 			continue
 		}
 		if b.Len() > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s %.4g ≥ %.4g", name, res.Drifts[name], thr)
+		fmt.Fprintf(&b, "%s %.4g ≥ %.4g", name, res.Drifts[name], thresholds[name])
 	}
 	if b.Len() == 0 {
 		// Crossing detected by the index but not reconstructible from
@@ -515,7 +543,15 @@ func (r *Registry) ReloadLoaded() error {
 
 // Swap atomically replaces an entry's Index and returns the previous
 // one (nil if the entry was unloaded). In-flight requests keep using
-// the Index they resolved. Counts as a reload in the entry's stats.
+// the Index they resolved. Swapping in a non-nil index counts as a
+// reload in the entry's stats and clears the last load error.
+//
+// Swap(name, nil) unloads the entry: the index is dropped (a
+// file-backed entry reloads lazily on next use; a pinned one stays
+// empty until the next Swap/SetIndex). An unload is bookkeeping, not
+// a new generation — it does not count as a reload and it preserves
+// lastErr, so the diagnostic from a preceding failed load survives
+// into /v1/indexes.
 func (r *Registry) Swap(name string, idx *fairindex.Index) (*fairindex.Index, error) {
 	e, ok := r.snapshot()[name]
 	if !ok {
@@ -526,8 +562,10 @@ func (r *Registry) Swap(name string, idx *fairindex.Index) (*fairindex.Index, er
 		r.installed(e, idx)
 	}
 	old := e.idx.Swap(idx)
-	e.lastErr.Store(nil)
-	e.reloads.Add(1)
+	if idx != nil {
+		e.lastErr.Store(nil)
+		e.reloads.Add(1)
+	}
 	e.loadMu.Unlock()
 	return old, nil
 }

@@ -759,3 +759,109 @@ func TestRegistryAppendThresholdArmsOnEveryInstall(t *testing.T) {
 		t.Errorf("DriftThreshold = %v, want 0.125", got.DriftThreshold())
 	}
 }
+
+// TestRegistrySwapNilPreservesDiagnostics pins the nil-swap
+// semantics: an unload is bookkeeping, not a new generation — it
+// must neither count as a reload nor erase the diagnostic of a
+// preceding load failure, while a non-nil swap does both.
+func TestRegistrySwapNilPreservesDiagnostics(t *testing.T) {
+	idx := buildIndex(t)
+	dir := t.TempDir()
+	path := writeIndex(t, idx, dir, "la.fidx")
+	r := New(WithLogger(quietLogger()))
+	if err := r.Add("la", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("la"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the backing file and fail a reload so lastErr is set.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("la"); err == nil {
+		t.Fatal("reload of corrupt file succeeded")
+	}
+	before, _ := r.Info("la")
+	if before.LastErr == "" {
+		t.Fatal("corrupt reload left no diagnostic")
+	}
+
+	old, err := r.Swap("la", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old == nil {
+		t.Fatal("nil swap returned no previous index")
+	}
+	info, _ := r.Info("la")
+	if info.State != StateAvailable && info.State != StateFailed {
+		t.Errorf("state after unload: %q", info.State)
+	}
+	if info.LastErr != before.LastErr {
+		t.Errorf("unload erased lastErr: %q -> %q", before.LastErr, info.LastErr)
+	}
+	if info.Reloads != before.Reloads {
+		t.Errorf("unload counted a reload: %d -> %d", before.Reloads, info.Reloads)
+	}
+
+	// A non-nil swap is a real generation: reload counted, error
+	// cleared.
+	if _, err := r.Swap("la", idx); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = r.Info("la")
+	if info.Reloads != before.Reloads+1 || info.LastErr != "" || info.State != StateLoaded {
+		t.Errorf("after non-nil swap: %+v", info)
+	}
+}
+
+// TestRegistryAppendRescanRace stress-tests the drift hook against
+// concurrent catalog churn (the Append bugfix: the entry is resolved
+// once, so a Rescan between fold and notification can no longer drop
+// it). Run with -race; the assertion is that every recommended fold
+// produces exactly one notification per generation, crash-free.
+func TestRegistryAppendRescanRace(t *testing.T) {
+	idx, extra := appendCity(t)
+	dir := t.TempDir()
+	writeIndex(t, idx, dir, "la.fidx")
+
+	var fired atomic.Int32
+	r, err := Open(dir, WithLogger(quietLogger()),
+		WithDriftThreshold(1e-12),
+		WithOnDrift(func(name string, drift float64) { fired.Add(1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := r.Rescan(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := r.Append("la", extra); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Exactly one notification: the first fold crosses the threshold
+	// and latches the generation; no Rescan ever installs a new one
+	// (the file never changes), so no re-arm happens.
+	if got := fired.Load(); got != 1 {
+		t.Errorf("hook fired %d times under rescan churn, want 1", got)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	fairindex "fairindex"
+	"fairindex/internal/rebuild"
 	"fairindex/internal/registry"
 )
 
@@ -70,13 +71,14 @@ const maxCompareIndexes = 16
 // OpenDir (a whole catalog), then use it as an http.Handler. All
 // methods are safe for concurrent use.
 type Server struct {
-	reg      *registry.Registry
-	mux      *http.ServeMux
-	path     string // single-index mode: file backing the default entry
-	maxBatch int
-	logger   *log.Logger
-	started  time.Time
-	reloads  atomic.Int64
+	reg       *registry.Registry
+	mux       *http.ServeMux
+	path      string // single-index mode: file backing the default entry
+	maxBatch  int
+	logger    *log.Logger
+	started   time.Time
+	reloads   atomic.Int64
+	rebuilder atomic.Pointer[rebuild.Controller]
 }
 
 // Option configures a Server.
@@ -109,6 +111,22 @@ func WithLogger(l *log.Logger) Option {
 	}
 }
 
+// WithRebuilder attaches a drift-rebuild controller: POST
+// .../rebuild kicks it asynchronously and GET /v1/indexes reports
+// each entry's rebuild state. The caller owns the controller's
+// lifecycle (Bind to subscribe it to drift, Close on shutdown).
+// Without one, rebuild routes answer 501 and the index listing is
+// byte-identical to earlier releases.
+func WithRebuilder(c *rebuild.Controller) Option {
+	return func(s *Server) { s.SetRebuilder(c) }
+}
+
+// SetRebuilder attaches (or, with nil, detaches) the rebuild
+// controller after construction — for callers that build the server
+// first and the controller from its Registry(). The pointer is
+// atomic, so attaching while requests are in flight is safe.
+func (s *Server) SetRebuilder(c *rebuild.Controller) { s.rebuilder.Store(c) }
+
 // newServer applies options and wires the route table.
 func newServer(opts ...Option) *Server {
 	s := &Server{
@@ -125,6 +143,8 @@ func newServer(opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/i/{index}/reload", s.handleReloadOne)
+	s.mux.HandleFunc("POST /v1/rebuild", s.handleRebuild)
+	s.mux.HandleFunc("POST /v1/i/{index}/rebuild", s.handleRebuild)
 	// Every data route exists twice: unprefixed against the default
 	// entry, and under /v1/i/{index}/ against a named one. The handler
 	// is shared; resolveIndex picks the entry from the path.
@@ -579,6 +599,61 @@ type indexInfoJSON struct {
 	// threshold; absent when only the legacy ENCE monitor runs.
 	Drifts map[string]jsonFloat `json:"drifts,omitempty"`
 	Error  string               `json:"error,omitempty"`
+	// Rebuild is the entry's rebuild-controller state; present only
+	// when a controller is attached (WithRebuilder), so catalogs
+	// without one keep the legacy response bytes.
+	Rebuild *rebuildStateJSON `json:"rebuild,omitempty"`
+}
+
+// rebuildStateJSON is one entry's rebuild lifecycle state: idle /
+// building / promoted / refused / failed, plus the evidence behind
+// the latest terminal state.
+type rebuildStateJSON struct {
+	State    string `json:"state"`
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// LastPromoted is the wall time of the most recent promotion
+	// (RFC 3339); absent before the first one.
+	LastPromoted string `json:"last_promoted,omitempty"`
+	// RefusalDeltas maps each metric that blocked the most recent
+	// candidate to its worst badness regression over the probe grid.
+	RefusalDeltas map[string]jsonFloat `json:"refusal_deltas,omitempty"`
+	// NextRetry is the scheduled backoff retry after a build failure
+	// (RFC 3339); absent when none is pending.
+	NextRetry string `json:"next_retry,omitempty"`
+}
+
+// rebuildStateOf converts a controller status to the wire form.
+func rebuildStateOf(st rebuild.Status) *rebuildStateJSON {
+	out := &rebuildStateJSON{
+		State:    st.State,
+		Attempts: st.Attempts,
+		Error:    st.LastErr,
+	}
+	if !st.LastPromoted.IsZero() {
+		out.LastPromoted = st.LastPromoted.UTC().Format(time.RFC3339)
+	}
+	if !st.NextRetry.IsZero() {
+		out.NextRetry = st.NextRetry.UTC().Format(time.RFC3339)
+	}
+	if len(st.RefusalDeltas) > 0 {
+		// Not metricMapJSON: that helper drops ence-only maps for
+		// legacy byte-compat, and a refusal is very often ence-only.
+		out.RefusalDeltas = make(map[string]jsonFloat, len(st.RefusalDeltas))
+		for name, v := range st.RefusalDeltas {
+			out.RefusalDeltas[name] = jsonFloat(v)
+		}
+	}
+	return out
+}
+
+// rebuildResponse acknowledges an asynchronous rebuild kick.
+type rebuildResponse struct {
+	Index string `json:"index"`
+	// Started is false when a rebuild for the entry was already in
+	// flight — the request coalesced into it instead of queueing.
+	Started bool              `json:"started"`
+	Rebuild *rebuildStateJSON `json:"rebuild"`
 }
 
 type indexesResponse struct {
@@ -813,8 +888,40 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 		resp.Indexes[i].Drift = info.Drift
 		resp.Indexes[i].RebuildRecommended = info.RebuildRecommended
 		resp.Indexes[i].Drifts = metricMapJSON(info.Drifts)
+		if rb := s.rebuilder.Load(); rb != nil {
+			resp.Indexes[i].Rebuild = rebuildStateOf(rb.Status(info.Name))
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRebuild kicks an asynchronous drift rebuild of one entry and
+// answers 202 immediately — the build, gate and promotion run in the
+// controller; poll GET /v1/indexes for the outcome. Single-flight: a
+// kick while a rebuild is running coalesces ("started": false).
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	rb := s.rebuilder.Load()
+	if rb == nil {
+		s.writeError(w, http.StatusNotImplemented, errors.New("no rebuild controller attached"))
+		return
+	}
+	name := r.PathValue("index")
+	if name == "" {
+		if name = s.reg.DefaultName(); name == "" {
+			s.writeRegistryError(w, registry.ErrNoDefault)
+			return
+		}
+	}
+	if _, ok := s.reg.Info(name); !ok {
+		s.writeRegistryError(w, fmt.Errorf("%w: %q", registry.ErrNotFound, name))
+		return
+	}
+	started := rb.Kick(name)
+	s.writeJSON(w, http.StatusAccepted, rebuildResponse{
+		Index:   name,
+		Started: started,
+		Rebuild: rebuildStateOf(rb.Status(name)),
+	})
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {

@@ -31,6 +31,37 @@ type Schema struct {
 	TaskNames    []string
 }
 
+// Compatible reports whether the stream can rebuild an index trained
+// on the given feature and task columns: the names must match exactly,
+// in order. It is the cheap pre-flight check a rebuild controller runs
+// before committing to a full build — a fresh data feed whose columns
+// drifted (renamed, reordered, added) fails here in microseconds
+// instead of producing an artifact that silently scores the wrong
+// features.
+func (s Schema) Compatible(featureNames, taskNames []string) error {
+	if len(s.FeatureNames) != len(featureNames) {
+		return fmt.Errorf("stream: schema has %d features, index was built on %d",
+			len(s.FeatureNames), len(featureNames))
+	}
+	for i, name := range featureNames {
+		if s.FeatureNames[i] != name {
+			return fmt.Errorf("stream: schema feature %d is %q, index was built on %q",
+				i, s.FeatureNames[i], name)
+		}
+	}
+	if len(s.TaskNames) != len(taskNames) {
+		return fmt.Errorf("stream: schema has %d tasks, index was built on %d",
+			len(s.TaskNames), len(taskNames))
+	}
+	for i, name := range taskNames {
+		if s.TaskNames[i] != name {
+			return fmt.Errorf("stream: schema task %d is %q, index was built on %q",
+				i, s.TaskNames[i], name)
+		}
+	}
+	return nil
+}
+
 // NumFeatures returns the number of features per record.
 func (s Schema) NumFeatures() int { return len(s.FeatureNames) }
 

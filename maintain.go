@@ -260,6 +260,20 @@ func (ix *Index) AppendBatch(recs []Record) (AppendResult, error) {
 	return ix.appendResult(n, next), nil
 }
 
+// DriftExceeds is the single boundary predicate of the drift control
+// plane: it reports whether a measured drift (or a candidate-versus-
+// serving regression) crosses an armed threshold (or promotion
+// budget). The crossing is inclusive — a drift landing exactly on the
+// threshold triggers — NaN (the metric-undefined sentinel, see
+// docs/METRICS.md) never crosses, and non-positive thresholds are
+// disarmed. AppendBatch's rebuild recommendation, RebuildRecommended,
+// the registry's drift log line and the rebuild controller's
+// promotion gate (internal/rebuild) all route through this predicate,
+// so the exactly-on-threshold behavior cannot diverge across layers.
+func DriftExceeds(drift, threshold float64) bool {
+	return threshold > 0 && !math.IsNaN(drift) && drift >= threshold
+}
+
 // monitoredMetrics returns the metric names a drift report covers:
 // ENCE (always) plus every armed threshold metric, sorted for
 // deterministic report order.
@@ -336,7 +350,7 @@ func (ix *Index) appendResult(n int, ls *liveStats) AppendResult {
 	}
 	thr := ix.driftThresholds()
 	for name, t := range thr {
-		if t > 0 && res.Drifts[name] >= t {
+		if d, ok := res.Drifts[name]; ok && DriftExceeds(d, t) {
 			res.RebuildRecommended = true
 		}
 	}
@@ -515,7 +529,7 @@ func (ix *Index) RebuildRecommended() bool {
 			continue
 		}
 		d, err := ix.MaxMetricDrift(name)
-		if err == nil && d >= thr {
+		if err == nil && DriftExceeds(d, thr) {
 			return true
 		}
 	}

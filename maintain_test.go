@@ -363,3 +363,73 @@ func TestConcurrentAppendAndQuery(t *testing.T) {
 		t.Errorf("final population %d, want %d", ws.Count, base+len(extra))
 	}
 }
+
+// TestDriftExceeds pins the shared boundary predicate every layer of
+// the drift control plane routes through: the crossing is inclusive,
+// NaN never crosses, and non-positive thresholds are disarmed.
+func TestDriftExceeds(t *testing.T) {
+	cases := []struct {
+		drift, threshold float64
+		want             bool
+	}{
+		{0.02, 0.02, true},                     // exactly on the threshold: inclusive
+		{0.021, 0.02, true},                    // above
+		{math.Nextafter(0.02, 0), 0.02, false}, // one ulp under
+		{0.5, 0, false},                        // zero threshold disarmed
+		{0.5, -1, false},                       // negative threshold disarmed
+		{math.NaN(), 0.02, false},              // undefined never crosses
+		{0, 0.02, false},
+		{math.Inf(1), 0.02, true},
+	}
+	for _, c := range cases {
+		if got := DriftExceeds(c.drift, c.threshold); got != c.want {
+			t.Errorf("DriftExceeds(%v, %v) = %v, want %v", c.drift, c.threshold, got, c.want)
+		}
+	}
+}
+
+// TestAppendDriftExactlyOnThreshold pins the boundary end to end: the
+// same batch folded into a fresh index armed at exactly the drift it
+// produces must recommend a rebuild (and one armed one ulp above must
+// not) — recommendation, RebuildRecommended and the registry log all
+// share DriftExceeds, so this nails all layers to the >= crossing.
+func TestAppendDriftExactlyOnThreshold(t *testing.T) {
+	build, extra := splitCity(t, 340, 40)
+	measure, err := Build(build, WithHeight(3), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := measure.AppendBatch(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := res.Drift
+	if !(drift > 0) {
+		t.Fatalf("measured drift %v, need a positive drift to pin the boundary", drift)
+	}
+
+	exact, err := Build(build, WithHeight(3), WithSeed(5), WithDriftThreshold(drift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = exact.AppendBatch(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RebuildRecommended || !exact.RebuildRecommended() {
+		t.Errorf("drift exactly on the threshold did not recommend a rebuild (drift %v)", drift)
+	}
+
+	above, err := Build(build, WithHeight(3), WithSeed(5),
+		WithDriftThreshold(math.Nextafter(drift, math.Inf(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = above.AppendBatch(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebuildRecommended || above.RebuildRecommended() {
+		t.Errorf("drift one ulp under the threshold recommended a rebuild (drift %v)", drift)
+	}
+}

@@ -219,9 +219,12 @@ func WithStreaming(chunk int) Option {
 // drift monitor: once batches folded in by AppendBatch move any
 // task's live ENCE at least t away from its build-time value, the
 // index advertises that a rebuild is recommended (RebuildRecommended,
-// the registry drift hook and the server's index listing). 0 — the
-// default — monitors drift without ever recommending. The threshold
-// can be changed later with Index.SetDriftThreshold.
+// the registry drift hook and the server's index listing). The
+// crossing is inclusive — a drift landing exactly on t triggers; the
+// shared boundary predicate is DriftExceeds, which every layer of the
+// drift control plane uses. 0 — the default — monitors drift without
+// ever recommending. The threshold can be changed later with
+// Index.SetDriftThreshold.
 func WithDriftThreshold(t float64) Option {
 	return func(c *Config) error {
 		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
@@ -243,8 +246,8 @@ func WithDriftThreshold(t float64) Option {
 //	})
 //
 // Entries layer on top of (and, for "ence", override) the legacy
-// WithDriftThreshold. Thresholds can be changed later with
-// Index.SetDriftThresholds.
+// WithDriftThreshold. Crossings are inclusive (see DriftExceeds);
+// thresholds can be changed later with Index.SetDriftThresholds.
 func WithDriftThresholds(thresholds map[string]float64) Option {
 	return func(c *Config) error {
 		c.DriftThresholds = make(map[string]float64, len(thresholds))
