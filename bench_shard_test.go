@@ -131,3 +131,55 @@ func BenchmarkRouterLocateBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRouterLocateFailover is the healthy-path cost of the
+// replica layer: single-point locates through a router whose shards
+// each name two live replicas, so every request pays the breaker
+// bookkeeping, rotation, and failover budget arithmetic without ever
+// failing over. Compare with BenchmarkRouterLocateBatch to see the
+// replica bookkeeping is noise against the wire cost.
+func BenchmarkRouterLocateFailover(b *testing.B) {
+	_, m, shards, _ := shardFixture(b)
+	backends := make([]router.Backend, len(shards))
+	for i, sx := range shards {
+		srv := server.New(sx)
+		a := httptest.NewServer(srv)
+		defer a.Close()
+		bb := httptest.NewServer(srv)
+		defer bb.Close()
+		backends[i] = router.Backend{Name: m.Shards[i].Name, URLs: []string{a.URL, bb.URL}}
+	}
+	rt, err := router.New(m, backends)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	ds, err := fullLA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := rts.Client()
+	urls := make([]string, 64)
+	for i := range urls {
+		rec := &ds.Records[(i*131)%ds.Len()]
+		urls[i] = fmt.Sprintf("%s/v1/locate?lat=%v&lon=%v", rts.URL, rec.Lat, rec.Lon)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(urls[i%len(urls)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

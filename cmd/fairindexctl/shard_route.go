@@ -73,23 +73,43 @@ func runShardCmd(args []string, out io.Writer) error {
 	return nil
 }
 
-// backendFlags collects repeated -shard name=url flags.
+// backendFlags collects repeated -shard name=url1,url2 flags: one
+// manifest shard name mapping to its replica set. Repeating a name
+// appends replicas to the same set, so `-shard s0=a -shard s0=b`
+// equals `-shard s0=a,b`.
 type backendFlags []router.Backend
 
 func (b *backendFlags) String() string {
 	parts := make([]string, len(*b))
 	for i, be := range *b {
-		parts[i] = be.Name + "=" + be.URL
+		urls := be.URLs
+		if len(urls) == 0 && be.URL != "" {
+			urls = []string{be.URL}
+		}
+		parts[i] = be.Name + "=" + strings.Join(urls, ",")
 	}
-	return strings.Join(parts, ",")
+	return strings.Join(parts, " ")
 }
 
 func (b *backendFlags) Set(s string) error {
-	name, url, ok := strings.Cut(s, "=")
-	if !ok || name == "" || url == "" {
-		return fmt.Errorf("want name=url, got %q", s)
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=url[,url...], got %q", s)
 	}
-	*b = append(*b, router.Backend{Name: name, URL: url})
+	var urls []string
+	for _, u := range strings.Split(rest, ",") {
+		if u == "" {
+			return fmt.Errorf("empty replica URL in %q", s)
+		}
+		urls = append(urls, u)
+	}
+	for i := range *b {
+		if (*b)[i].Name == name {
+			(*b)[i].URLs = append((*b)[i].URLs, urls...)
+			return nil
+		}
+	}
+	*b = append(*b, router.Backend{Name: name, URLs: urls})
 	return nil
 }
 
@@ -100,8 +120,9 @@ func runRouteCmd(args []string) error {
 	httpAddr := fs.String("http", ":8080", "listen address")
 	manifestPath := fs.String("manifest", "", "shard plan manifest file (required)")
 	timeout := fs.Duration("timeout", router.DefaultTimeout, "per-shard request timeout")
+	hedge := fs.Duration("hedge", 0, "hedged-read delay for locate-class calls (0 disables)")
 	var backends backendFlags
-	fs.Var(&backends, "shard", "shard backend as name=url (repeat per manifest entry)")
+	fs.Var(&backends, "shard", "shard replica set as name=url[,url...] (repeat per manifest entry)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,7 +130,7 @@ func runRouteCmd(args []string) error {
 		return fmt.Errorf("route: -manifest is required")
 	}
 	if len(backends) == 0 {
-		return fmt.Errorf("route: at least one -shard name=url is required")
+		return fmt.Errorf("route: at least one -shard name=url[,url...] is required")
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("route: unexpected arguments %v", fs.Args())
@@ -126,7 +147,8 @@ func runRouteCmd(args []string) error {
 		return fmt.Errorf("route: %w", err)
 	}
 	rt, err := router.New(m, backends,
-		router.WithTimeout(*timeout), router.WithManifestSource(source))
+		router.WithTimeout(*timeout), router.WithHedge(*hedge),
+		router.WithManifestSource(source))
 	if err != nil {
 		return fmt.Errorf("route: %w", err)
 	}
@@ -164,7 +186,7 @@ func routeHTTP(ctx context.Context, rt *router.Router, addr string, onReady func
 	fmt.Printf("routing %d regions over %d shards on %s (generation %d)\n",
 		m.NumRegions, len(m.Shards), ln.Addr(), m.Generation)
 	for _, s := range m.Shards {
-		fmt.Printf("  %s: regions [%d,%d)\n", s.Name, s.Lo, s.Hi)
+		fmt.Printf("  %s: regions [%d,%d), %d replica(s)\n", s.Name, s.Lo, s.Hi, len(rt.ShardHealth(s.Name)))
 	}
 	fmt.Printf("hot reload: kill -HUP %d or POST /v1/reload\n", os.Getpid())
 	if onReady != nil {

@@ -114,11 +114,30 @@ func TestRouteArgValidation(t *testing.T) {
 	if err := b.Set("s0=http://x"); err != nil || len(b) != 1 {
 		t.Errorf("Set: %v (%d backends)", err, len(b))
 	}
+	// Replica sets: comma lists parse, repeated names merge, and an
+	// empty replica URL is rejected.
+	if err := b.Set("s1=http://a,http://b"); err != nil || len(b) != 2 || len(b[1].URLs) != 2 {
+		t.Errorf("Set replica list: %v (%+v)", err, b)
+	}
+	if err := b.Set("s1=http://c"); err != nil || len(b) != 2 || len(b[1].URLs) != 3 {
+		t.Errorf("Set repeated name: %v (%+v)", err, b)
+	}
+	if err := b.Set("s2=http://a,,http://b"); err == nil {
+		t.Error("expected error for empty replica URL")
+	}
 }
 
 // spawn re-execs the test binary as fairindexctl and waits for the
 // listen line, returning the bound address.
 func spawn(t *testing.T, args ...string) string {
+	t.Helper()
+	addr, _ := spawnProc(t, args...)
+	return addr
+}
+
+// spawnProc is spawn exposing the child process too, so fault e2e
+// tests can SIGKILL a replica mid-load.
+func spawnProc(t *testing.T, args ...string) (string, *os.Process) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "FAIRINDEXCTL_SUBPROCESS=1")
@@ -158,10 +177,10 @@ func spawn(t *testing.T, args ...string) string {
 	}()
 	select {
 	case addr := <-addrCh:
-		return addr
+		return addr, cmd.Process
 	case <-time.After(15 * time.Second):
 		t.Fatalf("subprocess %v never reported a listen address", args)
-		return ""
+		return "", nil
 	}
 }
 
@@ -325,5 +344,119 @@ func TestShardRouteSubprocessE2E(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), wantGen) {
 		t.Errorf("reload: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestShardRouteFailoverSubprocessE2E is the kill-one-replica drill
+// with real process isolation: two serve subprocesses per shard,
+// SIGKILL one replica of every shard mid-hammer, and require zero
+// non-200 locates with bodies identical to the whole index — the
+// headline robustness acceptance criterion.
+func TestShardRouteFailoverSubprocessE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	dir := t.TempDir()
+	_, idxPath, ds := writeCityAndIndex(t, dir)
+	outDir := filepath.Join(dir, "shards")
+	if err := runShardCmd([]string{"-n", "2", "-out", outDir, idxPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := fairindex.LoadIndex(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(outDir, "city.manifest")
+	blob, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two replicas per shard, the first of each doomed to SIGKILL.
+	var doomed []*os.Process
+	routeArgs := []string{"route", "-http", "127.0.0.1:0", "-manifest", manifestPath, "-hedge", "50ms"}
+	for _, s := range m.Shards {
+		artifact := filepath.Join(outDir, fmt.Sprintf("city-%s.fidx", s.Name))
+		addrA, procA := spawnProc(t, "serve", "-http", "127.0.0.1:0", artifact)
+		addrB := spawn(t, "serve", "-http", "127.0.0.1:0", artifact)
+		doomed = append(doomed, procA)
+		routeArgs = append(routeArgs, "-shard", s.Name+"=http://"+addrA+",http://"+addrB)
+	}
+	base := "http://" + spawn(t, routeArgs...)
+
+	locate := func(i int) {
+		t.Helper()
+		r := ds.Records[i*13%len(ds.Records)]
+		resp, err := http.Get(fmt.Sprintf("%s/v1/locate?lat=%v&lon=%v", base, r.Lat, r.Lon))
+		if err != nil {
+			t.Fatalf("locate %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("locate %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var out struct {
+			Region int `json:"region"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		want, err := whole.Locate(r.Lat, r.Lon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Region != want {
+			t.Fatalf("locate %d: region %d, want %d", i, out.Region, want)
+		}
+	}
+
+	const total, killAt = 60, 20
+	for i := 0; i < total; i++ {
+		if i == killAt {
+			for _, p := range doomed {
+				p.Kill()
+			}
+		}
+		locate(i)
+	}
+
+	// The health surface shows both replicas per shard, the dead one
+	// marked unreachable, while the shard itself still reports ok.
+	resp, err := http.Get(base + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var shardsOut struct {
+		Shards []struct {
+			Name     string `json:"name"`
+			Status   string `json:"status"`
+			Replicas []struct {
+				Status string `json:"status"`
+			} `json:"replicas"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &shardsOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shardsOut.Shards {
+		if s.Status != "ok" {
+			t.Errorf("shard %s with a live replica: status %q", s.Name, s.Status)
+		}
+		if len(s.Replicas) != 2 {
+			t.Fatalf("shard %s: %d replicas on the surface, want 2", s.Name, len(s.Replicas))
+		}
+		if !strings.HasPrefix(s.Replicas[0].Status, "unreachable") {
+			t.Errorf("shard %s: killed replica status %q", s.Name, s.Replicas[0].Status)
+		}
+		if s.Replicas[1].Status != "ok" {
+			t.Errorf("shard %s: surviving replica status %q", s.Name, s.Replicas[1].Status)
+		}
 	}
 }

@@ -1,0 +1,251 @@
+package router
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Passive per-replica health tracking: a consecutive-failure circuit
+// breaker with exponential backoff, jitter, and half-open probing.
+//
+// The breaker never decides whether a shard is up — exactness owns
+// that (a shard fails only when every replica actually refuses) — it
+// only decides the ORDER replicas are tried in, so a dead primary
+// stops eating the per-attempt budget of every request. States:
+//
+//   - closed:   fewer than threshold consecutive failures; the
+//     replica sorts into the healthy rotation.
+//   - open:     threshold consecutive failures tripped it; the
+//     replica sorts last until its backoff expires. Each re-trip
+//     doubles the backoff (capped), with ±20% jitter so a fleet of
+//     routers does not probe a recovering backend in lockstep.
+//   - half-open: the backoff expired; exactly one in-flight request
+//     (the probe, guarded by a CAS) tries the replica first. Success
+//     closes the breaker; failure re-opens it with a longer backoff.
+
+// Breaker defaults; override with WithBreaker.
+const (
+	// DefaultBreakerThreshold is how many consecutive failures open a
+	// replica's breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerBackoff is the first open interval; each re-trip
+	// doubles it up to DefaultBreakerMaxBackoff.
+	DefaultBreakerBackoff = 250 * time.Millisecond
+	// DefaultBreakerMaxBackoff caps the exponential backoff.
+	DefaultBreakerMaxBackoff = 30 * time.Second
+)
+
+// breakerConfig carries the breaker knobs a Router applies to every
+// replica.
+type breakerConfig struct {
+	threshold  int
+	base       time.Duration
+	maxBackoff time.Duration
+}
+
+// replicaHealth is the mutable per-replica fault state, keyed by URL
+// and shared across manifest reloads (health is a property of the
+// deployment's processes, not of the plan).
+type replicaHealth struct {
+	cfg *breakerConfig
+
+	mu          sync.Mutex
+	consecFails int       // consecutive failures; >= threshold means open
+	trips       int       // times the breaker opened without an intervening success
+	openUntil   time.Time // end of the current backoff window (zero when closed)
+	probing     bool      // a half-open probe is in flight
+	lastErr     string    // most recent failure, for the health surface
+
+	attempts int64 // calls routed at this replica
+	failures int64 // calls that failed at the transport/5xx layer
+}
+
+// Breaker states as reported by the health surface.
+const (
+	replicaClosed   = "closed"
+	replicaOpen     = "open"
+	replicaHalfOpen = "half-open"
+)
+
+// state classifies the breaker at time now. Callers hold h.mu.
+func (h *replicaHealth) stateLocked(now time.Time) string {
+	switch {
+	case h.consecFails < h.cfg.threshold:
+		return replicaClosed
+	case h.probing || !now.Before(h.openUntil):
+		return replicaHalfOpen
+	default:
+		return replicaOpen
+	}
+}
+
+// available reports whether the replica belongs in the healthy
+// rotation right now (breaker closed).
+func (h *replicaHealth) available(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.consecFails < h.cfg.threshold
+}
+
+// tryProbe claims the half-open probe slot: true when the breaker is
+// open, its backoff has expired, and no other request holds the slot.
+// The claim is released by the recordSuccess/recordFailure of the
+// attempt that took it.
+func (h *replicaHealth) tryProbe(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.consecFails < h.cfg.threshold || h.probing || now.Before(h.openUntil) {
+		return false
+	}
+	h.probing = true
+	return true
+}
+
+// recordAttempt counts a call routed at this replica.
+func (h *replicaHealth) recordAttempt() {
+	h.mu.Lock()
+	h.attempts++
+	h.mu.Unlock()
+}
+
+// releaseProbe returns the half-open probe slot; only the attempt
+// that claimed it via tryProbe calls this, so a concurrent probe by
+// another request is never released by mistake.
+func (h *replicaHealth) releaseProbe() {
+	h.mu.Lock()
+	h.probing = false
+	h.mu.Unlock()
+}
+
+// recordSuccess closes the breaker: any reply that made it through
+// the transport layer below 5xx (including 4xx and generation
+// mismatches — those are request- or plan-level conditions, not
+// replica faults) proves the replica serves.
+func (h *replicaHealth) recordSuccess() {
+	h.mu.Lock()
+	h.consecFails = 0
+	h.trips = 0
+	h.openUntil = time.Time{}
+	h.lastErr = ""
+	h.mu.Unlock()
+}
+
+// recordFailure counts a transport error or 5xx and opens (or
+// re-opens, with doubled backoff) the breaker once the consecutive
+// run reaches the threshold.
+func (h *replicaHealth) recordFailure(now time.Time, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failures++
+	h.consecFails++
+	if err != nil {
+		h.lastErr = err.Error()
+	}
+	if h.consecFails < h.cfg.threshold {
+		return
+	}
+	backoff := h.cfg.base << min(h.trips, 16)
+	if backoff <= 0 || backoff > h.cfg.maxBackoff {
+		backoff = h.cfg.maxBackoff
+	}
+	// ±20% jitter decorrelates probe schedules across router fleet
+	// members hammering the same recovering backend.
+	jitter := time.Duration(rand.Int64N(int64(backoff)/5+1)) - backoff/10
+	h.openUntil = now.Add(backoff + jitter)
+	h.trips++
+}
+
+// ReplicaStatus is one replica's fault state as reported by
+// Router.ShardHealth and GET /v1/shards.
+type ReplicaStatus struct {
+	URL          string
+	State        string // closed | open | half-open
+	ConsecFails  int
+	Attempts     int64
+	Failures     int64
+	LastErr      string
+	RetryAfterMS int64 // remaining backoff when open, else 0
+}
+
+// snapshot exports the replica's state for the health surface.
+func (h *replicaHealth) snapshot(url string, now time.Time) ReplicaStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := ReplicaStatus{
+		URL:         url,
+		State:       h.stateLocked(now),
+		ConsecFails: h.consecFails,
+		Attempts:    h.attempts,
+		Failures:    h.failures,
+		LastErr:     h.lastErr,
+	}
+	if st.State == replicaOpen {
+		st.RetryAfterMS = int64(h.openUntil.Sub(now) / time.Millisecond)
+	}
+	return st
+}
+
+// ShardHealth returns the breaker snapshot of every replica of the
+// named shard, in configured replica order. Unknown names return nil.
+func (rt *Router) ShardHealth(name string) []ReplicaStatus {
+	urls, ok := rt.backends[name]
+	if !ok {
+		return nil
+	}
+	now := time.Now()
+	out := make([]ReplicaStatus, len(urls))
+	for i, u := range urls {
+		out[i] = rt.health[u].snapshot(u, now)
+	}
+	return out
+}
+
+// replicaOrder decides the order the replicas of one shard are tried
+// in: at most one half-open probe first (the request that wins the
+// CAS carries the probe — that is how an opened breaker ever learns
+// its backend recovered), then the closed replicas in rotation order
+// (a per-shard round-robin counter spreads healthy-path load), then
+// the open replicas soonest-retry first — never skipped entirely,
+// because exactness demands a shard fail only when every replica
+// actually refuses. The returned probe index (into the order) is -1
+// when no probe slot was claimed.
+func (rt *Router) replicaOrder(name string, urls []string) (order []int, probe int) {
+	now := time.Now()
+	probe = -1
+	n := len(urls)
+	if n == 1 {
+		return []int{0}, -1
+	}
+	start := int(rt.rotation[name].Add(1) % uint64(n))
+	var closed, open []int
+	for j := 0; j < n; j++ {
+		i := (start + j) % n
+		h := rt.health[urls[i]]
+		if probe < 0 && h.tryProbe(now) {
+			order = append(order, i) // placed first below
+			probe = 0
+			continue
+		}
+		if h.available(now) {
+			closed = append(closed, i)
+		} else {
+			open = append(open, i)
+		}
+	}
+	order = append(order, closed...)
+	order = append(order, open...)
+	return order, probe
+}
+
+// validateBreaker rejects nonsense knobs at construction.
+func (c *breakerConfig) validate() error {
+	if c.threshold < 1 {
+		return fmt.Errorf("router: breaker threshold %d, want >= 1", c.threshold)
+	}
+	if c.base <= 0 || c.maxBackoff < c.base {
+		return fmt.Errorf("router: breaker backoff %v..%v, want 0 < base <= max", c.base, c.maxBackoff)
+	}
+	return nil
+}

@@ -18,14 +18,31 @@
 // request once against the new snapshot, then answers 409. Responses
 // are therefore never assembled from mixed generations.
 //
-// Fault model: Locate, LocateBatch, RangeQuery and kNN are exact-or-
-// fail — an unreachable or timed-out shard is a 502, because a missing
-// shard's regions would silently corrupt the answer. Window stats
-// degrade instead: live shards' statistics are merged exactly and the
-// response carries "partial": true naming no invented numbers — the
-// aggregates are the true aggregates of the regions that answered.
-// Score and Report are whole-index operations (scoring needs the true
-// region centroid assignment) and answer 501.
+// Fault model: one manifest shard name may map to a replica set of
+// interchangeable backends serving the same artifact. Each per-shard
+// call tries the replicas sequentially — healthy rotation first,
+// guided by a passive per-replica circuit breaker (health.go) — with
+// the per-shard time budget split across the remaining attempts, so
+// one dead replica degrades to its sibling instead of failing the
+// request. Optionally, locate-class calls hedge: after WithHedge's
+// delay the next replica is fired concurrently and the first valid
+// reply wins, the loser canceled. A shard "fails" only when every
+// replica refused; only then are Locate, LocateBatch, RangeQuery and
+// kNN exact-or-fail — an unreachable shard is a 502, because a
+// missing shard's regions would silently corrupt the answer. Window
+// stats degrade instead: live shards' statistics are merged exactly
+// and the response carries "partial": true naming no invented
+// numbers — the aggregates are the true aggregates of the regions
+// that answered. Score and Report are whole-index operations (scoring
+// needs the true region centroid assignment) and answer 501.
+//
+// Replicas are deployment configuration, not artifact identity: the
+// manifest codec is unchanged, and every replica of a shard must
+// serve the exact artifact the manifest fingerprints — a stale
+// replica is detected per-reply by the same generation check,
+// and deliberately does NOT fail over (a generation mismatch is a
+// plan-level transition, owned by the manifest reload-retry-409
+// discipline, not a replica fault).
 package router
 
 import (
@@ -60,17 +77,34 @@ const DefaultTimeout = 5 * time.Second
 const DefaultMaxBatch = 1 << 20
 
 // maxReplyBytes caps how much of one backend response body the router
-// reads.
+// reads; a larger reply is a deterministic shard failure, never a
+// silent truncation. Override with WithMaxReplyBytes.
 const maxReplyBytes = 64 << 20
 
 // maxBodyBytes caps client request bodies, matching internal/server.
 const maxBodyBytes = 64 << 20
 
-// Backend names one shard backend: the manifest shard it serves and
-// the base URL (scheme://host:port) its server answers on.
+// Backend names one shard's replica set: the manifest shard it serves
+// and the base URLs (scheme://host:port) of the interchangeable
+// servers answering for it, in preference order. URL is the
+// single-replica convenience form; when URLs is non-empty it wins and
+// URL is ignored. Every replica must serve the exact artifact the
+// manifest fingerprints for the shard.
 type Backend struct {
 	Name string
 	URL  string
+	URLs []string
+}
+
+// urls normalizes the two spellings into one replica list.
+func (b Backend) urls() []string {
+	if len(b.URLs) > 0 {
+		return b.URLs
+	}
+	if b.URL != "" {
+		return []string{b.URL}
+	}
+	return nil
 }
 
 // ManifestSource re-reads the shard manifest, e.g. from its file; the
@@ -84,25 +118,34 @@ type Router struct {
 	client   *http.Client
 	timeout  time.Duration
 	maxBatch int
+	maxReply int64
+	hedge    time.Duration
+	breaker  breakerConfig
 	logger   *log.Logger
 	mux      *http.ServeMux
 	source   ManifestSource
-	backends map[string]string
+	backends map[string][]string // shard name → replica URLs
+
+	// health and rotation are keyed by replica URL / shard name and
+	// fixed at construction: manifest reloads swap the plan, never the
+	// deployment, so breaker state survives a generation handoff.
+	health   map[string]*replicaHealth
+	rotation map[string]*atomic.Uint64
 
 	// state is the current consistent snapshot: manifest plus resolved
-	// per-shard URLs. Handlers load it once per request; reload swaps
-	// it atomically.
+	// per-shard replica sets. Handlers load it once per request; reload
+	// swaps it atomically.
 	state    atomic.Pointer[routerState]
 	reloadMu sync.Mutex
 	reloads  atomic.Int64
 }
 
-// routerState binds one manifest generation to the backend URLs
+// routerState binds one manifest generation to the replica sets
 // serving it, with the coordinate mapper derived once.
 type routerState struct {
 	manifest *shard.Manifest
 	mapper   geo.Mapper
-	urls     []string // manifest shard order
+	replicas [][]string // manifest shard order; each entry in config order
 }
 
 // Option configures a Router.
@@ -150,25 +193,84 @@ func WithManifestSource(src ManifestSource) Option {
 	return func(rt *Router) { rt.source = src }
 }
 
+// WithHedge enables hedged reads for locate-class calls: when a
+// replica has not answered after d, the next replica is fired
+// concurrently and the first valid reply wins (the loser is
+// canceled). Zero disables hedging (the default). Hedging never
+// changes answers — every replica serves the same fingerprinted
+// artifact — only tail latency under a slow replica.
+func WithHedge(d time.Duration) Option {
+	return func(rt *Router) {
+		if d > 0 {
+			rt.hedge = d
+		}
+	}
+}
+
+// WithBreaker tunes the per-replica circuit breaker: threshold
+// consecutive failures open a replica, base is the first backoff
+// interval (doubled per re-trip, jittered), capped at maxBackoff.
+func WithBreaker(threshold int, base, maxBackoff time.Duration) Option {
+	return func(rt *Router) {
+		rt.breaker = breakerConfig{threshold: threshold, base: base, maxBackoff: maxBackoff}
+	}
+}
+
+// WithMaxReplyBytes caps how large one backend response body may be;
+// a larger reply fails the replica call deterministically.
+func WithMaxReplyBytes(n int64) Option {
+	return func(rt *Router) {
+		if n > 0 {
+			rt.maxReply = n
+		}
+	}
+}
+
 // New wires a Router over a manifest and the backends serving its
-// shards. Every manifest shard needs exactly one backend of the same
-// name; unknown or duplicate backend names are an error.
+// shards. Every manifest shard needs exactly one backend entry of the
+// same name (which may carry several replica URLs); unknown or
+// duplicate backend names are an error.
 func New(m *shard.Manifest, backends []Backend, opts ...Option) (*Router, error) {
 	rt := &Router{
 		client:   &http.Client{},
 		timeout:  DefaultTimeout,
 		maxBatch: DefaultMaxBatch,
+		maxReply: maxReplyBytes,
+		breaker:  breakerConfig{threshold: DefaultBreakerThreshold, base: DefaultBreakerBackoff, maxBackoff: DefaultBreakerMaxBackoff},
 		logger:   log.Default(),
-		backends: make(map[string]string, len(backends)),
+		backends: make(map[string][]string, len(backends)),
 	}
 	for _, opt := range opts {
 		opt(rt)
 	}
+	if err := rt.breaker.validate(); err != nil {
+		return nil, err
+	}
+	rt.health = make(map[string]*replicaHealth)
+	rt.rotation = make(map[string]*atomic.Uint64, len(backends))
 	for _, b := range backends {
 		if _, dup := rt.backends[b.Name]; dup {
 			return nil, fmt.Errorf("router: duplicate backend %q", b.Name)
 		}
-		rt.backends[b.Name] = strings.TrimRight(b.URL, "/")
+		urls := b.urls()
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: backend %q has no URL", b.Name)
+		}
+		seen := make(map[string]bool, len(urls))
+		trimmed := make([]string, len(urls))
+		for i, u := range urls {
+			u = strings.TrimRight(u, "/")
+			if seen[u] {
+				return nil, fmt.Errorf("router: backend %q lists replica %q twice", b.Name, u)
+			}
+			seen[u] = true
+			trimmed[i] = u
+			if rt.health[u] == nil {
+				rt.health[u] = &replicaHealth{cfg: &rt.breaker}
+			}
+		}
+		rt.backends[b.Name] = trimmed
+		rt.rotation[b.Name] = new(atomic.Uint64)
 	}
 	st, err := newRouterState(m, rt.backends)
 	if err != nil {
@@ -194,19 +296,19 @@ func New(m *shard.Manifest, backends []Backend, opts ...Option) (*Router, error)
 }
 
 // newRouterState resolves a manifest against the configured backends.
-func newRouterState(m *shard.Manifest, backends map[string]string) (*routerState, error) {
+func newRouterState(m *shard.Manifest, backends map[string][]string) (*routerState, error) {
 	mapper, err := geo.NewMapper(m.Grid, m.Box)
 	if err != nil {
 		return nil, fmt.Errorf("router: manifest geometry: %w", err)
 	}
-	st := &routerState{manifest: m, mapper: mapper, urls: make([]string, len(m.Shards))}
+	st := &routerState{manifest: m, mapper: mapper, replicas: make([][]string, len(m.Shards))}
 	named := make(map[string]bool, len(m.Shards))
 	for i, s := range m.Shards {
-		url, ok := backends[s.Name]
+		urls, ok := backends[s.Name]
 		if !ok {
 			return nil, fmt.Errorf("router: no backend for shard %q", s.Name)
 		}
-		st.urls[i] = url
+		st.replicas[i] = urls
 		named[s.Name] = true
 	}
 	for name := range backends {
@@ -369,9 +471,29 @@ type shardInfoJSON struct {
 	Lo          int    `json:"lo"`
 	Hi          int    `json:"hi"`
 	Fingerprint string `json:"fingerprint"`
-	Status      string `json:"status"`
-	Generation  string `json:"generation,omitempty"`
-	Match       bool   `json:"match"`
+	// Status/Generation/Match summarize the shard: the first replica
+	// whose probe answered ok (or the first replica when none did), so
+	// single-replica deployments read exactly as before replica sets.
+	Status     string `json:"status"`
+	Generation string `json:"generation,omitempty"`
+	Match      bool   `json:"match"`
+	// Replicas details every replica's probe outcome and breaker state.
+	Replicas []replicaInfoJSON `json:"replicas,omitempty"`
+}
+
+type replicaInfoJSON struct {
+	URL        string `json:"url"`
+	Status     string `json:"status"`
+	Generation string `json:"generation,omitempty"`
+	Match      bool   `json:"match"`
+	// Breaker is the passive-health view: closed | open | half-open,
+	// with the failure bookkeeping behind it.
+	Breaker      string `json:"breaker"`
+	ConsecFails  int    `json:"consecutive_failures,omitempty"`
+	Attempts     int64  `json:"attempts"`
+	Failures     int64  `json:"failures,omitempty"`
+	LastError    string `json:"last_error,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 type shardsResponse struct {
@@ -452,11 +574,13 @@ func queryFloat(r *http.Request, key string) (float64, error) {
 
 // Scatter machinery.
 
-// shardCall is one backend request of a fan-out.
+// shardCall is one backend request of a fan-out. hedge marks
+// locate-class calls eligible for hedged reads under WithHedge.
 type shardCall struct {
 	method string
 	path   string
 	body   []byte // nil for GET
+	hedge  bool
 }
 
 // shardReply is one backend's answer: transport error, or status plus
@@ -478,7 +602,8 @@ type httpError struct {
 func (e *httpError) Error() string { return e.msg }
 
 // scatter fans calls out to their shards concurrently and collects
-// every reply; each call gets its own timeout.
+// every reply; each per-shard call runs the replica failover loop
+// under its own time budget.
 func (rt *Router) scatter(ctx context.Context, st *routerState, calls map[int]shardCall) map[int]shardReply {
 	replies := make(map[int]shardReply, len(calls))
 	var (
@@ -489,7 +614,7 @@ func (rt *Router) scatter(ctx context.Context, st *routerState, calls map[int]sh
 		wg.Add(1)
 		go func(i int, call shardCall) {
 			defer wg.Done()
-			rep := rt.callShard(ctx, st.urls[i], call)
+			rep := rt.callShard(ctx, st, i, call)
 			mu.Lock()
 			replies[i] = rep
 			mu.Unlock()
@@ -499,15 +624,136 @@ func (rt *Router) scatter(ctx context.Context, st *routerState, calls map[int]sh
 	return replies
 }
 
-// callShard performs one backend request.
-func (rt *Router) callShard(ctx context.Context, url string, call shardCall) shardReply {
-	cctx, cancel := context.WithTimeout(ctx, rt.timeout)
+// failsOver reports whether a replica attempt's outcome should move
+// on to the next replica: transport errors and backend 5xx do; any
+// reply below 500 — including 4xx (input-determined, identical on
+// every replica) and generation mismatches (a plan-level transition
+// owned by the manifest reload-retry discipline) — is terminal.
+func failsOver(rep shardReply) bool {
+	return rep.err != nil || rep.status >= 500
+}
+
+// callShard answers one shard's request by trying its replicas in
+// rotation order under a single time budget of
+// min(rt.timeout, remaining caller deadline) — attempts never outlive
+// the caller, and each attempt's own timeout is its fair share of
+// what remains (remaining / attempts left), so a black-holed replica
+// cannot starve its siblings. Failover is sequential; when the call
+// is hedgeable and WithHedge is set, the next replica is additionally
+// fired after the hedge delay while the previous attempt is still in
+// flight, and the first non-failing reply wins (losers are canceled
+// and their canceled outcomes never count against replica health).
+// The reply is the first terminal one, or the last failure once every
+// replica refused — the only way a shard fails.
+func (rt *Router) callShard(ctx context.Context, st *routerState, shardIdx int, call shardCall) shardReply {
+	name := st.manifest.Shards[shardIdx].Name
+	urls := st.replicas[shardIdx]
+	order, probe := rt.replicaOrder(name, urls)
+
+	total := rt.timeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < total {
+			total = rem
+		}
+	}
+	if total <= 0 {
+		if probe >= 0 {
+			rt.health[urls[order[probe]]].releaseProbe()
+		}
+		return shardReply{err: fmt.Errorf("router: no time budget left for shard %q: %w", name, context.DeadlineExceeded)}
+	}
+	deadline := time.Now().Add(total)
+	bctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
+
+	type attemptResult struct {
+		idx int // index into order
+		rep shardReply
+	}
+	resCh := make(chan attemptResult, len(order))
+	launched, pending := 0, 0
+	// launch starts the next attempt in order with its fair share of
+	// the remaining budget. Health bookkeeping happens in the attempt
+	// goroutine so hedged losers are accounted even after the winner
+	// returned — except canceled losers, which are neutral.
+	launch := func() {
+		idx := launched
+		launched++
+		pending++
+		url := urls[order[idx]]
+		h := rt.health[url]
+		h.recordAttempt()
+		attemptBudget := time.Until(deadline) / time.Duration(len(order)-idx)
+		isProbe := idx == probe
+		go func() {
+			actx, acancel := context.WithTimeout(bctx, attemptBudget)
+			defer acancel()
+			rep := rt.doCall(actx, url, call)
+			switch {
+			case errors.Is(rep.err, context.Canceled):
+				// A hedged loser (the winner canceled the fan-in) or a
+				// vanished client — neither says anything about the replica.
+			case failsOver(rep):
+				h.recordFailure(time.Now(), rep.err)
+			default:
+				h.recordSuccess()
+			}
+			if isProbe {
+				h.releaseProbe()
+			}
+			resCh <- attemptResult{idx: idx, rep: rep}
+		}()
+	}
+
+	launch()
+	var last shardReply
+	for {
+		var hedgeTimer <-chan time.Time
+		if call.hedge && rt.hedge > 0 && launched < len(order) {
+			hedgeTimer = time.After(rt.hedge)
+		}
+		select {
+		case res := <-resCh:
+			pending--
+			if !failsOver(res.rep) {
+				return res.rep
+			}
+			last = res.rep
+			if launched < len(order) {
+				launch()
+				continue
+			}
+			if pending > 0 {
+				continue // a hedged sibling may still answer
+			}
+			if len(order) > 1 {
+				last.err = fmt.Errorf("router: all %d replicas of shard %q failed, last: %w",
+					len(order), name, replyError(last))
+			}
+			return last
+		case <-hedgeTimer:
+			launch()
+		}
+	}
+}
+
+// replyError normalizes a failed reply into one error for wrapping.
+func replyError(rep shardReply) error {
+	if rep.err != nil {
+		return rep.err
+	}
+	return fmt.Errorf("backend status %d", rep.status)
+}
+
+// doCall performs one HTTP request against one replica. A response
+// body exceeding the reply cap is an explicit failure, never a silent
+// truncation.
+func (rt *Router) doCall(ctx context.Context, url string, call shardCall) shardReply {
 	var body io.Reader
 	if call.body != nil {
 		body = bytes.NewReader(call.body)
 	}
-	req, err := http.NewRequestWithContext(cctx, call.method, url+call.path, body)
+	req, err := http.NewRequestWithContext(ctx, call.method, url+call.path, body)
 	if err != nil {
 		return shardReply{err: err}
 	}
@@ -519,9 +765,12 @@ func (rt *Router) callShard(ctx context.Context, url string, call shardCall) sha
 		return shardReply{err: err}
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxReplyBytes))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, rt.maxReply+1))
 	if err != nil {
 		return shardReply{err: err}
+	}
+	if int64(len(data)) > rt.maxReply {
+		return shardReply{err: fmt.Errorf("router: reply exceeds %d-byte cap", rt.maxReply)}
 	}
 	return shardReply{status: resp.StatusCode, body: data, gen: resp.Header.Get(server.GenerationHeader)}
 }
@@ -645,6 +894,12 @@ func (rt *Router) handleUnsupported(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := rt.state.Load()
+	// The router's own health probe doubles as a staleness probe, the
+	// same contract the backends' /healthz honors: the generation
+	// header names the whole artifact the current plan serves, so a
+	// fleet monitor can spot a router pinned to an old manifest without
+	// issuing a data-path request.
+	setGeneration(w, st)
 	rt.writeJSON(w, http.StatusOK, healthzResponse{
 		Status:     "ok",
 		Shards:     len(st.manifest.Shards),
@@ -654,43 +909,84 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleShards probes every backend's healthz and reports the plan
-// side by side with what each backend actually serves.
+// handleShards probes every replica's healthz directly (no failover —
+// this surface reports faults instead of routing around them) and
+// reports the plan side by side with what each backend actually
+// serves, including each replica's breaker state.
 func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 	st := rt.state.Load()
-	calls := make(map[int]shardCall, len(st.manifest.Shards))
-	for i := range st.manifest.Shards {
-		calls[i] = shardCall{method: http.MethodGet, path: "/healthz"}
-	}
-	replies := rt.scatter(r.Context(), st, calls)
 	resp := shardsResponse{
 		Generation: strconv.FormatUint(st.manifest.Generation, 10),
 		Regions:    st.manifest.NumRegions,
 		Shards:     make([]shardInfoJSON, len(st.manifest.Shards)),
 	}
+	probe := shardCall{method: http.MethodGet, path: "/healthz"}
+	var wg sync.WaitGroup
 	for i, s := range st.manifest.Shards {
-		info := shardInfoJSON{
-			Name:        s.Name,
-			URL:         st.urls[i],
-			Lo:          s.Lo,
-			Hi:          s.Hi,
-			Fingerprint: strconv.FormatUint(s.Fingerprint, 10),
-		}
-		rep := replies[i]
-		switch {
-		case rep.err != nil:
-			info.Status = fmt.Sprintf("unreachable: %v", rep.err)
-		case rep.status != http.StatusOK:
-			info.Status = fmt.Sprintf("unhealthy: status %d", rep.status)
-		default:
-			info.Status = "ok"
-		}
-		if rep.err == nil {
-			info.Generation = rep.gen
-			info.Match = rep.gen == info.Fingerprint
-		}
-		resp.Shards[i] = info
+		wg.Add(1)
+		go func(i int, s shard.Shard) {
+			defer wg.Done()
+			urls := st.replicas[i]
+			info := shardInfoJSON{
+				Name:        s.Name,
+				Lo:          s.Lo,
+				Hi:          s.Hi,
+				Fingerprint: strconv.FormatUint(s.Fingerprint, 10),
+				Replicas:    make([]replicaInfoJSON, len(urls)),
+			}
+			now := time.Now()
+			var inner sync.WaitGroup
+			for j, url := range urls {
+				inner.Add(1)
+				go func(j int, url string) {
+					defer inner.Done()
+					actx, acancel := context.WithTimeout(r.Context(), rt.timeout)
+					defer acancel()
+					rep := rt.doCall(actx, url, probe)
+					hs := rt.health[url].snapshot(url, now)
+					ri := replicaInfoJSON{
+						URL:          url,
+						Breaker:      hs.State,
+						ConsecFails:  hs.ConsecFails,
+						Attempts:     hs.Attempts,
+						Failures:     hs.Failures,
+						LastError:    hs.LastErr,
+						RetryAfterMS: hs.RetryAfterMS,
+					}
+					switch {
+					case rep.err != nil:
+						ri.Status = fmt.Sprintf("unreachable: %v", rep.err)
+					case rep.status != http.StatusOK:
+						ri.Status = fmt.Sprintf("unhealthy: status %d", rep.status)
+					default:
+						ri.Status = "ok"
+					}
+					if rep.err == nil {
+						ri.Generation = rep.gen
+						ri.Match = rep.gen == info.Fingerprint
+					}
+					info.Replicas[j] = ri
+				}(j, url)
+			}
+			inner.Wait()
+			// Summarize: first ok replica speaks for the shard, else the
+			// first replica's failure does.
+			summary := info.Replicas[0]
+			for _, ri := range info.Replicas {
+				if ri.Status == "ok" {
+					summary = ri
+					break
+				}
+			}
+			info.URL = summary.URL
+			info.Status = summary.Status
+			info.Generation = summary.Generation
+			info.Match = summary.Match
+			resp.Shards[i] = info
+		}(i, s)
 	}
+	wg.Wait()
+	setGeneration(w, st)
 	rt.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -747,7 +1043,7 @@ func (rt *Router) handleLocate(w http.ResponseWriter, r *http.Request) {
 		cell := st.mapper.CellOf(req.Lat, req.Lon)
 		want = st.manifest.RegionOfCell(st.manifest.Grid.Index(cell))
 		owner = st.manifest.ShardOfRegion(want)
-		return map[int]shardCall{owner: {method: http.MethodPost, path: "/v1/locate", body: body}}, nil
+		return map[int]shardCall{owner: {method: http.MethodPost, path: "/v1/locate", body: body, hedge: true}}, nil
 	})
 	if herr != nil {
 		rt.writeError(w, herr.status, herr)
@@ -852,7 +1148,7 @@ func (rt *Router) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, &httpError{http.StatusInternalServerError, err.Error()}
 			}
-			calls[s] = shardCall{method: http.MethodPost, path: "/v1/locate_batch", body: body}
+			calls[s] = shardCall{method: http.MethodPost, path: "/v1/locate_batch", body: body, hedge: true}
 		}
 		return calls, nil
 	})

@@ -18,6 +18,7 @@ import (
 	"fairindex/internal/dataset"
 	"fairindex/internal/geo"
 	"fairindex/internal/router"
+	"fairindex/internal/router/faultnet"
 	"fairindex/internal/server"
 	"fairindex/internal/shard"
 )
@@ -224,6 +225,46 @@ func TestRouterUnsupportedEndpoints(t *testing.T) {
 	}
 }
 
+// TestRouterHealthzGeneration pins the staleness-probe contract on
+// the router's own health endpoint: /healthz answers without touching
+// any backend and carries the Fairindex-Generation header of the plan
+// it currently serves, matching what the backends' /healthz reports.
+func TestRouterHealthzGeneration(t *testing.T) {
+	c := newCluster(t, buildWhole(t), 2)
+	_, rts := c.newRouter(t)
+	gen, err := c.whole.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strconv.FormatUint(gen, 10)
+
+	var health struct {
+		Status     string `json:"status"`
+		Shards     int    `json:"shards"`
+		Generation string `json:"generation"`
+	}
+	status, hdr := doJSON(t, "GET", rts.URL+"/healthz", "", &health)
+	if status != http.StatusOK || health.Status != "ok" || health.Shards != 2 {
+		t.Fatalf("healthz: status %d body %+v", status, health)
+	}
+	if health.Generation != want {
+		t.Errorf("healthz generation %q, want %s", health.Generation, want)
+	}
+	if got := hdr.Get(server.GenerationHeader); got != want {
+		t.Errorf("healthz %s = %q, want %s", server.GenerationHeader, got, want)
+	}
+
+	// No data-path request needed: the probe answers with every
+	// backend down.
+	for _, ts := range c.backends {
+		ts.Close()
+	}
+	status, hdr = doJSON(t, "GET", rts.URL+"/healthz", "", &health)
+	if status != http.StatusOK || hdr.Get(server.GenerationHeader) != want {
+		t.Errorf("healthz with backends down: status %d gen %q", status, hdr.Get(server.GenerationHeader))
+	}
+}
+
 // TestRouterShardsEndpoint checks the health/generation surface.
 func TestRouterShardsEndpoint(t *testing.T) {
 	c := newCluster(t, buildWhole(t), 3)
@@ -414,15 +455,13 @@ func TestRouterSlowShardTimeout(t *testing.T) {
 	c := newCluster(t, whole, 2)
 	task := whole.Tasks()[0]
 
-	// Replace shard 1's backend with a delaying proxy to the real
-	// handler — correct bytes, correct generation, 300ms late.
-	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		time.Sleep(300 * time.Millisecond)
-		c.servers[1].ServeHTTP(w, r)
-	}))
+	// Front shard 1's handler with a delaying fault proxy — correct
+	// bytes, correct generation, 300ms late.
+	slow := faultnet.New(c.servers[1])
 	defer slow.Close()
+	slow.Set(faultnet.Fault{Mode: faultnet.Slow, Delay: 300 * time.Millisecond})
 	backends := c.backendList()
-	backends[1].URL = slow.URL
+	backends[1].URL = slow.URL()
 	rt, err := router.New(c.manifest, backends, router.WithTimeout(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
